@@ -1,0 +1,45 @@
+//! Micro-benchmarks for the core claim: epoch operations are O(1) while
+//! vector-clock operations are O(n) in the thread count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_clock::{Epoch, Tid, VectorClock};
+use std::hint::black_box;
+
+fn bench_epoch_vs_vc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("happens_before_check");
+    for &threads in &[2u32, 8, 32, 128] {
+        let vc = VectorClock::from_components(&(0..threads).map(|i| i + 1).collect::<Vec<_>>());
+        let other = VectorClock::from_components(&(0..threads).map(|i| i + 2).collect::<Vec<_>>());
+        let epoch = Epoch::new(Tid::new(threads.min(255) - 1), threads);
+
+        group.bench_with_input(BenchmarkId::new("epoch_vs_vc_O1", threads), &threads, |b, _| {
+            b.iter(|| black_box(epoch).happens_before(black_box(&vc)))
+        });
+        group.bench_with_input(BenchmarkId::new("vc_vs_vc_On", threads), &threads, |b, _| {
+            b.iter(|| black_box(&other).leq(black_box(&vc)))
+        });
+        group.bench_with_input(BenchmarkId::new("vc_join_On", threads), &threads, |b, _| {
+            b.iter_batched(
+                || vc.clone(),
+                |mut target| {
+                    target.join(black_box(&other));
+                    target
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_epoch_construction(c: &mut Criterion) {
+    c.bench_function("epoch_pack_unpack", |b| {
+        b.iter(|| {
+            let e = Epoch::new(black_box(Tid::new(7)), black_box(1234));
+            black_box((e.tid(), e.clock()))
+        })
+    });
+}
+
+criterion_group!(benches, bench_epoch_vs_vc, bench_epoch_construction);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Overhead of the online monitoring modes: synchronous (direct, one lock
+//! round-trip per event) vs buffered (one channel send per event, analysis
+//! on a dedicated thread).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fasttrack::FastTrack;
+use ft_runtime::online::Monitor;
+
+fn run_workload(monitor: &Monitor, threads: usize, iters: usize) {
+    let counter = monitor.tracked_var(0u64);
+    let lock = monitor.mutex(());
+    let root = monitor.root();
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let counter = counter.clone();
+            let lock = lock.clone();
+            root.spawn(move |ctx| {
+                for _ in 0..iters {
+                    let _g = lock.lock(&ctx);
+                    let v = counter.get(&ctx);
+                    counter.set(&ctx, v + 1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join(&root);
+    }
+    assert!(monitor.report().warnings.is_empty());
+}
+
+fn bench_online_modes(c: &mut Criterion) {
+    let threads = 4;
+    let iters = 500;
+    let events = (threads * iters * 4) as u64; // lock+read+write+unlock
+    let mut group = c.benchmark_group("online_monitoring");
+    group.throughput(Throughput::Elements(events));
+    group.sample_size(20);
+    group.bench_with_input(BenchmarkId::from_parameter("direct"), &(), |b, _| {
+        b.iter(|| run_workload(&Monitor::new(FastTrack::new()), threads, iters))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("buffered"), &(), |b, _| {
+        b.iter(|| run_workload(&Monitor::buffered(FastTrack::new()), threads, iters))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_online_modes);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! Reproduces the **§5.2 analysis-composition table**: slowdowns of the
+//! ATOMIZER, VELODROME, and SINGLETRACK checkers under five prefilters
+//! (NONE, TL, ERASER, DJIT⁺, FASTTRACK).
+//!
+//! ```text
+//! cargo run --release -p ft-bench --bin composition [-- --ops=200000 --reps=3]
+//! ```
+//!
+//! Critical sections are marked atomic (Atomizer's and Velodrome's default
+//! expectation for synchronized blocks), and each checker runs downstream
+//! of each prefilter in a RoadRunner-style pipeline. Shape target: the
+//! FASTTRACK prefilter yields the lowest slowdowns for every checker
+//! (paper: Atomizer 57.2→12.6, Velodrome 57.9→11.3, SingleTrack
+//! 104.1→11.7), with DJIT⁺ in between and TL the weakest useful filter.
+//! The ERASER/ATOMIZER cell is "—": Atomizer already runs Eraser
+//! internally, so that combination "would not be meaningful" (footnote 7).
+
+use fasttrack::{Detector, FastTrack};
+use ft_bench::{arithmetic_mean, fmt1, slowdown, time_base, HarnessOpts};
+use ft_checkers::{Atomizer, SingleTrack, Velodrome};
+use ft_detectors::{Djit, Eraser};
+use ft_runtime::{Pipeline, ThreadLocalFilter};
+use ft_trace::{Op, Trace};
+use ft_workloads::{build, BENCHMARKS};
+
+/// Wraps every outermost critical section in atomic-block markers.
+fn annotate_atomic(trace: &Trace) -> Trace {
+    let mut depth = std::collections::HashMap::<u32, u32>::new();
+    let mut out: Vec<Op> = Vec::with_capacity(trace.len() + trace.len() / 8);
+    for op in trace.events() {
+        match op {
+            Op::Acquire(t, _) => {
+                let d = depth.entry(t.as_u32()).or_insert(0);
+                if *d == 0 {
+                    out.push(Op::AtomicBegin(*t));
+                }
+                *d += 1;
+                out.push(op.clone());
+            }
+            Op::Release(t, _) => {
+                out.push(op.clone());
+                let d = depth.entry(t.as_u32()).or_insert(1);
+                *d = d.saturating_sub(1);
+                if *d == 0 {
+                    out.push(Op::AtomicEnd(*t));
+                }
+            }
+            _ => out.push(op.clone()),
+        }
+    }
+    ft_trace::validate(&out).expect("annotation preserves feasibility")
+}
+
+const FILTERS: &[&str] = &["NONE", "TL", "ERASER", "DJIT+", "FASTTRACK"];
+const CHECKERS: &[&str] = &["ATOMIZER", "VELODROME", "SINGLETRACK"];
+
+fn make_checker(name: &str) -> Box<dyn Detector + Send> {
+    match name {
+        "ATOMIZER" => Box::new(Atomizer::new()),
+        "VELODROME" => Box::new(Velodrome::new()),
+        "SINGLETRACK" => Box::new(SingleTrack::new()),
+        other => panic!("unknown checker {other:?}"),
+    }
+}
+
+fn make_pipeline(filter: &str, checker: &str) -> Pipeline {
+    let mut stages: Vec<Box<dyn Detector + Send>> = Vec::new();
+    match filter {
+        "NONE" => {}
+        "TL" => stages.push(Box::new(ThreadLocalFilter::new())),
+        "ERASER" => stages.push(Box::new(Eraser::new())),
+        "DJIT+" => stages.push(Box::new(Djit::new())),
+        "FASTTRACK" => stages.push(Box::new(FastTrack::new())),
+        other => panic!("unknown filter {other:?}"),
+    }
+    stages.push(make_checker(checker));
+    Pipeline::new(stages)
+}
+
+fn main() {
+    let opts = HarnessOpts::from_env(200_000);
+    println!("Section 5.2: Slowdown for Prefilters (average over compute-bound benchmarks)");
+    println!(
+        "workload: ~{} events/benchmark with atomic-annotated critical sections, best of {} runs\n",
+        opts.ops, opts.reps
+    );
+
+    // Pre-build annotated traces.
+    let traces: Vec<(&str, Trace, std::time::Duration)> = BENCHMARKS
+        .iter()
+        .filter(|b| b.compute_bound)
+        .map(|b| {
+            let t = annotate_atomic(&build(b.name, opts.scale(), opts.seed));
+            let base = time_base(&t, opts.reps);
+            (b.name, t, base)
+        })
+        .collect();
+
+    println!(
+        "{:<12} | {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "Checker", "NONE", "TL", "ERASER", "DJIT+", "FASTTRACK"
+    );
+    for checker in CHECKERS {
+        print!("{checker:<12} |");
+        for filter in FILTERS {
+            if *checker == "ATOMIZER" && *filter == "ERASER" {
+                print!(" {:>8}", "—");
+                continue;
+            }
+            let mut per_bench = Vec::new();
+            for (_, trace, base) in &traces {
+                let mut best = std::time::Duration::MAX;
+                for _ in 0..opts.reps {
+                    let mut pipeline = make_pipeline(filter, checker);
+                    let start = std::time::Instant::now();
+                    for (i, op) in trace.events().iter().enumerate() {
+                        pipeline.on_op(i, op);
+                    }
+                    best = best.min(start.elapsed());
+                }
+                per_bench.push(slowdown(best, *base));
+            }
+            let avg = arithmetic_mean(&per_bench);
+            if *filter == "FASTTRACK" {
+                print!(" {:>9}", fmt1(avg));
+            } else {
+                print!(" {:>8}", fmt1(avg));
+            }
+        }
+        println!();
+    }
+
+    // Event-volume reduction, the mechanism behind the speedups.
+    println!("\nEvents reaching the checker (FASTTRACK prefilter, summed over benchmarks):");
+    let mut seen_none = 0u64;
+    let mut seen_ft = 0u64;
+    for (_, trace, _) in &traces {
+        seen_none += trace.len() as u64;
+        let mut pipeline = make_pipeline("FASTTRACK", "VELODROME");
+        for (i, op) in trace.events().iter().enumerate() {
+            pipeline.on_op(i, op);
+        }
+        seen_ft += pipeline.stage_reports()[1].events_seen;
+    }
+    println!(
+        "  NONE: {seen_none} events; FASTTRACK prefilter: {seen_ft} events ({:.1}% suppressed)",
+        100.0 * (1.0 - seen_ft as f64 / seen_none as f64)
+    );
+}

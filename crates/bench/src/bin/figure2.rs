@@ -1,0 +1,75 @@
+//! Reproduces the **Figure 2 / Figure 5 frequency annotations**: the
+//! operation mix (reads/writes/other) and the fraction of reads and writes
+//! handled by each FASTTRACK and DJIT⁺ analysis rule, aggregated over the
+//! 16 benchmarks.
+//!
+//! ```text
+//! cargo run --release -p ft-bench --bin figure2 [-- --ops=200000]
+//! ```
+//!
+//! Paper numbers to compare against: 82.3% reads / 14.5% writes / 3.3%
+//! other; [FT READ SAME EPOCH] 63.4%, [FT READ SHARED] 20.8%,
+//! [FT READ EXCLUSIVE] 15.7%, [FT READ SHARE] 0.1%; [FT WRITE SAME EPOCH]
+//! 71.0%, [FT WRITE EXCLUSIVE] 28.9%, [FT WRITE SHARED] 0.1%;
+//! [DJIT+ READ SAME EPOCH] 78.0%, [DJIT+ READ] 22.0%.
+
+use fasttrack::Detector;
+use ft_bench::{time_tool, HarnessOpts};
+use ft_trace::OpMix;
+use ft_workloads::{build, BENCHMARKS};
+use std::collections::BTreeMap;
+
+fn main() {
+    let opts = HarnessOpts::from_env(200_000);
+    println!("Figure 2: operation mix and per-rule frequencies (all 16 benchmarks)");
+    println!("workload: ~{} events/benchmark, seed {}\n", opts.ops, opts.seed);
+
+    let mut mix = OpMix::default();
+    let mut ft_rules: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut djit_rules: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut total_reads = 0u64;
+    let mut total_writes = 0u64;
+
+    for bench in BENCHMARKS {
+        let trace = build(bench.name, opts.scale(), opts.seed);
+        mix = mix + trace.op_mix();
+        let (_, ft) = time_tool("FASTTRACK", &trace, 1);
+        for rule in ft.rule_breakdown() {
+            *ft_rules.entry(rule.rule).or_insert(0) += rule.hits;
+        }
+        let (_, djit) = time_tool("DJIT+", &trace, 1);
+        for rule in djit.rule_breakdown() {
+            *djit_rules.entry(rule.rule).or_insert(0) += rule.hits;
+        }
+        total_reads += ft.stats().reads;
+        total_writes += ft.stats().writes;
+    }
+
+    let ratios = mix.ratios();
+    println!("Operation mix (paper: reads 82.3% / writes 14.5% / other 3.3%):");
+    println!("  {ratios}\n");
+
+    let pct = |hits: u64, total: u64| 100.0 * hits as f64 / total.max(1) as f64;
+    println!("FASTTRACK rules (paper: 63.4 / 20.8 / 15.7 / 0.1 of reads; 71.0 / 28.9 / 0.1 of writes):");
+    for (rule, hits) in &ft_rules {
+        let total = if rule.contains("READ") { total_reads } else { total_writes };
+        println!("  [{rule}] {:>12} hits  {:>5.1}%", hits, pct(*hits, total));
+    }
+    println!("\nDJIT+ rules (paper: 78.0 / 22.0 of reads; 71.0 / 29.0 of writes):");
+    for (rule, hits) in &djit_rules {
+        let total = if rule.contains("READ") { total_reads } else { total_writes };
+        println!("  [{rule}] {:>12} hits  {:>5.1}%", hits, pct(*hits, total));
+    }
+
+    let fast_path_reads = ft_rules.get("FT READ SAME EPOCH").unwrap_or(&0)
+        + ft_rules.get("FT READ SHARED").unwrap_or(&0)
+        + ft_rules.get("FT READ EXCLUSIVE").unwrap_or(&0);
+    let fast_path_writes = ft_rules.get("FT WRITE SAME EPOCH").unwrap_or(&0)
+        + ft_rules.get("FT WRITE EXCLUSIVE").unwrap_or(&0);
+    println!(
+        "\nConstant-time fast paths handled {:.2}% of reads and {:.2}% of writes",
+        pct(fast_path_reads, total_reads),
+        pct(fast_path_writes, total_writes)
+    );
+    println!("(paper: \"optimized constant-time fast paths handle upwards of 96% of operations\")");
+}

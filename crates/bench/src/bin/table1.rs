@@ -1,0 +1,84 @@
+//! Reproduces **Table 1**: instrumented slowdowns and warning counts of
+//! all seven tools across the 16 benchmarks.
+//!
+//! ```text
+//! cargo run --release -p ft-bench --bin table1 [-- --ops=200000 --reps=3 --seed=42]
+//! ```
+//!
+//! Shape targets (paper §5.1): FASTTRACK ≈ ERASER, ≈2.3× faster than DJIT⁺,
+//! ≈10× faster than BASICVC, far faster than GOLDILOCKS; ERASER's warnings
+//! include spurious reports and misses, while BASICVC/DJIT⁺/FASTTRACK agree
+//! exactly.
+
+use ft_bench::{arithmetic_mean, fmt1, time_base, time_tool, HarnessOpts, TOOL_NAMES};
+use ft_workloads::{build, BENCHMARKS};
+
+fn main() {
+    let opts = HarnessOpts::from_env(200_000);
+    println!("Table 1: Benchmark Results (slowdown vs. bare replay; warnings)");
+    println!(
+        "workload: ~{} events/benchmark, best of {} runs, seed {}\n",
+        opts.ops, opts.reps, opts.seed
+    );
+
+    println!(
+        "{:<12} {:>7} {:>8} | {:>7} {:>7} {:>9} {:>10} {:>8} {:>7} {:>9} | {:>3} {:>3} {:>3} {:>3} {:>3} {:>3}",
+        "Program", "Threads", "Events",
+        "EMPTY", "ERASER", "MULTIRACE", "GOLDILOCKS", "BASICVC", "DJIT+", "FASTTRACK",
+        "ER", "MR", "GL", "BV", "DJ", "FT"
+    );
+
+    let mut slowdowns: Vec<Vec<f64>> = vec![Vec::new(); TOOL_NAMES.len()];
+    for bench in BENCHMARKS {
+        let trace = build(bench.name, opts.scale(), opts.seed);
+        let base = time_base(&trace, opts.reps);
+        let mut row_slow = Vec::new();
+        let mut row_warn = Vec::new();
+        for (i, name) in TOOL_NAMES.iter().enumerate() {
+            let (d, tool) = time_tool(name, &trace, opts.reps);
+            let s = ft_bench::slowdown(d, base);
+            row_slow.push(s);
+            if *name != "EMPTY" {
+                row_warn.push(tool.warnings().len());
+            }
+            if bench.compute_bound {
+                slowdowns[i].push(s);
+            }
+        }
+        println!(
+            "{:<12} {:>7} {:>8} | {:>7} {:>7} {:>9} {:>10} {:>8} {:>7} {:>9} | {:>3} {:>3} {:>3} {:>3} {:>3} {:>3}{}",
+            bench.name,
+            bench.threads,
+            trace.len(),
+            fmt1(row_slow[0]),
+            fmt1(row_slow[1]),
+            fmt1(row_slow[2]),
+            fmt1(row_slow[3]),
+            fmt1(row_slow[4]),
+            fmt1(row_slow[5]),
+            fmt1(row_slow[6]),
+            row_warn[0],
+            row_warn[1],
+            row_warn[2],
+            row_warn[3],
+            row_warn[4],
+            row_warn[5],
+            if bench.compute_bound { "" } else { "  *" }
+        );
+    }
+
+    println!("{}", "-".repeat(130));
+    print!("{:<12} {:>7} {:>8} |", "Average", "", "");
+    for tool_slowdowns in &slowdowns {
+        print!(" {:>7}", fmt1(arithmetic_mean(tool_slowdowns)));
+    }
+    println!("   (compute-bound programs only; '*' rows excluded, as in the paper)");
+
+    // Headline ratios.
+    let avg = |i: usize| arithmetic_mean(&slowdowns[i]);
+    println!("\nHeadline ratios (paper: BASICVC/FT ≈ 10x, DJIT+/FT ≈ 2.3x, FT ≈ ERASER):");
+    println!("  BASICVC / FASTTRACK  = {:.1}x", avg(4) / avg(6));
+    println!("  DJIT+   / FASTTRACK  = {:.1}x", avg(5) / avg(6));
+    println!("  ERASER  / FASTTRACK  = {:.1}x", avg(1) / avg(6));
+    println!("  GOLDILOCKS / FASTTRACK = {:.1}x", avg(3) / avg(6));
+}

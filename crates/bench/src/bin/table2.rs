@@ -1,0 +1,58 @@
+//! Reproduces **Table 2**: vector clocks allocated and O(n) vector-clock
+//! operations performed, DJIT⁺ vs. FASTTRACK, per benchmark.
+//!
+//! ```text
+//! cargo run --release -p ft-bench --bin table2 [-- --ops=200000 --seed=42]
+//! ```
+//!
+//! Shape target (paper §5.1): "DJIT⁺ allocated more over 790 million vector
+//! clocks, whereas FASTTRACK allocated only 5.1 million. DJIT⁺ performed
+//! over 5.1 billion O(n)-time vector clock operations, while FASTTRACK
+//! performed only 17 million" — i.e. orders of magnitude on both axes.
+
+use ft_bench::{time_tool, HarnessOpts};
+use ft_workloads::{build, BENCHMARKS};
+
+fn main() {
+    let opts = HarnessOpts::from_env(200_000);
+    println!("Table 2: Vector Clock Allocation and Usage");
+    println!("workload: ~{} events/benchmark, seed {}\n", opts.ops, opts.seed);
+    println!(
+        "{:<12} | {:>14} {:>14} | {:>14} {:>14}",
+        "", "VCs Allocated", "", "VC Operations", ""
+    );
+    println!(
+        "{:<12} | {:>14} {:>14} | {:>14} {:>14}",
+        "Program", "DJIT+", "FASTTRACK", "DJIT+", "FASTTRACK"
+    );
+
+    let mut totals = [0u64; 4];
+    for bench in BENCHMARKS {
+        let trace = build(bench.name, opts.scale(), opts.seed);
+        let (_, djit) = time_tool("DJIT+", &trace, 1);
+        let (_, ft) = time_tool("FASTTRACK", &trace, 1);
+        let row = [
+            djit.stats().vc_allocated,
+            ft.stats().vc_allocated,
+            djit.stats().vc_ops,
+            ft.stats().vc_ops,
+        ];
+        for (t, r) in totals.iter_mut().zip(row.iter()) {
+            *t += r;
+        }
+        println!(
+            "{:<12} | {:>14} {:>14} | {:>14} {:>14}",
+            bench.name, row[0], row[1], row[2], row[3]
+        );
+    }
+    println!("{}", "-".repeat(78));
+    println!(
+        "{:<12} | {:>14} {:>14} | {:>14} {:>14}",
+        "Total", totals[0], totals[1], totals[2], totals[3]
+    );
+    println!(
+        "\nRatios: allocations DJIT+/FT = {:.0}x, VC ops DJIT+/FT = {:.0}x",
+        totals[0] as f64 / totals[1].max(1) as f64,
+        totals[2] as f64 / totals[3].max(1) as f64
+    );
+}

@@ -1,0 +1,91 @@
+//! Reproduces **Table 3**: fine- vs. coarse-grain analysis — shadow-memory
+//! overhead and slowdown for DJIT⁺ and FASTTRACK.
+//!
+//! ```text
+//! cargo run --release -p ft-bench --bin table3 [-- --ops=200000 --reps=3]
+//! ```
+//!
+//! Shape targets (paper §5.1): FASTTRACK needs well under half of DJIT⁺'s
+//! shadow memory at fine grain; coarse grain roughly halves memory for both
+//! tools and speeds both up; FASTTRACK remains the faster tool at each
+//! granularity.
+
+use fasttrack::Detector;
+use ft_bench::{fmt1, slowdown, time_base, time_tool, HarnessOpts};
+use ft_runtime::coarsen;
+use ft_workloads::{build, BENCHMARKS};
+
+fn main() {
+    let opts = HarnessOpts::from_env(200_000);
+    println!("Table 3: Comparison of Fine and Coarse Granularities");
+    println!(
+        "workload: ~{} events/benchmark, best of {} runs, seed {}\n",
+        opts.ops, opts.reps, opts.seed
+    );
+    println!(
+        "{:<12} | {:>10} {:>10} {:>10} {:>10} | {:>8} {:>8} {:>8} {:>8}",
+        "", "Mem fine", "", "Mem coarse", "", "Slow fine", "", "Slow coarse", ""
+    );
+    println!(
+        "{:<12} | {:>10} {:>10} {:>10} {:>10} | {:>8} {:>8} {:>8} {:>8}",
+        "Program", "DJIT+", "FASTTRACK", "DJIT+", "FASTTRACK", "DJIT+", "FT", "DJIT+", "FT"
+    );
+
+    let mut mem_ratios = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    let mut slow_all = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    for bench in BENCHMARKS {
+        let fine = build(bench.name, opts.scale(), opts.seed);
+        let coarse = coarsen(&fine);
+        let base = time_base(&fine, opts.reps);
+
+        let mut mem = [0usize; 4];
+        let mut slow = [0f64; 4];
+        for (i, (tool, trace)) in [
+            ("DJIT+", &fine),
+            ("FASTTRACK", &fine),
+            ("DJIT+", &coarse),
+            ("FASTTRACK", &coarse),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let (d, t) = time_tool(tool, trace, opts.reps);
+            mem[i] = t.shadow_bytes();
+            slow[i] = slowdown(d, base);
+            slow_all[i].push(slow[i]);
+        }
+        // Memory overhead reported relative to FASTTRACK-coarse (smallest
+        // footprint) so rows are comparable, mirroring the paper's ratios
+        // to uninstrumented heap.
+        let unit = mem[3].max(1) as f64;
+        for i in 0..4 {
+            mem_ratios[i].push(mem[i] as f64 / unit);
+        }
+        println!(
+            "{:<12} | {:>9}K {:>9}K {:>9}K {:>9}K | {:>8} {:>8} {:>8} {:>8}",
+            bench.name,
+            mem[0] / 1024,
+            mem[1] / 1024,
+            mem[2] / 1024,
+            mem[3] / 1024,
+            fmt1(slow[0]),
+            fmt1(slow[1]),
+            fmt1(slow[2]),
+            fmt1(slow[3]),
+        );
+    }
+    println!("{}", "-".repeat(100));
+    let avg = |v: &Vec<f64>| ft_bench::arithmetic_mean(v);
+    println!(
+        "{:<12} | {:>10} {:>10} {:>10} {:>10} | {:>8} {:>8} {:>8} {:>8}   (mem = ratio to FT-coarse)",
+        "Average",
+        fmt1(avg(&mem_ratios[0])),
+        fmt1(avg(&mem_ratios[1])),
+        fmt1(avg(&mem_ratios[2])),
+        fmt1(avg(&mem_ratios[3])),
+        fmt1(avg(&slow_all[0])),
+        fmt1(avg(&slow_all[1])),
+        fmt1(avg(&slow_all[2])),
+        fmt1(avg(&slow_all[3])),
+    );
+}

@@ -1,0 +1,277 @@
+//! ATOMIZER: reduction-based dynamic atomicity checking (Flanagan &
+//! Freund, 2008).
+
+use fasttrack::{AccessSummary, Detector, Disposition, Stats, Warning, WarningKind};
+use ft_clock::Tid;
+use ft_detectors::Eraser;
+use ft_trace::{AccessKind, Op, VarId};
+
+/// Lipton-reduction phase of an in-progress atomic block.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Phase {
+    /// Still in the right-mover prefix (acquires and race-free accesses).
+    PreCommit,
+    /// Past the commit point: only left-movers (releases) and race-free
+    /// accesses may follow.
+    PostCommit,
+}
+
+#[derive(Clone, Debug)]
+struct ThreadBlock {
+    depth: u32,
+    phase: Phase,
+    violated: bool,
+}
+
+impl Default for ThreadBlock {
+    fn default() -> Self {
+        ThreadBlock {
+            depth: 0,
+            phase: Phase::PreCommit,
+            violated: false,
+        }
+    }
+}
+
+/// The Atomizer dynamic atomicity checker.
+///
+/// A block marked atomic (the `atomic_begin`/`atomic_end` events) is
+/// checked against Lipton's reduction theorem: it serializes if it matches
+/// `R* [N] L*` where acquires are right-movers (R), releases left-movers
+/// (L), and potentially racy accesses non-movers (N) — race-free accesses
+/// are both-movers and unconstrained. An internal [`Eraser`] classifies
+/// accesses, so Atomizer inherits Eraser's imprecision (the reason the
+/// paper does not combine it with an Eraser prefilter: "ATOMIZER already
+/// uses ERASER to identify potential races internally").
+///
+/// Reported warnings use [`WarningKind::LockSetEmpty`]'s sibling semantics:
+/// they are heuristic, not proofs of non-atomicity.
+#[derive(Debug, Default)]
+pub struct Atomizer {
+    eraser: Eraser,
+    blocks: Vec<ThreadBlock>,
+    warnings: Vec<Warning>,
+    stats: Stats,
+    /// Threads already reported, to bound warning volume (one per thread
+    /// per block nest, like the paper's per-field capping).
+    violations: u64,
+}
+
+impl Atomizer {
+    /// Creates the checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total atomicity violations observed (warnings are deduplicated per
+    /// block, this counts each violating block).
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    fn block(&mut self, t: Tid) -> &mut ThreadBlock {
+        let idx = t.as_usize();
+        if idx >= self.blocks.len() {
+            self.blocks.resize_with(idx + 1, ThreadBlock::default);
+        }
+        &mut self.blocks[idx]
+    }
+
+    fn violation(&mut self, t: Tid, x: Option<VarId>, kind: AccessKind, index: usize) {
+        let b = self.block(t);
+        if b.violated {
+            return;
+        }
+        b.violated = true;
+        self.violations += 1;
+        self.warnings.push(Warning {
+            var: x.unwrap_or(VarId::new(u32::MAX)),
+            kind: WarningKind::LockSetEmpty,
+            prior: AccessSummary {
+                tid: t,
+                kind: AccessKind::Write,
+                event_index: None,
+            },
+            current: AccessSummary {
+                tid: t,
+                kind,
+                event_index: Some(index),
+            },
+        });
+    }
+
+    /// `true` if Eraser currently considers accesses to `x` potentially
+    /// racy (a non-mover for reduction purposes).
+    fn is_non_mover(&mut self, index: usize, t: Tid, x: VarId, kind: AccessKind) -> bool {
+        // Feed the access to the internal Eraser and treat "suppress" (its
+        // prefilter verdict for benign accesses) as both-mover.
+        let op = match kind {
+            AccessKind::Read => Op::Read(t, x),
+            AccessKind::Write => Op::Write(t, x),
+        };
+        self.eraser.on_op(index, &op) == Disposition::Forward
+    }
+}
+
+impl Detector for Atomizer {
+    fn name(&self) -> &'static str {
+        "ATOMIZER"
+    }
+
+    fn on_op(&mut self, index: usize, op: &Op) -> Disposition {
+        self.stats.ops += 1;
+        match op {
+            Op::AtomicBegin(t) => {
+                let b = self.block(*t);
+                if b.depth == 0 {
+                    b.phase = Phase::PreCommit;
+                    b.violated = false;
+                }
+                b.depth += 1;
+            }
+            Op::AtomicEnd(t) => {
+                let b = self.block(*t);
+                b.depth = b.depth.saturating_sub(1);
+            }
+            Op::Read(t, x) | Op::Write(t, x) => {
+                let kind = if matches!(op, Op::Read(..)) {
+                    self.stats.reads += 1;
+                    AccessKind::Read
+                } else {
+                    self.stats.writes += 1;
+                    AccessKind::Write
+                };
+                let non_mover = self.is_non_mover(index, *t, *x, kind);
+                let b = self.block(*t);
+                if b.depth > 0 && non_mover {
+                    match b.phase {
+                        Phase::PreCommit => b.phase = Phase::PostCommit,
+                        Phase::PostCommit => {
+                            // A second non-mover after the commit point.
+                            self.violation(*t, Some(*x), kind, index);
+                        }
+                    }
+                }
+            }
+            Op::Acquire(t, m) => {
+                self.stats.sync_ops += 1;
+                self.eraser.on_op(index, &Op::Acquire(*t, *m));
+                let b = self.block(*t);
+                if b.depth > 0 && b.phase == Phase::PostCommit {
+                    // Right-mover after left-movers began: not reducible.
+                    self.violation(*t, None, AccessKind::Read, index);
+                }
+            }
+            Op::Release(t, m) => {
+                self.stats.sync_ops += 1;
+                self.eraser.on_op(index, &Op::Release(*t, *m));
+                let b = self.block(*t);
+                if b.depth > 0 {
+                    b.phase = Phase::PostCommit;
+                }
+            }
+            other => {
+                self.stats.sync_ops += 1;
+                self.eraser.on_op(index, other);
+            }
+        }
+        Disposition::Forward
+    }
+
+    fn warnings(&self) -> &[Warning] {
+        &self.warnings
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn shadow_bytes(&self) -> usize {
+        self.eraser.shadow_bytes()
+            + self.blocks.capacity() * std::mem::size_of::<ThreadBlock>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_trace::{LockId, TraceBuilder};
+
+    const T0: Tid = Tid::new(0);
+    const T1: Tid = Tid::new(1);
+    const X: VarId = VarId::new(0);
+    const Y: VarId = VarId::new(1);
+    const M: LockId = LockId::new(0);
+
+    fn run(build: impl FnOnce(&mut TraceBuilder) -> Result<(), ft_trace::FeasibilityError>) -> Atomizer {
+        let mut b = TraceBuilder::with_threads(2);
+        build(&mut b).unwrap();
+        let mut a = Atomizer::new();
+        a.run(&b.finish());
+        a
+    }
+
+    #[test]
+    fn single_critical_section_is_atomic() {
+        let a = run(|b| {
+            b.push(Op::AtomicBegin(T0))?;
+            b.release_after_acquire(T0, M, |b| {
+                b.read(T0, X)?;
+                b.write(T0, X)
+            })?;
+            b.push(Op::AtomicEnd(T0))
+        });
+        assert!(a.warnings().is_empty());
+    }
+
+    #[test]
+    fn acquire_after_release_in_block_violates() {
+        let a = run(|b| {
+            b.push(Op::AtomicBegin(T0))?;
+            b.release_after_acquire(T0, M, |_| Ok(()))?;
+            b.acquire(T0, M)?; // right-mover after a left-mover
+            b.release(T0, M)?;
+            b.push(Op::AtomicEnd(T0))
+        });
+        assert_eq!(a.violations(), 1);
+    }
+
+    #[test]
+    fn two_racy_accesses_in_block_violate() {
+        let a = run(|b| {
+            // Make X and Y look racy to the internal Eraser first.
+            b.write(T0, X)?;
+            b.write(T1, X)?;
+            b.write(T0, Y)?;
+            b.write(T1, Y)?;
+            b.push(Op::AtomicBegin(T0))?;
+            b.read(T0, X)?; // non-mover: commit point
+            b.write(T0, Y)?; // second non-mover: violation
+            b.push(Op::AtomicEnd(T0))
+        });
+        assert_eq!(a.violations(), 1);
+    }
+
+    #[test]
+    fn race_free_accesses_are_both_movers() {
+        let a = run(|b| {
+            b.push(Op::AtomicBegin(T0))?;
+            b.read(T0, X)?;
+            b.write(T0, Y)?;
+            b.read(T0, X)?;
+            b.push(Op::AtomicEnd(T0))
+        });
+        assert!(a.warnings().is_empty());
+    }
+
+    #[test]
+    fn accesses_outside_blocks_are_unconstrained() {
+        let a = run(|b| {
+            b.write(T0, X)?;
+            b.write(T1, X)?;
+            b.write(T0, X)?;
+            b.write(T1, X)
+        });
+        assert!(a.warnings().is_empty());
+    }
+}

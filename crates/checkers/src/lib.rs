@@ -1,0 +1,37 @@
+//! Downstream dynamic analyses (§5.2 "Analysis Composition").
+//!
+//! "Precise race condition information can also significantly improve the
+//! performance of other dynamic analyses. For example, atomicity checkers,
+//! such as ATOMIZER and VELODROME, and determinism checkers, such as
+//! SINGLETRACK, can ignore race-free memory accesses."
+//!
+//! The three checkers in this crate implement the [`fasttrack::Detector`]
+//! trait so they can sit at the downstream end of an
+//! [`ft_runtime::Pipeline`](https://docs.rs/ft-runtime) behind a prefilter
+//! (TL, ERASER, DJIT⁺, or FASTTRACK):
+//!
+//! * [`Atomizer`] — Lipton reduction-based atomicity checking: inside a
+//!   block marked atomic, the pattern must be right-movers (acquires),
+//!   then at most one non-mover (a potentially racy access), then
+//!   left-movers (releases). Uses an internal Eraser to classify accesses.
+//! * [`Velodrome`] — sound & complete atomicity checking: builds the
+//!   transactional happens-before graph and reports a violation exactly
+//!   when a transaction lies on a cycle.
+//! * [`SingleTrack`] — determinism checking: conflicting accesses must be
+//!   ordered by *deterministic* synchronization (fork/join/barrier);
+//!   ordering that exists only through nondeterministic lock-acquisition
+//!   order is flagged.
+//!
+//! All three are deliberately heavyweight (that is the point of the §5.2
+//! experiment); prefilters cut the event volume they see.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod atomizer;
+mod singletrack;
+mod velodrome;
+
+pub use atomizer::Atomizer;
+pub use singletrack::SingleTrack;
+pub use velodrome::Velodrome;

@@ -1,0 +1,104 @@
+//! Minimal `--flag value` / `--flag=value` argument parsing (no external
+//! dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command arguments: positional values plus `--key value` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Options that never take a value (everything else may consume the next
+/// argument as its value).
+const KNOWN_FLAGS: &[&str] = &["all-warnings", "random"];
+
+impl Args {
+    /// Parses everything after the subcommand.
+    pub fn parse(argv: &[String]) -> Self {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(rest) = a.strip_prefix("--") {
+                if let Some((k, v)) = rest.split_once('=') {
+                    args.options.insert(k.to_string(), v.to_string());
+                } else if KNOWN_FLAGS.contains(&rest) {
+                    args.flags.push(rest.to_string());
+                } else if i + 1 < argv.len() && !argv[i + 1].starts_with('-') {
+                    args.options.insert(rest.to_string(), argv[i + 1].clone());
+                    i += 1;
+                } else {
+                    args.flags.push(rest.to_string());
+                }
+            } else if a == "-o" {
+                if i + 1 < argv.len() {
+                    args.options.insert("output".to_string(), argv[i + 1].clone());
+                    i += 1;
+                }
+            } else {
+                args.positional.push(a.clone());
+            }
+            i += 1;
+        }
+        args
+    }
+
+    /// The `n`th positional argument.
+    pub fn positional(&self, n: usize) -> Option<&str> {
+        self.positional.get(n).map(String::as_str)
+    }
+
+    /// An option's value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A numeric option with default.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        }
+    }
+
+    /// Whether a bare `--flag` was given.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::parse(&s.iter().map(|x| x.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn positional_and_options() {
+        let a = parse(&["file.json", "--tool", "FASTTRACK", "--ops=5", "-o", "out.json"]);
+        assert_eq!(a.positional(0), Some("file.json"));
+        assert_eq!(a.get("tool"), Some("FASTTRACK"));
+        assert_eq!(a.get_num::<usize>("ops", 0).unwrap(), 5);
+        assert_eq!(a.get("output"), Some("out.json"));
+    }
+
+    #[test]
+    fn bare_flags() {
+        let a = parse(&["--all-warnings", "x"]);
+        assert!(a.has_flag("all-warnings"));
+        assert_eq!(a.positional(0), Some("x"));
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let a = parse(&["--ops", "abc"]);
+        assert!(a.get_num::<usize>("ops", 1).is_err());
+    }
+}

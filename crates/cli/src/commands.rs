@@ -1,0 +1,209 @@
+//! `ftrace` subcommand implementations.
+
+use crate::args::Args;
+use crate::{coarsen_trace, load_trace, print_oracle, print_report, save_trace};
+use fasttrack::{Detector, Empty, FastTrack, FastTrackConfig};
+use ft_detectors::{BasicVc, Djit, Eraser, Goldilocks, MultiRace, RaceTrack};
+use ft_trace::gen::{self, GenConfig};
+use ft_trace::Trace;
+use ft_workloads::eclipse::EclipseOp;
+use ft_workloads::{Scale, BENCHMARKS};
+
+fn make_tool(name: &str, all_warnings: bool) -> Result<Box<dyn Detector>, String> {
+    Ok(match name.to_uppercase().as_str() {
+        "EMPTY" => Box::new(Empty::new()),
+        "ERASER" => Box::new(Eraser::new()),
+        "MULTIRACE" => Box::new(MultiRace::new()),
+        "GOLDILOCKS" => Box::new(Goldilocks::new()),
+        "GOLDILOCKS-FAST" => Box::new(Goldilocks::with_thread_local_fast_path()),
+        "RACETRACK" => Box::new(RaceTrack::new()),
+        "BASICVC" => Box::new(BasicVc::new()),
+        "DJIT+" | "DJIT" => Box::new(Djit::new()),
+        "FASTTRACK" => Box::new(FastTrack::with_config(FastTrackConfig {
+            report_all: all_warnings,
+            ..FastTrackConfig::default()
+        })),
+        other => return Err(format!("unknown tool {other:?}")),
+    })
+}
+
+fn run_tool(tool: &mut dyn Detector, trace: &Trace) {
+    for (i, op) in trace.events().iter().enumerate() {
+        tool.on_op(i, op);
+    }
+}
+
+/// `ftrace generate`.
+pub fn generate(args: &Args) -> Result<(), String> {
+    let output = args
+        .get("output")
+        .ok_or("generate requires -o FILE")?
+        .to_string();
+    let ops = args.get_num::<usize>("ops", 20_000)?;
+    let seed = args.get_num::<u64>("seed", 42)?;
+
+    let trace = if let Some(bench) = args.get("benchmark") {
+        if let Some(op_name) = bench.strip_prefix("eclipse:") {
+            let op = match op_name {
+                "startup" => EclipseOp::Startup,
+                "import" => EclipseOp::Import,
+                "clean-small" => EclipseOp::CleanSmall,
+                "clean-large" => EclipseOp::CleanLarge,
+                "debug" => EclipseOp::Debug,
+                other => return Err(format!("unknown eclipse operation {other:?}")),
+            };
+            ft_workloads::eclipse::build(op, Scale { ops }, seed)
+        } else {
+            if !BENCHMARKS.iter().any(|b| b.name == bench) {
+                return Err(format!(
+                    "unknown benchmark {bench:?}; known: {}",
+                    BENCHMARKS
+                        .iter()
+                        .map(|b| b.name)
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                ));
+            }
+            ft_workloads::build(bench, Scale { ops }, seed)
+        }
+    } else {
+        // Random structured trace; --racy sets the racy-variable weight.
+        let racy = args.get_num::<f64>("racy", 0.0)?;
+        let cfg = GenConfig {
+            ops,
+            ..GenConfig::default().with_races(racy)
+        };
+        gen::generate(&cfg, seed)
+    };
+
+    save_trace(&trace, &output)?;
+    println!(
+        "wrote {}: {} events, {} threads, {} vars, {} locks",
+        output,
+        trace.len(),
+        trace.n_threads(),
+        trace.n_vars(),
+        trace.n_locks()
+    );
+    Ok(())
+}
+
+/// `ftrace analyze`.
+pub fn analyze(args: &Args) -> Result<(), String> {
+    let path = args.positional(0).ok_or("analyze requires a trace file")?;
+    let trace = load_trace(path)?;
+    let tool_name = args.get("tool").unwrap_or("FASTTRACK");
+    let mut tool = make_tool(tool_name, args.has_flag("all-warnings"))?;
+    run_tool(tool.as_mut(), &trace);
+    print_report(tool.as_ref(), true);
+    Ok(())
+}
+
+/// `ftrace compare`.
+pub fn compare(args: &Args) -> Result<(), String> {
+    let path = args.positional(0).ok_or("compare requires a trace file")?;
+    let trace = load_trace(path)?;
+    for name in [
+        "EMPTY",
+        "ERASER",
+        "MULTIRACE",
+        "GOLDILOCKS",
+        "BASICVC",
+        "DJIT+",
+        "FASTTRACK",
+    ] {
+        let mut tool = make_tool(name, false)?;
+        run_tool(tool.as_mut(), &trace);
+        print_report(tool.as_ref(), false);
+    }
+    Ok(())
+}
+
+/// `ftrace pipeline`: prefilter + downstream checker composition.
+pub fn pipeline(args: &Args) -> Result<(), String> {
+    use ft_checkers::{Atomizer, SingleTrack, Velodrome};
+    use ft_runtime::{Pipeline, ThreadLocalFilter};
+
+    let path = args.positional(0).ok_or("pipeline requires a trace file")?;
+    let trace = load_trace(path)?;
+    let filter = args.get("filter").unwrap_or("FASTTRACK");
+    let checker = args.get("checker").unwrap_or("VELODROME");
+
+    let mut stages: Vec<Box<dyn Detector + Send>> = Vec::new();
+    match filter.to_uppercase().as_str() {
+        "NONE" => {}
+        "TL" => stages.push(Box::new(ThreadLocalFilter::new())),
+        "ERASER" => stages.push(Box::new(Eraser::new())),
+        "DJIT+" | "DJIT" => stages.push(Box::new(Djit::new())),
+        "FASTTRACK" => stages.push(Box::new(FastTrack::new())),
+        other => return Err(format!("unknown filter {other:?}")),
+    }
+    match checker.to_uppercase().as_str() {
+        "ATOMIZER" => stages.push(Box::new(Atomizer::new())),
+        "VELODROME" => stages.push(Box::new(Velodrome::new())),
+        "SINGLETRACK" => stages.push(Box::new(SingleTrack::new())),
+        other => return Err(format!("unknown checker {other:?}")),
+    }
+    let mut p = Pipeline::new(stages);
+    for (i, op) in trace.events().iter().enumerate() {
+        p.on_op(i, op);
+    }
+    for report in p.stage_reports() {
+        println!(
+            "{:<12} saw {:>9} events, suppressed {:>9}, {} warning(s)",
+            report.name,
+            report.events_seen,
+            report.events_suppressed,
+            report.warnings.len()
+        );
+        for w in &report.warnings {
+            println!("    {w}");
+        }
+    }
+    Ok(())
+}
+
+/// `ftrace oracle`.
+pub fn oracle(args: &Args) -> Result<(), String> {
+    let path = args.positional(0).ok_or("oracle requires a trace file")?;
+    let trace = load_trace(path)?;
+    print_oracle(&trace);
+    Ok(())
+}
+
+/// `ftrace coarsen`.
+pub fn coarsen_cmd(args: &Args) -> Result<(), String> {
+    let path = args.positional(0).ok_or("coarsen requires a trace file")?;
+    let output = args.get("output").ok_or("coarsen requires -o FILE")?;
+    let trace = load_trace(path)?;
+    let coarse = coarsen_trace(&trace);
+    save_trace(&coarse, output)?;
+    println!(
+        "coarsened {} vars into {} object locations -> {}",
+        trace.n_vars(),
+        coarse.n_vars(),
+        output
+    );
+    Ok(())
+}
+
+/// `ftrace info`.
+pub fn info(args: &Args) -> Result<(), String> {
+    let path = args.positional(0).ok_or("info requires a trace file")?;
+    let trace = load_trace(path)?;
+    let mix = trace.op_mix();
+    println!(
+        "{path}: {} events, {} threads, {} vars, {} locks, {} objects",
+        trace.len(),
+        trace.n_threads(),
+        trace.n_vars(),
+        trace.n_locks(),
+        trace.n_objects()
+    );
+    println!("  mix: {}", mix.ratios());
+    println!(
+        "  sync: {} acquires, {} releases, {} forks, {} joins, {} volatiles, {} barriers, {} waits",
+        mix.acquires, mix.releases, mix.forks, mix.joins, mix.volatiles, mix.barriers, mix.waits
+    );
+    Ok(())
+}

@@ -1,0 +1,128 @@
+//! `ftrace` — generate, inspect, and analyze multithreaded execution
+//! traces with the FastTrack tool suite.
+//!
+//! ```text
+//! ftrace generate --benchmark tsp --ops 50000 --seed 7 -o tsp.ftrace
+//! ftrace analyze tsp.ftrace --tool FASTTRACK
+//! ftrace compare tsp.ftrace
+//! ftrace oracle  tsp.ftrace
+//! ftrace coarsen tsp.ftrace -o tsp-coarse.ftrace
+//! ftrace info    tsp.ftrace
+//! ```
+
+use fasttrack::Detector;
+use ft_runtime::coarsen;
+use ft_trace::{HbOracle, Trace};
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+use args::Args;
+
+const USAGE: &str = "\
+ftrace — FastTrack race-detection trace tool
+
+USAGE:
+  ftrace generate [--benchmark NAME | --random] [--ops N] [--seed N]
+                  [--racy FRAC] -o FILE     generate a trace
+  ftrace analyze FILE [--tool NAME] [--all-warnings]
+                                            run one detector
+  ftrace compare FILE                       run every detector
+  ftrace pipeline FILE [--filter NAME] [--checker NAME]
+                                            prefilter + downstream checker
+  ftrace oracle FILE                        exact happens-before ground truth
+  ftrace coarsen FILE -o FILE               coarse-grain (object) variant
+  ftrace info FILE                          trace statistics
+
+TOOLS: EMPTY ERASER MULTIRACE GOLDILOCKS BASICVC DJIT+ FASTTRACK
+BENCHMARKS: the 16 Table 1 names (colt crypt lufact ... jbb) or eclipse:OP
+            with OP in startup import clean-small clean-large debug
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(command) = argv.first() else {
+        return Err("no command given".into());
+    };
+    let args = Args::parse(&argv[1..]);
+    match command.as_str() {
+        "generate" => commands::generate(&args),
+        "analyze" => commands::analyze(&args),
+        "compare" => commands::compare(&args),
+        "pipeline" => commands::pipeline(&args),
+        "oracle" => commands::oracle(&args),
+        "coarsen" => commands::coarsen_cmd(&args),
+        "info" => commands::info(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Loads a trace file, re-validating feasibility.
+pub(crate) fn load_trace(path: &str) -> Result<Trace, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Trace::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// Writes a trace file.
+pub(crate) fn save_trace(trace: &Trace, path: &str) -> Result<(), String> {
+    std::fs::write(path, trace.to_json()).map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// Pretty-prints one detector's outcome.
+pub(crate) fn print_report(tool: &dyn Detector, verbose: bool) {
+    println!(
+        "{:<12} {} warning(s); {}; shadow {} bytes",
+        tool.name(),
+        tool.warnings().len(),
+        tool.stats(),
+        tool.shadow_bytes()
+    );
+    if verbose {
+        for w in tool.warnings() {
+            println!("    {w}");
+        }
+        for rule in tool.rule_breakdown() {
+            println!("    {rule}");
+        }
+    }
+}
+
+/// Pretty-prints the oracle's verdict.
+pub(crate) fn print_oracle(trace: &Trace) {
+    let report = HbOracle::analyze(trace);
+    if report.is_race_free() {
+        println!("race-free: no concurrent conflicting accesses");
+        return;
+    }
+    let first = report.first_race_per_var();
+    println!(
+        "{} racy pair(s) on {} variable(s); first race per variable:",
+        report.races.len(),
+        first.len()
+    );
+    for (_, race) in first {
+        println!("  {}", race.describe());
+    }
+}
+
+/// Shared helper for the `coarsen` command (named to avoid clashing with
+/// the library function).
+pub(crate) fn coarsen_trace(trace: &Trace) -> Trace {
+    coarsen(trace)
+}

@@ -1,0 +1,359 @@
+//! Packed scalar timestamps (`clock@tid` pairs).
+
+use crate::{Tid, VectorClock};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Number of bits used for the clock component of an [`Epoch`].
+const CLOCK_BITS: u32 = 24;
+
+/// Largest clock value representable in a 32-bit [`Epoch`] (2^24 - 1).
+pub const MAX_CLOCK: u32 = (1 << CLOCK_BITS) - 1;
+
+/// Largest thread id representable in a 32-bit [`Epoch`] (2^8 - 1).
+pub const MAX_TID: u32 = (1 << (32 - CLOCK_BITS)) - 1;
+
+/// Number of bits used for the clock component of an [`Epoch64`].
+const CLOCK_BITS64: u32 = 48;
+
+/// Largest clock value representable in an [`Epoch64`] (2^48 - 1).
+pub const MAX_CLOCK64: u64 = (1 << CLOCK_BITS64) - 1;
+
+/// Largest thread id representable in an [`Epoch64`] (2^16 - 1).
+pub const MAX_TID64: u32 = (1 << (64 - CLOCK_BITS64)) - 1;
+
+/// Error returned when a clock or thread id does not fit in an epoch's
+/// packed representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochOverflowError {
+    tid: u32,
+    clock: u64,
+}
+
+impl fmt::Display for EpochOverflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "epoch overflow: clock {} or thread id {} exceeds the packed representation",
+            self.clock, self.tid
+        )
+    }
+}
+
+impl Error for EpochOverflowError {}
+
+/// A FastTrack *epoch*: the pair `c@t` of a clock value `c` and the thread
+/// `t` that produced it, packed into a single `u32`.
+///
+/// Following §4 of the paper, the top eight bits store the thread identifier
+/// and the bottom twenty-four bits store the clock, so epochs of the same
+/// thread compare as plain integers and an epoch fits in one machine word.
+///
+/// The minimal epoch [`Epoch::MIN`] is `0@0`; as the paper notes it is not
+/// unique (`0@1` is also minimal), and [`Epoch::is_initial`] treats every
+/// zero-clock epoch as "no access recorded yet".
+///
+/// # Example
+///
+/// ```
+/// use ft_clock::{Epoch, Tid, VectorClock};
+///
+/// let e = Epoch::new(Tid::new(3), 17);
+/// assert_eq!(e.tid(), Tid::new(3));
+/// assert_eq!(e.clock(), 17);
+/// assert_eq!(e.to_string(), "17@3");
+///
+/// let mut vc = VectorClock::new();
+/// vc.set(Tid::new(3), 20);
+/// assert!(e.happens_before(&vc));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Epoch(u32);
+
+impl Epoch {
+    /// The minimal epoch `0@0` (written ⊥ₑ in the paper).
+    pub const MIN: Epoch = Epoch(0);
+
+    /// Creates the epoch `clock@tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock > MAX_CLOCK` or `tid.as_u32() > MAX_TID`. Use
+    /// [`Epoch::try_new`] for a fallible variant, or [`Epoch64`] for wider
+    /// ranges.
+    #[inline]
+    pub fn new(tid: Tid, clock: u32) -> Self {
+        match Self::try_new(tid, clock) {
+            Ok(e) => e,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates the epoch `clock@tid`, or reports overflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EpochOverflowError`] if the clock exceeds [`MAX_CLOCK`]
+    /// (2^24 − 1) or the thread id exceeds [`MAX_TID`] (255).
+    #[inline]
+    pub fn try_new(tid: Tid, clock: u32) -> Result<Self, EpochOverflowError> {
+        if clock > MAX_CLOCK || tid.as_u32() > MAX_TID {
+            return Err(EpochOverflowError {
+                tid: tid.as_u32(),
+                clock: clock as u64,
+            });
+        }
+        Ok(Epoch((tid.as_u32() << CLOCK_BITS) | clock))
+    }
+
+    /// Returns the thread-identifier component (`TID(e)` in the paper).
+    #[inline]
+    pub fn tid(self) -> Tid {
+        Tid::new(self.0 >> CLOCK_BITS)
+    }
+
+    /// Returns the clock component.
+    #[inline]
+    pub fn clock(self) -> u32 {
+        self.0 & MAX_CLOCK
+    }
+
+    /// Returns `true` if this epoch has clock zero, i.e. no real operation
+    /// has been recorded in it. All such epochs are minimal in the ≼ order.
+    #[inline]
+    pub fn is_initial(self) -> bool {
+        self.clock() == 0
+    }
+
+    /// The ≼ comparison of the paper: `c@t ≼ V` iff `c ≤ V(t)`.
+    ///
+    /// This is FastTrack's *O(1)* replacement for the *O(n)* vector-clock
+    /// comparison ⊑, and is the hot-path operation of the entire analysis.
+    #[inline]
+    pub fn happens_before(self, vc: &VectorClock) -> bool {
+        self.clock() <= vc.get(self.tid())
+    }
+
+    /// Returns the raw packed representation (tid in the top 8 bits).
+    #[inline]
+    pub fn as_raw(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs an epoch from its packed representation.
+    #[inline]
+    pub const fn from_raw(raw: u32) -> Self {
+        Epoch(raw)
+    }
+
+    /// Widens this epoch to the 64-bit representation.
+    #[inline]
+    pub fn widen(self) -> Epoch64 {
+        Epoch64::new(self.tid(), self.clock() as u64)
+    }
+}
+
+impl Default for Epoch {
+    #[inline]
+    fn default() -> Self {
+        Epoch::MIN
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.clock(), self.tid().as_u32())
+    }
+}
+
+impl fmt::Debug for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Epoch({}@{})", self.clock(), self.tid().as_u32())
+    }
+}
+
+/// A 64-bit epoch: 16-bit thread id, 48-bit clock.
+///
+/// Functionally identical to [`Epoch`] but supports up to 65 536 threads and
+/// 2^48 clock ticks, per the paper's §4 remark about large programs. The
+/// detectors in this repository use the 32-bit [`Epoch`]; `Epoch64` is
+/// exercised by tests and available for embedding in other analyses.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Epoch64(u64);
+
+impl Epoch64 {
+    /// The minimal 64-bit epoch `0@0`.
+    pub const MIN: Epoch64 = Epoch64(0);
+
+    /// Creates the epoch `clock@tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock > MAX_CLOCK64` or `tid.as_u32() > MAX_TID64`.
+    #[inline]
+    pub fn new(tid: Tid, clock: u64) -> Self {
+        match Self::try_new(tid, clock) {
+            Ok(e) => e,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates the epoch `clock@tid`, or reports overflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EpochOverflowError`] if the clock exceeds [`MAX_CLOCK64`]
+    /// or the thread id exceeds [`MAX_TID64`].
+    #[inline]
+    pub fn try_new(tid: Tid, clock: u64) -> Result<Self, EpochOverflowError> {
+        if clock > MAX_CLOCK64 || tid.as_u32() > MAX_TID64 {
+            return Err(EpochOverflowError {
+                tid: tid.as_u32(),
+                clock,
+            });
+        }
+        Ok(Epoch64(((tid.as_u32() as u64) << CLOCK_BITS64) | clock))
+    }
+
+    /// Returns the thread-identifier component.
+    #[inline]
+    pub fn tid(self) -> Tid {
+        Tid::new((self.0 >> CLOCK_BITS64) as u32)
+    }
+
+    /// Returns the clock component.
+    #[inline]
+    pub fn clock(self) -> u64 {
+        self.0 & MAX_CLOCK64
+    }
+
+    /// Returns `true` if this epoch has clock zero.
+    #[inline]
+    pub fn is_initial(self) -> bool {
+        self.clock() == 0
+    }
+
+    /// The ≼ comparison against a vector clock: `c@t ≼ V` iff `c ≤ V(t)`.
+    #[inline]
+    pub fn happens_before(self, vc: &VectorClock) -> bool {
+        self.clock() <= vc.get(self.tid()) as u64
+    }
+
+    /// Narrows to a 32-bit [`Epoch`] if it fits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EpochOverflowError`] if the clock or tid exceeds the 32-bit
+    /// packing limits.
+    #[inline]
+    pub fn narrow(self) -> Result<Epoch, EpochOverflowError> {
+        let clock = u32::try_from(self.clock()).map_err(|_| EpochOverflowError {
+            tid: self.tid().as_u32(),
+            clock: self.clock(),
+        })?;
+        Epoch::try_new(self.tid(), clock)
+    }
+}
+
+impl Default for Epoch64 {
+    #[inline]
+    fn default() -> Self {
+        Epoch64::MIN
+    }
+}
+
+impl fmt::Display for Epoch64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.clock(), self.tid().as_u32())
+    }
+}
+
+impl fmt::Debug for Epoch64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Epoch64({}@{})", self.clock(), self.tid().as_u32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_round_trips() {
+        for tid in [0u32, 1, 7, 255] {
+            for clock in [0u32, 1, 12345, MAX_CLOCK] {
+                let e = Epoch::new(Tid::new(tid), clock);
+                assert_eq!(e.tid().as_u32(), tid);
+                assert_eq!(e.clock(), clock);
+            }
+        }
+    }
+
+    #[test]
+    fn same_thread_epochs_compare_as_integers() {
+        // §4: "Two epochs for the same thread can be directly compared as
+        // integers, since the thread identifier bits are identical."
+        let t = Tid::new(9);
+        let a = Epoch::new(t, 3);
+        let b = Epoch::new(t, 4);
+        assert!(a.as_raw() < b.as_raw());
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        assert!(Epoch::try_new(Tid::new(256), 0).is_err());
+        assert!(Epoch::try_new(Tid::new(0), MAX_CLOCK + 1).is_err());
+        assert!(Epoch64::try_new(Tid::new(65536), 0).is_err());
+        assert!(Epoch64::try_new(Tid::new(0), MAX_CLOCK64 + 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch overflow")]
+    fn new_panics_on_overflow() {
+        let _ = Epoch::new(Tid::new(0), MAX_CLOCK + 1);
+    }
+
+    #[test]
+    fn minimal_epoch_happens_before_everything() {
+        let vc = VectorClock::new();
+        assert!(Epoch::MIN.happens_before(&vc));
+        // Other minimal epochs (clock 0, nonzero tid) are also ≼ ⊥.
+        assert!(Epoch::new(Tid::new(5), 0).happens_before(&vc));
+        assert!(Epoch::new(Tid::new(5), 0).is_initial());
+    }
+
+    #[test]
+    fn happens_before_matches_definition() {
+        let mut vc = VectorClock::new();
+        vc.set(Tid::new(0), 4);
+        vc.set(Tid::new(1), 8);
+        assert!(Epoch::new(Tid::new(0), 4).happens_before(&vc));
+        assert!(!Epoch::new(Tid::new(0), 5).happens_before(&vc));
+        assert!(Epoch::new(Tid::new(1), 8).happens_before(&vc));
+        // A tid beyond the vector's length has implicit clock 0.
+        assert!(!Epoch::new(Tid::new(3), 1).happens_before(&vc));
+        assert!(Epoch::new(Tid::new(3), 0).happens_before(&vc));
+    }
+
+    #[test]
+    fn widen_and_narrow_round_trip() {
+        let e = Epoch::new(Tid::new(17), 99);
+        let wide = e.widen();
+        assert_eq!(wide.tid(), e.tid());
+        assert_eq!(wide.clock(), e.clock() as u64);
+        assert_eq!(wide.narrow().unwrap(), e);
+
+        let too_wide = Epoch64::new(Tid::new(1000), 5);
+        assert!(too_wide.narrow().is_err());
+    }
+
+    #[test]
+    fn display_formats_as_clock_at_tid() {
+        assert_eq!(Epoch::new(Tid::new(2), 7).to_string(), "7@2");
+        assert_eq!(Epoch64::new(Tid::new(2), 7).to_string(), "7@2");
+        assert_eq!(format!("{:?}", Epoch::new(Tid::new(2), 7)), "Epoch(7@2)");
+    }
+}

@@ -1,0 +1,171 @@
+//! Thread-id recycling for programs with many short-lived threads.
+//!
+//! Packed epochs limit the number of *concurrently live* thread ids (256 for
+//! [`crate::Epoch`]). Programs such as web servers create and join far more
+//! threads than that over their lifetime. Inspired by accordion clocks
+//! (Christiaens & De Bosschere, cited in §6 of the paper), [`TidRecycler`]
+//! reuses the id of a fully-joined thread for a later thread.
+//!
+//! Reuse is sound for happens-before tracking as long as epochs remain
+//! unique: a recycled slot is handed out with a *starting clock* strictly
+//! greater than the retired thread's final clock, so no epoch `c@t` of the
+//! dead thread can be confused with one of its successor. The caller must
+//! only retire a tid once the thread has been joined (so its final clock has
+//! been merged into its parent's vector clock).
+
+use crate::Tid;
+
+/// Allocates dense thread ids, recycling ids of retired (joined) threads.
+///
+/// # Example
+///
+/// ```
+/// use ft_clock::TidRecycler;
+///
+/// let mut r = TidRecycler::new();
+/// let (t0, c0) = r.alloc();
+/// let (t1, c1) = r.alloc();
+/// assert_eq!((t0.as_u32(), c0), (0, 1));
+/// assert_eq!((t1.as_u32(), c1), (1, 1));
+///
+/// // Thread 1 runs to clock 17 and is joined; its slot is reused with a
+/// // starting clock above 17, keeping all epochs unique.
+/// r.retire(t1, 17);
+/// let (t2, c2) = r.alloc();
+/// assert_eq!(t2, t1);
+/// assert!(c2 > 17);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TidRecycler {
+    /// Next never-used id.
+    next_fresh: u32,
+    /// Retired slots available for reuse: `(tid, final_clock)`.
+    free: Vec<(Tid, u32)>,
+    /// Number of currently live ids.
+    live: usize,
+}
+
+impl TidRecycler {
+    /// Creates an empty recycler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a thread id together with the initial clock value the new
+    /// thread must start at.
+    ///
+    /// Fresh slots start at clock 1 (matching the paper's initial state
+    /// `σ₀ = (λt. incₜ(⊥ᵥ), …)`); recycled slots start just above the retired
+    /// thread's final clock.
+    pub fn alloc(&mut self) -> (Tid, u32) {
+        self.live += 1;
+        if let Some((tid, final_clock)) = self.free.pop() {
+            (tid, final_clock + 1)
+        } else {
+            let tid = Tid::new(self.next_fresh);
+            self.next_fresh += 1;
+            (tid, 1)
+        }
+    }
+
+    /// Returns a joined thread's id to the pool.
+    ///
+    /// `final_clock` must be the retiring thread's last clock value; the
+    /// slot's next occupant will start strictly above it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` was never allocated or is retired twice without an
+    /// intervening allocation.
+    pub fn retire(&mut self, tid: Tid, final_clock: u32) {
+        assert!(
+            tid.as_u32() < self.next_fresh,
+            "retire of unallocated tid {tid}"
+        );
+        assert!(
+            !self.free.iter().any(|&(t, _)| t == tid),
+            "double retire of tid {tid}"
+        );
+        self.live -= 1;
+        self.free.push((tid, final_clock));
+    }
+
+    /// Number of currently live thread ids.
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Highest id ever handed out plus one — the dimension shadow vector
+    /// clocks must accommodate.
+    pub fn high_water_mark(&self) -> u32 {
+        self.next_fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ids_are_dense() {
+        let mut r = TidRecycler::new();
+        for i in 0..5 {
+            let (t, c) = r.alloc();
+            assert_eq!(t.as_u32(), i);
+            assert_eq!(c, 1);
+        }
+        assert_eq!(r.live_count(), 5);
+        assert_eq!(r.high_water_mark(), 5);
+    }
+
+    #[test]
+    fn recycled_ids_start_above_final_clock() {
+        let mut r = TidRecycler::new();
+        let (a, _) = r.alloc();
+        let (b, _) = r.alloc();
+        r.retire(a, 100);
+        r.retire(b, 3);
+        // LIFO reuse: b first, then a.
+        let (t1, c1) = r.alloc();
+        assert_eq!(t1, b);
+        assert_eq!(c1, 4);
+        let (t2, c2) = r.alloc();
+        assert_eq!(t2, a);
+        assert_eq!(c2, 101);
+        assert_eq!(r.high_water_mark(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double retire")]
+    fn double_retire_panics() {
+        let mut r = TidRecycler::new();
+        let (a, _) = r.alloc();
+        r.retire(a, 1);
+        r.retire(a, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn retire_unallocated_panics() {
+        let mut r = TidRecycler::new();
+        r.retire(Tid::new(3), 1);
+    }
+
+    #[test]
+    fn epochs_stay_unique_across_reuse() {
+        use crate::Epoch;
+        let mut r = TidRecycler::new();
+        let (a, start_a) = r.alloc();
+        let final_a = start_a + 10;
+        r.retire(a, final_a);
+        let (b, start_b) = r.alloc();
+        assert_eq!(a, b);
+        // Every epoch of the first occupant is distinct from every epoch of
+        // the second.
+        for c1 in start_a..=final_a {
+            for c2 in start_b..start_b + 10 {
+                assert_ne!(Epoch::new(a, c1), Epoch::new(b, c2));
+            }
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Vector clocks with the lattice operations of §2.2.
+
+use crate::{Epoch, Tid};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A vector clock `VC : Tid -> Nat`.
+///
+/// Entries beyond the stored length are implicitly zero, so the bottom
+/// element ⊥ᵥ is the empty vector and clocks grow on demand as threads are
+/// created. All operations are *O(n)* in the number of threads — the cost
+/// that FastTrack's [`Epoch`] representation avoids on its fast paths.
+///
+/// The lattice structure of §2.2:
+///
+/// * partial order: [`VectorClock::leq`] (`V₁ ⊑ V₂ iff ∀t. V₁(t) ≤ V₂(t)`)
+/// * join: [`VectorClock::join`] (`V₁ ⊔ V₂ = λt. max(V₁(t), V₂(t))`)
+/// * bottom: [`VectorClock::new`] (`⊥ᵥ = λt. 0`)
+/// * increment: [`VectorClock::inc`] (`incₜ(V)`)
+///
+/// # Example
+///
+/// ```
+/// use ft_clock::{Tid, VectorClock};
+///
+/// let mut release = VectorClock::new();
+/// release.set(Tid::new(0), 4);
+///
+/// let mut acquirer = VectorClock::new();
+/// acquirer.set(Tid::new(1), 8);
+/// acquirer.join(&release); // acquire(m): C_t := C_t ⊔ L_m
+///
+/// assert_eq!(acquirer.get(Tid::new(0)), 4);
+/// assert_eq!(acquirer.get(Tid::new(1)), 8);
+/// assert!(release.leq(&acquirer));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct VectorClock {
+    clocks: Vec<u32>,
+}
+
+impl VectorClock {
+    /// Creates the bottom vector clock ⊥ᵥ (all components zero).
+    #[inline]
+    pub fn new() -> Self {
+        VectorClock { clocks: Vec::new() }
+    }
+
+    /// Creates a bottom vector clock with capacity reserved for `threads`
+    /// components, avoiding reallocation as the first `threads` tids appear.
+    #[inline]
+    pub fn with_capacity(threads: usize) -> Self {
+        VectorClock {
+            clocks: Vec::with_capacity(threads),
+        }
+    }
+
+    /// Returns the clock component for thread `tid` (zero if never set).
+    #[inline]
+    pub fn get(&self, tid: Tid) -> u32 {
+        self.clocks.get(tid.as_usize()).copied().unwrap_or(0)
+    }
+
+    /// Sets the clock component for thread `tid`, growing the vector if
+    /// needed.
+    #[inline]
+    pub fn set(&mut self, tid: Tid, clock: u32) {
+        let idx = tid.as_usize();
+        if idx >= self.clocks.len() {
+            if clock == 0 {
+                return; // implicit zero; avoid growing for a no-op
+            }
+            self.clocks.resize(idx + 1, 0);
+        }
+        self.clocks[idx] = clock;
+    }
+
+    /// The increment helper `incₜ(V)`: bumps `tid`'s component by one.
+    #[inline]
+    pub fn inc(&mut self, tid: Tid) {
+        let idx = tid.as_usize();
+        if idx >= self.clocks.len() {
+            self.clocks.resize(idx + 1, 0);
+        }
+        self.clocks[idx] += 1;
+    }
+
+    /// The point-wise partial order: `self ⊑ other`.
+    ///
+    /// This is the *O(n)* comparison that DJIT+ and BasicVC perform on every
+    /// slow-path access.
+    #[inline]
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        // Components beyond `other`'s length are implicitly zero, so any
+        // nonzero excess component of `self` breaks the order.
+        if self.clocks.len() > other.clocks.len()
+            && self.clocks[other.clocks.len()..].iter().any(|&c| c != 0)
+        {
+            return false;
+        }
+        self.clocks
+            .iter()
+            .zip(other.clocks.iter())
+            .all(|(a, b)| a <= b)
+    }
+
+    /// The join `self := self ⊔ other` (point-wise maximum).
+    #[inline]
+    pub fn join(&mut self, other: &VectorClock) {
+        if other.clocks.len() > self.clocks.len() {
+            self.clocks.resize(other.clocks.len(), 0);
+        }
+        for (a, b) in self.clocks.iter_mut().zip(other.clocks.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Copies `other` into `self`, reusing the existing allocation.
+    #[inline]
+    pub fn assign(&mut self, other: &VectorClock) {
+        self.clocks.clear();
+        self.clocks.extend_from_slice(&other.clocks);
+    }
+
+    /// Returns the epoch `V(t)@t` for thread `tid` — the current epoch
+    /// `E(t)` of the paper when applied to a thread's own clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock value or tid does not fit in a packed [`Epoch`]
+    /// (clock ≥ 2²⁴ or tid ≥ 2⁸).
+    #[inline]
+    pub fn epoch_of(&self, tid: Tid) -> Epoch {
+        Epoch::new(tid, self.get(tid))
+    }
+
+    /// Returns `true` if every component is zero (the bottom element).
+    #[inline]
+    pub fn is_bottom(&self) -> bool {
+        self.clocks.iter().all(|&c| c == 0)
+    }
+
+    /// Returns the number of stored components (trailing components are
+    /// implicitly zero, so this is an upper bound on the "dimension").
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Iterates over `(tid, clock)` pairs with nonzero clocks.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (Tid, u32)> + '_ {
+        self.clocks
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (Tid::new(i as u32), c))
+    }
+
+    /// Heap bytes used by this clock's storage (for the Table 3 memory
+    /// accounting).
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.clocks.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Builds a vector clock from a slice of components (index = tid).
+    pub fn from_components(components: &[u32]) -> Self {
+        VectorClock {
+            clocks: components.to_vec(),
+        }
+    }
+}
+
+impl FromIterator<(Tid, u32)> for VectorClock {
+    fn from_iter<I: IntoIterator<Item = (Tid, u32)>>(iter: I) -> Self {
+        let mut vc = VectorClock::new();
+        for (tid, clock) in iter {
+            vc.set(tid, clock);
+        }
+        vc
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, c) in self.clocks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VectorClock{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(components: &[u32]) -> VectorClock {
+        VectorClock::from_components(components)
+    }
+
+    #[test]
+    fn bottom_is_leq_everything() {
+        let bot = VectorClock::new();
+        assert!(bot.is_bottom());
+        assert!(bot.leq(&vc(&[1, 2, 3])));
+        assert!(bot.leq(&bot));
+    }
+
+    #[test]
+    fn leq_is_pointwise() {
+        assert!(vc(&[1, 2]).leq(&vc(&[1, 2])));
+        assert!(vc(&[1, 2]).leq(&vc(&[2, 2])));
+        assert!(!vc(&[3, 0]).leq(&vc(&[2, 9])));
+        // Incomparable pair.
+        assert!(!vc(&[1, 0]).leq(&vc(&[0, 1])));
+        assert!(!vc(&[0, 1]).leq(&vc(&[1, 0])));
+    }
+
+    #[test]
+    fn leq_handles_length_mismatch() {
+        // Longer with trailing zeros is still ⊑.
+        assert!(vc(&[1, 0, 0]).leq(&vc(&[1])));
+        // Longer with a nonzero tail is not.
+        assert!(!vc(&[1, 0, 5]).leq(&vc(&[1])));
+        // Shorter ⊑ longer uses implicit zeros.
+        assert!(vc(&[1]).leq(&vc(&[1, 7])));
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = vc(&[1, 5, 0]);
+        a.join(&vc(&[3, 2]));
+        assert_eq!(a, vc(&[3, 5, 0]));
+
+        let mut b = vc(&[1]);
+        b.join(&vc(&[0, 0, 9]));
+        assert_eq!(b.get(Tid::new(2)), 9);
+    }
+
+    #[test]
+    fn inc_bumps_single_component() {
+        let mut a = VectorClock::new();
+        a.inc(Tid::new(2));
+        a.inc(Tid::new(2));
+        a.inc(Tid::new(0));
+        assert_eq!(a, vc(&[1, 0, 2]));
+    }
+
+    #[test]
+    fn set_zero_on_fresh_tid_does_not_grow() {
+        let mut a = VectorClock::new();
+        a.set(Tid::new(40), 0);
+        assert_eq!(a.dim(), 0);
+        a.set(Tid::new(2), 5);
+        assert_eq!(a.dim(), 3);
+    }
+
+    #[test]
+    fn epoch_of_reads_own_component() {
+        let a = vc(&[4, 8]);
+        assert_eq!(a.epoch_of(Tid::new(1)), Epoch::new(Tid::new(1), 8));
+        assert_eq!(a.epoch_of(Tid::new(9)), Epoch::new(Tid::new(9), 0));
+    }
+
+    #[test]
+    fn assign_reuses_storage() {
+        let mut a = vc(&[1, 2, 3]);
+        let b = vc(&[9]);
+        a.assign(&b);
+        assert_eq!(a, b);
+        assert_eq!(a.get(Tid::new(1)), 0);
+    }
+
+    #[test]
+    fn iter_nonzero_skips_zeros() {
+        let a = vc(&[0, 3, 0, 7]);
+        let pairs: Vec<_> = a.iter_nonzero().collect();
+        assert_eq!(pairs, vec![(Tid::new(1), 3), (Tid::new(3), 7)]);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(vc(&[4, 8]).to_string(), "<4,8>");
+        assert_eq!(VectorClock::new().to_string(), "<>");
+    }
+
+    #[test]
+    fn from_iterator_collects_pairs() {
+        let a: VectorClock = vec![(Tid::new(1), 5), (Tid::new(0), 2)].into_iter().collect();
+        assert_eq!(a, vc(&[2, 5]));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the vector-clock lattice and the epoch order.
+//!
+//! These check the algebraic laws §2.2 relies on: ⊑ is a partial order,
+//! ⊔ is the least upper bound, ⊥ is the bottom element, and the O(1) epoch
+//! comparison ≼ agrees with the O(n) definition it optimizes.
+
+use ft_clock::{Epoch, Tid, VectorClock, MAX_CLOCK, MAX_TID};
+use proptest::prelude::*;
+
+fn arb_vc() -> impl Strategy<Value = VectorClock> {
+    prop::collection::vec(0u32..50, 0..8).prop_map(|v| VectorClock::from_components(&v))
+}
+
+fn arb_epoch() -> impl Strategy<Value = Epoch> {
+    (0u32..8, 0u32..50).prop_map(|(t, c)| Epoch::new(Tid::new(t), c))
+}
+
+proptest! {
+    #[test]
+    fn leq_is_reflexive(a in arb_vc()) {
+        prop_assert!(a.leq(&a));
+    }
+
+    #[test]
+    fn leq_is_antisymmetric(a in arb_vc(), b in arb_vc()) {
+        if a.leq(&b) && b.leq(&a) {
+            // Equal as functions: compare component-wise over both supports.
+            let dim = a.dim().max(b.dim());
+            for i in 0..dim {
+                prop_assert_eq!(a.get(Tid::new(i as u32)), b.get(Tid::new(i as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn leq_is_transitive(a in arb_vc(), b in arb_vc(), c in arb_vc()) {
+        if a.leq(&b) && b.leq(&c) {
+            prop_assert!(a.leq(&c));
+        }
+    }
+
+    #[test]
+    fn join_is_least_upper_bound(a in arb_vc(), b in arb_vc(), c in arb_vc()) {
+        let mut j = a.clone();
+        j.join(&b);
+        // Upper bound.
+        prop_assert!(a.leq(&j));
+        prop_assert!(b.leq(&j));
+        // Least: any other upper bound dominates the join.
+        if a.leq(&c) && b.leq(&c) {
+            prop_assert!(j.leq(&c));
+        }
+    }
+
+    #[test]
+    fn join_is_commutative_and_idempotent(a in arb_vc(), b in arb_vc()) {
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        let dim = ab.dim().max(ba.dim());
+        for i in 0..dim {
+            prop_assert_eq!(ab.get(Tid::new(i as u32)), ba.get(Tid::new(i as u32)));
+        }
+        let mut aa = a.clone();
+        aa.join(&a);
+        prop_assert!(aa.leq(&a) && a.leq(&aa));
+    }
+
+    #[test]
+    fn bottom_is_identity_for_join(a in arb_vc()) {
+        let mut j = a.clone();
+        j.join(&VectorClock::new());
+        prop_assert!(j.leq(&a) && a.leq(&j));
+        prop_assert!(VectorClock::new().leq(&a));
+    }
+
+    #[test]
+    fn inc_strictly_increases(a in arb_vc(), t in 0u32..8) {
+        let mut b = a.clone();
+        b.inc(Tid::new(t));
+        prop_assert!(a.leq(&b));
+        prop_assert!(!b.leq(&a));
+        prop_assert_eq!(b.get(Tid::new(t)), a.get(Tid::new(t)) + 1);
+    }
+
+    /// ≼ agrees with its definition: c@t ≼ V iff c ≤ V(t), which equals the
+    /// vector-clock comparison of the epoch's "interpretation as a function"
+    /// (§A of the paper: c@t ≃ λu. if t = u then c else 0).
+    #[test]
+    fn epoch_hb_matches_vc_interpretation(e in arb_epoch(), v in arb_vc()) {
+        let mut as_vc = VectorClock::new();
+        as_vc.set(e.tid(), e.clock());
+        prop_assert_eq!(e.happens_before(&v), as_vc.leq(&v));
+    }
+
+    #[test]
+    fn epoch_packing_round_trips(t in 0..=MAX_TID, c in 0..=MAX_CLOCK) {
+        let e = Epoch::new(Tid::new(t), c);
+        prop_assert_eq!(e.tid().as_u32(), t);
+        prop_assert_eq!(e.clock(), c);
+        prop_assert_eq!(Epoch::from_raw(e.as_raw()), e);
+    }
+
+    #[test]
+    fn epoch_of_then_happens_before_is_reflexive(v in arb_vc(), t in 0u32..8) {
+        // E(t) ≼ C_t always holds for a thread's own clock.
+        prop_assert!(v.epoch_of(Tid::new(t)).happens_before(&v));
+    }
+}

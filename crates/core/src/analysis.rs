@@ -1,0 +1,1019 @@
+//! The FastTrack transition rules (Figures 2, 3, and 5, plus §4 extensions).
+//!
+//! Every rule name in the code matches the paper: `[FT READ SAME EPOCH]`,
+//! `[FT READ EXCLUSIVE]`, `[FT READ SHARE]`, `[FT READ SHARED]`,
+//! `[FT WRITE SAME EPOCH]`, `[FT WRITE EXCLUSIVE]`, `[FT WRITE SHARED]`,
+//! `[FT ACQUIRE]`, `[FT RELEASE]`, `[FT FORK]`, `[FT JOIN]`,
+//! `[FT READ/WRITE VOLATILE]`, and `[FT BARRIER RELEASE]`.
+
+use crate::detector::{Detector, Disposition};
+use crate::state::{ThreadState, VarState, READ_SHARED};
+use crate::stats::{RuleCount, Stats};
+use crate::warning::{AccessSummary, Warning, WarningKind};
+use ft_clock::{Epoch, Tid, VectorClock};
+use ft_trace::{AccessKind, LockId, Op, VarId};
+
+/// Which representation currently holds a variable's read history.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ReadMode {
+    /// No read recorded yet (`R = ⊥ₑ`).
+    Unread,
+    /// The reads so far are totally ordered; `R` is a single epoch.
+    Epoch,
+    /// The variable is read-shared; the full vector clock `Rvc` is in use.
+    Shared,
+}
+
+/// Configuration for [`FastTrack`].
+///
+/// The two `ablate_*` switches disable the algorithm's key design choices
+/// *without affecting precision* — they exist for the ablation study
+/// (`cargo run -p ft-bench --bin ablation`) that quantifies what each
+/// optimization buys:
+///
+/// * `ablate_same_epoch`: skip the `[FT READ/WRITE SAME EPOCH]` fast paths,
+///   so every access runs the full rule logic;
+/// * `ablate_adaptive_read`: never hold the read history as an epoch —
+///   inflate to a vector clock at the first read and keep it there, making
+///   the read side DJIT⁺-shaped.
+#[derive(Clone, Debug)]
+pub struct FastTrackConfig {
+    /// Report every race found on a variable instead of only the first
+    /// (the paper's tools "report at most one race for each field").
+    pub report_all: bool,
+    /// Disable the same-epoch fast paths (ablation only).
+    pub ablate_same_epoch: bool,
+    /// Disable the adaptive epoch read representation (ablation only).
+    pub ablate_adaptive_read: bool,
+}
+
+impl Default for FastTrackConfig {
+    fn default() -> Self {
+        FastTrackConfig {
+            report_all: false,
+            ablate_same_epoch: false,
+            ablate_adaptive_read: false,
+        }
+    }
+}
+
+/// Per-rule hit counters (the Figure 2/5 frequency annotations).
+#[derive(Clone, Debug, Default)]
+struct RuleHits {
+    read_same_epoch: u64,
+    read_shared: u64,
+    read_exclusive: u64,
+    read_share: u64,
+    write_same_epoch: u64,
+    write_exclusive: u64,
+    write_shared: u64,
+}
+
+/// The FastTrack race detector.
+///
+/// An online analysis over the operations of a multithreaded trace that
+/// reports a race **iff** the trace contains two concurrent conflicting
+/// accesses (Theorem 1), while performing *O(1)* work on the overwhelming
+/// majority of accesses.
+///
+/// See the [crate docs](crate) for a usage example; the implementation
+/// deliberately mirrors the Figure 5 pseudocode so the two can be read side
+/// by side.
+///
+/// # Panics
+///
+/// Epochs are packed 32-bit values (§4): at most 256 concurrently live
+/// thread ids and 2²⁴ − 1 clock ticks per thread. Exceeding either limit
+/// panics with an epoch-overflow message. Programs with many short-lived
+/// threads should recycle ids via
+/// [`TidRecycler`](ft_clock::TidRecycler) in the event source, as the
+/// paper suggests via accordion clocks.
+#[derive(Debug)]
+pub struct FastTrack {
+    threads: Vec<Option<ThreadState>>,
+    /// `L_m` per lock, allocated on first release.
+    locks: Vec<Option<VectorClock>>,
+    /// `L_vx` per volatile variable (§4 extends `L` over volatiles).
+    volatiles: Vec<Option<VectorClock>>,
+    vars: Vec<VarState>,
+    /// Variables that already produced a warning (suppression set).
+    warned: Vec<bool>,
+    warnings: Vec<Warning>,
+    stats: Stats,
+    rules: RuleHits,
+    config: FastTrackConfig,
+}
+
+impl Default for FastTrack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FastTrack {
+    /// Creates a detector with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(FastTrackConfig::default())
+    }
+
+    /// Creates a detector with the given configuration.
+    pub fn with_config(config: FastTrackConfig) -> Self {
+        FastTrack {
+            threads: Vec::new(),
+            locks: Vec::new(),
+            volatiles: Vec::new(),
+            vars: Vec::new(),
+            warned: Vec::new(),
+            warnings: Vec::new(),
+            stats: Stats::new(),
+            rules: RuleHits::default(),
+            config,
+        }
+    }
+
+    /// Pre-sizes shadow state for a known id space, avoiding growth checks
+    /// mid-run (used by the benchmark harness).
+    pub fn with_capacity(n_threads: u32, n_vars: u32, n_locks: u32) -> Self {
+        let mut ft = Self::new();
+        ft.threads.reserve(n_threads as usize);
+        ft.vars.reserve(n_vars as usize);
+        ft.locks.reserve(n_locks as usize);
+        ft
+    }
+
+    #[inline]
+    fn thread(&mut self, t: Tid) -> &mut ThreadState {
+        let idx = t.as_usize();
+        if idx >= self.threads.len() {
+            self.threads.resize_with(idx + 1, || None);
+        }
+        let slot = &mut self.threads[idx];
+        if slot.is_none() {
+            self.stats.vc_allocated += 1; // the thread's own C_t
+            *slot = Some(ThreadState::new(t));
+        }
+        slot.as_mut().expect("just initialized")
+    }
+
+    #[inline]
+    fn var(&mut self, x: VarId) -> &mut VarState {
+        let idx = x.as_usize();
+        if idx >= self.vars.len() {
+            self.vars.resize_with(idx + 1, VarState::default);
+            self.warned.resize(idx + 1, false);
+        }
+        &mut self.vars[idx]
+    }
+
+    fn report(
+        &mut self,
+        x: VarId,
+        kind: WarningKind,
+        prior_tid: Tid,
+        prior_kind: AccessKind,
+        current_tid: Tid,
+        current_kind: AccessKind,
+        index: usize,
+    ) {
+        let idx = x.as_usize();
+        if idx >= self.warned.len() {
+            self.warned.resize(idx + 1, false);
+        }
+        if self.warned[idx] && !self.config.report_all {
+            return;
+        }
+        self.warned[idx] = true;
+        self.warnings.push(Warning {
+            var: x,
+            kind,
+            prior: AccessSummary {
+                tid: prior_tid,
+                kind: prior_kind,
+                event_index: None,
+            },
+            current: AccessSummary {
+                tid: current_tid,
+                kind: current_kind,
+                event_index: Some(index),
+            },
+        });
+    }
+
+    /// Figure 5 `read(VarState x, ThreadState t)`.
+    fn read(&mut self, index: usize, t: Tid, x: VarId) {
+        self.stats.reads += 1;
+        let (epoch, _) = {
+            let ts = self.thread(t);
+            (ts.epoch, ())
+        };
+
+        // [FT READ SAME EPOCH] — 63.4% of reads in the paper's benchmarks.
+        if !self.config.ablate_same_epoch && self.var(x).r == epoch {
+            self.rules.read_same_epoch += 1;
+            return;
+        }
+        self.var(x); // ensure shadow state exists even when ablated
+
+        // Ablation: force the DJIT⁺-shaped always-VC read representation.
+        if self.config.ablate_adaptive_read && !self.vars[x.as_usize()].is_read_shared() {
+            let vs = &mut self.vars[x.as_usize()];
+            self.stats.vc_allocated += 1;
+            let mut rvc = VectorClock::new();
+            if !vs.r.is_initial() {
+                rvc.set(vs.r.tid(), vs.r.clock());
+            }
+            vs.rvc = Some(Box::new(rvc));
+            vs.r = READ_SHARED;
+        }
+
+        // Split borrows: take what we need from the thread state up front.
+        let ts_vc = &self.threads[t.as_usize()]
+            .as_ref()
+            .expect("thread initialized above")
+            .vc;
+        let own_clock = ts_vc.get(t);
+
+        let vs = &mut self.vars[x.as_usize()];
+
+        // Write-read race check: W_x ≼ C_t.
+        let w = vs.w;
+        let racy_write = !w.happens_before(ts_vc);
+
+        if vs.r == READ_SHARED {
+            // [FT READ SHARED] — O(1): update our slot of Rvc.
+            self.rules.read_shared += 1;
+            vs.rvc
+                .as_mut()
+                .expect("read-shared mode implies Rvc")
+                .set(t, own_clock);
+        } else if vs.r.happens_before(ts_vc) {
+            // [FT READ EXCLUSIVE] — reads stay totally ordered.
+            self.rules.read_exclusive += 1;
+            vs.r = epoch;
+        } else {
+            // [FT READ SHARE] — concurrent reads: inflate to a vector clock
+            // recording both read epochs. (The 0.1% slow path.)
+            self.rules.read_share += 1;
+            self.stats.vc_allocated += 1;
+            let mut rvc = VectorClock::new();
+            rvc.set(vs.r.tid(), vs.r.clock());
+            rvc.set(t, own_clock);
+            vs.rvc = Some(Box::new(rvc));
+            vs.r = READ_SHARED;
+        }
+
+        if racy_write {
+            let w_tid = w.tid();
+            self.report(
+                x,
+                WarningKind::WriteRead,
+                w_tid,
+                AccessKind::Write,
+                t,
+                AccessKind::Read,
+                index,
+            );
+        }
+    }
+
+    /// Figure 5 `write(VarState x, ThreadState t)`.
+    fn write(&mut self, index: usize, t: Tid, x: VarId) {
+        self.stats.writes += 1;
+        let epoch = self.thread(t).epoch;
+
+        // [FT WRITE SAME EPOCH] — 71.0% of writes.
+        if !self.config.ablate_same_epoch && self.var(x).w == epoch {
+            self.rules.write_same_epoch += 1;
+            return;
+        }
+        self.var(x); // ensure shadow state exists even when ablated
+
+        let ts_vc = &self.threads[t.as_usize()]
+            .as_ref()
+            .expect("thread initialized above")
+            .vc;
+        let vs = &mut self.vars[x.as_usize()];
+
+        // Write-write race check: W_x ≼ C_t.
+        let w = vs.w;
+        let racy_write = !w.happens_before(ts_vc);
+
+        // Read-write race check, then collapse/update the read history.
+        let mut racy_read: Option<Tid> = None;
+        if vs.r != READ_SHARED {
+            // [FT WRITE EXCLUSIVE] — 28.9% of writes: epoch-epoch check.
+            self.rules.write_exclusive += 1;
+            if !vs.r.happens_before(ts_vc) {
+                racy_read = Some(vs.r.tid());
+            }
+        } else {
+            // [FT WRITE SHARED] — 0.1% of writes: full VC comparison, then
+            // discard the read history (R := ⊥ₑ), switching x back to the
+            // cheap epoch representation.
+            self.rules.write_shared += 1;
+            self.stats.vc_ops += 1;
+            let rvc = vs.rvc.as_ref().expect("read-shared mode implies Rvc");
+            if !rvc.leq(ts_vc) {
+                // Attribute the race to some thread whose read is unordered.
+                racy_read = rvc
+                    .iter_nonzero()
+                    .find(|&(u, c)| c > ts_vc.get(u))
+                    .map(|(u, _)| u);
+            }
+            if !self.config.ablate_adaptive_read {
+                // R := ⊥ₑ — switch x back to the cheap epoch representation.
+                vs.rvc = None;
+                vs.r = Epoch::MIN;
+            }
+        }
+
+        vs.w = epoch;
+
+        if racy_write {
+            let w_tid = w.tid();
+            self.report(
+                x,
+                WarningKind::WriteWrite,
+                w_tid,
+                AccessKind::Write,
+                t,
+                AccessKind::Write,
+                index,
+            );
+        }
+        if let Some(u) = racy_read {
+            self.report(
+                x,
+                WarningKind::ReadWrite,
+                u,
+                AccessKind::Read,
+                t,
+                AccessKind::Write,
+                index,
+            );
+        }
+    }
+
+    /// `[FT ACQUIRE]`: `C_t := C_t ⊔ L_m`.
+    fn acquire(&mut self, t: Tid, m: LockId) {
+        self.thread(t); // ensure exists
+        if let Some(Some(lm)) = self.locks.get(m.as_usize()) {
+            // O(n) join — synchronization operations are rare (§3 "Other
+            // Operations"), so the VC cost is acceptable.
+            self.stats.vc_ops += 1;
+            let lm = lm.clone();
+            let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
+            ts.vc.join(&lm);
+            ts.refresh_epoch();
+        }
+    }
+
+    /// `[FT RELEASE]`: `L_m := C_t; C_t := incₜ(C_t)`.
+    fn release(&mut self, t: Tid, m: LockId) {
+        self.thread(t);
+        let idx = m.as_usize();
+        if idx >= self.locks.len() {
+            self.locks.resize_with(idx + 1, || None);
+        }
+        let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
+        self.stats.vc_ops += 1; // O(n) copy
+        match &mut self.locks[idx] {
+            Some(lm) => lm.assign(&ts.vc),
+            slot @ None => {
+                self.stats.vc_allocated += 1;
+                *slot = Some(ts.vc.clone());
+            }
+        }
+        ts.inc();
+    }
+
+    /// `[FT FORK]`: `C_u := C_u ⊔ C_t; C_t := incₜ(C_t)`.
+    fn fork(&mut self, t: Tid, u: Tid) {
+        self.thread(t);
+        self.thread(u);
+        self.stats.vc_ops += 1;
+        let ct = self.threads[t.as_usize()].as_ref().expect("ensured").vc.clone();
+        let us = self.threads[u.as_usize()].as_mut().expect("ensured");
+        us.vc.join(&ct);
+        us.refresh_epoch();
+        let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
+        ts.inc();
+    }
+
+    /// `[FT JOIN]`: `C_t := C_t ⊔ C_u; C_u := inc_u(C_u)`.
+    fn join(&mut self, t: Tid, u: Tid) {
+        self.thread(t);
+        self.thread(u);
+        self.stats.vc_ops += 1;
+        let cu = self.threads[u.as_usize()].as_ref().expect("ensured").vc.clone();
+        let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
+        ts.vc.join(&cu);
+        ts.refresh_epoch();
+        let us = self.threads[u.as_usize()].as_mut().expect("ensured");
+        us.inc();
+    }
+
+    /// `[FT READ VOLATILE]`: `C_t := C_t ⊔ L_vx` (§4).
+    fn volatile_read(&mut self, t: Tid, x: VarId) {
+        self.thread(t);
+        if let Some(Some(lv)) = self.volatiles.get(x.as_usize()) {
+            self.stats.vc_ops += 1;
+            let lv = lv.clone();
+            let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
+            ts.vc.join(&lv);
+            ts.refresh_epoch();
+        }
+    }
+
+    /// `[FT WRITE VOLATILE]`: `L_vx := C_t ⊔ L_vx; C_t := incₜ(C_t)` (§4).
+    fn volatile_write(&mut self, t: Tid, x: VarId) {
+        self.thread(t);
+        let idx = x.as_usize();
+        if idx >= self.volatiles.len() {
+            self.volatiles.resize_with(idx + 1, || None);
+        }
+        let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
+        self.stats.vc_ops += 1;
+        match &mut self.volatiles[idx] {
+            Some(lv) => lv.join(&ts.vc),
+            slot @ None => {
+                self.stats.vc_allocated += 1;
+                *slot = Some(ts.vc.clone());
+            }
+        }
+        ts.inc();
+    }
+
+    /// `[FT BARRIER RELEASE]`: every `t ∈ T` gets `C_t := incₜ(⊔_{u∈T} C_u)`
+    /// (§4).
+    fn barrier_release(&mut self, threads: &[Tid]) {
+        let mut joined = VectorClock::new();
+        self.stats.vc_allocated += 1;
+        for &u in threads {
+            self.thread(u);
+            self.stats.vc_ops += 1;
+            joined.join(&self.threads[u.as_usize()].as_ref().expect("ensured").vc);
+        }
+        for &t in threads {
+            self.stats.vc_ops += 1;
+            let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
+            ts.vc.assign(&joined);
+            ts.inc();
+        }
+    }
+
+    /// Advances thread `t`'s clock (`C_t := incₜ(C_t)`) without any other
+    /// effect.
+    ///
+    /// Useful when embedding FastTrack under a custom synchronization model
+    /// (e.g. the SingleTrack determinism checker hides lock edges but must
+    /// still end the releasing thread's epoch so the same-epoch caches stay
+    /// sound).
+    pub fn advance_epoch(&mut self, t: Tid) {
+        self.thread(t).inc();
+    }
+
+    /// Checks the appendix's **Definition 1 (well-formed states)** on the
+    /// current analysis state, returning a description of the first
+    /// violated clause, if any:
+    ///
+    /// 1. `∀ u ≠ t: C_u(t) < C_t(t)` — a thread's own clock dominates every
+    ///    other thread's view of it;
+    /// 2. `∀ m, t: L_m(t) < C_t(t)` — lock clocks lag the threads;
+    /// 3. `∀ x, t: R_x(t) ≤ C_t(t)` — read histories never lead;
+    /// 4. `∀ x, t: W_x(t) ≤ C_t(t)` — write histories never lead.
+    ///
+    /// Lemmas 1–2 of the paper prove the initial state is well-formed and
+    /// every transition preserves it; the property test
+    /// `well_formedness_is_preserved` exercises exactly that claim against
+    /// this checker after every analyzed event.
+    pub fn well_formedness_violation(&self) -> Option<String> {
+        let clock_of = |t: Tid| -> Option<&VectorClock> {
+            self.threads
+                .get(t.as_usize())
+                .and_then(|s| s.as_ref())
+                .map(|s| &s.vc)
+        };
+        // Clause 1.
+        for (ui, us) in self.threads.iter().enumerate() {
+            let Some(us) = us else { continue };
+            for (ti, ts) in self.threads.iter().enumerate() {
+                let Some(ts) = ts else { continue };
+                let t = Tid::new(ti as u32);
+                if ui != ti && us.vc.get(t) >= ts.vc.get(t) {
+                    return Some(format!(
+                        "C_{ui}({t}) = {} ≥ {} = C_{ti}({t})",
+                        us.vc.get(t),
+                        ts.vc.get(t)
+                    ));
+                }
+            }
+        }
+        // Clause 2 (locks and the volatile extension of L).
+        for (mi, lm) in self.locks.iter().chain(self.volatiles.iter()).enumerate() {
+            let Some(lm) = lm else { continue };
+            for (t, c) in lm.iter_nonzero() {
+                let Some(ct) = clock_of(t) else {
+                    return Some(format!("L entry for unknown thread {t}"));
+                };
+                if c >= ct.get(t) {
+                    return Some(format!("L_{mi}({t}) = {c} ≥ {} = C_{t}({t})", ct.get(t)));
+                }
+            }
+        }
+        // Clauses 3 and 4.
+        for (xi, vs) in self.vars.iter().enumerate() {
+            let mut entries: Vec<(Tid, u32, &str)> = Vec::new();
+            if !vs.w.is_initial() {
+                entries.push((vs.w.tid(), vs.w.clock(), "W"));
+            }
+            if vs.is_read_shared() {
+                for (t, c) in vs.rvc.as_ref().expect("shared implies Rvc").iter_nonzero() {
+                    entries.push((t, c, "R"));
+                }
+            } else if !vs.r.is_initial() {
+                entries.push((vs.r.tid(), vs.r.clock(), "R"));
+            }
+            for (t, c, which) in entries {
+                let Some(ct) = clock_of(t) else {
+                    return Some(format!("{which}_x{xi} references unknown thread {t}"));
+                };
+                if c > ct.get(t) {
+                    return Some(format!(
+                        "{which}_x{xi}({t}) = {c} > {} = C_{t}({t})",
+                        ct.get(t)
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// The representation currently holding `x`'s read history — lets tests
+    /// and examples observe the adaptive switching of Figure 4.
+    pub fn read_mode(&self, x: VarId) -> ReadMode {
+        match self.vars.get(x.as_usize()) {
+            None => ReadMode::Unread,
+            Some(vs) if vs.is_read_shared() => ReadMode::Shared,
+            Some(vs) if vs.r == Epoch::MIN && vs.rvc.is_none() => {
+                // R = ⊥ₑ: either never read, or collapsed by [FT WRITE SHARED].
+                ReadMode::Unread
+            }
+            Some(_) => ReadMode::Epoch,
+        }
+    }
+
+    /// The last-write epoch `W_x` (⊥ₑ if never written).
+    pub fn write_epoch(&self, x: VarId) -> Epoch {
+        self.vars.get(x.as_usize()).map_or(Epoch::MIN, |vs| vs.w)
+    }
+
+    /// The read epoch `R_x` while in epoch mode; `None` in shared mode.
+    pub fn read_epoch(&self, x: VarId) -> Option<Epoch> {
+        let vs = self.vars.get(x.as_usize())?;
+        if vs.is_read_shared() {
+            None
+        } else {
+            Some(vs.r)
+        }
+    }
+
+    /// The read vector clock `Rvc_x` while in shared mode.
+    pub fn read_clock(&self, x: VarId) -> Option<&VectorClock> {
+        self.vars
+            .get(x.as_usize())
+            .and_then(|vs| vs.rvc.as_deref())
+    }
+}
+
+impl Detector for FastTrack {
+    fn name(&self) -> &'static str {
+        "FASTTRACK"
+    }
+
+    fn on_op(&mut self, index: usize, op: &Op) -> Disposition {
+        self.stats.ops += 1;
+        match op {
+            Op::Read(t, x) => {
+                self.read(index, *t, *x);
+                return self.access_disposition(*x);
+            }
+            Op::Write(t, x) => {
+                self.write(index, *t, *x);
+                return self.access_disposition(*x);
+            }
+            Op::Acquire(t, m) => {
+                self.stats.sync_ops += 1;
+                self.acquire(*t, *m);
+            }
+            Op::Release(t, m) => {
+                self.stats.sync_ops += 1;
+                self.release(*t, *m);
+            }
+            Op::Fork(t, u) => {
+                self.stats.sync_ops += 1;
+                self.fork(*t, *u);
+            }
+            Op::Join(t, u) => {
+                self.stats.sync_ops += 1;
+                self.join(*t, *u);
+            }
+            Op::VolatileRead(t, x) => {
+                self.stats.sync_ops += 1;
+                self.volatile_read(*t, *x);
+            }
+            Op::VolatileWrite(t, x) => {
+                self.stats.sync_ops += 1;
+                self.volatile_write(*t, *x);
+            }
+            Op::Wait(t, m) => {
+                // §4: wait = release + subsequent acquire.
+                self.stats.sync_ops += 1;
+                self.release(*t, *m);
+                self.acquire(*t, *m);
+            }
+            Op::BarrierRelease(ts) => {
+                self.stats.sync_ops += 1;
+                self.barrier_release(ts);
+            }
+            Op::Notify(..) | Op::AtomicBegin(_) | Op::AtomicEnd(_) => {
+                // No happens-before effect (§4: "A notify operation can be
+                // ignored").
+            }
+        }
+        Disposition::Forward
+    }
+
+    fn warnings(&self) -> &[Warning] {
+        &self.warnings
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn shadow_bytes(&self) -> usize {
+        let vars: usize = self.vars.iter().map(VarState::shadow_bytes).sum();
+        let threads: usize = self
+            .threads
+            .iter()
+            .flatten()
+            .map(|ts| std::mem::size_of::<ThreadState>() + ts.vc.heap_bytes())
+            .sum();
+        let locks: usize = self
+            .locks
+            .iter()
+            .chain(self.volatiles.iter())
+            .flatten()
+            .map(|vc| std::mem::size_of::<VectorClock>() + vc.heap_bytes())
+            .sum();
+        vars + threads + locks
+    }
+
+    fn rule_breakdown(&self) -> Vec<RuleCount> {
+        let r = self.stats.reads;
+        let w = self.stats.writes;
+        vec![
+            RuleCount::of("FT READ SAME EPOCH", self.rules.read_same_epoch, r),
+            RuleCount::of("FT READ SHARED", self.rules.read_shared, r),
+            RuleCount::of("FT READ EXCLUSIVE", self.rules.read_exclusive, r),
+            RuleCount::of("FT READ SHARE", self.rules.read_share, r),
+            RuleCount::of("FT WRITE SAME EPOCH", self.rules.write_same_epoch, w),
+            RuleCount::of("FT WRITE EXCLUSIVE", self.rules.write_exclusive, w),
+            RuleCount::of("FT WRITE SHARED", self.rules.write_shared, w),
+        ]
+    }
+}
+
+impl FastTrack {
+    /// Prefilter policy (§5.2): once a variable is known racy, its accesses
+    /// are interesting to downstream checkers; race-free accesses are
+    /// suppressed. (Footnote 6: this may filter an access that is *later*
+    /// found to race — a small, documented coverage reduction.)
+    #[inline]
+    fn access_disposition(&self, x: VarId) -> Disposition {
+        if self.warned.get(x.as_usize()).copied().unwrap_or(false) {
+            Disposition::Forward
+        } else {
+            Disposition::Suppress
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_trace::TraceBuilder;
+
+    const T0: Tid = Tid::new(0);
+    const T1: Tid = Tid::new(1);
+    const T2: Tid = Tid::new(2);
+    const X: VarId = VarId::new(0);
+    const M: LockId = LockId::new(0);
+
+    fn run(build: impl FnOnce(&mut TraceBuilder) -> Result<(), ft_trace::FeasibilityError>) -> FastTrack {
+        let mut b = TraceBuilder::with_threads(3);
+        build(&mut b).unwrap();
+        let mut ft = FastTrack::new();
+        ft.run(&b.finish());
+        ft
+    }
+
+    #[test]
+    fn write_write_race_detected() {
+        let ft = run(|b| {
+            b.write(T0, X)?;
+            b.write(T1, X)
+        });
+        assert_eq!(ft.warnings().len(), 1);
+        assert_eq!(ft.warnings()[0].kind, WarningKind::WriteWrite);
+        assert_eq!(ft.warnings()[0].prior.tid, T0);
+        assert_eq!(ft.warnings()[0].current.tid, T1);
+    }
+
+    #[test]
+    fn write_read_race_detected() {
+        let ft = run(|b| {
+            b.write(T0, X)?;
+            b.read(T1, X)
+        });
+        assert_eq!(ft.warnings().len(), 1);
+        assert_eq!(ft.warnings()[0].kind, WarningKind::WriteRead);
+    }
+
+    #[test]
+    fn read_write_race_detected() {
+        let ft = run(|b| {
+            b.read(T0, X)?;
+            b.write(T1, X)
+        });
+        assert_eq!(ft.warnings().len(), 1);
+        assert_eq!(ft.warnings()[0].kind, WarningKind::ReadWrite);
+    }
+
+    #[test]
+    fn read_write_race_detected_in_shared_mode() {
+        // Two concurrent reads inflate to a VC; the write must see both.
+        let ft = run(|b| {
+            b.read(T0, X)?;
+            b.read(T1, X)?;
+            b.write(T2, X)
+        });
+        assert_eq!(ft.warnings().len(), 1);
+        assert_eq!(ft.warnings()[0].kind, WarningKind::ReadWrite);
+    }
+
+    #[test]
+    fn lock_protected_accesses_are_race_free() {
+        let ft = run(|b| {
+            b.release_after_acquire(T0, M, |b| {
+                b.write(T0, X)?;
+                b.read(T0, X)
+            })?;
+            b.release_after_acquire(T1, M, |b| {
+                b.read(T1, X)?;
+                b.write(T1, X)
+            })
+        });
+        assert!(ft.warnings().is_empty());
+    }
+
+    #[test]
+    fn fork_join_is_race_free() {
+        let mut b = TraceBuilder::new();
+        b.write(T0, X).unwrap();
+        b.fork(T0, T1).unwrap();
+        b.write(T1, X).unwrap();
+        b.join(T0, T1).unwrap();
+        b.read(T0, X).unwrap();
+        let mut ft = FastTrack::new();
+        ft.run(&b.finish());
+        assert!(ft.warnings().is_empty());
+    }
+
+    #[test]
+    fn one_warning_per_variable_by_default() {
+        let ft = run(|b| {
+            b.write(T0, X)?;
+            b.write(T1, X)?;
+            b.write(T2, X)?;
+            b.read(T0, X)
+        });
+        assert_eq!(ft.warnings().len(), 1);
+    }
+
+    #[test]
+    fn report_all_reports_subsequent_races() {
+        let mut b = TraceBuilder::with_threads(3);
+        b.write(T0, X).unwrap();
+        b.write(T1, X).unwrap();
+        b.write(T2, X).unwrap();
+        let mut ft = FastTrack::with_config(FastTrackConfig {
+            report_all: true,
+            ..FastTrackConfig::default()
+        });
+        ft.run(&b.finish());
+        assert!(ft.warnings().len() >= 2);
+    }
+
+    #[test]
+    fn figure_4_adaptive_representation() {
+        // The Figure 4 trace: fork, read by child, concurrent read by
+        // parent (inflate), join, write (collapse), read (epoch again).
+        let mut b = TraceBuilder::new();
+        b.write(T0, X).unwrap(); // W_x := 7@0 in the paper's numbering
+        b.fork(T0, T1).unwrap();
+        let mut ft = FastTrack::new();
+        let mut idx = 0usize;
+        let trace_head = b;
+
+        // Drive incrementally so we can observe representation switches.
+        let mut drive = |ft: &mut FastTrack, ops: &[Op]| {
+            for op in ops {
+                ft.on_op(idx, op);
+                idx += 1;
+            }
+        };
+
+        drive(&mut ft, trace_head.finish().events());
+        assert_eq!(ft.read_mode(X), ReadMode::Unread);
+
+        drive(&mut ft, &[Op::Read(T1, X)]);
+        assert_eq!(ft.read_mode(X), ReadMode::Epoch); // R_x = 1@1
+
+        drive(&mut ft, &[Op::Read(T0, X)]);
+        assert_eq!(ft.read_mode(X), ReadMode::Shared); // R_x = <8,1,...>
+        let rvc = ft.read_clock(X).expect("shared mode");
+        assert!(rvc.get(T0) > 0 && rvc.get(T1) > 0);
+
+        drive(&mut ft, &[Op::Read(T1, X)]);
+        assert_eq!(ft.read_mode(X), ReadMode::Shared); // [FT READ SHARED]
+
+        drive(&mut ft, &[Op::Join(T0, T1), Op::Write(T0, X)]);
+        // [FT WRITE SHARED] discards the read history: back to epochs.
+        assert_eq!(ft.read_mode(X), ReadMode::Unread);
+        assert!(ft.read_clock(X).is_none());
+
+        drive(&mut ft, &[Op::Read(T0, X)]);
+        assert_eq!(ft.read_mode(X), ReadMode::Epoch);
+        assert!(ft.warnings().is_empty());
+    }
+
+    #[test]
+    fn same_epoch_fast_paths_hit() {
+        let ft = run(|b| {
+            b.read(T0, X)?;
+            b.read(T0, X)?;
+            b.read(T0, X)?;
+            b.write(T0, X)?;
+            b.write(T0, X)
+        });
+        let rules = ft.rule_breakdown();
+        let hits = |name: &str| rules.iter().find(|r| r.rule == name).unwrap().hits;
+        assert_eq!(hits("FT READ SAME EPOCH"), 2);
+        assert_eq!(hits("FT READ EXCLUSIVE"), 1);
+        assert_eq!(hits("FT WRITE SAME EPOCH"), 1);
+        assert_eq!(hits("FT WRITE EXCLUSIVE"), 1);
+    }
+
+    #[test]
+    fn release_advances_epoch_so_same_epoch_misses() {
+        let ft = run(|b| {
+            b.read(T0, X)?;
+            b.release_after_acquire(T0, M, |_| Ok(()))?;
+            b.read(T0, X) // new epoch: exclusive, not same-epoch
+        });
+        let rules = ft.rule_breakdown();
+        let hits = |name: &str| rules.iter().find(|r| r.rule == name).unwrap().hits;
+        assert_eq!(hits("FT READ SAME EPOCH"), 0);
+        assert_eq!(hits("FT READ EXCLUSIVE"), 2);
+    }
+
+    #[test]
+    fn volatile_handoff_orders_accesses() {
+        let v = VarId::new(9);
+        let ft = run(|b| {
+            b.write(T0, X)?;
+            b.volatile_write(T0, v)?;
+            b.volatile_read(T1, v)?;
+            b.write(T1, X)
+        });
+        assert!(ft.warnings().is_empty());
+    }
+
+    #[test]
+    fn barrier_orders_phases_but_not_siblings() {
+        let ft = run(|b| {
+            b.write(T0, X)?;
+            b.barrier_release(vec![T0, T1])?;
+            b.write(T1, X)
+        });
+        assert!(ft.warnings().is_empty());
+
+        let ft = run(|b| {
+            b.barrier_release(vec![T0, T1])?;
+            b.write(T0, X)?;
+            b.write(T1, X)
+        });
+        assert_eq!(ft.warnings().len(), 1);
+    }
+
+    #[test]
+    fn wait_is_release_plus_acquire() {
+        // T0 holds m, waits (releasing m); T1 acquires m, writes x,
+        // releases; T0 wakes holding m again and reads x — ordered.
+        let mut b = TraceBuilder::with_threads(2);
+        b.acquire(T0, M).unwrap();
+        b.write(T1, X).unwrap(); // before any sync: fine, x untouched by T0
+        b.push(Op::Wait(T0, M)).unwrap();
+        b.read(T0, X).unwrap();
+        let mut ft = FastTrack::new();
+        ft.run(&b.finish());
+        // T1's write is NOT ordered before T0's read (T1 never touched m),
+        // so this IS a race — wait alone creates no edge to T1.
+        assert_eq!(ft.warnings().len(), 1);
+
+        // Now the faithful version: T1 acquires m between release and wake.
+        let mut b = TraceBuilder::with_threads(2);
+        b.acquire(T0, M).unwrap();
+        b.release(T0, M).unwrap(); // wait: release half
+        b.acquire(T1, M).unwrap();
+        b.write(T1, X).unwrap();
+        b.release(T1, M).unwrap();
+        b.acquire(T0, M).unwrap(); // wait: wake half
+        b.read(T0, X).unwrap();
+        b.release(T0, M).unwrap();
+        let mut ft = FastTrack::new();
+        ft.run(&b.finish());
+        assert!(ft.warnings().is_empty());
+    }
+
+    #[test]
+    fn prefilter_suppresses_race_free_accesses() {
+        let mut ft = FastTrack::new();
+        assert_eq!(ft.on_op(0, &Op::Write(T0, X)), Disposition::Suppress);
+        assert_eq!(ft.on_op(1, &Op::Acquire(T0, M)), Disposition::Forward);
+        assert_eq!(ft.on_op(2, &Op::Write(T1, X)), Disposition::Forward); // racy now
+        assert_eq!(ft.on_op(3, &Op::Read(T1, X)), Disposition::Forward); // stays racy
+    }
+
+    #[test]
+    fn stats_count_categories() {
+        let ft = run(|b| {
+            b.read(T0, X)?;
+            b.write(T0, X)?;
+            b.release_after_acquire(T0, M, |_| Ok(()))
+        });
+        assert_eq!(ft.stats().ops, 4);
+        assert_eq!(ft.stats().reads, 1);
+        assert_eq!(ft.stats().writes, 1);
+        assert_eq!(ft.stats().sync_ops, 2);
+    }
+
+    #[test]
+    fn vc_allocation_is_rare() {
+        // Thread-local accesses allocate only the per-thread clocks.
+        let ft = run(|b| {
+            for _ in 0..100 {
+                b.read(T0, X)?;
+            }
+            Ok(())
+        });
+        assert_eq!(ft.stats().vc_allocated, 1); // just T0's C_t
+        assert_eq!(ft.stats().vc_ops, 0);
+    }
+
+    #[test]
+    fn shadow_bytes_grow_with_shared_mode() {
+        let mut ft = FastTrack::new();
+        ft.on_op(0, &Op::Read(T0, X));
+        let before = ft.shadow_bytes();
+        ft.on_op(1, &Op::Read(T1, X)); // inflate to VC
+        let after = ft.shadow_bytes();
+        assert!(after > before, "{after} <= {before}");
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch overflow")]
+    fn tid_beyond_epoch_space_panics_cleanly() {
+        let mut ft = FastTrack::new();
+        ft.on_op(0, &Op::Write(Tid::new(256), X));
+    }
+
+    #[test]
+    fn no_false_positive_after_read_collapse() {
+        // After [FT WRITE SHARED] collapses reads, later ordered accesses
+        // must not warn.
+        let mut b = TraceBuilder::new();
+        b.fork(T0, T1).unwrap();
+        b.read(T0, X).unwrap();
+        b.read(T1, X).unwrap(); // shared mode
+        b.join(T0, T1).unwrap();
+        b.write(T0, X).unwrap(); // collapse
+        b.read(T0, X).unwrap();
+        b.write(T0, X).unwrap();
+        let mut ft = FastTrack::new();
+        ft.run(&b.finish());
+        assert!(ft.warnings().is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! The tool interface shared by every detector in this repository.
+
+use crate::stats::{RuleCount, Stats};
+use crate::warning::Warning;
+use ft_trace::{Op, Trace};
+
+/// What a detector wants done with an event when it is used as a
+/// *prefilter* for a downstream analysis (§5.2 of the paper).
+///
+/// The RoadRunner composition `-tool FastTrack:Velodrome` "filters out
+/// race-free memory accesses from the event stream and passes all other
+/// events on". [`Disposition::Forward`] passes the event downstream;
+/// [`Disposition::Suppress`] drops it. Detectors that are not filters
+/// always forward.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Disposition {
+    /// Pass the event to the downstream tool.
+    Forward,
+    /// Drop the event: it is provably uninteresting (e.g. race-free) for
+    /// downstream analyses.
+    Suppress,
+}
+
+/// A dynamic analysis tool that consumes a multithreaded event stream.
+///
+/// All seven paper tools (EMPTY, ERASER, MULTIRACE, GOLDILOCKS, BASICVC,
+/// DJIT+, FASTTRACK) implement this trait, which makes the apples-to-apples
+/// comparisons of §5 possible: the same trace is replayed through each tool
+/// by the same harness.
+///
+/// # Example
+///
+/// ```
+/// use fasttrack::{Detector, FastTrack};
+/// use ft_trace::gen::{self, GenConfig};
+///
+/// let trace = gen::generate(&GenConfig::race_free(), 1);
+/// let mut ft = FastTrack::new();
+/// ft.run(&trace);
+/// assert!(ft.warnings().is_empty());
+/// assert_eq!(ft.stats().ops, trace.len() as u64);
+/// ```
+pub trait Detector {
+    /// The tool's display name (e.g. `"FASTTRACK"`).
+    fn name(&self) -> &'static str;
+
+    /// Processes one event. `index` is the event's position in the trace,
+    /// used for error reporting. Returns the event's disposition for
+    /// prefilter composition.
+    fn on_op(&mut self, index: usize, op: &Op) -> Disposition;
+
+    /// The warnings produced so far.
+    fn warnings(&self) -> &[Warning];
+
+    /// The statistics gathered so far.
+    fn stats(&self) -> &Stats;
+
+    /// Current shadow-state footprint in bytes (Table 3's memory-overhead
+    /// accounting). Walks the shadow state; intended to be called rarely.
+    fn shadow_bytes(&self) -> usize {
+        0
+    }
+
+    /// Per-rule hit counts, for Figure 2-style frequency reports. Detectors
+    /// without interesting rule structure return an empty vector.
+    fn rule_breakdown(&self) -> Vec<RuleCount> {
+        Vec::new()
+    }
+
+    /// Replays an entire trace through [`Detector::on_op`].
+    fn run(&mut self, trace: &Trace)
+    where
+        Self: Sized,
+    {
+        for (index, op) in trace.events().iter().enumerate() {
+            self.on_op(index, op);
+        }
+    }
+}
+
+/// Blanket impl so `Box<dyn Detector>` is itself usable as a detector
+/// (needed by the pipeline composition in `ft-runtime`).
+impl<D: Detector + ?Sized> Detector for Box<D> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn on_op(&mut self, index: usize, op: &Op) -> Disposition {
+        (**self).on_op(index, op)
+    }
+
+    fn warnings(&self) -> &[Warning] {
+        (**self).warnings()
+    }
+
+    fn stats(&self) -> &Stats {
+        (**self).stats()
+    }
+
+    fn shadow_bytes(&self) -> usize {
+        (**self).shadow_bytes()
+    }
+
+    fn rule_breakdown(&self) -> Vec<RuleCount> {
+        (**self).rule_breakdown()
+    }
+}

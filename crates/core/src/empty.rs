@@ -1,0 +1,69 @@
+//! The EMPTY tool: measures pure framework overhead.
+
+use crate::detector::{Detector, Disposition};
+use crate::stats::Stats;
+use crate::warning::Warning;
+use ft_trace::Op;
+
+/// A detector that performs no analysis.
+///
+/// The paper uses EMPTY "to measure the overhead of RoadRunner": target
+/// programs ran 4.1× slower under it. Here it gives the baseline event-
+/// dispatch cost that every slowdown ratio in Tables 1/3 is normalized to.
+#[derive(Debug, Default)]
+pub struct Empty {
+    stats: Stats,
+}
+
+impl Empty {
+    /// Creates the EMPTY tool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Detector for Empty {
+    fn name(&self) -> &'static str {
+        "EMPTY"
+    }
+
+    #[inline]
+    fn on_op(&mut self, _index: usize, op: &Op) -> Disposition {
+        self.stats.ops += 1;
+        match op {
+            Op::Read(..) => self.stats.reads += 1,
+            Op::Write(..) => self.stats.writes += 1,
+            _ => self.stats.sync_ops += 1,
+        }
+        Disposition::Forward
+    }
+
+    fn warnings(&self) -> &[Warning] {
+        &[]
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_trace::{TraceBuilder, VarId};
+    use ft_clock::Tid;
+
+    #[test]
+    fn counts_but_never_warns() {
+        let mut b = TraceBuilder::with_threads(2);
+        b.write(Tid::new(0), VarId::new(0)).unwrap();
+        b.write(Tid::new(1), VarId::new(0)).unwrap(); // a real race
+        let trace = b.finish();
+
+        let mut empty = Empty::new();
+        empty.run(&trace);
+        assert!(empty.warnings().is_empty());
+        assert_eq!(empty.stats().ops, 2);
+        assert_eq!(empty.stats().writes, 2);
+    }
+}

@@ -1,0 +1,123 @@
+//! FastTrack instrumentation state (Figure 5 of the paper).
+
+use ft_clock::{Epoch, Tid, VectorClock};
+
+/// The sentinel read "epoch" marking a variable as read-shared.
+///
+/// Figure 5: "Setting R to the special epoch READ_SHARED indicates that the
+/// location is in read-shared mode, and hence Rvc is in use." The sentinel
+/// is the all-ones bit pattern, which corresponds to the epoch
+/// `16777215@255`; a program would need 255 threads *and* 2²⁴−1 clock ticks
+/// on the last one to collide with it, at which point epoch construction
+/// has already overflowed.
+pub const READ_SHARED: Epoch = Epoch::from_raw(u32::MAX);
+
+/// Per-thread analysis state: the thread's vector clock `C_t` and its cached
+/// current epoch `E(t) = C_t(t)@t` (Figure 5's `ThreadState`).
+#[derive(Clone, Debug)]
+pub(crate) struct ThreadState {
+    pub vc: VectorClock,
+    /// Invariant: `epoch == vc.epoch_of(tid)`.
+    pub epoch: Epoch,
+    pub tid: Tid,
+}
+
+impl ThreadState {
+    /// Fresh thread state: `C_t = incₜ(⊥ᵥ)` per the paper's initial state.
+    pub fn new(tid: Tid) -> Self {
+        let mut vc = VectorClock::new();
+        vc.inc(tid);
+        let epoch = vc.epoch_of(tid);
+        ThreadState { vc, epoch, tid }
+    }
+
+    /// Re-caches the epoch after `vc` changed.
+    #[inline]
+    pub fn refresh_epoch(&mut self) {
+        self.epoch = self.vc.epoch_of(self.tid);
+    }
+
+    /// Bumps the thread's own clock component and the cached epoch.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.vc.inc(self.tid);
+        self.refresh_epoch();
+    }
+}
+
+/// Per-variable shadow state (Figure 5's `VarState`): the last-write epoch
+/// `W`, the adaptive read state `R`, and the read vector clock `Rvc` used
+/// only while `R == READ_SHARED`.
+#[derive(Clone, Debug)]
+pub(crate) struct VarState {
+    pub w: Epoch,
+    pub r: Epoch,
+    /// Allocated only in read-shared mode (the 0.1% slow path).
+    pub rvc: Option<Box<VectorClock>>,
+}
+
+impl Default for VarState {
+    fn default() -> Self {
+        VarState {
+            w: Epoch::MIN,
+            r: Epoch::MIN,
+            rvc: None,
+        }
+    }
+}
+
+impl VarState {
+    /// `true` while the read history is a full vector clock.
+    #[inline]
+    pub fn is_read_shared(&self) -> bool {
+        self.r == READ_SHARED
+    }
+
+    /// Bytes attributable to this variable's shadow state.
+    pub fn shadow_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .rvc
+                .as_ref()
+                .map_or(0, |vc| std::mem::size_of::<VectorClock>() + vc.heap_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_shared_sentinel_is_not_a_normal_epoch() {
+        // No epoch constructible below the packing limits equals it.
+        let almost = Epoch::new(Tid::new(254), ft_clock::MAX_CLOCK);
+        assert_ne!(almost, READ_SHARED);
+        assert!(READ_SHARED.tid() == Tid::new(255));
+    }
+
+    #[test]
+    fn fresh_thread_state_matches_initial_analysis_state() {
+        let ts = ThreadState::new(Tid::new(3));
+        assert_eq!(ts.vc.get(Tid::new(3)), 1);
+        assert_eq!(ts.epoch, Epoch::new(Tid::new(3), 1));
+        assert_eq!(ts.vc.get(Tid::new(0)), 0);
+    }
+
+    #[test]
+    fn inc_keeps_epoch_cached() {
+        let mut ts = ThreadState::new(Tid::new(1));
+        ts.inc();
+        assert_eq!(ts.epoch, Epoch::new(Tid::new(1), 2));
+        assert_eq!(ts.vc.epoch_of(Tid::new(1)), ts.epoch);
+    }
+
+    #[test]
+    fn var_state_starts_minimal() {
+        let vs = VarState::default();
+        assert_eq!(vs.w, Epoch::MIN);
+        assert_eq!(vs.r, Epoch::MIN);
+        assert!(!vs.is_read_shared());
+        assert!(vs.rvc.is_none());
+        assert_eq!(vs.shadow_bytes(), std::mem::size_of::<VarState>());
+    }
+}

@@ -1,0 +1,104 @@
+//! Analysis statistics: the raw data behind Tables 2/3 and Figure 2.
+
+use std::fmt;
+
+/// Counters every detector maintains while processing a trace.
+///
+/// The conventions match the paper's accounting:
+///
+/// * `vc_allocated` counts every vector clock the detector allocates for
+///   shadow state or synchronization state (Table 2, "Vector Clocks
+///   Allocated");
+/// * `vc_ops` counts every *O(n)*-time vector-clock operation — copy, join,
+///   and full comparison (Table 2, "Vector Clock Operations"). *O(1)* epoch
+///   operations are deliberately **not** counted here; they are what the
+///   fast paths buy.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Total operations processed.
+    pub ops: u64,
+    /// Data reads processed.
+    pub reads: u64,
+    /// Data writes processed.
+    pub writes: u64,
+    /// Synchronization operations processed (acquire/release/fork/join/
+    /// volatile/wait/barrier).
+    pub sync_ops: u64,
+    /// Vector clocks allocated.
+    pub vc_allocated: u64,
+    /// O(n)-time vector-clock operations performed (copy, join, compare).
+    pub vc_ops: u64,
+}
+
+impl Stats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ops ({} reads, {} writes, {} sync); {} VCs allocated; {} VC ops",
+            self.ops, self.reads, self.writes, self.sync_ops, self.vc_allocated, self.vc_ops
+        )
+    }
+}
+
+/// One analysis rule's hit count, as reported by
+/// [`Detector::rule_breakdown`](crate::Detector::rule_breakdown).
+///
+/// `share` is the denominator category: rules over reads report their share
+/// of all reads, mirroring the Figure 2 annotations ("[FT READ SAME EPOCH]
+/// 63.4% of reads").
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuleCount {
+    /// Rule name, e.g. `"FT READ SAME EPOCH"`.
+    pub rule: &'static str,
+    /// Number of operations handled by this rule.
+    pub hits: u64,
+    /// Percentage of the rule's operation category (reads or writes).
+    pub percent: f64,
+}
+
+impl RuleCount {
+    /// Convenience constructor computing the percentage.
+    pub fn of(rule: &'static str, hits: u64, total: u64) -> Self {
+        let percent = if total == 0 {
+            0.0
+        } else {
+            100.0 * hits as f64 / total as f64
+        };
+        RuleCount { rule, hits, percent }
+    }
+}
+
+impl fmt::Display for RuleCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} hits ({:.1}%)", self.rule, self.hits, self.percent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_count_percentage() {
+        let r = RuleCount::of("FT READ SAME EPOCH", 634, 1000);
+        assert!((r.percent - 63.4).abs() < 1e-9);
+        assert_eq!(RuleCount::of("X", 5, 0).percent, 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut s = Stats::new();
+        s.ops = 10;
+        s.reads = 8;
+        assert!(s.to_string().contains("10 ops"));
+        let r = RuleCount::of("R", 1, 2);
+        assert!(r.to_string().contains("50.0%"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Race warnings.
+
+use ft_clock::Tid;
+use ft_trace::{AccessKind, VarId};
+use std::fmt;
+
+/// What kind of problem a [`Warning`] reports.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum WarningKind {
+    /// Two concurrent writes (§3 "Detecting Write-Write Races").
+    WriteWrite,
+    /// A write concurrent with a later read.
+    WriteRead,
+    /// A read concurrent with a later write.
+    ReadWrite,
+    /// An imprecise lockset-based report (Eraser/MultiRace): no lock was
+    /// consistently held on every access — *not* necessarily a real race.
+    LockSetEmpty,
+}
+
+impl WarningKind {
+    /// `true` for the precise happens-before race kinds, `false` for
+    /// lockset heuristics.
+    pub fn is_happens_before(self) -> bool {
+        !matches!(self, WarningKind::LockSetEmpty)
+    }
+}
+
+impl fmt::Display for WarningKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarningKind::WriteWrite => write!(f, "write-write race"),
+            WarningKind::WriteRead => write!(f, "write-read race"),
+            WarningKind::ReadWrite => write!(f, "read-write race"),
+            WarningKind::LockSetEmpty => write!(f, "empty lockset"),
+        }
+    }
+}
+
+/// One side of a reported race.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct AccessSummary {
+    /// The accessing thread.
+    pub tid: Tid,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Index of the access in the trace, when known. The *prior* access of
+    /// an epoch-based detector is reconstructed from shadow state, which
+    /// does not retain event indices — those report `None`.
+    pub event_index: Option<usize>,
+}
+
+impl fmt::Display for AccessSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} by {}", self.kind, self.tid)?;
+        if let Some(i) = self.event_index {
+            write!(f, " (event {i})")?;
+        }
+        Ok(())
+    }
+}
+
+/// A warning produced by a detector.
+///
+/// Precise detectors (FastTrack, DJIT+, BasicVC, Goldilocks) only emit
+/// happens-before kinds and never report a warning on a race-free trace.
+/// Lockset detectors (Eraser, MultiRace) emit [`WarningKind::LockSetEmpty`],
+/// which may be a false alarm.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Warning {
+    /// The variable involved.
+    pub var: VarId,
+    /// The kind of report.
+    pub kind: WarningKind,
+    /// The earlier access (reconstructed from shadow state for epoch-based
+    /// detectors).
+    pub prior: AccessSummary,
+    /// The access that triggered the report.
+    pub current: AccessSummary,
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}: {} is concurrent with {}",
+            self.kind, self.var, self.prior, self.current
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let w = Warning {
+            var: VarId::new(3),
+            kind: WarningKind::WriteRead,
+            prior: AccessSummary {
+                tid: Tid::new(0),
+                kind: AccessKind::Write,
+                event_index: None,
+            },
+            current: AccessSummary {
+                tid: Tid::new(1),
+                kind: AccessKind::Read,
+                event_index: Some(17),
+            },
+        };
+        let s = w.to_string();
+        assert!(s.contains("write-read race on x3"), "{s}");
+        assert!(s.contains("write by T0"), "{s}");
+        assert!(s.contains("read by T1 (event 17)"), "{s}");
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(WarningKind::WriteWrite.is_happens_before());
+        assert!(WarningKind::WriteRead.is_happens_before());
+        assert!(WarningKind::ReadWrite.is_happens_before());
+        assert!(!WarningKind::LockSetEmpty.is_happens_before());
+    }
+}

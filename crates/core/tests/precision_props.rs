@@ -1,0 +1,135 @@
+//! Property tests for Theorem 1 (precision of FastTrack).
+//!
+//! The theorem: a feasible trace is race-free **iff** the FastTrack analysis
+//! accepts it without reporting a race. Footnote 3 sharpens the racy
+//! direction: FastTrack "guarantees to detect at least the first race on
+//! each variable", so the set of variables FastTrack warns about must equal
+//! the set of variables the happens-before oracle finds races on.
+
+use fasttrack::{Detector, FastTrack};
+use ft_trace::gen::{self, GenConfig};
+use ft_trace::{HbOracle, Trace, VarId};
+use proptest::prelude::*;
+
+fn warned_vars(ft: &FastTrack) -> Vec<VarId> {
+    let mut vars: Vec<VarId> = ft.warnings().iter().map(|w| w.var).collect();
+    vars.sort_unstable();
+    vars.dedup();
+    vars
+}
+
+fn assert_matches_oracle(trace: &Trace, label: &str) {
+    let oracle = HbOracle::analyze(trace);
+    let mut ft = FastTrack::new();
+    ft.run(trace);
+    let expected = oracle.race_vars();
+    let actual = warned_vars(&ft);
+    assert_eq!(
+        actual, expected,
+        "{label}: FastTrack warned on {actual:?} but the oracle found races on {expected:?}\n\
+         trace ({} events): {:?}",
+        trace.len(),
+        trace.events()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Race-free direction on structured traces: no false alarms, ever.
+    #[test]
+    fn no_false_alarms_on_structured_race_free_traces(seed in 0u64..10_000) {
+        let cfg = GenConfig {
+            ops: 600,
+            p_barrier: 0.01,
+            p_volatile: 0.01,
+            ..GenConfig::race_free()
+        };
+        let trace = gen::generate(&cfg, seed);
+        assert_matches_oracle(&trace, "structured race-free");
+    }
+
+    /// Racy direction on structured traces with racy variables.
+    #[test]
+    fn warned_vars_match_oracle_on_racy_traces(seed in 0u64..10_000, w_racy in 0.05f64..0.5) {
+        let cfg = GenConfig {
+            ops: 600,
+            ..GenConfig::default().with_races(w_racy)
+        };
+        let trace = gen::generate(&cfg, seed);
+        assert_matches_oracle(&trace, "structured racy");
+    }
+
+    /// Both directions on chaotic traces: arbitrary feasible interleavings
+    /// of all operation kinds, racy or not.
+    #[test]
+    fn matches_oracle_on_chaotic_traces(
+        seed in 0u64..100_000,
+        threads in 2u32..7,
+        vars in 1u32..8,
+        locks in 1u32..5,
+        ops in 20usize..400,
+    ) {
+        let trace = gen::chaotic(threads, vars, locks, ops, seed);
+        assert_matches_oracle(&trace, "chaotic");
+    }
+}
+
+/// A long deterministic soak: many seeds, exact agreement on every one.
+#[test]
+fn soak_chaotic_agreement() {
+    for seed in 0..300u64 {
+        let trace = gen::chaotic(4, 5, 3, 250, seed);
+        assert_matches_oracle(&trace, "soak");
+    }
+}
+
+/// The ablation switches change performance, never precision: every
+/// configuration matches the oracle on chaotic traces.
+#[test]
+fn ablated_configurations_remain_precise() {
+    use fasttrack::FastTrackConfig;
+    let configs = [
+        (true, false),
+        (false, true),
+        (true, true),
+    ];
+    for seed in 0..120u64 {
+        let trace = gen::chaotic(4, 5, 3, 220, seed);
+        let expected = HbOracle::analyze(&trace).race_vars();
+        for (ablate_same_epoch, ablate_adaptive_read) in configs {
+            let mut ft = FastTrack::with_config(FastTrackConfig {
+                report_all: false,
+                ablate_same_epoch,
+                ablate_adaptive_read,
+            });
+            ft.run(&trace);
+            assert_eq!(
+                warned_vars(&ft),
+                expected,
+                "seed {seed}, ablation ({ablate_same_epoch}, {ablate_adaptive_read})"
+            );
+        }
+    }
+}
+
+/// The paper's §2.2 example trace, which must be race-free.
+#[test]
+fn section_2_2_example() {
+    use ft_clock::Tid;
+    use ft_trace::{LockId, TraceBuilder};
+    let (t0, t1) = (Tid::new(0), Tid::new(1));
+    let (x, m) = (VarId::new(0), LockId::new(0));
+    let mut b = TraceBuilder::with_threads(2);
+    b.write(t0, x).unwrap();
+    b.acquire(t0, m).unwrap();
+    b.release(t0, m).unwrap();
+    b.acquire(t1, m).unwrap();
+    b.write(t1, x).unwrap();
+    b.release(t1, m).unwrap();
+    let trace = b.finish();
+    assert_matches_oracle(&trace, "§2.2 example");
+    let mut ft = FastTrack::new();
+    ft.run(&trace);
+    assert!(ft.warnings().is_empty());
+}

@@ -1,0 +1,66 @@
+//! Lemmas 1–2 of the paper's appendix as executable properties: the
+//! initial analysis state is well-formed (Definition 1) and **every**
+//! transition preserves well-formedness — checked after each individual
+//! event of thousands of generated traces.
+
+use fasttrack::{Detector, FastTrack};
+use ft_trace::gen::{self, GenConfig};
+use proptest::prelude::*;
+
+fn assert_preserved(trace: &ft_trace::Trace, label: &str) {
+    let mut ft = FastTrack::new();
+    // Lemma 1: σ₀ is well-formed.
+    assert_eq!(ft.well_formedness_violation(), None, "{label}: initial state");
+    // Lemma 2: preservation across every transition.
+    for (i, op) in trace.events().iter().enumerate() {
+        ft.on_op(i, op);
+        if let Some(violation) = ft.well_formedness_violation() {
+            panic!(
+                "{label}: state ill-formed after event {i} ({op}): {violation}\n\
+                 trace: {:?}",
+                &trace.events()[..=i]
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn well_formedness_is_preserved_on_chaotic_traces(
+        seed in 0u64..100_000,
+        threads in 2u32..6,
+        vars in 1u32..6,
+        locks in 1u32..4,
+        ops in 10usize..250,
+    ) {
+        let trace = gen::chaotic(threads, vars, locks, ops, seed);
+        assert_preserved(&trace, "chaotic");
+    }
+
+    #[test]
+    fn well_formedness_is_preserved_on_racy_structured_traces(
+        seed in 0u64..10_000,
+        w_racy in 0.0f64..0.5,
+    ) {
+        // Racy traces too: the analysis keeps running (and stays
+        // well-formed) after reporting races.
+        let cfg = GenConfig {
+            ops: 300,
+            p_barrier: 0.01,
+            p_volatile: 0.02,
+            ..GenConfig::default().with_races(w_racy)
+        };
+        let trace = gen::generate(&cfg, seed);
+        assert_preserved(&trace, "structured");
+    }
+}
+
+#[test]
+fn soak_well_formedness() {
+    for seed in 0..150u64 {
+        let trace = gen::chaotic(5, 4, 3, 200, seed);
+        assert_preserved(&trace, "soak");
+    }
+}

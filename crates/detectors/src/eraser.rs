@@ -1,0 +1,456 @@
+//! ERASER: the classic imprecise LockSet race detector (Savage et al.),
+//! extended to handle barrier synchronization as in the paper's evaluation.
+
+use crate::lockset::LockSet;
+use fasttrack::{AccessSummary, Detector, Disposition, Stats, Warning, WarningKind};
+use ft_clock::Tid;
+use ft_trace::{AccessKind, LockId, Op, VarId};
+
+/// The Eraser ownership state of a variable.
+///
+/// Eraser's state machine defers lockset checking while a variable is
+/// thread-confined (Virgin/Exclusive) or read-only shared (SharedRead) —
+/// the *intentional unsoundness* that lets it miss races (e.g. two of the
+/// hedc races in the paper's Table 1) and the source of its false alarms on
+/// fork/join code.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum VarPhase {
+    /// Never accessed.
+    Virgin,
+    /// Accessed by a single thread so far.
+    Exclusive(Tid),
+    /// Read by multiple threads, never written since sharing began.
+    SharedRead,
+    /// Written while shared: the lockset discipline is enforced.
+    SharedModified,
+}
+
+#[derive(Debug)]
+struct EraserVar {
+    phase: VarPhase,
+    /// Candidate set `C(v)`. Meaningful in the shared phases.
+    lockset: LockSet,
+    /// Last accessor, for warning messages.
+    last: Option<(Tid, AccessKind)>,
+    /// Barrier generation this state belongs to; a stale generation is
+    /// equivalent to Virgin (O(1) barrier reset).
+    generation: u32,
+}
+
+impl Default for EraserVar {
+    fn default() -> Self {
+        EraserVar {
+            phase: VarPhase::Virgin,
+            lockset: LockSet::new(),
+            last: None,
+            generation: 0,
+        }
+    }
+}
+
+/// Configuration for [`Eraser`].
+#[derive(Clone, Debug)]
+pub struct EraserConfig {
+    /// Reset variable states at barrier releases (the extension the paper's
+    /// evaluation enables; without it "the total number of warnings is
+    /// about three times higher").
+    pub barrier_aware: bool,
+}
+
+impl Default for EraserConfig {
+    fn default() -> Self {
+        EraserConfig { barrier_aware: true }
+    }
+}
+
+/// The Eraser LockSet algorithm.
+///
+/// For each variable it maintains the candidate set of locks held on every
+/// access; an empty candidate set on a shared-modified variable triggers a
+/// warning. Fast (no vector clocks at all) but imprecise in both directions:
+/// it warns on race-free programs that synchronize by fork/join, barriers
+/// (unless [`EraserConfig::barrier_aware`]), volatiles, or wait/notify — and
+/// it misses races masked by its ownership-transfer heuristic.
+#[derive(Debug)]
+pub struct Eraser {
+    vars: Vec<EraserVar>,
+    /// Locks currently held by each thread.
+    held: Vec<LockSet>,
+    warned: Vec<bool>,
+    warnings: Vec<Warning>,
+    stats: Stats,
+    config: EraserConfig,
+    /// Count of lockset intersections, for the cost accounting.
+    lockset_ops: u64,
+    /// Current barrier generation.
+    generation: u32,
+}
+
+impl Default for Eraser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Eraser {
+    /// Creates an Eraser with barrier awareness enabled (the paper's
+    /// configuration).
+    pub fn new() -> Self {
+        Self::with_config(EraserConfig::default())
+    }
+
+    /// Creates an Eraser with explicit configuration.
+    pub fn with_config(config: EraserConfig) -> Self {
+        Eraser {
+            vars: Vec::new(),
+            held: Vec::new(),
+            warned: Vec::new(),
+            warnings: Vec::new(),
+            stats: Stats::new(),
+            config,
+            lockset_ops: 0,
+            generation: 0,
+        }
+    }
+
+    /// Number of lockset intersection operations performed.
+    pub fn lockset_ops(&self) -> u64 {
+        self.lockset_ops
+    }
+
+    /// The current phase of a variable (exposed for tests and examples).
+    pub fn phase(&self, x: VarId) -> VarPhase {
+        self.vars
+            .get(x.as_usize())
+            .map_or(VarPhase::Virgin, |v| v.phase)
+    }
+
+    fn held(&mut self, t: Tid) -> &mut LockSet {
+        let idx = t.as_usize();
+        if idx >= self.held.len() {
+            self.held.resize_with(idx + 1, LockSet::new);
+        }
+        &mut self.held[idx]
+    }
+
+    fn var(&mut self, x: VarId) -> &mut EraserVar {
+        let idx = x.as_usize();
+        if idx >= self.vars.len() {
+            self.vars.resize_with(idx + 1, EraserVar::default);
+            self.warned.resize(idx + 1, false);
+        }
+        &mut self.vars[idx]
+    }
+
+    fn warn(&mut self, x: VarId, t: Tid, kind: AccessKind, index: usize) {
+        let idx = x.as_usize();
+        if self.warned[idx] {
+            return;
+        }
+        self.warned[idx] = true;
+        let prior = self.vars[idx].last.unwrap_or((t, AccessKind::Write));
+        self.warnings.push(Warning {
+            var: x,
+            kind: WarningKind::LockSetEmpty,
+            prior: AccessSummary {
+                tid: prior.0,
+                kind: prior.1,
+                event_index: None,
+            },
+            current: AccessSummary {
+                tid: t,
+                kind,
+                event_index: Some(index),
+            },
+        });
+    }
+
+    fn access(&mut self, index: usize, t: Tid, x: VarId, kind: AccessKind) {
+        match kind {
+            AccessKind::Read => self.stats.reads += 1,
+            AccessKind::Write => self.stats.writes += 1,
+        }
+        self.held(t); // ensure exists
+        self.var(x);
+        let generation = self.generation;
+        let held = &self.held[t.as_usize()];
+        let vs = &mut self.vars[x.as_usize()];
+        if vs.generation != generation {
+            // A barrier separated this access from the recorded state:
+            // treat the variable as fresh (the barrier extension).
+            vs.phase = VarPhase::Virgin;
+            vs.lockset = LockSet::new();
+            vs.generation = generation;
+        }
+        let mut warn = false;
+        match vs.phase {
+            VarPhase::Virgin => {
+                vs.phase = VarPhase::Exclusive(t);
+            }
+            VarPhase::Exclusive(owner) if owner == t => {}
+            VarPhase::Exclusive(_) => {
+                // Ownership transfer: the candidate set starts from the new
+                // thread's held locks (the refinement of [33] §2.2).
+                vs.lockset = held.clone();
+                self.lockset_ops += 1;
+                match kind {
+                    AccessKind::Read => vs.phase = VarPhase::SharedRead,
+                    AccessKind::Write => {
+                        vs.phase = VarPhase::SharedModified;
+                        warn = vs.lockset.is_empty();
+                    }
+                }
+            }
+            VarPhase::SharedRead => {
+                vs.lockset.intersect(held);
+                self.lockset_ops += 1;
+                if kind == AccessKind::Write {
+                    vs.phase = VarPhase::SharedModified;
+                    warn = vs.lockset.is_empty();
+                }
+                // Reads in SharedRead never warn: read-only sharing is safe.
+            }
+            VarPhase::SharedModified => {
+                vs.lockset.intersect(held);
+                self.lockset_ops += 1;
+                warn = vs.lockset.is_empty();
+            }
+        }
+        vs.last = Some((t, kind));
+        if warn {
+            self.warn(x, t, kind, index);
+        }
+    }
+
+    /// The barrier extension: all phases reset, so accesses in different
+    /// barrier epochs are never correlated. Implemented as an O(1)
+    /// generation bump; stale states lazily reset on next access.
+    fn barrier_reset(&mut self) {
+        self.generation += 1;
+    }
+}
+
+impl Detector for Eraser {
+    fn name(&self) -> &'static str {
+        "ERASER"
+    }
+
+    fn on_op(&mut self, index: usize, op: &Op) -> Disposition {
+        self.stats.ops += 1;
+        match op {
+            Op::Read(t, x) => {
+                self.access(index, *t, *x, AccessKind::Read);
+                // Eraser as a §5.2 prefilter: forward accesses whose
+                // variable currently looks suspicious.
+                return self.filter_access(*x);
+            }
+            Op::Write(t, x) => {
+                self.access(index, *t, *x, AccessKind::Write);
+                return self.filter_access(*x);
+            }
+            Op::Acquire(t, m) => {
+                self.stats.sync_ops += 1;
+                self.acquire(*t, *m);
+            }
+            Op::Release(t, m) => {
+                self.stats.sync_ops += 1;
+                self.release(*t, *m);
+            }
+            Op::Wait(..) => {
+                // The waiter releases and re-acquires the lock; its held set
+                // is unchanged. Eraser has no happens-before reasoning, so
+                // nothing else to do.
+                self.stats.sync_ops += 1;
+            }
+            Op::Fork(..) | Op::Join(..) => {
+                // Ignored: the source of Eraser's fork/join false alarms.
+                self.stats.sync_ops += 1;
+            }
+            Op::VolatileRead(..) | Op::VolatileWrite(..) => {
+                // Ignored: volatile hand-offs look like races to Eraser.
+                self.stats.sync_ops += 1;
+            }
+            Op::BarrierRelease(_) => {
+                self.stats.sync_ops += 1;
+                if self.config.barrier_aware {
+                    self.barrier_reset();
+                }
+            }
+            Op::Notify(..) | Op::AtomicBegin(_) | Op::AtomicEnd(_) => {}
+        }
+        Disposition::Forward
+    }
+
+    fn warnings(&self) -> &[Warning] {
+        &self.warnings
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn shadow_bytes(&self) -> usize {
+        let vars: usize = self
+            .vars
+            .iter()
+            .map(|v| std::mem::size_of::<EraserVar>() + v.lockset.heap_bytes())
+            .sum();
+        let held: usize = self
+            .held
+            .iter()
+            .map(|h| std::mem::size_of::<LockSet>() + h.heap_bytes())
+            .sum();
+        vars + held
+    }
+}
+
+impl Eraser {
+    fn acquire(&mut self, t: Tid, m: LockId) {
+        self.held(t).insert(m);
+    }
+
+    fn release(&mut self, t: Tid, m: LockId) {
+        self.held(t).remove(m);
+    }
+
+    fn filter_access(&self, x: VarId) -> Disposition {
+        let suspicious = match self.vars.get(x.as_usize()) {
+            None => false,
+            Some(vs) => match vs.phase {
+                VarPhase::Virgin | VarPhase::Exclusive(_) => false,
+                VarPhase::SharedRead | VarPhase::SharedModified => vs.lockset.is_empty(),
+            },
+        };
+        if suspicious {
+            Disposition::Forward
+        } else {
+            Disposition::Suppress
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_trace::TraceBuilder;
+
+    const T0: Tid = Tid::new(0);
+    const T1: Tid = Tid::new(1);
+    const X: VarId = VarId::new(0);
+    const M: LockId = LockId::new(0);
+    const N: LockId = LockId::new(1);
+
+    fn run(build: impl FnOnce(&mut TraceBuilder) -> Result<(), ft_trace::FeasibilityError>) -> Eraser {
+        let mut b = TraceBuilder::with_threads(3);
+        build(&mut b).unwrap();
+        let mut e = Eraser::new();
+        e.run(&b.finish());
+        e
+    }
+
+    #[test]
+    fn consistent_lock_discipline_is_clean() {
+        let e = run(|b| {
+            b.release_after_acquire(T0, M, |b| b.write(T0, X))?;
+            b.release_after_acquire(T1, M, |b| {
+                b.read(T1, X)?;
+                b.write(T1, X)
+            })
+        });
+        assert!(e.warnings().is_empty());
+        assert_eq!(e.phase(X), VarPhase::SharedModified);
+    }
+
+    #[test]
+    fn inconsistent_locks_warn() {
+        // The candidate set is initialized at the second access (to {N}),
+        // so the third access under M empties it: C(v) = {N} ∩ {M} = ∅.
+        let e = run(|b| {
+            b.release_after_acquire(T0, M, |b| b.write(T0, X))?;
+            b.release_after_acquire(T1, N, |b| b.write(T1, X))?;
+            b.release_after_acquire(T0, M, |b| b.write(T0, X))
+        });
+        assert_eq!(e.warnings().len(), 1);
+        assert_eq!(e.warnings()[0].kind, WarningKind::LockSetEmpty);
+    }
+
+    #[test]
+    fn unlocked_second_write_warns_immediately() {
+        let e = run(|b| {
+            b.release_after_acquire(T0, M, |b| b.write(T0, X))?;
+            b.write(T1, X)
+        });
+        assert_eq!(e.warnings().len(), 1);
+    }
+
+    #[test]
+    fn false_alarm_on_fork_join() {
+        // Race-free by fork/join ordering, but Eraser has no happens-before
+        // reasoning: classic false positive.
+        let mut b = TraceBuilder::new();
+        b.fork(T0, T1).unwrap();
+        b.write(T1, X).unwrap();
+        b.join(T0, T1).unwrap();
+        b.write(T0, X).unwrap();
+        let mut e = Eraser::new();
+        e.run(&b.finish());
+        assert_eq!(e.warnings().len(), 1, "expected the fork/join false alarm");
+    }
+
+    #[test]
+    fn misses_race_in_exclusive_phase() {
+        // T0 writes, then T1 reads with no sync: a real write-read race,
+        // but the ownership-transfer heuristic stays silent (SharedRead).
+        let e = run(|b| {
+            b.write(T0, X)?;
+            b.read(T1, X)
+        });
+        assert!(e.warnings().is_empty());
+        assert_eq!(e.phase(X), VarPhase::SharedRead);
+    }
+
+    #[test]
+    fn read_only_sharing_is_clean() {
+        let e = run(|b| {
+            b.read(T0, X)?;
+            b.read(T1, X)?;
+            b.read(Tid::new(2), X)
+        });
+        assert!(e.warnings().is_empty());
+    }
+
+    #[test]
+    fn barrier_awareness_suppresses_phase_warnings() {
+        let build = |b: &mut TraceBuilder| {
+            b.write(T0, X)?;
+            b.barrier_release(vec![T0, T1])?;
+            b.write(T1, X)
+        };
+        let aware = run(build);
+        assert!(aware.warnings().is_empty());
+
+        let mut b = TraceBuilder::with_threads(3);
+        build(&mut b).unwrap();
+        let mut blind = Eraser::with_config(EraserConfig { barrier_aware: false });
+        blind.run(&b.finish());
+        assert_eq!(blind.warnings().len(), 1);
+    }
+
+    #[test]
+    fn one_warning_per_variable() {
+        let e = run(|b| {
+            b.write(T0, X)?;
+            b.write(T1, X)?;
+            b.write(T0, X)?;
+            b.write(T1, X)
+        });
+        assert_eq!(e.warnings().len(), 1);
+    }
+
+    #[test]
+    fn prefilter_forwards_suspicious_accesses_only() {
+        let mut e = Eraser::new();
+        assert_eq!(e.on_op(0, &Op::Write(T0, X)), Disposition::Suppress);
+        assert_eq!(e.on_op(1, &Op::Write(T1, X)), Disposition::Forward);
+    }
+}

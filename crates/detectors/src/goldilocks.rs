@@ -1,0 +1,572 @@
+//! GOLDILOCKS: the lockset-transfer race detector (Elmas, Qadeer & Tasiran,
+//! PLDI 2007), as re-implemented for the FastTrack paper's comparison.
+//!
+//! Goldilocks captures happens-before without vector clocks: each tracked
+//! access owns a set of "synchronization devices" (threads, locks, volatile
+//! variables). A thread belongs to the set exactly when the access happens
+//! before the thread's current point, and the set grows by *transfer rules*
+//! as synchronization operations occur:
+//!
+//! * `acq(t, m)`: if `m ∈ GLS` then add `t`;
+//! * `rel(t, m)`: if `t ∈ GLS` then add `m`;
+//! * `fork(t, u)`: if `t ∈ GLS` then add `u`;
+//! * `join(t, u)`: if `u ∈ GLS` then add `t`;
+//! * volatile write/read: like release/acquire on the volatile variable;
+//! * `barrier_rel(T)`: if any `u ∈ T` is in `GLS` then add all of `T`.
+//!
+//! A read or write by `t` is race-free iff `t` is in the set guarding the
+//! last write and (for writes) in the set guarding every outstanding read.
+//!
+//! Following the original's lazy evaluation, sets are brought up to date
+//! only when their variable is accessed, by replaying a global log of
+//! synchronization events from each set's cursor. The per-reader sets make
+//! the analysis precise but memory-hungry — the behaviour the paper reports
+//! ("GOLDILOCKS ... ran out of memory on lufact", 31.6× average slowdown).
+//!
+//! The paper's implementation also used "an unsound extension to handle
+//! thread-local data efficiently", which caused it to miss the three hedc
+//! races. [`Goldilocks::with_thread_local_fast_path`] reproduces that
+//! extension; [`Goldilocks::new`] is the precise variant.
+
+use fasttrack::{AccessSummary, Detector, Disposition, Stats, Warning, WarningKind};
+use ft_clock::Tid;
+use ft_trace::{AccessKind, LockId, Op, VarId};
+use std::collections::{HashMap, HashSet};
+
+/// A synchronization device in a Goldilocks set, packed into a tagged `u64`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+enum Elem {
+    Thread(u32),
+    Lock(u32),
+    Volatile(u32),
+}
+
+/// One entry of the global synchronization log.
+#[derive(Clone, Debug)]
+enum SyncEvent {
+    Acquire(Tid, LockId),
+    Release(Tid, LockId),
+    Fork(Tid, Tid),
+    Join(Tid, Tid),
+    VolatileWrite(Tid, VarId),
+    VolatileRead(Tid, VarId),
+    Barrier(Vec<Tid>),
+}
+
+/// A Goldilocks set plus its replay cursor into the global log.
+#[derive(Clone, Debug)]
+struct Gls {
+    elems: HashSet<Elem>,
+    cursor: usize,
+}
+
+impl Gls {
+    fn seeded(t: Tid, cursor: usize) -> Self {
+        let mut elems = HashSet::new();
+        elems.insert(Elem::Thread(t.as_u32()));
+        Gls { elems, cursor }
+    }
+
+    fn contains_thread(&self, t: Tid) -> bool {
+        self.elems.contains(&Elem::Thread(t.as_u32()))
+    }
+
+    /// Applies the transfer rules for every log entry past this set's
+    /// cursor.
+    fn replay(&mut self, log: &[SyncEvent]) {
+        for event in &log[self.cursor..] {
+            match event {
+                SyncEvent::Acquire(t, m) => {
+                    if self.elems.contains(&Elem::Lock(m.as_u32())) {
+                        self.elems.insert(Elem::Thread(t.as_u32()));
+                    }
+                }
+                SyncEvent::Release(t, m) => {
+                    if self.contains_thread(*t) {
+                        self.elems.insert(Elem::Lock(m.as_u32()));
+                    }
+                }
+                SyncEvent::Fork(t, u) => {
+                    if self.contains_thread(*t) {
+                        self.elems.insert(Elem::Thread(u.as_u32()));
+                    }
+                }
+                SyncEvent::Join(t, u) => {
+                    if self.contains_thread(*u) {
+                        self.elems.insert(Elem::Thread(t.as_u32()));
+                    }
+                }
+                SyncEvent::VolatileWrite(t, v) => {
+                    if self.contains_thread(*t) {
+                        self.elems.insert(Elem::Volatile(v.as_u32()));
+                    }
+                }
+                SyncEvent::VolatileRead(t, v) => {
+                    if self.elems.contains(&Elem::Volatile(v.as_u32())) {
+                        self.elems.insert(Elem::Thread(t.as_u32()));
+                    }
+                }
+                SyncEvent::Barrier(ts) => {
+                    if ts.iter().any(|u| self.contains_thread(*u)) {
+                        for u in ts {
+                            self.elems.insert(Elem::Thread(u.as_u32()));
+                        }
+                    }
+                }
+            }
+        }
+        self.cursor = log.len();
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.elems.capacity() * std::mem::size_of::<Elem>()
+    }
+}
+
+/// Fast-path state for a still-thread-confined variable.
+#[derive(Copy, Clone, Debug)]
+struct Owner {
+    tid: Tid,
+    /// Log cursor of the owner's most recent write, if any. On ownership
+    /// transfer the write set is reconstructed from this point; the owner's
+    /// *read* history is discarded — the extension's unsoundness.
+    last_write_cursor: Option<usize>,
+}
+
+#[derive(Debug, Default)]
+struct GVar {
+    /// Set guarding the last write (`None` before the first write).
+    write: Option<Gls>,
+    /// Last writer, for warning messages.
+    writer: Option<Tid>,
+    /// One set per thread that read since the last write.
+    readers: HashMap<u32, Gls>,
+    /// Unsound thread-local fast path: sole owner so far.
+    owner: Option<Owner>,
+}
+
+/// The Goldilocks race detector.
+#[derive(Debug, Default)]
+pub struct Goldilocks {
+    log: Vec<SyncEvent>,
+    vars: Vec<Option<GVar>>,
+    warned: Vec<bool>,
+    warnings: Vec<Warning>,
+    stats: Stats,
+    thread_local_fast_path: bool,
+    /// Transfer-rule applications performed (the analysis's unit of work).
+    transfer_ops: u64,
+}
+
+impl Goldilocks {
+    /// Creates the precise variant (no unsound shortcuts).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the variant with the unsound thread-local fast path the
+    /// paper's GOLDILOCKS implementation used. It skips set maintenance for
+    /// variables still confined to one thread, missing races whose first
+    /// access pre-dates sharing (the three hedc races of Table 1).
+    pub fn with_thread_local_fast_path() -> Self {
+        Goldilocks {
+            thread_local_fast_path: true,
+            ..Self::default()
+        }
+    }
+
+    /// Total transfer-rule applications (the O(log)·O(sets) work the lazy
+    /// replay performs).
+    pub fn transfer_ops(&self) -> u64 {
+        self.transfer_ops
+    }
+
+    fn var(&mut self, x: VarId) -> &mut GVar {
+        let idx = x.as_usize();
+        if idx >= self.vars.len() {
+            self.vars.resize_with(idx + 1, || None);
+            self.warned.resize(idx + 1, false);
+        }
+        let slot = &mut self.vars[idx];
+        if slot.is_none() {
+            *slot = Some(GVar::default());
+        }
+        slot.as_mut().expect("just initialized")
+    }
+
+    fn report(
+        &mut self,
+        x: VarId,
+        kind: WarningKind,
+        prior: (Tid, AccessKind),
+        current: (Tid, AccessKind),
+        index: usize,
+    ) {
+        let idx = x.as_usize();
+        if self.warned[idx] {
+            return;
+        }
+        self.warned[idx] = true;
+        self.warnings.push(Warning {
+            var: x,
+            kind,
+            prior: AccessSummary {
+                tid: prior.0,
+                kind: prior.1,
+                event_index: None,
+            },
+            current: AccessSummary {
+                tid: current.0,
+                kind: current.1,
+                event_index: Some(index),
+            },
+        });
+    }
+
+    fn access(&mut self, index: usize, t: Tid, x: VarId, kind: AccessKind) {
+        match kind {
+            AccessKind::Read => self.stats.reads += 1,
+            AccessKind::Write => self.stats.writes += 1,
+        }
+        let log_len = self.log.len();
+        let fast_path = self.thread_local_fast_path;
+        self.var(x);
+        let vs = self.vars[x.as_usize()].as_mut().expect("ensured");
+
+        if fast_path {
+            match &mut vs.owner {
+                slot @ None if vs.write.is_none() && vs.readers.is_empty() => {
+                    // Thread-local so far: no set maintenance, just remember
+                    // where the owner last wrote.
+                    *slot = Some(Owner {
+                        tid: t,
+                        last_write_cursor: (kind == AccessKind::Write).then_some(log_len),
+                    });
+                    return;
+                }
+                Some(owner) if owner.tid == t => {
+                    if kind == AccessKind::Write {
+                        owner.last_write_cursor = Some(log_len);
+                    }
+                    return;
+                }
+                Some(owner) => {
+                    // First shared access: reconstruct the write set from
+                    // the owner's last write; the owner's reads are lost
+                    // (the extension's unsoundness — read-write races whose
+                    // read predates sharing are silently missed).
+                    let owner = *owner;
+                    if let Some(cursor) = owner.last_write_cursor {
+                        vs.write = Some(Gls::seeded(owner.tid, cursor));
+                        vs.writer = Some(owner.tid);
+                    }
+                    vs.owner = None;
+                }
+                None => {}
+            }
+        }
+
+        let mut racy_write_prior: Option<Tid> = None;
+        let mut racy_read_prior: Option<Tid> = None;
+
+        // Bring the write set up to date and check it.
+        if let Some(write_set) = &mut vs.write {
+            let before = write_set.cursor;
+            write_set.replay(&self.log);
+            self.transfer_ops += (log_len - before) as u64;
+            if !write_set.contains_thread(t) {
+                racy_write_prior = vs.writer;
+            }
+        }
+
+        match kind {
+            AccessKind::Read => {
+                // Record this read; replaces the thread's older read set
+                // (the old read happens-before this one by program order).
+                vs.readers.insert(t.as_u32(), Gls::seeded(t, log_len));
+            }
+            AccessKind::Write => {
+                // The write conflicts with every outstanding read.
+                for (u, read_set) in vs.readers.iter_mut() {
+                    if *u == t.as_u32() {
+                        continue; // program order
+                    }
+                    let before = read_set.cursor;
+                    read_set.replay(&self.log);
+                    self.transfer_ops += (log_len - before) as u64;
+                    if !read_set.contains_thread(t) && racy_read_prior.is_none() {
+                        racy_read_prior = Some(Tid::new(*u));
+                    }
+                }
+                vs.readers.clear();
+                vs.write = Some(Gls::seeded(t, log_len));
+                vs.writer = Some(t);
+            }
+        }
+
+        if let Some(u) = racy_write_prior {
+            let kind_w = if kind == AccessKind::Read {
+                WarningKind::WriteRead
+            } else {
+                WarningKind::WriteWrite
+            };
+            self.report(x, kind_w, (u, AccessKind::Write), (t, kind), index);
+        }
+        if let Some(u) = racy_read_prior {
+            self.report(x, WarningKind::ReadWrite, (u, AccessKind::Read), (t, kind), index);
+        }
+    }
+}
+
+impl Detector for Goldilocks {
+    fn name(&self) -> &'static str {
+        "GOLDILOCKS"
+    }
+
+    fn on_op(&mut self, index: usize, op: &Op) -> Disposition {
+        self.stats.ops += 1;
+        match op {
+            Op::Read(t, x) => self.access(index, *t, *x, AccessKind::Read),
+            Op::Write(t, x) => self.access(index, *t, *x, AccessKind::Write),
+            Op::Acquire(t, m) => {
+                self.stats.sync_ops += 1;
+                self.log.push(SyncEvent::Acquire(*t, *m));
+            }
+            Op::Release(t, m) => {
+                self.stats.sync_ops += 1;
+                self.log.push(SyncEvent::Release(*t, *m));
+            }
+            Op::Wait(t, m) => {
+                // Release + immediate re-acquire.
+                self.stats.sync_ops += 1;
+                self.log.push(SyncEvent::Release(*t, *m));
+                self.log.push(SyncEvent::Acquire(*t, *m));
+            }
+            Op::Fork(t, u) => {
+                self.stats.sync_ops += 1;
+                self.log.push(SyncEvent::Fork(*t, *u));
+            }
+            Op::Join(t, u) => {
+                self.stats.sync_ops += 1;
+                self.log.push(SyncEvent::Join(*t, *u));
+            }
+            Op::VolatileWrite(t, x) => {
+                self.stats.sync_ops += 1;
+                self.log.push(SyncEvent::VolatileWrite(*t, *x));
+            }
+            Op::VolatileRead(t, x) => {
+                self.stats.sync_ops += 1;
+                self.log.push(SyncEvent::VolatileRead(*t, *x));
+            }
+            Op::BarrierRelease(ts) => {
+                self.stats.sync_ops += 1;
+                self.log.push(SyncEvent::Barrier(ts.clone()));
+            }
+            Op::Notify(..) | Op::AtomicBegin(_) | Op::AtomicEnd(_) => {}
+        }
+        Disposition::Forward
+    }
+
+    fn warnings(&self) -> &[Warning] {
+        &self.warnings
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn shadow_bytes(&self) -> usize {
+        let vars: usize = self
+            .vars
+            .iter()
+            .flatten()
+            .map(|vs| {
+                std::mem::size_of::<GVar>()
+                    + vs.write.as_ref().map_or(0, Gls::heap_bytes)
+                    + vs
+                        .readers
+                        .values()
+                        .map(|g| std::mem::size_of::<Gls>() + g.heap_bytes())
+                        .sum::<usize>()
+            })
+            .sum();
+        vars + self.log.capacity() * std::mem::size_of::<SyncEvent>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_trace::TraceBuilder;
+
+    const T0: Tid = Tid::new(0);
+    const T1: Tid = Tid::new(1);
+    const T2: Tid = Tid::new(2);
+    const X: VarId = VarId::new(0);
+    const M: LockId = LockId::new(0);
+    const N: LockId = LockId::new(1);
+
+    fn run(build: impl FnOnce(&mut TraceBuilder) -> Result<(), ft_trace::FeasibilityError>) -> Goldilocks {
+        let mut b = TraceBuilder::with_threads(3);
+        build(&mut b).unwrap();
+        let mut g = Goldilocks::new();
+        g.run(&b.finish());
+        g
+    }
+
+    #[test]
+    fn lock_transfer_chain_orders_accesses() {
+        let g = run(|b| {
+            b.release_after_acquire(T0, M, |b| b.write(T0, X))?;
+            b.release_after_acquire(T1, M, |b| b.write(T1, X))
+        });
+        assert!(g.warnings().is_empty());
+    }
+
+    #[test]
+    fn transitive_transfer_through_two_locks() {
+        let g = run(|b| {
+            b.write(T0, X)?;
+            b.release_after_acquire(T0, M, |_| Ok(()))?;
+            b.acquire(T1, M)?;
+            b.release_after_acquire(T1, N, |_| Ok(()))?;
+            b.release(T1, M)?;
+            b.acquire(T2, N)?;
+            b.write(T2, X)?;
+            b.release(T2, N)
+        });
+        assert!(g.warnings().is_empty(), "{:?}", g.warnings());
+    }
+
+    #[test]
+    fn detects_unsynchronized_races() {
+        let g = run(|b| {
+            b.write(T0, X)?;
+            b.write(T1, X)
+        });
+        assert_eq!(g.warnings().len(), 1);
+        assert_eq!(g.warnings()[0].kind, WarningKind::WriteWrite);
+    }
+
+    #[test]
+    fn concurrent_reads_are_not_races() {
+        let g = run(|b| {
+            b.read(T0, X)?;
+            b.read(T1, X)?;
+            b.read(T2, X)
+        });
+        assert!(g.warnings().is_empty());
+    }
+
+    #[test]
+    fn write_must_be_ordered_after_every_reader() {
+        // T2's write is ordered after T1's read (via m) but not after T0's:
+        // a read-write race the single-set formulation would miss.
+        let g = run(|b| {
+            b.read(T0, X)?; // unguarded read
+            b.release_after_acquire(T1, M, |b| b.read(T1, X))?;
+            b.acquire(T2, M)?;
+            b.write(T2, X)?;
+            b.release(T2, M)
+        });
+        assert_eq!(g.warnings().len(), 1);
+        assert_eq!(g.warnings()[0].kind, WarningKind::ReadWrite);
+        assert_eq!(g.warnings()[0].prior.tid, T0);
+    }
+
+    #[test]
+    fn fork_join_ordering() {
+        let mut b = TraceBuilder::new();
+        b.write(T0, X).unwrap();
+        b.fork(T0, T1).unwrap();
+        b.write(T1, X).unwrap();
+        b.join(T0, T1).unwrap();
+        b.read(T0, X).unwrap();
+        let mut g = Goldilocks::new();
+        g.run(&b.finish());
+        assert!(g.warnings().is_empty());
+    }
+
+    #[test]
+    fn volatile_publish_subscribe() {
+        let v = VarId::new(7);
+        let g = run(|b| {
+            b.write(T0, X)?;
+            b.volatile_write(T0, v)?;
+            b.volatile_read(T1, v)?;
+            b.read(T1, X)
+        });
+        assert!(g.warnings().is_empty());
+    }
+
+    #[test]
+    fn thread_local_fast_path_misses_pre_sharing_read_races() {
+        // T0 reads x (thread-local so far), then T1 writes it with no sync:
+        // a real read-write race. Precise Goldilocks reports it; the unsound
+        // fast path discarded T0's read history and misses it.
+        let mut b = TraceBuilder::with_threads(2);
+        b.read(T0, X).unwrap();
+        b.write(T1, X).unwrap();
+        let trace = b.finish();
+
+        let mut precise = Goldilocks::new();
+        precise.run(&trace);
+        assert_eq!(precise.warnings().len(), 1);
+
+        let mut fast = Goldilocks::with_thread_local_fast_path();
+        fast.run(&trace);
+        assert!(fast.warnings().is_empty(), "unsound extension should miss it");
+    }
+
+    #[test]
+    fn thread_local_fast_path_still_catches_write_races() {
+        // The write history *is* reconstructed at the ownership transfer,
+        // so write-write and write-read races survive the fast path.
+        let mut b = TraceBuilder::with_threads(2);
+        b.write(T0, X).unwrap();
+        b.write(T0, X).unwrap();
+        b.write(T1, X).unwrap();
+        let trace = b.finish();
+        let mut fast = Goldilocks::with_thread_local_fast_path();
+        fast.run(&trace);
+        assert_eq!(fast.warnings().len(), 1);
+        assert_eq!(fast.warnings()[0].kind, WarningKind::WriteWrite);
+
+        // And an ordered hand-off stays quiet: the reconstruction replays
+        // the log from the owner's last write.
+        let mut b = TraceBuilder::with_threads(2);
+        b.write(T0, X).unwrap();
+        b.release_after_acquire(T0, M, |_| Ok(())).unwrap();
+        b.acquire(T1, M).unwrap();
+        b.read(T1, X).unwrap();
+        b.release(T1, M).unwrap();
+        let mut fast = Goldilocks::with_thread_local_fast_path();
+        fast.run(&b.finish());
+        assert!(fast.warnings().is_empty(), "{:?}", fast.warnings());
+    }
+
+    #[test]
+    fn barrier_transfer() {
+        let g = run(|b| {
+            b.write(T0, X)?;
+            b.barrier_release(vec![T0, T1])?;
+            b.write(T1, X)
+        });
+        assert!(g.warnings().is_empty());
+    }
+
+    #[test]
+    fn lazy_replay_counts_work() {
+        let g = run(|b| {
+            b.write(T0, X)?;
+            for _ in 0..10 {
+                b.release_after_acquire(T0, M, |_| Ok(()))?;
+            }
+            b.acquire(T1, M)?;
+            b.read(T1, X)?;
+            b.release(T1, M)
+        });
+        assert!(g.warnings().is_empty());
+        assert!(g.transfer_ops() >= 20, "replay should process the log");
+    }
+}

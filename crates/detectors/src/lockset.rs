@@ -1,0 +1,146 @@
+//! Small sorted lock sets for the Eraser-style detectors.
+
+use ft_trace::LockId;
+use std::fmt;
+
+/// A set of locks, kept sorted for fast intersection.
+///
+/// Eraser's candidate sets `C(v)` start at "all locks" — represented lazily
+/// by the callers as *top* — and only ever shrink by intersection with the
+/// (small) set of locks a thread currently holds, so a sorted `Vec` beats a
+/// hash set at these sizes.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct LockSet {
+    locks: Vec<LockId>,
+}
+
+impl LockSet {
+    /// The empty lock set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of locks in the set.
+    pub fn len(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// `true` if no locks are in the set — Eraser's warning condition.
+    pub fn is_empty(&self) -> bool {
+        self.locks.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, m: LockId) -> bool {
+        self.locks.binary_search(&m).is_ok()
+    }
+
+    /// Inserts a lock; returns `true` if it was not already present.
+    pub fn insert(&mut self, m: LockId) -> bool {
+        match self.locks.binary_search(&m) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.locks.insert(pos, m);
+                true
+            }
+        }
+    }
+
+    /// Removes a lock; returns `true` if it was present.
+    pub fn remove(&mut self, m: LockId) -> bool {
+        match self.locks.binary_search(&m) {
+            Ok(pos) => {
+                self.locks.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// `self := self ∩ other` — the Eraser refinement step.
+    pub fn intersect(&mut self, other: &LockSet) {
+        self.locks.retain(|m| other.contains(*m));
+    }
+
+    /// Iterates over the locks in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = LockId> + '_ {
+        self.locks.iter().copied()
+    }
+
+    /// Heap bytes used.
+    pub fn heap_bytes(&self) -> usize {
+        self.locks.capacity() * std::mem::size_of::<LockId>()
+    }
+}
+
+impl FromIterator<LockId> for LockSet {
+    fn from_iter<I: IntoIterator<Item = LockId>>(iter: I) -> Self {
+        let mut locks: Vec<LockId> = iter.into_iter().collect();
+        locks.sort_unstable();
+        locks.dedup();
+        LockSet { locks }
+    }
+}
+
+impl fmt::Debug for LockSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.locks.iter()).finish()
+    }
+}
+
+impl fmt::Display for LockSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, m) in self.locks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ls(ids: &[u32]) -> LockSet {
+        ids.iter().map(|&i| LockId::new(i)).collect()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = LockSet::new();
+        assert!(s.insert(LockId::new(3)));
+        assert!(s.insert(LockId::new(1)));
+        assert!(!s.insert(LockId::new(3)));
+        assert!(s.contains(LockId::new(1)));
+        assert!(!s.contains(LockId::new(2)));
+        assert!(s.remove(LockId::new(3)));
+        assert!(!s.remove(LockId::new(3)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn intersect_shrinks() {
+        let mut a = ls(&[1, 2, 3]);
+        a.intersect(&ls(&[2, 3, 4]));
+        assert_eq!(a, ls(&[2, 3]));
+        a.intersect(&ls(&[]));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_sorts_and_dedups() {
+        let s = ls(&[3, 1, 3, 2]);
+        let items: Vec<u32> = s.iter().map(|m| m.as_u32()).collect();
+        assert_eq!(items, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn display_lists_locks() {
+        assert_eq!(ls(&[1, 2]).to_string(), "{m1,m2}");
+        assert_eq!(LockSet::new().to_string(), "{}");
+    }
+}

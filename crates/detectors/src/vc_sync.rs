@@ -1,0 +1,271 @@
+//! Shared synchronization-clock machinery for the VC-based detectors.
+//!
+//! BasicVC, DJIT⁺, and MultiRace handle lock/fork/join/volatile/barrier
+//! operations identically (it is only the *access* handling that differs),
+//! so that logic lives here. All tools use the same [`VectorClock`]
+//! primitives, mirroring the paper's methodology: "the VC-based tools use
+//! the same optimized vector clock primitives".
+
+use fasttrack::Stats;
+use ft_clock::{Tid, VectorClock};
+use ft_trace::{LockId, VarId};
+
+/// Per-thread clock state for VC-based detectors.
+#[derive(Debug, Clone)]
+pub(crate) struct ThreadClock {
+    pub vc: VectorClock,
+}
+
+/// The `C`, `L` (locks), and `L` (volatiles) components of a VC-based
+/// analysis state, with the Table 2 accounting baked in.
+#[derive(Debug, Default)]
+pub(crate) struct VcSync {
+    threads: Vec<Option<ThreadClock>>,
+    locks: Vec<Option<VectorClock>>,
+    volatiles: Vec<Option<VectorClock>>,
+}
+
+impl VcSync {
+    #[cfg(test)]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The clock of thread `t`, creating it at `incₜ(⊥ᵥ)` on first use.
+    pub fn thread(&mut self, t: Tid, stats: &mut Stats) -> &mut VectorClock {
+        let idx = t.as_usize();
+        if idx >= self.threads.len() {
+            self.threads.resize_with(idx + 1, || None);
+        }
+        let slot = &mut self.threads[idx];
+        if slot.is_none() {
+            stats.vc_allocated += 1;
+            let mut vc = VectorClock::new();
+            vc.inc(t);
+            *slot = Some(ThreadClock { vc });
+        }
+        &mut slot.as_mut().expect("just initialized").vc
+    }
+
+    /// Read-only view of a thread clock (must already exist).
+    pub fn thread_ref(&mut self, t: Tid, stats: &mut Stats) -> &VectorClock {
+        self.thread(t, stats)
+    }
+
+    /// Read-only view of an existing thread clock without any `&mut self`
+    /// borrow — lets access handlers hold this alongside mutable
+    /// per-variable shadow state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread was never initialized via [`VcSync::thread`].
+    pub fn clock_of(&self, t: Tid) -> &VectorClock {
+        &self.threads[t.as_usize()]
+            .as_ref()
+            .expect("thread clock initialized before access")
+            .vc
+    }
+
+    /// `acq(t, m)`: `C_t := C_t ⊔ L_m`.
+    pub fn acquire(&mut self, t: Tid, m: LockId, stats: &mut Stats) {
+        self.thread(t, stats);
+        if let Some(Some(lm)) = self.locks.get(m.as_usize()) {
+            stats.vc_ops += 1;
+            let lm = lm.clone();
+            self.threads[t.as_usize()]
+                .as_mut()
+                .expect("ensured")
+                .vc
+                .join(&lm);
+        }
+    }
+
+    /// `rel(t, m)`: `L_m := C_t; C_t := incₜ(C_t)`.
+    pub fn release(&mut self, t: Tid, m: LockId, stats: &mut Stats) {
+        self.thread(t, stats);
+        let idx = m.as_usize();
+        if idx >= self.locks.len() {
+            self.locks.resize_with(idx + 1, || None);
+        }
+        let tvc = &mut self.threads[t.as_usize()].as_mut().expect("ensured").vc;
+        stats.vc_ops += 1;
+        match &mut self.locks[idx] {
+            Some(lm) => lm.assign(tvc),
+            slot @ None => {
+                stats.vc_allocated += 1;
+                *slot = Some(tvc.clone());
+            }
+        }
+        tvc.inc(t);
+    }
+
+    /// `wait(t, m)` = release + immediate re-acquire (§4).
+    pub fn wait(&mut self, t: Tid, m: LockId, stats: &mut Stats) {
+        self.release(t, m, stats);
+        self.acquire(t, m, stats);
+    }
+
+    /// `fork(t, u)`: `C_u := C_u ⊔ C_t; C_t := incₜ(C_t)`.
+    pub fn fork(&mut self, t: Tid, u: Tid, stats: &mut Stats) {
+        self.thread(t, stats);
+        self.thread(u, stats);
+        stats.vc_ops += 1;
+        let ct = self.threads[t.as_usize()].as_ref().expect("ensured").vc.clone();
+        self.threads[u.as_usize()]
+            .as_mut()
+            .expect("ensured")
+            .vc
+            .join(&ct);
+        self.threads[t.as_usize()]
+            .as_mut()
+            .expect("ensured")
+            .vc
+            .inc(t);
+    }
+
+    /// `join(t, u)`: `C_t := C_t ⊔ C_u; C_u := inc_u(C_u)`.
+    pub fn join(&mut self, t: Tid, u: Tid, stats: &mut Stats) {
+        self.thread(t, stats);
+        self.thread(u, stats);
+        stats.vc_ops += 1;
+        let cu = self.threads[u.as_usize()].as_ref().expect("ensured").vc.clone();
+        self.threads[t.as_usize()]
+            .as_mut()
+            .expect("ensured")
+            .vc
+            .join(&cu);
+        self.threads[u.as_usize()]
+            .as_mut()
+            .expect("ensured")
+            .vc
+            .inc(u);
+    }
+
+    /// Volatile read: `C_t := C_t ⊔ L_vx`.
+    pub fn volatile_read(&mut self, t: Tid, x: VarId, stats: &mut Stats) {
+        self.thread(t, stats);
+        if let Some(Some(lv)) = self.volatiles.get(x.as_usize()) {
+            stats.vc_ops += 1;
+            let lv = lv.clone();
+            self.threads[t.as_usize()]
+                .as_mut()
+                .expect("ensured")
+                .vc
+                .join(&lv);
+        }
+    }
+
+    /// Volatile write: `L_vx := C_t ⊔ L_vx; C_t := incₜ(C_t)`.
+    pub fn volatile_write(&mut self, t: Tid, x: VarId, stats: &mut Stats) {
+        self.thread(t, stats);
+        let idx = x.as_usize();
+        if idx >= self.volatiles.len() {
+            self.volatiles.resize_with(idx + 1, || None);
+        }
+        let tvc = &mut self.threads[t.as_usize()].as_mut().expect("ensured").vc;
+        stats.vc_ops += 1;
+        match &mut self.volatiles[idx] {
+            Some(lv) => lv.join(tvc),
+            slot @ None => {
+                stats.vc_allocated += 1;
+                *slot = Some(tvc.clone());
+            }
+        }
+        tvc.inc(t);
+    }
+
+    /// `barrier_rel(T)`: every `t ∈ T` gets `C_t := incₜ(⊔ᵤ C_u)`.
+    pub fn barrier_release(&mut self, threads: &[Tid], stats: &mut Stats) {
+        let mut joined = VectorClock::new();
+        stats.vc_allocated += 1;
+        for &u in threads {
+            self.thread(u, stats);
+            stats.vc_ops += 1;
+            joined.join(&self.threads[u.as_usize()].as_ref().expect("ensured").vc);
+        }
+        for &t in threads {
+            stats.vc_ops += 1;
+            let tvc = &mut self.threads[t.as_usize()].as_mut().expect("ensured").vc;
+            tvc.assign(&joined);
+            tvc.inc(t);
+        }
+    }
+
+    /// Bytes held by the synchronization clocks.
+    pub fn shadow_bytes(&self) -> usize {
+        let t: usize = self
+            .threads
+            .iter()
+            .flatten()
+            .map(|tc| std::mem::size_of::<ThreadClock>() + tc.vc.heap_bytes())
+            .sum();
+        let l: usize = self
+            .locks
+            .iter()
+            .chain(self.volatiles.iter())
+            .flatten()
+            .map(|vc| std::mem::size_of::<VectorClock>() + vc.heap_bytes())
+            .sum();
+        t + l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn release_acquire_transfers_time() {
+        let mut s = VcSync::new();
+        let mut stats = Stats::new();
+        let (t0, t1) = (Tid::new(0), Tid::new(1));
+        let m = LockId::new(0);
+        s.thread(t0, &mut stats);
+        s.release(t0, m, &mut stats);
+        s.acquire(t1, m, &mut stats);
+        let c1 = s.thread_ref(t1, &mut stats);
+        assert_eq!(c1.get(t0), 1, "t1 saw t0's release-time clock");
+        assert!(stats.vc_ops >= 2);
+    }
+
+    #[test]
+    fn fork_join_round_trip() {
+        let mut s = VcSync::new();
+        let mut stats = Stats::new();
+        let (t0, t1) = (Tid::new(0), Tid::new(1));
+        s.fork(t0, t1, &mut stats);
+        assert_eq!(s.thread_ref(t1, &mut stats).get(t0), 1);
+        s.join(t0, t1, &mut stats);
+        assert_eq!(s.thread_ref(t0, &mut stats).get(t1), 1);
+    }
+
+    #[test]
+    fn barrier_merges_everyone() {
+        let mut s = VcSync::new();
+        let mut stats = Stats::new();
+        let ts: Vec<Tid> = (0..3).map(Tid::new).collect();
+        for &t in &ts {
+            s.thread(t, &mut stats);
+        }
+        s.barrier_release(&ts, &mut stats);
+        for &t in &ts {
+            let c = s.thread_ref(t, &mut stats).clone();
+            for &u in &ts {
+                assert!(c.get(u) >= 1, "{t} missing {u}'s pre-barrier time");
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_accounting() {
+        let mut s = VcSync::new();
+        let mut stats = Stats::new();
+        s.thread(Tid::new(0), &mut stats);
+        s.thread(Tid::new(0), &mut stats); // cached
+        assert_eq!(stats.vc_allocated, 1);
+        s.release(Tid::new(0), LockId::new(0), &mut stats);
+        assert_eq!(stats.vc_allocated, 2); // L_m allocated
+        s.release(Tid::new(0), LockId::new(0), &mut stats);
+        assert_eq!(stats.vc_allocated, 2); // reused
+    }
+}

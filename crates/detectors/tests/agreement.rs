@@ -1,0 +1,128 @@
+//! Cross-detector precision properties.
+//!
+//! §5.1: "DJIT⁺ and BASICVC reported exactly the same race conditions as
+//! FASTTRACK. That is, the three checkers all yield identical precision."
+//! We verify this per variable against the happens-before oracle, on both
+//! structured and chaotic traces, and also check:
+//!
+//! * Goldilocks (precise variant) matches the oracle too;
+//! * MultiRace never reports a false alarm (warned ⊆ oracle) but may miss;
+//! * Eraser never *misses silently in SharedModified* — no constraint is
+//!   asserted on its precision, only that it runs and its warnings are
+//!   lockset warnings.
+
+use fasttrack::{Detector, FastTrack, WarningKind};
+use ft_detectors::{BasicVc, Djit, Eraser, Goldilocks, MultiRace, RaceTrack};
+use ft_trace::gen::{self, GenConfig};
+use ft_trace::{HbOracle, Trace, VarId};
+use proptest::prelude::*;
+
+fn warned_vars<D: Detector>(d: &D) -> Vec<VarId> {
+    let mut vars: Vec<VarId> = d.warnings().iter().map(|w| w.var).collect();
+    vars.sort_unstable();
+    vars.dedup();
+    vars
+}
+
+fn check_all(trace: &Trace, label: &str) {
+    let oracle_vars = HbOracle::analyze(trace).race_vars();
+
+    let mut ft = FastTrack::new();
+    ft.run(trace);
+    let mut djit = Djit::new();
+    djit.run(trace);
+    let mut basic = BasicVc::new();
+    basic.run(trace);
+    let mut gold = Goldilocks::new();
+    gold.run(trace);
+    let mut multi = MultiRace::new();
+    multi.run(trace);
+    let mut eraser = Eraser::new();
+    eraser.run(trace);
+
+    let ft_vars = warned_vars(&ft);
+    assert_eq!(ft_vars, oracle_vars, "{label}: FASTTRACK vs oracle");
+    assert_eq!(warned_vars(&djit), oracle_vars, "{label}: DJIT+ vs oracle");
+    assert_eq!(warned_vars(&basic), oracle_vars, "{label}: BASICVC vs oracle");
+    assert_eq!(warned_vars(&gold), oracle_vars, "{label}: GOLDILOCKS vs oracle");
+
+    // MultiRace: sound warnings (every warned var is truly racy).
+    for v in warned_vars(&multi) {
+        assert!(
+            oracle_vars.contains(&v),
+            "{label}: MULTIRACE false alarm on {v}"
+        );
+    }
+    for w in multi.warnings() {
+        assert!(w.kind.is_happens_before(), "{label}: MULTIRACE kind");
+    }
+
+    // Eraser warnings are lockset reports.
+    for w in eraser.warnings() {
+        assert_eq!(w.kind, WarningKind::LockSetEmpty, "{label}: ERASER kind");
+    }
+
+    // RaceTrack (extension): with full vector clocks backing its threadset,
+    // its warnings are sound (every warned variable is truly racy), though
+    // single-clock shadowing can make it miss races.
+    let mut racetrack = RaceTrack::new();
+    racetrack.run(trace);
+    for v in warned_vars(&racetrack) {
+        assert!(
+            oracle_vars.contains(&v),
+            "{label}: RACETRACK false alarm on {v}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn agreement_on_chaotic_traces(
+        seed in 0u64..100_000,
+        threads in 2u32..7,
+        vars in 1u32..8,
+        locks in 1u32..5,
+        ops in 20usize..350,
+    ) {
+        let trace = gen::chaotic(threads, vars, locks, ops, seed);
+        check_all(&trace, "chaotic");
+    }
+
+    #[test]
+    fn agreement_on_structured_traces(seed in 0u64..10_000, w_racy in 0.0f64..0.4) {
+        let cfg = GenConfig {
+            ops: 500,
+            p_barrier: 0.002,
+            p_volatile: 0.005,
+            ..GenConfig::default().with_races(w_racy)
+        };
+        let trace = gen::generate(&cfg, seed);
+        check_all(&trace, "structured");
+    }
+}
+
+#[test]
+fn soak_agreement() {
+    for seed in 0..150u64 {
+        let trace = gen::chaotic(5, 4, 3, 200, seed);
+        check_all(&trace, "soak");
+    }
+}
+
+/// The precise tools produce zero warnings across a batch of race-free
+/// workloads with heavy synchronization variety.
+#[test]
+fn no_precise_tool_false_alarms_across_seeds() {
+    for seed in 0..20u64 {
+        let cfg = GenConfig {
+            ops: 1_000,
+            p_barrier: 0.01,
+            p_volatile: 0.01,
+            ..GenConfig::race_free()
+        };
+        let trace = gen::generate(&cfg, seed);
+        check_all(&trace, "race-free batch");
+    }
+}

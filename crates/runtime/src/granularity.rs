@@ -1,0 +1,136 @@
+//! Analysis granularity (§4 "Granularity").
+//!
+//! RoadRunner supports two granularities: the fine-grain analysis gives
+//! every field/array element its own shadow location; the coarse-grain
+//! analysis "treats all fields of an object as a single entity with a
+//! single VarState", roughly halving memory and time at the cost of
+//! possible false alarms (e.g. two fields of one object protected by
+//! different locks).
+
+use ft_trace::{Op, Trace, VarId};
+
+/// Rewrites a trace so every data access targets its variable's *owning
+/// object* instead of the variable itself — the coarse-grain analysis.
+///
+/// Synchronization operations (including volatile accesses, which are
+/// synchronization in the §4 extension) are left untouched. The resulting
+/// trace is feasible whenever the input is, since only access targets
+/// change.
+///
+/// # Example
+///
+/// ```
+/// use ft_runtime::coarsen;
+/// use ft_trace::{TraceBuilder, VarId, ObjId};
+/// use ft_clock::Tid;
+///
+/// let mut b = TraceBuilder::with_threads(1);
+/// b.write(Tid::new(0), VarId::new(0))?;
+/// b.write(Tid::new(0), VarId::new(1))?;
+/// b.set_var_object(VarId::new(0), ObjId::new(0));
+/// b.set_var_object(VarId::new(1), ObjId::new(0)); // same object
+/// let fine = b.finish();
+///
+/// let coarse = coarsen(&fine);
+/// assert_eq!(coarse.n_vars(), 1); // both fields collapsed
+/// # Ok::<(), ft_trace::FeasibilityError>(())
+/// ```
+pub fn coarsen(trace: &Trace) -> Trace {
+    // Object ids may be sparse; remap them to dense shadow-location ids so
+    // detectors with dense shadow arrays are not penalized.
+    let mut dense: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let mut remap = |x: VarId| {
+        let obj = trace.object_of(x).as_u32();
+        let next = dense.len() as u32;
+        VarId::new(*dense.entry(obj).or_insert(next))
+    };
+    let events: Vec<Op> = trace
+        .events()
+        .iter()
+        .map(|op| match *op {
+            Op::Read(t, x) => Op::Read(t, remap(x)),
+            Op::Write(t, x) => Op::Write(t, remap(x)),
+            ref other => other.clone(),
+        })
+        .collect();
+    ft_trace::validate(&events).expect("coarsening preserves feasibility")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fasttrack::{Detector, FastTrack};
+    use ft_clock::Tid;
+    use ft_trace::{LockId, ObjId, TraceBuilder};
+
+    const T0: Tid = Tid::new(0);
+    const T1: Tid = Tid::new(1);
+
+    /// Two fields of one object protected by *different* locks: fine-grain
+    /// is clean, coarse-grain reports the §4 false alarm.
+    #[test]
+    fn coarse_grain_can_false_alarm() {
+        let (f1, f2) = (VarId::new(0), VarId::new(1));
+        let (m, n) = (LockId::new(0), LockId::new(1));
+        let mut b = TraceBuilder::with_threads(2);
+        b.set_var_object(f1, ObjId::new(0));
+        b.set_var_object(f2, ObjId::new(0));
+        b.release_after_acquire(T0, m, |b| b.write(T0, f1)).unwrap();
+        b.release_after_acquire(T1, n, |b| b.write(T1, f2)).unwrap();
+        let fine = b.finish();
+
+        let mut ft_fine = FastTrack::new();
+        ft_fine.run(&fine);
+        assert!(ft_fine.warnings().is_empty());
+
+        let coarse = coarsen(&fine);
+        let mut ft_coarse = FastTrack::new();
+        ft_coarse.run(&coarse);
+        assert_eq!(ft_coarse.warnings().len(), 1, "expected the coarse false alarm");
+    }
+
+    /// Same synchronization discipline for all fields (the common OO case):
+    /// coarse analysis stays precise and uses fewer shadow locations.
+    #[test]
+    fn coarse_grain_is_clean_under_uniform_discipline() {
+        let m = LockId::new(0);
+        let mut b = TraceBuilder::with_threads(2);
+        for v in 0..8 {
+            b.set_var_object(VarId::new(v), ObjId::new(v / 4));
+        }
+        for round in 0..4 {
+            let t = if round % 2 == 0 { T0 } else { T1 };
+            b.release_after_acquire(t, m, |b| {
+                for v in 0..8 {
+                    b.write(t, VarId::new(v))?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        }
+        let fine = b.finish();
+        let coarse = coarsen(&fine);
+        assert_eq!(coarse.n_vars(), 2);
+
+        let mut ft = FastTrack::new();
+        ft.run(&coarse);
+        assert!(ft.warnings().is_empty());
+        let mut ft_fine = FastTrack::new();
+        ft_fine.run(&fine);
+        assert!(ft_fine.warnings().is_empty());
+
+        // Coarse shadow state is smaller.
+        assert!(ft.shadow_bytes() < ft_fine.shadow_bytes());
+    }
+
+    #[test]
+    fn sync_ops_unchanged() {
+        let mut b = TraceBuilder::with_threads(2);
+        b.set_var_object(VarId::new(5), ObjId::new(0));
+        b.volatile_write(T0, VarId::new(5)).unwrap();
+        b.volatile_read(T1, VarId::new(5)).unwrap();
+        let fine = b.finish();
+        let coarse = coarsen(&fine);
+        assert_eq!(coarse.events(), fine.events());
+    }
+}

@@ -1,0 +1,778 @@
+//! Online race detection over real `std::thread` threads.
+//!
+//! Where [`crate::sim`] replays *scripted* programs deterministically, this
+//! module monitors *actual* Rust threads: instrumented mutexes, tracked
+//! variables, fork/join wrappers, and barriers feed a live event stream to
+//! any [`Detector`] — the moral equivalent of RoadRunner's load-time
+//! instrumentation for programs you run for real. Two delivery modes:
+//! [`Monitor::new`] analyzes synchronously under a lock;
+//! [`Monitor::buffered`] streams events over a channel to a dedicated
+//! analysis thread, so monitored threads pay only a channel send.
+//!
+//! Event ordering is made sound by construction: a release is logged
+//! *before* the underlying lock is released and an acquire *after* it is
+//! acquired, so the logged order of synchronization events is always a
+//! feasible linearization of the real execution. Data accesses are logged
+//! atomically with the access itself under the event lock; for genuinely
+//! racy programs, the recorded interleaving is one of the possible ones.
+//!
+//! # Example
+//!
+//! ```
+//! use ft_runtime::online::Monitor;
+//! use fasttrack::FastTrack;
+//!
+//! let monitor = Monitor::new(FastTrack::new());
+//! let counter = monitor.tracked_var(0u32);
+//! let root = monitor.root();
+//!
+//! // A racy increment: the child and parent both write without a lock.
+//! let child = {
+//!     let counter = counter.clone();
+//!     root.spawn(move |ctx| {
+//!         let v = counter.get(&ctx);
+//!         counter.set(&ctx, v + 1);
+//!     })
+//! };
+//! let v = counter.get(&root);
+//! counter.set(&root, v + 1);
+//! child.join(&root);
+//!
+//! let report = monitor.report();
+//! assert_eq!(report.warnings.len(), 1); // the race is caught
+//! ```
+
+use fasttrack::{Detector, Stats, Warning};
+use ft_clock::Tid;
+use ft_trace::{LockId, Op, VarId};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// Where emitted events go: either straight into the detector under a lock
+/// (synchronous, lowest latency to a verdict) or over a channel to a
+/// dedicated analysis thread (buffered, lowest overhead on the monitored
+/// threads — RoadRunner's event-stream decoupling).
+trait EventSink: Send + Sync {
+    fn emit(&self, op: Op);
+    fn report(&self) -> OnlineReport;
+}
+
+struct DetectorState {
+    detector: Box<dyn Detector + Send>,
+    next_index: usize,
+}
+
+impl DetectorState {
+    fn feed(&mut self, op: &Op) {
+        let index = self.next_index;
+        self.next_index += 1;
+        self.detector.on_op(index, op);
+    }
+
+    fn report(&self) -> OnlineReport {
+        OnlineReport {
+            warnings: self.detector.warnings().to_vec(),
+            stats: self.detector.stats().clone(),
+        }
+    }
+}
+
+struct DirectSink {
+    state: Mutex<DetectorState>,
+}
+
+impl EventSink for DirectSink {
+    fn emit(&self, op: Op) {
+        self.state.lock().feed(&op);
+    }
+
+    fn report(&self) -> OnlineReport {
+        self.state.lock().report()
+    }
+}
+
+enum BufferedMsg {
+    Event(Op),
+    Snapshot(crossbeam::channel::Sender<OnlineReport>),
+}
+
+struct BufferedSink {
+    tx: crossbeam::channel::Sender<BufferedMsg>,
+}
+
+impl BufferedSink {
+    fn spawn(detector: Box<dyn Detector + Send>) -> Self {
+        let (tx, rx) = crossbeam::channel::unbounded::<BufferedMsg>();
+        std::thread::spawn(move || {
+            let mut state = DetectorState {
+                detector,
+                next_index: 0,
+            };
+            // Exits when every sender (i.e. every Monitor clone) is gone.
+            for msg in rx {
+                match msg {
+                    BufferedMsg::Event(op) => state.feed(&op),
+                    BufferedMsg::Snapshot(reply) => {
+                        let _ = reply.send(state.report());
+                    }
+                }
+            }
+        });
+        BufferedSink { tx }
+    }
+}
+
+impl EventSink for BufferedSink {
+    fn emit(&self, op: Op) {
+        // The channel is a linearizable FIFO: if emit A returns before emit
+        // B starts, A is dequeued first — exactly the ordering soundness
+        // argument the direct sink gets from its mutex.
+        let _ = self.tx.send(BufferedMsg::Event(op));
+    }
+
+    fn report(&self) -> OnlineReport {
+        let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
+        self.tx
+            .send(BufferedMsg::Snapshot(reply_tx))
+            .expect("analysis thread alive while a Monitor exists");
+        reply_rx
+            .recv()
+            .expect("analysis thread answers snapshots")
+    }
+}
+
+struct IdAlloc {
+    next_tid: u32,
+    next_var: u32,
+    next_lock: u32,
+}
+
+struct MonitorInner {
+    sink: Box<dyn EventSink>,
+    ids: Mutex<IdAlloc>,
+}
+
+impl MonitorInner {
+    fn emit(&self, op: Op) {
+        self.sink.emit(op);
+    }
+}
+
+/// The final results of a monitored run.
+#[derive(Debug, Clone)]
+pub struct OnlineReport {
+    /// Warnings the detector produced.
+    pub warnings: Vec<Warning>,
+    /// The detector's statistics.
+    pub stats: Stats,
+}
+
+/// A handle to the online detector; clone freely and share across threads.
+#[derive(Clone)]
+pub struct Monitor {
+    inner: Arc<MonitorInner>,
+}
+
+impl Monitor {
+    /// Wraps a detector for online use; events are analyzed synchronously
+    /// under a lock. The calling thread becomes thread 0.
+    pub fn new<D: Detector + Send + 'static>(detector: D) -> Self {
+        Self::with_sink(Box::new(DirectSink {
+            state: Mutex::new(DetectorState {
+                detector: Box::new(detector),
+                next_index: 0,
+            }),
+        }))
+    }
+
+    /// Wraps a detector with *buffered* analysis: events stream over a
+    /// channel to a dedicated analysis thread, so monitored threads pay
+    /// only a channel send per event. [`Monitor::report`] performs a
+    /// synchronizing round-trip, so it observes every event emitted before
+    /// it was called.
+    pub fn buffered<D: Detector + Send + 'static>(detector: D) -> Self {
+        Self::with_sink(Box::new(BufferedSink::spawn(Box::new(detector))))
+    }
+
+    fn with_sink(sink: Box<dyn EventSink>) -> Self {
+        Monitor {
+            inner: Arc::new(MonitorInner {
+                sink,
+                ids: Mutex::new(IdAlloc {
+                    next_tid: 1, // 0 is the root
+                    next_var: 0,
+                    next_lock: 0,
+                }),
+            }),
+        }
+    }
+
+    /// The context for the thread that created the monitor (thread 0).
+    pub fn root(&self) -> ThreadCtx {
+        ThreadCtx {
+            monitor: self.clone(),
+            tid: Tid::new(0),
+        }
+    }
+
+    /// Creates a monitored shared variable holding `initial`.
+    pub fn tracked_var<T: Send + Sync>(&self, initial: T) -> TrackedVar<T> {
+        let var = {
+            let mut s = self.inner.ids.lock();
+            let v = VarId::new(s.next_var);
+            s.next_var += 1;
+            v
+        };
+        TrackedVar {
+            monitor: self.clone(),
+            var,
+            value: Arc::new(parking_lot::RwLock::new(initial)),
+        }
+    }
+
+    /// Creates a monitored mutex protecting `data`.
+    pub fn mutex<T: Send>(&self, data: T) -> MonitoredMutex<T> {
+        let lock_id = {
+            let mut s = self.inner.ids.lock();
+            let m = LockId::new(s.next_lock);
+            s.next_lock += 1;
+            m
+        };
+        MonitoredMutex {
+            monitor: self.clone(),
+            lock_id,
+            data: Arc::new(Mutex::new(data)),
+        }
+    }
+
+    /// Creates a monitored barrier for `parties` threads.
+    pub fn barrier(&self, parties: usize) -> MonitoredBarrier {
+        MonitoredBarrier {
+            monitor: self.clone(),
+            inner: Arc::new(BarrierInner {
+                state: Mutex::new(BarrierState {
+                    arrived: Vec::new(),
+                    generation: 0,
+                }),
+                condvar: Condvar::new(),
+                parties,
+            }),
+        }
+    }
+
+    /// Snapshots the detector's warnings and statistics. In buffered mode
+    /// this synchronizes with the analysis thread, so every event emitted
+    /// before the call is reflected.
+    pub fn report(&self) -> OnlineReport {
+        self.inner.sink.report()
+    }
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor").finish_non_exhaustive()
+    }
+}
+
+/// A per-thread context carrying the thread's analysis identity.
+///
+/// Obtained from [`Monitor::root`] or inside a [`ThreadCtx::spawn`] closure.
+#[derive(Clone, Debug)]
+pub struct ThreadCtx {
+    monitor: Monitor,
+    tid: Tid,
+}
+
+impl ThreadCtx {
+    /// This thread's analysis id.
+    pub fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    /// Spawns a monitored thread: emits `fork`, runs `f` with the child's
+    /// context, and returns a handle whose [`MonitoredJoinHandle::join`]
+    /// emits `join`.
+    pub fn spawn<F>(&self, f: F) -> MonitoredJoinHandle
+    where
+        F: FnOnce(ThreadCtx) + Send + 'static,
+    {
+        let child_tid = {
+            let mut s = self.monitor.inner.ids.lock();
+            let tid = Tid::new(s.next_tid);
+            s.next_tid += 1;
+            tid
+        };
+        // Fork is logged before the child can run: program order is sound.
+        self.monitor.inner.emit(Op::Fork(self.tid, child_tid));
+        let ctx = ThreadCtx {
+            monitor: self.monitor.clone(),
+            tid: child_tid,
+        };
+        let handle = std::thread::spawn(move || f(ctx));
+        MonitoredJoinHandle {
+            monitor: self.monitor.clone(),
+            child: child_tid,
+            handle,
+        }
+    }
+}
+
+/// Handle returned by [`ThreadCtx::spawn`].
+#[derive(Debug)]
+pub struct MonitoredJoinHandle {
+    monitor: Monitor,
+    child: Tid,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl MonitoredJoinHandle {
+    /// Waits for the child thread, then logs the `join` edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the child thread panicked.
+    pub fn join(self, ctx: &ThreadCtx) {
+        self.handle.join().expect("monitored thread panicked");
+        // Logged after the child's last event: join order is sound.
+        self.monitor.inner.emit(Op::Join(ctx.tid, self.child));
+    }
+}
+
+/// A shared variable whose reads and writes are reported to the detector.
+///
+/// The value itself is stored behind an internal `RwLock`, so the *data* is
+/// always accessed safely — what the detector judges is whether the
+/// *logical* accesses are ordered by the monitored synchronization. This is
+/// how a Rust program can exhibit (and detect) the access patterns that
+/// would be races in C/Java without undefined behaviour.
+pub struct TrackedVar<T> {
+    monitor: Monitor,
+    var: VarId,
+    value: Arc<parking_lot::RwLock<T>>,
+}
+
+impl<T> Clone for TrackedVar<T> {
+    fn clone(&self) -> Self {
+        TrackedVar {
+            monitor: self.monitor.clone(),
+            var: self.var,
+            value: Arc::clone(&self.value),
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync> TrackedVar<T> {
+    /// Reads the value (logs a `rd` event).
+    pub fn get(&self, ctx: &ThreadCtx) -> T {
+        self.monitor.inner.emit(Op::Read(ctx.tid, self.var));
+        self.value.read().clone()
+    }
+
+    /// Writes the value (logs a `wr` event).
+    pub fn set(&self, ctx: &ThreadCtx, value: T) {
+        self.monitor.inner.emit(Op::Write(ctx.tid, self.var));
+        *self.value.write() = value;
+    }
+
+    /// The analysis id of this variable.
+    pub fn var_id(&self) -> VarId {
+        self.var
+    }
+}
+
+impl<T> std::fmt::Debug for TrackedVar<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrackedVar").field("var", &self.var).finish()
+    }
+}
+
+/// A mutex whose acquires and releases are reported to the detector.
+pub struct MonitoredMutex<T> {
+    monitor: Monitor,
+    lock_id: LockId,
+    data: Arc<Mutex<T>>,
+}
+
+impl<T> Clone for MonitoredMutex<T> {
+    fn clone(&self) -> Self {
+        MonitoredMutex {
+            monitor: self.monitor.clone(),
+            lock_id: self.lock_id,
+            data: Arc::clone(&self.data),
+        }
+    }
+}
+
+impl<T: Send> MonitoredMutex<T> {
+    /// Acquires the mutex; the guard logs the release when dropped.
+    pub fn lock(&self, ctx: &ThreadCtx) -> MonitoredGuard<'_, T> {
+        let guard = self.data.lock();
+        // Acquire is logged after the real lock is held, release before it
+        // is dropped: the logged acquire/release order matches reality.
+        self.monitor.inner.emit(Op::Acquire(ctx.tid, self.lock_id));
+        MonitoredGuard {
+            monitor: self.monitor.clone(),
+            lock_id: self.lock_id,
+            tid: ctx.tid,
+            guard: Some(guard),
+        }
+    }
+
+    /// The analysis id of this lock.
+    pub fn lock_id(&self) -> LockId {
+        self.lock_id
+    }
+}
+
+impl<T> std::fmt::Debug for MonitoredMutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonitoredMutex")
+            .field("lock", &self.lock_id)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Guard for a [`MonitoredMutex`]; logs the release on drop.
+pub struct MonitoredGuard<'a, T> {
+    monitor: Monitor,
+    lock_id: LockId,
+    tid: Tid,
+    guard: Option<parking_lot::MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for MonitoredGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MonitoredGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for MonitoredGuard<'_, T> {
+    fn drop(&mut self) {
+        // Log the release while still holding the real lock.
+        self.monitor.inner.emit(Op::Release(self.tid, self.lock_id));
+        self.guard.take();
+    }
+}
+
+/// A condition variable for [`MonitoredMutex`] guards.
+///
+/// `wait` is modeled per §4 of the paper — "in terms of the underlying
+/// release and subsequent acquisition" of the mutex: the release is logged
+/// before the thread blocks (while it still holds the real lock) and the
+/// acquire after it wakes up holding it again, so any thread that held the
+/// mutex in between is correctly ordered. Notifications induce no
+/// happens-before edge of their own.
+#[derive(Default)]
+pub struct MonitoredCondvar {
+    condvar: Condvar,
+}
+
+impl MonitoredCondvar {
+    /// Creates a condition variable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Releases the guard's mutex, blocks until notified, re-acquires.
+    ///
+    /// Spurious wakeups are possible, exactly as with
+    /// [`parking_lot::Condvar`]; guard waits with a predicate loop.
+    pub fn wait<T>(&self, ctx: &ThreadCtx, guard: &mut MonitoredGuard<'_, T>) {
+        let monitor = guard.monitor.clone();
+        let lock_id = guard.lock_id;
+        // Logged while still holding the real lock (sound release order).
+        monitor.inner.emit(Op::Release(ctx.tid, lock_id));
+        self.condvar
+            .wait(guard.guard.as_mut().expect("guard present until drop"));
+        // Awake and holding the lock again (sound acquire order).
+        monitor.inner.emit(Op::Acquire(ctx.tid, lock_id));
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.condvar.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.condvar.notify_all();
+    }
+}
+
+impl std::fmt::Debug for MonitoredCondvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonitoredCondvar").finish()
+    }
+}
+
+struct BarrierState {
+    arrived: Vec<Tid>,
+    generation: u64,
+}
+
+struct BarrierInner {
+    state: Mutex<BarrierState>,
+    condvar: Condvar,
+    parties: usize,
+}
+
+/// A cyclic barrier whose releases are reported as `barrier_rel(T)` events
+/// (the §4 extension).
+#[derive(Clone)]
+pub struct MonitoredBarrier {
+    monitor: Monitor,
+    inner: Arc<BarrierInner>,
+}
+
+impl MonitoredBarrier {
+    /// Blocks until all parties arrive; the last arriver logs the
+    /// barrier-release event for the whole set.
+    pub fn wait(&self, ctx: &ThreadCtx) {
+        let mut state = self.inner.state.lock();
+        let generation = state.generation;
+        state.arrived.push(ctx.tid);
+        if state.arrived.len() == self.inner.parties {
+            let released = std::mem::take(&mut state.arrived);
+            state.generation += 1;
+            // Logged before anyone is released: post-barrier events of all
+            // parties come after the barrier_rel event.
+            self.monitor.inner.emit(Op::BarrierRelease(released));
+            self.inner.condvar.notify_all();
+        } else {
+            while state.generation == generation {
+                self.inner.condvar.wait(&mut state);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MonitoredBarrier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonitoredBarrier")
+            .field("parties", &self.inner.parties)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fasttrack::FastTrack;
+
+    #[test]
+    fn race_free_locked_counter() {
+        let monitor = Monitor::new(FastTrack::new());
+        let counter = monitor.tracked_var(0u64);
+        let lock = monitor.mutex(());
+        let root = monitor.root();
+
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let counter = counter.clone();
+                let lock = lock.clone();
+                root.spawn(move |ctx| {
+                    for _ in 0..25 {
+                        let _g = lock.lock(&ctx);
+                        let v = counter.get(&ctx);
+                        counter.set(&ctx, v + 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join(&root);
+        }
+        assert_eq!(counter.get(&root), 100);
+        let report = monitor.report();
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+        assert!(report.stats.ops > 100);
+    }
+
+    #[test]
+    fn unlocked_counter_races() {
+        let monitor = Monitor::new(FastTrack::new());
+        let counter = monitor.tracked_var(0u64);
+        let root = monitor.root();
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = counter.clone();
+                root.spawn(move |ctx| {
+                    let v = counter.get(&ctx);
+                    counter.set(&ctx, v + 1);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join(&root);
+        }
+        let report = monitor.report();
+        assert_eq!(report.warnings.len(), 1, "{:?}", report.warnings);
+    }
+
+    #[test]
+    fn fork_join_publication_is_race_free() {
+        let monitor = Monitor::new(FastTrack::new());
+        let data = monitor.tracked_var(0u64);
+        let root = monitor.root();
+        data.set(&root, 41);
+        let child = {
+            let data = data.clone();
+            root.spawn(move |ctx| {
+                let v = data.get(&ctx);
+                data.set(&ctx, v + 1);
+            })
+        };
+        child.join(&root);
+        assert_eq!(data.get(&root), 42);
+        assert!(monitor.report().warnings.is_empty());
+    }
+
+    #[test]
+    fn condvar_handoff_is_race_free() {
+        // Producer sets data then signals under the mutex; consumer waits
+        // with a predicate loop then reads data WITHOUT the lock — ordered
+        // via the condvar's release/acquire, so race-free.
+        let monitor = Monitor::new(FastTrack::new());
+        let data = monitor.tracked_var(0u64);
+        let ready = monitor.mutex(false);
+        let cv = Arc::new(MonitoredCondvar::new());
+        let root = monitor.root();
+
+        let consumer = {
+            let (data, ready, cv) = (data.clone(), ready.clone(), Arc::clone(&cv));
+            root.spawn(move |ctx| {
+                let mut guard = ready.lock(&ctx);
+                while !*guard {
+                    cv.wait(&ctx, &mut guard);
+                }
+                drop(guard);
+                assert_eq!(data.get(&ctx), 42);
+            })
+        };
+
+        data.set(&root, 42);
+        {
+            let mut guard = ready.lock(&root);
+            *guard = true;
+            cv.notify_all();
+        }
+        consumer.join(&root);
+        let report = monitor.report();
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    }
+
+    #[test]
+    fn condvar_without_predicate_data_transfer_is_caught() {
+        // The consumer reads data that was written by the producer WITHOUT
+        // any mutex involvement on the producer side: racy.
+        let monitor = Monitor::new(FastTrack::new());
+        let data = monitor.tracked_var(0u64);
+        let gate = monitor.mutex(());
+        let cv = Arc::new(MonitoredCondvar::new());
+        let root = monitor.root();
+
+        let consumer = {
+            let (data, gate, cv) = (data.clone(), gate.clone(), Arc::clone(&cv));
+            root.spawn(move |ctx| {
+                {
+                    let mut g = gate.lock(&ctx);
+                    cv.wait(&ctx, &mut g);
+                }
+                let _ = data.get(&ctx);
+            })
+        };
+        data.set(&root, 7); // no lock: the race
+        // Notify in a loop until the consumer is done, so a wakeup sent
+        // before the consumer reaches its wait cannot hang the test.
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let notifier = {
+            let (cv, stop) = (Arc::clone(&cv), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    cv.notify_all();
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            })
+        };
+        consumer.join(&root);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        notifier.join().unwrap();
+        let report = monitor.report();
+        assert_eq!(report.warnings.len(), 1, "{:?}", report.warnings);
+    }
+
+    #[test]
+    fn buffered_mode_matches_direct_mode() {
+        for make in [Monitor::new::<FastTrack> as fn(FastTrack) -> Monitor, Monitor::buffered] {
+            let monitor = make(FastTrack::new());
+            let counter = monitor.tracked_var(0u64);
+            let lock = monitor.mutex(());
+            let racy = monitor.tracked_var(0u64);
+            let root = monitor.root();
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let (counter, lock, racy) = (counter.clone(), lock.clone(), racy.clone());
+                    root.spawn(move |ctx| {
+                        for _ in 0..50 {
+                            let _g = lock.lock(&ctx);
+                            let v = counter.get(&ctx);
+                            counter.set(&ctx, v + 1);
+                        }
+                        racy.set(&ctx, 1);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join(&root);
+            }
+            let report = monitor.report();
+            assert_eq!(report.warnings.len(), 1, "{:?}", report.warnings);
+            assert_eq!(counter.get(&root), 150);
+            // report() after the final join observes every event.
+            assert!(report.stats.ops >= 3 * (50 * 4) as u64);
+        }
+    }
+
+    #[test]
+    fn buffered_report_synchronizes_with_emitted_events() {
+        let monitor = Monitor::buffered(FastTrack::new());
+        let v = monitor.tracked_var(0u8);
+        let root = monitor.root();
+        for _ in 0..1_000 {
+            v.set(&root, 1);
+        }
+        // All 1000 writes were emitted before this call; the snapshot
+        // round-trip must reflect them even though analysis is async.
+        assert_eq!(monitor.report().stats.writes, 1_000);
+    }
+
+    #[test]
+    fn barrier_phases_are_race_free() {
+        let monitor = Monitor::new(FastTrack::new());
+        let a = monitor.tracked_var(0u64);
+        let b = monitor.tracked_var(0u64);
+        let barrier = monitor.barrier(2);
+        let root = monitor.root();
+        let child = {
+            let (a, b, barrier) = (a.clone(), b.clone(), barrier.clone());
+            root.spawn(move |ctx| {
+                a.set(&ctx, 1);
+                barrier.wait(&ctx);
+                let _ = b.get(&ctx);
+            })
+        };
+        b.set(&root, 1);
+        barrier.wait(&root);
+        let _ = a.get(&root);
+        child.join(&root);
+        assert!(monitor.report().warnings.is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! Tool composition: the `-tool A:B` chaining of §5.2.
+
+use fasttrack::{Detector, Disposition, Stats, Warning};
+use ft_trace::{Op, Trace};
+
+/// Per-stage results after a pipeline run.
+#[derive(Debug)]
+pub struct StageReport {
+    /// The stage's tool name.
+    pub name: &'static str,
+    /// Events this stage actually received.
+    pub events_seen: u64,
+    /// Events this stage suppressed (not passed downstream).
+    pub events_suppressed: u64,
+    /// Warnings the stage produced.
+    pub warnings: Vec<Warning>,
+}
+
+/// A chain of detectors where each stage filters the event stream for the
+/// next, mirroring RoadRunner's `-tool FastTrack:Velodrome` composition:
+/// "FASTTRACK … filters out race-free memory accesses from the event stream
+/// and passes all other events on to VELODROME."
+///
+/// # Example
+///
+/// ```
+/// use fasttrack::{Detector, FastTrack, Empty};
+/// use ft_runtime::Pipeline;
+/// use ft_trace::gen::{self, GenConfig};
+///
+/// let trace = gen::generate(&GenConfig::race_free(), 3);
+/// let mut p = Pipeline::new(vec![
+///     Box::new(FastTrack::new()),
+///     Box::new(Empty::new()), // stand-in for a heavyweight checker
+/// ]);
+/// p.run(&trace);
+/// let reports = p.stage_reports();
+/// // The prefilter suppressed every race-free access, so the downstream
+/// // tool saw only the synchronization skeleton.
+/// assert!(reports[1].events_seen < reports[0].events_seen);
+/// ```
+pub struct Pipeline {
+    stages: Vec<Box<dyn Detector + Send>>,
+    seen: Vec<u64>,
+    suppressed: Vec<u64>,
+    stats: Stats,
+}
+
+impl Pipeline {
+    /// Builds a pipeline from its stages, upstream first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    pub fn new(stages: Vec<Box<dyn Detector + Send>>) -> Self {
+        assert!(!stages.is_empty(), "a pipeline needs at least one stage");
+        let n = stages.len();
+        Pipeline {
+            stages,
+            seen: vec![0; n],
+            suppressed: vec![0; n],
+            stats: Stats::new(),
+        }
+    }
+
+    /// The stages, upstream first.
+    pub fn stages(&self) -> &[Box<dyn Detector + Send>] {
+        &self.stages
+    }
+
+    /// Per-stage reports (event counts and warnings).
+    pub fn stage_reports(&self) -> Vec<StageReport> {
+        self.stages
+            .iter()
+            .enumerate()
+            .map(|(i, stage)| StageReport {
+                name: stage.name(),
+                events_seen: self.seen[i],
+                events_suppressed: self.suppressed[i],
+                warnings: stage.warnings().to_vec(),
+            })
+            .collect()
+    }
+}
+
+impl Detector for Pipeline {
+    fn name(&self) -> &'static str {
+        "PIPELINE"
+    }
+
+    fn on_op(&mut self, index: usize, op: &Op) -> Disposition {
+        self.stats.ops += 1;
+        match op {
+            Op::Read(..) => self.stats.reads += 1,
+            Op::Write(..) => self.stats.writes += 1,
+            _ => self.stats.sync_ops += 1,
+        }
+        for (i, stage) in self.stages.iter_mut().enumerate() {
+            self.seen[i] += 1;
+            if stage.on_op(index, op) == Disposition::Suppress {
+                self.suppressed[i] += 1;
+                return Disposition::Suppress;
+            }
+        }
+        Disposition::Forward
+    }
+
+    fn warnings(&self) -> &[Warning] {
+        // The pipeline's own warnings are the *last* stage's (the checker
+        // being accelerated); use `stage_reports` for the full picture.
+        self.stages.last().expect("nonempty").warnings()
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn shadow_bytes(&self) -> usize {
+        self.stages.iter().map(|s| s.shadow_bytes()).sum()
+    }
+}
+
+/// Replays a trace through a pipeline (convenience mirroring
+/// [`Detector::run`], which needs `Sized`).
+pub fn run_pipeline(pipeline: &mut Pipeline, trace: &Trace) {
+    for (i, op) in trace.events().iter().enumerate() {
+        pipeline.on_op(i, op);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fasttrack::{Empty, FastTrack};
+    use ft_clock::Tid;
+    use ft_trace::{TraceBuilder, VarId};
+
+    #[test]
+    fn prefilter_reduces_downstream_events() {
+        let mut b = TraceBuilder::with_threads(2);
+        for _ in 0..50 {
+            b.read(Tid::new(0), VarId::new(0)).unwrap();
+        }
+        b.write(Tid::new(0), VarId::new(1)).unwrap();
+        b.write(Tid::new(1), VarId::new(1)).unwrap(); // the only race
+        let trace = b.finish();
+
+        let mut p = Pipeline::new(vec![
+            Box::new(FastTrack::new()),
+            Box::new(Empty::new()),
+        ]);
+        p.run(&trace);
+        let reports = p.stage_reports();
+        assert_eq!(reports[0].events_seen, 52);
+        // Downstream sees only the racy variable's accesses.
+        assert_eq!(reports[1].events_seen, 1);
+        assert_eq!(reports[0].warnings.len(), 1);
+    }
+
+    #[test]
+    fn sync_ops_always_flow_through() {
+        let mut b = TraceBuilder::with_threads(2);
+        b.acquire(Tid::new(0), ft_trace::LockId::new(0)).unwrap();
+        b.release(Tid::new(0), ft_trace::LockId::new(0)).unwrap();
+        let trace = b.finish();
+
+        let mut p = Pipeline::new(vec![
+            Box::new(FastTrack::new()),
+            Box::new(Empty::new()),
+        ]);
+        p.run(&trace);
+        assert_eq!(p.stage_reports()[1].events_seen, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_pipeline_rejected() {
+        let _ = Pipeline::new(Vec::new());
+    }
+}

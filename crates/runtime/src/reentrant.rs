@@ -1,0 +1,158 @@
+//! Re-entrant lock filtering.
+//!
+//! Java monitors are re-entrant; the trace model of §2.1 (and every
+//! detector) assumes they are not. RoadRunner therefore strips nested
+//! acquires/releases before tools see them: "Re-entrant lock acquires and
+//! releases (which are redundant) are filtered out by ROADRUNNER to
+//! simplify these analyses." [`ReentrancyFilter`] performs the same
+//! normalization on raw event streams (e.g. from the online runtime or a
+//! foreign trace capture).
+
+use ft_clock::Tid;
+use ft_trace::{LockId, Op};
+use std::collections::HashMap;
+
+/// Streams raw (possibly re-entrant) events into normalized ones.
+///
+/// # Example
+///
+/// ```
+/// use ft_runtime::ReentrancyFilter;
+/// use ft_trace::{LockId, Op};
+/// use ft_clock::Tid;
+///
+/// let t = Tid::new(0);
+/// let m = LockId::new(0);
+/// let mut f = ReentrancyFilter::new();
+/// assert!(f.admit(&Op::Acquire(t, m)));  // outermost: kept
+/// assert!(!f.admit(&Op::Acquire(t, m))); // nested: dropped
+/// assert!(!f.admit(&Op::Release(t, m))); // inner release: dropped
+/// assert!(f.admit(&Op::Release(t, m)));  // outermost release: kept
+/// ```
+#[derive(Debug, Default)]
+pub struct ReentrancyFilter {
+    depth: HashMap<(Tid, LockId), u32>,
+    dropped: u64,
+}
+
+impl ReentrancyFilter {
+    /// Creates a filter with no locks held.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` if the event should be kept, `false` if it is a
+    /// redundant nested acquire/release. Non-lock events are always kept.
+    pub fn admit(&mut self, op: &Op) -> bool {
+        match *op {
+            Op::Acquire(t, m) => {
+                let d = self.depth.entry((t, m)).or_insert(0);
+                *d += 1;
+                if *d == 1 {
+                    true
+                } else {
+                    self.dropped += 1;
+                    false
+                }
+            }
+            Op::Release(t, m) => {
+                let d = self.depth.entry((t, m)).or_insert(0);
+                if *d == 0 {
+                    // Unmatched release: keep it and let feasibility
+                    // checking report the defect downstream.
+                    return true;
+                }
+                *d -= 1;
+                if *d == 0 {
+                    true
+                } else {
+                    self.dropped += 1;
+                    false
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// Normalizes a whole raw event sequence.
+    pub fn normalize(ops: impl IntoIterator<Item = Op>) -> Vec<Op> {
+        let mut f = ReentrancyFilter::new();
+        ops.into_iter().filter(|op| f.admit(op)).collect()
+    }
+
+    /// Number of redundant events dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_trace::{validate, VarId};
+
+    const T0: Tid = Tid::new(0);
+    const T1: Tid = Tid::new(1);
+    const M: LockId = LockId::new(0);
+    const N: LockId = LockId::new(1);
+
+    #[test]
+    fn nested_acquires_are_dropped() {
+        let raw = vec![
+            Op::Acquire(T0, M),
+            Op::Acquire(T0, M),
+            Op::Write(T0, VarId::new(0)),
+            Op::Release(T0, M),
+            Op::Release(T0, M),
+        ];
+        let normalized = ReentrancyFilter::normalize(raw);
+        assert_eq!(normalized.len(), 3);
+        // And the result is feasible in the §2.1 model.
+        assert!(validate(&normalized).is_ok());
+    }
+
+    #[test]
+    fn different_locks_are_independent() {
+        let raw = vec![
+            Op::Acquire(T0, M),
+            Op::Acquire(T0, N),
+            Op::Release(T0, N),
+            Op::Release(T0, M),
+        ];
+        assert_eq!(ReentrancyFilter::normalize(raw).len(), 4);
+    }
+
+    #[test]
+    fn different_threads_are_independent() {
+        let mut f = ReentrancyFilter::new();
+        assert!(f.admit(&Op::Acquire(T0, M)));
+        // T1's acquire of the same lock is not a re-entry (it is an error
+        // the feasibility checker will catch — not this filter's job).
+        assert!(f.admit(&Op::Acquire(T1, M)));
+    }
+
+    #[test]
+    fn triple_nesting() {
+        let raw = vec![
+            Op::Acquire(T0, M),
+            Op::Acquire(T0, M),
+            Op::Acquire(T0, M),
+            Op::Release(T0, M),
+            Op::Release(T0, M),
+            Op::Release(T0, M),
+        ];
+        let normalized = ReentrancyFilter::normalize(raw);
+        assert_eq!(normalized.len(), 2);
+        let mut f = ReentrancyFilter::new();
+        for op in [Op::Acquire(T0, M), Op::Acquire(T0, M)] {
+            f.admit(&op);
+        }
+        assert_eq!(f.dropped(), 1);
+    }
+
+    #[test]
+    fn unmatched_release_passes_through() {
+        let mut f = ReentrancyFilter::new();
+        assert!(f.admit(&Op::Release(T0, M)));
+    }
+}

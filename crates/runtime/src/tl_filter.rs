@@ -1,0 +1,120 @@
+//! The "TL" thread-local prefilter of §5.2.
+
+use fasttrack::{Detector, Disposition, Stats, Warning};
+use ft_clock::Tid;
+use ft_trace::{Op, VarId};
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Ownership {
+    Untouched,
+    OwnedBy(Tid),
+    Shared,
+}
+
+/// A cheap prefilter that "filters out only accesses to thread-local data":
+/// an access is suppressed while its variable has been touched by a single
+/// thread, and forwarded forever once a second thread appears.
+///
+/// This is the `TL` column of the §5.2 analysis-composition table — much
+/// weaker than a race-detector prefilter, but nearly free.
+#[derive(Debug, Default)]
+pub struct ThreadLocalFilter {
+    owners: Vec<Ownership>,
+    stats: Stats,
+}
+
+impl ThreadLocalFilter {
+    /// Creates the filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn classify(&mut self, t: Tid, x: VarId) -> Disposition {
+        let idx = x.as_usize();
+        if idx >= self.owners.len() {
+            self.owners.resize(idx + 1, Ownership::Untouched);
+        }
+        match self.owners[idx] {
+            Ownership::Untouched => {
+                self.owners[idx] = Ownership::OwnedBy(t);
+                Disposition::Suppress
+            }
+            Ownership::OwnedBy(owner) if owner == t => Disposition::Suppress,
+            Ownership::OwnedBy(_) => {
+                self.owners[idx] = Ownership::Shared;
+                Disposition::Forward
+            }
+            Ownership::Shared => Disposition::Forward,
+        }
+    }
+}
+
+impl Detector for ThreadLocalFilter {
+    fn name(&self) -> &'static str {
+        "TL"
+    }
+
+    fn on_op(&mut self, _index: usize, op: &Op) -> Disposition {
+        self.stats.ops += 1;
+        match op {
+            Op::Read(t, x) => {
+                self.stats.reads += 1;
+                self.classify(*t, *x)
+            }
+            Op::Write(t, x) => {
+                self.stats.writes += 1;
+                self.classify(*t, *x)
+            }
+            _ => {
+                self.stats.sync_ops += 1;
+                Disposition::Forward
+            }
+        }
+    }
+
+    fn warnings(&self) -> &[Warning] {
+        &[]
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn shadow_bytes(&self) -> usize {
+        self.owners.capacity() * std::mem::size_of::<Ownership>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: Tid = Tid::new(0);
+    const T1: Tid = Tid::new(1);
+    const X: VarId = VarId::new(0);
+
+    #[test]
+    fn suppresses_single_owner_accesses() {
+        let mut f = ThreadLocalFilter::new();
+        assert_eq!(f.on_op(0, &Op::Read(T0, X)), Disposition::Suppress);
+        assert_eq!(f.on_op(1, &Op::Write(T0, X)), Disposition::Suppress);
+    }
+
+    #[test]
+    fn forwards_once_shared_forever() {
+        let mut f = ThreadLocalFilter::new();
+        f.on_op(0, &Op::Write(T0, X));
+        assert_eq!(f.on_op(1, &Op::Read(T1, X)), Disposition::Forward);
+        // Even the original owner's accesses are now forwarded.
+        assert_eq!(f.on_op(2, &Op::Read(T0, X)), Disposition::Forward);
+    }
+
+    #[test]
+    fn sync_always_forwarded() {
+        let mut f = ThreadLocalFilter::new();
+        assert_eq!(
+            f.on_op(0, &Op::Acquire(T0, ft_trace::LockId::new(0))),
+            Disposition::Forward
+        );
+    }
+}

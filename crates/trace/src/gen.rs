@@ -1,0 +1,444 @@
+//! Seeded random generation of feasible traces.
+//!
+//! Two generators with different purposes:
+//!
+//! * [`generate`] — *structured* workloads: every variable is assigned one
+//!   of the sharing disciplines the paper identifies (§1: "the vast majority
+//!   of data in multithreaded programs is either thread local, lock
+//!   protected, or read shared"), plus an optional fraction of deliberately
+//!   racy variables. Mix parameters control the read/write/sync ratios so
+//!   benchmarks can dial in the Figure 2 operation mix.
+//! * [`chaotic`] — *unstructured* traces: random operations filtered through
+//!   the feasibility checker. These explore odd corners (forks of forks,
+//!   lock hand-offs, barrier/volatile interleavings) and are the workhorse
+//!   of the precision property tests.
+//!
+//! Both are deterministic functions of their seed.
+
+use crate::builder::TraceBuilder;
+use crate::event::{LockId, ObjId, Op, VarId};
+use crate::trace::Trace;
+use ft_clock::Tid;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// The sharing discipline assigned to a generated variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Discipline {
+    /// Accessed by a single thread only.
+    ThreadLocal(Tid),
+    /// Every access holds the given lock.
+    LockProtected(LockId),
+    /// Written once during single-threaded initialization, then only read.
+    ReadShared,
+    /// Free-for-all: unsynchronized accesses (certainly racy under
+    /// contention).
+    Racy,
+}
+
+/// Parameters for the structured generator.
+///
+/// The discipline weights need not sum to 1; they are normalized. The
+/// default configuration approximates the paper's aggregate operation mix
+/// (~82% reads, ~15% writes, ~3% synchronization) with no races.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Worker thread count (≥ 1). With [`GenConfig::fork_join`], thread 0 is
+    /// the main thread that forks and joins workers `1..threads`.
+    pub threads: u32,
+    /// Number of shared variables.
+    pub vars: u32,
+    /// Number of locks available for lock-protected variables.
+    pub locks: u32,
+    /// Approximate number of events to generate (the actual count varies
+    /// slightly because critical sections emit acquire/release pairs).
+    pub ops: usize,
+    /// Wrap the workload in fork-all/join-all by thread 0. Required for
+    /// race-free read-shared data (the initializing writes must
+    /// happen-before the readers).
+    pub fork_join: bool,
+    /// Weight of thread-local variables.
+    pub w_thread_local: f64,
+    /// Weight of lock-protected variables.
+    pub w_lock_protected: f64,
+    /// Weight of read-shared variables.
+    pub w_read_shared: f64,
+    /// Weight of racy variables (0 for race-free traces).
+    pub w_racy: f64,
+    /// Average reads per write (controls the read/write ratio).
+    pub reads_per_write: u32,
+    /// Accesses bundled inside one acquire/release critical section.
+    pub accesses_per_cs: u32,
+    /// Per-step probability of a global barrier across all workers.
+    pub p_barrier: f64,
+    /// Per-step probability of a volatile write/read pair hand-off.
+    pub p_volatile: f64,
+    /// Group variables into objects of this size (for coarse-grain studies).
+    pub vars_per_object: u32,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            threads: 4,
+            vars: 64,
+            locks: 8,
+            ops: 4_000,
+            fork_join: true,
+            w_thread_local: 0.55,
+            w_lock_protected: 0.30,
+            w_read_shared: 0.15,
+            w_racy: 0.0,
+            reads_per_write: 6,
+            accesses_per_cs: 4,
+            p_barrier: 0.0005,
+            p_volatile: 0.001,
+            vars_per_object: 1,
+        }
+    }
+}
+
+impl GenConfig {
+    /// A race-free configuration (zero racy weight). This is the default.
+    pub fn race_free() -> Self {
+        GenConfig::default()
+    }
+
+    /// A configuration where a fraction of variables are racy.
+    pub fn with_races(mut self, w_racy: f64) -> Self {
+        self.w_racy = w_racy;
+        self
+    }
+}
+
+/// Generates a structured, feasible trace. Deterministic in `(cfg, seed)`.
+///
+/// # Panics
+///
+/// Panics if `cfg.threads == 0` or `cfg.vars == 0`.
+pub fn generate(cfg: &GenConfig, seed: u64) -> Trace {
+    assert!(cfg.threads >= 1, "need at least one thread");
+    assert!(cfg.vars >= 1, "need at least one variable");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // With fork/join the workers must be *forked* (not pre-existing), so
+    // only the main thread is pre-registered in that mode.
+    let mut b = if cfg.fork_join && cfg.threads > 1 {
+        TraceBuilder::with_threads(1)
+    } else {
+        TraceBuilder::with_threads(cfg.threads)
+    };
+
+    // Assign disciplines.
+    let total_w = cfg.w_thread_local + cfg.w_lock_protected + cfg.w_read_shared + cfg.w_racy;
+    assert!(total_w > 0.0, "discipline weights must not all be zero");
+    let workers: Vec<Tid> = if cfg.fork_join && cfg.threads > 1 {
+        (1..cfg.threads).map(Tid::new).collect()
+    } else {
+        (0..cfg.threads).map(Tid::new).collect()
+    };
+    let disciplines: Vec<Discipline> = (0..cfg.vars)
+        .map(|_| {
+            let roll = rng.gen::<f64>() * total_w;
+            if roll < cfg.w_thread_local {
+                Discipline::ThreadLocal(*workers.choose(&mut rng).expect("nonempty workers"))
+            } else if roll < cfg.w_thread_local + cfg.w_lock_protected {
+                let m = if cfg.locks == 0 { 0 } else { rng.gen_range(0..cfg.locks) };
+                Discipline::LockProtected(LockId::new(m))
+            } else if roll < cfg.w_thread_local + cfg.w_lock_protected + cfg.w_read_shared {
+                Discipline::ReadShared
+            } else {
+                Discipline::Racy
+            }
+        })
+        .collect();
+
+    // Group vars into objects.
+    if cfg.vars_per_object > 1 {
+        for v in 0..cfg.vars {
+            b.set_var_object(VarId::new(v), ObjId::new(v / cfg.vars_per_object));
+        }
+    }
+
+    let main = Tid::new(0);
+
+    // Initialization phase: main writes read-shared (and racy) variables so
+    // read-shared data has a well-defined initializing write.
+    if cfg.fork_join {
+        for (v, d) in disciplines.iter().enumerate() {
+            if matches!(d, Discipline::ReadShared) {
+                b.write(main, VarId::new(v as u32)).expect("feasible init write");
+            }
+        }
+        for &w in &workers {
+            b.fork(main, w).expect("feasible fork");
+        }
+    }
+
+    // Volatile hand-off flags live beyond the data vars.
+    let volatile_var = VarId::new(cfg.vars);
+
+    // Per-variable, per-discipline access emission.
+    let mut emitted = b.len();
+    let target = cfg.ops;
+    while emitted < target {
+        let &t = workers.choose(&mut rng).expect("nonempty workers");
+        if cfg.p_barrier > 0.0 && workers.len() > 1 && rng.gen_bool(cfg.p_barrier) {
+            b.barrier_release(workers.clone()).expect("feasible barrier");
+            emitted = b.len();
+            continue;
+        }
+        if cfg.p_volatile > 0.0 && rng.gen_bool(cfg.p_volatile) {
+            // A volatile publish/subscribe pair between two random workers.
+            let &u = workers.choose(&mut rng).expect("nonempty workers");
+            b.volatile_write(t, volatile_var).expect("feasible volatile write");
+            b.volatile_read(u, volatile_var).expect("feasible volatile read");
+            emitted = b.len();
+            continue;
+        }
+
+        // Pick a variable this thread is allowed to touch.
+        let v = rng.gen_range(0..cfg.vars);
+        let x = VarId::new(v);
+        let is_write = |rng: &mut ChaCha8Rng, cfg: &GenConfig| {
+            rng.gen_range(0..=cfg.reads_per_write) == 0
+        };
+        match disciplines[v as usize] {
+            Discipline::ThreadLocal(owner) => {
+                let burst = rng.gen_range(1..=cfg.accesses_per_cs.max(1));
+                for _ in 0..burst {
+                    if is_write(&mut rng, cfg) {
+                        b.write(owner, x).expect("feasible thread-local write");
+                    } else {
+                        b.read(owner, x).expect("feasible thread-local read");
+                    }
+                }
+            }
+            Discipline::LockProtected(m) => {
+                let burst = rng.gen_range(1..=cfg.accesses_per_cs.max(1));
+                b.release_after_acquire(t, m, |b| {
+                    for _ in 0..burst {
+                        if rng.gen_range(0..=cfg.reads_per_write) == 0 {
+                            b.write(t, x)?;
+                        } else {
+                            b.read(t, x)?;
+                        }
+                    }
+                    Ok(())
+                })
+                .expect("feasible critical section");
+            }
+            Discipline::ReadShared => {
+                if cfg.fork_join {
+                    b.read(t, x).expect("feasible shared read");
+                } else {
+                    // Without fork/join ordering an initializing write would
+                    // race; emit reads only.
+                    b.read(t, x).expect("feasible shared read");
+                }
+            }
+            Discipline::Racy => {
+                if is_write(&mut rng, cfg) {
+                    b.write(t, x).expect("feasible racy write");
+                } else {
+                    b.read(t, x).expect("feasible racy read");
+                }
+            }
+        }
+        emitted = b.len();
+    }
+
+    if cfg.fork_join {
+        for &w in &workers {
+            b.join(main, w).expect("feasible join");
+        }
+        // Main reads a few variables after joining (all ordered).
+        for v in 0..cfg.vars.min(4) {
+            b.read(main, VarId::new(v)).expect("feasible post-join read");
+        }
+    }
+
+    b.finish()
+}
+
+/// Generates an unstructured feasible trace by proposing random operations
+/// and keeping those the feasibility checker accepts.
+///
+/// Useful for property tests: covers fork/join/lock/barrier/volatile corner
+/// cases that the structured generator never produces. Deterministic in its
+/// arguments.
+pub fn chaotic(threads: u32, vars: u32, locks: u32, ops: usize, seed: u64) -> Trace {
+    let threads = threads.max(1);
+    let vars = vars.max(1);
+    let locks = locks.max(1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Half the thread budget pre-exists; the rest must be forked, so the
+    // generator exercises real fork/join structure.
+    let preexisting = (threads / 2).max(1);
+    let mut b = TraceBuilder::with_threads(preexisting);
+    let mut started: Vec<Tid> = (0..preexisting).map(Tid::new).collect();
+    let mut unstarted: Vec<Tid> = (preexisting..threads).map(Tid::new).collect();
+    let mut joinable: Vec<Tid> = Vec::new();
+    let mut attempts = 0usize;
+    let max_attempts = ops.saturating_mul(4).max(16);
+    while b.len() < ops && attempts < max_attempts {
+        attempts += 1;
+        let t = *started.choose(&mut rng).expect("at least one started thread");
+        let accepted = match rng.gen_range(0..12u32) {
+            0..=4 => b.read(t, VarId::new(rng.gen_range(0..vars))).is_ok(),
+            5..=6 => b.write(t, VarId::new(rng.gen_range(0..vars))).is_ok(),
+            7 => b.acquire(t, LockId::new(rng.gen_range(0..locks))).is_ok(),
+            8 => b.release(t, LockId::new(rng.gen_range(0..locks))).is_ok(),
+            9 => {
+                if let Some(&u) = unstarted.last() {
+                    if b.fork(t, u).is_ok() {
+                        unstarted.pop();
+                        started.push(u);
+                        if u != t {
+                            joinable.push(u);
+                        }
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    false
+                }
+            }
+            10 => {
+                if let Some(pos) = (0..joinable.len())
+                    .find(|&i| joinable[i] != t && b.join(t, joinable[i]).is_ok())
+                {
+                    let u = joinable.swap_remove(pos);
+                    started.retain(|&s| s != u);
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => match rng.gen_range(0..4u32) {
+                0 => b.volatile_read(t, VarId::new(rng.gen_range(0..vars))).is_ok(),
+                1 => b.volatile_write(t, VarId::new(rng.gen_range(0..vars))).is_ok(),
+                2 => b.push(Op::Wait(t, LockId::new(rng.gen_range(0..locks)))).is_ok(),
+                _ => {
+                    let k = rng.gen_range(1..=started.len());
+                    let mut set = started.clone();
+                    set.truncate(k);
+                    b.barrier_release(set).is_ok()
+                }
+            },
+        };
+        let _ = accepted; // infeasible proposals are simply skipped
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hb::HbOracle;
+    use crate::trace::validate;
+
+    #[test]
+    fn generate_is_deterministic() {
+        let cfg = GenConfig::default();
+        let a = generate(&cfg, 42);
+        let b = generate(&cfg, 42);
+        assert_eq!(a, b);
+        let c = generate(&cfg, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_traces_are_feasible() {
+        let cfg = GenConfig {
+            ops: 800,
+            ..GenConfig::default()
+        };
+        for seed in 0..4 {
+            let trace = generate(&cfg, seed);
+            assert!(validate(trace.events()).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn race_free_config_produces_race_free_traces() {
+        let cfg = GenConfig {
+            ops: 1_000,
+            p_barrier: 0.005,
+            p_volatile: 0.01,
+            ..GenConfig::race_free()
+        };
+        for seed in 0..6 {
+            let trace = generate(&cfg, seed);
+            let report = HbOracle::analyze(&trace);
+            assert!(
+                report.is_race_free(),
+                "seed {seed}: {}",
+                report.races[0].describe()
+            );
+        }
+    }
+
+    #[test]
+    fn racy_config_produces_races() {
+        let cfg = GenConfig {
+            ops: 1_500,
+            ..GenConfig::default().with_races(0.3)
+        };
+        let mut any = false;
+        for seed in 0..4 {
+            let trace = generate(&cfg, seed);
+            any |= !HbOracle::analyze(&trace).is_race_free();
+        }
+        assert!(any, "expected at least one racy trace across seeds");
+    }
+
+    #[test]
+    fn op_mix_is_read_heavy() {
+        let trace = generate(&GenConfig::default(), 7);
+        let ratios = trace.op_mix().ratios();
+        assert!(ratios.reads_pct > 60.0, "{ratios}");
+        assert!(ratios.writes_pct > 5.0, "{ratios}");
+        assert!(ratios.other_pct < 30.0, "{ratios}");
+    }
+
+    #[test]
+    fn chaotic_traces_are_feasible_and_deterministic() {
+        for seed in 0..8 {
+            let t1 = chaotic(4, 6, 3, 300, seed);
+            let t2 = chaotic(4, 6, 3, 300, seed);
+            assert_eq!(t1, t2);
+            assert!(validate(t1.events()).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn chaotic_covers_sync_ops() {
+        // Across a few seeds we should see forks, joins, barriers, volatiles.
+        let mut mix = crate::stats::OpMix::default();
+        for seed in 0..10 {
+            let t = chaotic(4, 6, 3, 400, seed);
+            for op in t.events() {
+                mix.count(op);
+            }
+        }
+        assert!(mix.forks > 0);
+        assert!(mix.joins > 0);
+        assert!(mix.barriers > 0);
+        assert!(mix.volatiles > 0);
+        assert!(mix.waits > 0);
+    }
+
+    #[test]
+    fn vars_per_object_groups_vars() {
+        let cfg = GenConfig {
+            vars: 8,
+            vars_per_object: 4,
+            ops: 100,
+            ..GenConfig::default()
+        };
+        let t = generate(&cfg, 1);
+        assert_eq!(t.object_of(VarId::new(0)), t.object_of(VarId::new(3)));
+        assert_ne!(t.object_of(VarId::new(0)), t.object_of(VarId::new(4)));
+    }
+}

@@ -1,0 +1,433 @@
+//! A reference happens-before analysis (the testing oracle).
+//!
+//! [`HbOracle`] computes a full vector-clock timestamp for *every* memory
+//! access and then exhaustively compares all conflicting pairs. It is the
+//! executable form of the §2.1 definition of a race condition — "two
+//! concurrent conflicting accesses" — and serves as the ground truth that
+//! Theorem 1 (precision of FastTrack) is property-tested against.
+//!
+//! It is intentionally simple and unoptimized; do not use it as a detector.
+
+use crate::event::{AccessKind, Op, VarId};
+use crate::trace::Trace;
+use ft_clock::{Tid, VectorClock};
+use std::collections::BTreeMap;
+
+/// One memory access, with enough of its timestamp retained to decide
+/// ordering against later accesses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Index of the event in the trace.
+    pub event_index: usize,
+    /// The accessing thread.
+    pub tid: Tid,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// The accessing thread's full vector clock at the access.
+    pub clock: VectorClock,
+}
+
+impl Access {
+    /// Returns `true` if this access happens before `later` (which must
+    /// occur later in the trace).
+    ///
+    /// Since per-thread clocks only increase, access `a` by thread `t`
+    /// happens before a later `b` iff `b`'s clock has caught up with `t`'s
+    /// component: `Cₐ(t) ≤ C_b(t)` (Lemma 3 of the paper).
+    #[inline]
+    pub fn happens_before(&self, later: &Access) -> bool {
+        self.clock.get(self.tid) <= later.clock.get(self.tid)
+    }
+}
+
+/// A pair of concurrent conflicting accesses to one variable — a race.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RacePair {
+    /// The variable both accesses touch.
+    pub var: VarId,
+    /// The earlier access.
+    pub first: Access,
+    /// The later access, concurrent with `first`.
+    pub second: Access,
+}
+
+impl RacePair {
+    /// A short human-readable description, e.g. `"write-read race on x3"`.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}-{} race on {} between {} (event {}) and {} (event {})",
+            self.first.kind,
+            self.second.kind,
+            self.var,
+            self.first.tid,
+            self.first.event_index,
+            self.second.tid,
+            self.second.event_index
+        )
+    }
+}
+
+/// The oracle's verdict on a trace.
+#[derive(Clone, Debug, Default)]
+pub struct OracleReport {
+    /// Every pair of concurrent conflicting accesses, in order of the later
+    /// access's position (then the earlier's).
+    pub races: Vec<RacePair>,
+}
+
+impl OracleReport {
+    /// `true` if the trace is race-free.
+    pub fn is_race_free(&self) -> bool {
+        self.races.is_empty()
+    }
+
+    /// The set of variables with at least one race.
+    pub fn race_vars(&self) -> Vec<VarId> {
+        let mut vars: Vec<VarId> = self.races.iter().map(|r| r.var).collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
+    /// For each racy variable, the race whose *later* access occurs earliest
+    /// in the trace — the "first race on each variable" that FastTrack
+    /// guarantees to detect (§3, footnote 3).
+    pub fn first_race_per_var(&self) -> BTreeMap<VarId, &RacePair> {
+        let mut map: BTreeMap<VarId, &RacePair> = BTreeMap::new();
+        for race in &self.races {
+            map.entry(race.var)
+                .and_modify(|best| {
+                    if race.second.event_index < best.second.event_index {
+                        *best = race;
+                    }
+                })
+                .or_insert(race);
+        }
+        map
+    }
+}
+
+/// The reference happens-before analysis.
+///
+/// # Example
+///
+/// ```
+/// use ft_trace::{HbOracle, TraceBuilder, VarId};
+/// use ft_clock::Tid;
+///
+/// let mut b = TraceBuilder::with_threads(2);
+/// b.write(Tid::new(0), VarId::new(0))?;
+/// b.write(Tid::new(1), VarId::new(0))?; // unsynchronized: a race
+/// let report = HbOracle::analyze(&b.finish());
+/// assert_eq!(report.races.len(), 1);
+/// # Ok::<(), ft_trace::FeasibilityError>(())
+/// ```
+#[derive(Debug)]
+pub struct HbOracle;
+
+impl HbOracle {
+    /// Runs the oracle over `trace`, returning every racy pair.
+    pub fn analyze(trace: &Trace) -> OracleReport {
+        Self::analyze_events(trace.events(), trace.n_threads())
+    }
+
+    /// Runs the oracle over a raw event slice (must be feasible).
+    pub fn analyze_events(events: &[Op], n_threads: u32) -> OracleReport {
+        let mut clocks: Vec<VectorClock> = (0..n_threads.max(1))
+            .map(|t| {
+                let mut c = VectorClock::new();
+                c.inc(Tid::new(t)); // σ₀ = (λt. incₜ(⊥ᵥ), …)
+                c
+            })
+            .collect();
+        let mut lock_clocks: BTreeMap<u32, VectorClock> = BTreeMap::new();
+        let mut volatile_clocks: BTreeMap<u32, VectorClock> = BTreeMap::new();
+        let mut accesses: BTreeMap<VarId, Vec<Access>> = BTreeMap::new();
+        let mut races = Vec::new();
+
+        let clock_of = |clocks: &mut Vec<VectorClock>, t: Tid| {
+            if t.as_usize() >= clocks.len() {
+                for i in clocks.len()..=t.as_usize() {
+                    let mut c = VectorClock::new();
+                    c.inc(Tid::new(i as u32));
+                    clocks.push(c);
+                }
+            }
+            t.as_usize()
+        };
+
+        for (index, op) in events.iter().enumerate() {
+            match op {
+                Op::Read(t, x) | Op::Write(t, x) => {
+                    let kind = if matches!(op, Op::Read(..)) {
+                        AccessKind::Read
+                    } else {
+                        AccessKind::Write
+                    };
+                    let ti = clock_of(&mut clocks, *t);
+                    let access = Access {
+                        event_index: index,
+                        tid: *t,
+                        kind,
+                        clock: clocks[ti].clone(),
+                    };
+                    let prior = accesses.entry(*x).or_default();
+                    for earlier in prior.iter() {
+                        if earlier.kind.conflicts_with(access.kind)
+                            && !earlier.happens_before(&access)
+                        {
+                            races.push(RacePair {
+                                var: *x,
+                                first: earlier.clone(),
+                                second: access.clone(),
+                            });
+                        }
+                    }
+                    prior.push(access);
+                }
+                Op::Acquire(t, m) => {
+                    let ti = clock_of(&mut clocks, *t);
+                    if let Some(lm) = lock_clocks.get(&m.as_u32()) {
+                        clocks[ti].join(lm);
+                    }
+                }
+                Op::Release(t, m) => {
+                    let ti = clock_of(&mut clocks, *t);
+                    lock_clocks.insert(m.as_u32(), clocks[ti].clone());
+                    clocks[ti].inc(*t);
+                }
+                Op::Wait(t, m) => {
+                    // rel(t,m); acq(t,m) back-to-back (§4).
+                    let ti = clock_of(&mut clocks, *t);
+                    lock_clocks.insert(m.as_u32(), clocks[ti].clone());
+                    clocks[ti].inc(*t);
+                    let lm = lock_clocks.get(&m.as_u32()).cloned().unwrap_or_default();
+                    clocks[ti].join(&lm);
+                }
+                Op::Notify(..) | Op::AtomicBegin(_) | Op::AtomicEnd(_) => {}
+                Op::Fork(t, u) => {
+                    let ti = clock_of(&mut clocks, *t);
+                    let ui = clock_of(&mut clocks, *u);
+                    let ct = clocks[ti].clone();
+                    clocks[ui].join(&ct);
+                    clocks[ti].inc(*t);
+                }
+                Op::Join(t, u) => {
+                    let ti = clock_of(&mut clocks, *t);
+                    let ui = clock_of(&mut clocks, *u);
+                    let cu = clocks[ui].clone();
+                    clocks[ti].join(&cu);
+                    clocks[ui].inc(*u);
+                }
+                Op::VolatileRead(t, x) => {
+                    let ti = clock_of(&mut clocks, *t);
+                    if let Some(lv) = volatile_clocks.get(&x.as_u32()) {
+                        clocks[ti].join(lv);
+                    }
+                }
+                Op::VolatileWrite(t, x) => {
+                    let ti = clock_of(&mut clocks, *t);
+                    let entry = volatile_clocks.entry(x.as_u32()).or_default();
+                    entry.join(&clocks[ti]);
+                    clocks[ti].inc(*t);
+                }
+                Op::BarrierRelease(ts) => {
+                    let mut joined = VectorClock::new();
+                    for t in ts {
+                        let ti = clock_of(&mut clocks, *t);
+                        joined.join(&clocks[ti]);
+                    }
+                    for t in ts {
+                        let ti = clock_of(&mut clocks, *t);
+                        clocks[ti].assign(&joined);
+                        clocks[ti].inc(*t);
+                    }
+                }
+            }
+        }
+
+        OracleReport { races }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::event::LockId;
+
+    const T0: Tid = Tid::new(0);
+    const T1: Tid = Tid::new(1);
+    const T2: Tid = Tid::new(2);
+    const X: VarId = VarId::new(0);
+    const M: LockId = LockId::new(0);
+
+    fn analyze(build: impl FnOnce(&mut TraceBuilder) -> Result<(), crate::FeasibilityError>) -> OracleReport {
+        let mut b = TraceBuilder::with_threads(3);
+        build(&mut b).unwrap();
+        HbOracle::analyze(&b.finish())
+    }
+
+    #[test]
+    fn unsynchronized_write_write_is_a_race() {
+        let r = analyze(|b| {
+            b.write(T0, X)?;
+            b.write(T1, X)
+        });
+        assert_eq!(r.races.len(), 1);
+        assert_eq!(r.races[0].first.tid, T0);
+        assert_eq!(r.races[0].second.tid, T1);
+    }
+
+    #[test]
+    fn read_read_is_not_a_race() {
+        let r = analyze(|b| {
+            b.read(T0, X)?;
+            b.read(T1, X)
+        });
+        assert!(r.is_race_free());
+    }
+
+    #[test]
+    fn lock_discipline_orders_accesses() {
+        let r = analyze(|b| {
+            b.release_after_acquire(T0, M, |b| b.write(T0, X))?;
+            b.release_after_acquire(T1, M, |b| b.write(T1, X))
+        });
+        assert!(r.is_race_free());
+    }
+
+    #[test]
+    fn lock_on_only_one_side_does_not_order() {
+        let r = analyze(|b| {
+            b.release_after_acquire(T0, M, |b| b.write(T0, X))?;
+            b.write(T1, X)
+        });
+        assert_eq!(r.races.len(), 1);
+    }
+
+    #[test]
+    fn fork_orders_parent_before_child() {
+        let mut b = TraceBuilder::new();
+        b.write(T0, X).unwrap();
+        b.fork(T0, T1).unwrap();
+        b.write(T1, X).unwrap();
+        let r = HbOracle::analyze(&b.finish());
+        assert!(r.is_race_free());
+    }
+
+    #[test]
+    fn join_orders_child_before_parent() {
+        let mut b = TraceBuilder::new();
+        b.fork(T0, T1).unwrap();
+        b.write(T1, X).unwrap();
+        b.join(T0, T1).unwrap();
+        b.write(T0, X).unwrap();
+        let r = HbOracle::analyze(&b.finish());
+        assert!(r.is_race_free());
+    }
+
+    #[test]
+    fn sibling_threads_race_without_sync() {
+        let mut b = TraceBuilder::new();
+        b.fork(T0, T1).unwrap();
+        b.fork(T0, T2).unwrap();
+        b.write(T1, X).unwrap();
+        b.write(T2, X).unwrap();
+        let r = HbOracle::analyze(&b.finish());
+        assert_eq!(r.races.len(), 1);
+    }
+
+    #[test]
+    fn volatile_write_read_creates_edge() {
+        let v = VarId::new(5);
+        let r = analyze(|b| {
+            b.write(T0, X)?;
+            b.volatile_write(T0, v)?;
+            b.volatile_read(T1, v)?;
+            b.read(T1, X)
+        });
+        assert!(r.is_race_free());
+    }
+
+    #[test]
+    fn volatile_read_without_matching_write_gives_no_edge() {
+        let v = VarId::new(5);
+        let r = analyze(|b| {
+            b.write(T0, X)?;
+            b.volatile_read(T1, v)?;
+            b.read(T1, X)
+        });
+        assert_eq!(r.races.len(), 1);
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        let r = analyze(|b| {
+            b.write(T0, X)?;
+            b.barrier_release(vec![T0, T1])?;
+            b.write(T1, X)
+        });
+        assert!(r.is_race_free());
+    }
+
+    #[test]
+    fn post_barrier_steps_of_different_threads_are_concurrent() {
+        let r = analyze(|b| {
+            b.barrier_release(vec![T0, T1])?;
+            b.write(T0, X)?;
+            b.write(T1, X)
+        });
+        assert_eq!(r.races.len(), 1);
+    }
+
+    #[test]
+    fn read_write_race_detected_against_any_prior_read() {
+        // Two ordered reads then a concurrent write: both reads race with it.
+        let r = analyze(|b| {
+            b.release_after_acquire(T0, M, |b| b.read(T0, X))?;
+            b.release_after_acquire(T1, M, |b| b.read(T1, X))?;
+            b.write(T2, X)
+        });
+        assert_eq!(r.races.len(), 2);
+        let vars = r.race_vars();
+        assert_eq!(vars, vec![X]);
+    }
+
+    #[test]
+    fn first_race_per_var_picks_earliest_later_access() {
+        let r = analyze(|b| {
+            b.write(T0, X)?;
+            b.write(T1, X)?; // race #1 (second at event 1)
+            b.write(T2, X) // races with both earlier writes
+        });
+        assert_eq!(r.races.len(), 3);
+        let first = r.first_race_per_var();
+        assert_eq!(first[&X].second.event_index, 1);
+    }
+
+    #[test]
+    fn figure_2_trace_is_race_free() {
+        // The §2.2 example: wr(0,x); rel(0,m); acq(1,m); wr(1,x).
+        let r = analyze(|b| {
+            b.acquire(T0, M)?;
+            b.write(T0, X)?;
+            b.release(T0, M)?;
+            b.acquire(T1, M)?;
+            b.write(T1, X)?;
+            b.release(T1, M)
+        });
+        assert!(r.is_race_free());
+    }
+
+    #[test]
+    fn describe_mentions_threads_and_var() {
+        let r = analyze(|b| {
+            b.write(T0, X)?;
+            b.read(T1, X)
+        });
+        let d = r.races[0].describe();
+        assert!(d.contains("write-read race"), "{d}");
+        assert!(d.contains("x0"), "{d}");
+    }
+}

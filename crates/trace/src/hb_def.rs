@@ -1,0 +1,292 @@
+//! The *definitional* happens-before relation: a direct transitive closure
+//! of §2.1's definition, independent of vector clocks.
+//!
+//! [`HbOracle`](crate::HbOracle) computes happens-before the way the
+//! detectors do — with vector clocks — which makes it an unsuitable judge
+//! of whether the vector-clock *semantics* are right. This module instead
+//! materializes the relation exactly as the paper defines it: the smallest
+//! transitively-closed relation containing, for `a` before `b` in the
+//! trace,
+//!
+//! * **program order** — `a` and `b` by the same thread;
+//! * **locking** — `a` and `b` acquire or release the same lock;
+//! * **fork–join** — one of them is `fork(t, u)`/`join(t, u)` and the other
+//!   is by thread `u`;
+//!
+//! plus the §4 extensions (a volatile write happens before every later
+//! volatile read of the same variable; a barrier release separates the
+//! pre- and post-barrier operations of its thread set).
+//!
+//! The closure costs O(events²) bits of memory and O(events² · edges)
+//! time — only suitable for small traces. Its sole job is the property
+//! test asserting `definitional_race_vars == HbOracle::race_vars` on
+//! thousands of generated traces, which pins the fast oracle (and through
+//! it every detector) to the paper's definition.
+
+use crate::event::{AccessKind, Op, VarId};
+use crate::trace::Trace;
+use std::collections::HashMap;
+
+/// A dense bitset-based reachability matrix over trace events.
+struct Reachability {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl Reachability {
+    fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64);
+        Reachability {
+            n,
+            words_per_row,
+            bits: vec![0; n * words_per_row],
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, from: usize, to: usize) {
+        self.bits[from * self.words_per_row + to / 64] |= 1 << (to % 64);
+    }
+
+    #[inline]
+    fn get(&self, from: usize, to: usize) -> bool {
+        self.bits[from * self.words_per_row + to / 64] & (1 << (to % 64)) != 0
+    }
+
+    /// `row(from) |= row(via)` — absorb everything reachable from `via`.
+    fn absorb(&mut self, from: usize, via: usize) {
+        let (f, v) = (from * self.words_per_row, via * self.words_per_row);
+        for w in 0..self.words_per_row {
+            let bits = self.bits[v + w];
+            self.bits[f + w] |= bits;
+        }
+    }
+
+    /// Closes the relation given edges sorted so every edge goes from an
+    /// earlier to a later event: process targets in reverse trace order so
+    /// each row is final when absorbed.
+    fn close(&mut self, edges: &[(usize, usize)]) {
+        // Group incoming edges by source in decreasing source order.
+        let mut by_source: Vec<Vec<usize>> = vec![Vec::new(); self.n];
+        for &(from, to) in edges {
+            debug_assert!(from < to, "edges must follow trace order");
+            by_source[from].push(to);
+        }
+        for from in (0..self.n).rev() {
+            for i in 0..by_source[from].len() {
+                let to = by_source[from][i];
+                self.set(from, to);
+                self.absorb(from, to);
+            }
+        }
+    }
+}
+
+/// Computes, straight from the definition, the set of variables with two
+/// concurrent conflicting accesses.
+///
+/// Intended for small traces (the closure is quadratic in the number of
+/// events); see the module docs.
+pub fn definitional_race_vars(trace: &Trace) -> Vec<VarId> {
+    let events = trace.events();
+    let n = events.len();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+
+    // Program order: consecutive events of each thread. Barrier releases
+    // belong to every thread in their set.
+    let mut last_of_thread: HashMap<u32, usize> = HashMap::new();
+    let thread_ids = |op: &Op| -> Vec<u32> {
+        match op {
+            Op::BarrierRelease(ts) => ts.iter().map(|t| t.as_u32()).collect(),
+            other => other.tid().map(|t| vec![t.as_u32()]).unwrap_or_default(),
+        }
+    };
+    for (i, op) in events.iter().enumerate() {
+        for t in thread_ids(op) {
+            if let Some(&prev) = last_of_thread.get(&t) {
+                edges.push((prev, i));
+            }
+            last_of_thread.insert(t, i);
+        }
+    }
+
+    // Locking: all acquire/release (and wait, which is both) operations on
+    // the same lock are totally ordered; consecutive edges suffice under
+    // transitive closure.
+    let mut last_of_lock: HashMap<u32, usize> = HashMap::new();
+    for (i, op) in events.iter().enumerate() {
+        let lock = match op {
+            Op::Acquire(_, m) | Op::Release(_, m) | Op::Wait(_, m) => Some(m.as_u32()),
+            _ => None,
+        };
+        if let Some(m) = lock {
+            if let Some(&prev) = last_of_lock.get(&m) {
+                edges.push((prev, i));
+            }
+            last_of_lock.insert(m, i);
+        }
+    }
+
+    // Fork–join: fork(t, u) precedes u's first event; u's last event
+    // precedes join(t, u). Program-order edges above already connect the
+    // fork/join events to the rest of t's timeline.
+    let mut first_of_thread: HashMap<u32, usize> = HashMap::new();
+    for (i, op) in events.iter().enumerate() {
+        for t in thread_ids(op) {
+            first_of_thread.entry(t).or_insert(i);
+        }
+    }
+    for (i, op) in events.iter().enumerate() {
+        match op {
+            Op::Fork(_, u) => {
+                // First event of u after the fork.
+                if let Some(&first) = first_of_thread.get(&u.as_u32()) {
+                    if first > i {
+                        edges.push((i, first));
+                    } else {
+                        // u's "first event" map was filled by an earlier
+                        // occurrence (possible only for re-used ids, which
+                        // feasibility forbids); scan forward instead.
+                        if let Some(next) = events[i + 1..]
+                            .iter()
+                            .position(|e| thread_ids(e).contains(&u.as_u32()))
+                        {
+                            edges.push((i, i + 1 + next));
+                        }
+                    }
+                }
+            }
+            Op::Join(_, u) => {
+                // Last event of u before the join.
+                if let Some(prev) = events[..i]
+                    .iter()
+                    .rposition(|e| thread_ids(e).contains(&u.as_u32()))
+                {
+                    edges.push((prev, i));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Volatiles (§4): a volatile write happens before every subsequent
+    // volatile read of the same variable.
+    let mut volatile_writes: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (i, op) in events.iter().enumerate() {
+        match op {
+            Op::VolatileWrite(_, v) => volatile_writes.entry(v.as_u32()).or_default().push(i),
+            Op::VolatileRead(_, v) => {
+                if let Some(writes) = volatile_writes.get(&v.as_u32()) {
+                    for &w in writes {
+                        edges.push((w, i));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut reach = Reachability::new(n);
+    reach.close(&edges);
+
+    // Race check: conflicting accesses with no path either way.
+    let mut accesses: HashMap<u32, Vec<(usize, AccessKind)>> = HashMap::new();
+    let mut racy: Vec<VarId> = Vec::new();
+    for (i, op) in events.iter().enumerate() {
+        if let Some((x, kind)) = op.access() {
+            let prior = accesses.entry(x.as_u32()).or_default();
+            if prior
+                .iter()
+                .any(|&(j, k)| k.conflicts_with(kind) && !reach.get(j, i))
+            {
+                racy.push(x);
+            }
+            prior.push((i, kind));
+        }
+    }
+    racy.sort_unstable();
+    racy.dedup();
+    racy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::event::LockId;
+    use ft_clock::Tid;
+
+    const T0: Tid = Tid::new(0);
+    const T1: Tid = Tid::new(1);
+    const X: VarId = VarId::new(0);
+    const M: LockId = LockId::new(0);
+
+    fn vars(build: impl FnOnce(&mut TraceBuilder) -> Result<(), crate::FeasibilityError>) -> Vec<VarId> {
+        let mut b = TraceBuilder::with_threads(2);
+        build(&mut b).unwrap();
+        definitional_race_vars(&b.finish())
+    }
+
+    #[test]
+    fn unsynchronized_writes_race() {
+        assert_eq!(
+            vars(|b| {
+                b.write(T0, X)?;
+                b.write(T1, X)
+            }),
+            vec![X]
+        );
+    }
+
+    #[test]
+    fn lock_order_is_transitive_through_the_closure() {
+        assert!(vars(|b| {
+            b.release_after_acquire(T0, M, |b| b.write(T0, X))?;
+            b.release_after_acquire(T1, M, |b| b.write(T1, X))
+        })
+        .is_empty());
+    }
+
+    #[test]
+    fn fork_join_edges() {
+        let mut b = TraceBuilder::new();
+        b.write(T0, X).unwrap();
+        b.fork(T0, T1).unwrap();
+        b.write(T1, X).unwrap();
+        b.join(T0, T1).unwrap();
+        b.write(T0, X).unwrap();
+        assert!(definitional_race_vars(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn barrier_separates_phases() {
+        let mut b = TraceBuilder::with_threads(2);
+        b.write(T0, X).unwrap();
+        b.barrier_release(vec![T0, T1]).unwrap();
+        b.write(T1, X).unwrap();
+        assert!(definitional_race_vars(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn volatile_publication() {
+        let v = VarId::new(3);
+        assert!(vars(|b| {
+            b.write(T0, X)?;
+            b.volatile_write(T0, v)?;
+            b.volatile_read(T1, v)?;
+            b.write(T1, X)
+        })
+        .is_empty());
+    }
+
+    #[test]
+    fn reachability_bitset_basics() {
+        let mut r = Reachability::new(130);
+        r.close(&[(0, 64), (64, 129)]);
+        assert!(r.get(0, 64));
+        assert!(r.get(0, 129), "transitive");
+        assert!(!r.get(64, 0));
+        assert!(!r.get(1, 129));
+    }
+}

@@ -1,0 +1,136 @@
+//! Trace (de)serialization: the `.ftrace` JSON format.
+//!
+//! Traces serialize as plain JSON so they can be captured once (e.g. from
+//! the online runtime) and replayed through any detector. Deserialization
+//! re-validates feasibility — a hand-edited file cannot smuggle an
+//! infeasible trace into the analyses.
+
+use crate::builder::FeasibilityError;
+use crate::event::Op;
+use crate::trace::{validate, Trace};
+use serde::Deserialize;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from reading a serialized trace.
+#[derive(Debug)]
+pub enum TraceFormatError {
+    /// The JSON was malformed or did not match the trace schema.
+    Json(serde_json::Error),
+    /// The events decoded but do not form a feasible trace.
+    Infeasible(FeasibilityError),
+}
+
+impl fmt::Display for TraceFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFormatError::Json(e) => write!(f, "malformed trace file: {e}"),
+            TraceFormatError::Infeasible(e) => write!(f, "infeasible trace: {e}"),
+        }
+    }
+}
+
+impl Error for TraceFormatError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceFormatError::Json(e) => Some(e),
+            TraceFormatError::Infeasible(e) => Some(e),
+        }
+    }
+}
+
+impl From<serde_json::Error> for TraceFormatError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceFormatError::Json(e)
+    }
+}
+
+impl From<FeasibilityError> for TraceFormatError {
+    fn from(e: FeasibilityError) -> Self {
+        TraceFormatError::Infeasible(e)
+    }
+}
+
+impl Trace {
+    /// Serializes this trace to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialization cannot fail")
+    }
+
+    /// Deserializes and re-validates a trace from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceFormatError::Json`] for malformed input and
+    /// [`TraceFormatError::Infeasible`] if the decoded events violate the
+    /// §2.1 feasibility constraints.
+    pub fn from_json(json: &str) -> Result<Trace, TraceFormatError> {
+        #[derive(Deserialize)]
+        struct Raw {
+            events: Vec<Op>,
+            #[serde(default)]
+            var_objects: Vec<crate::ObjId>,
+            #[serde(default)]
+            n_threads: u32,
+        }
+        let raw: Raw = serde_json::from_str(json)?;
+        let mut trace = validate(&raw.events)?;
+        // Preserve declared metadata when it extends what the events imply.
+        trace.n_threads = trace.n_threads.max(raw.n_threads);
+        if !raw.var_objects.is_empty() {
+            let mut objects = raw.var_objects;
+            let n = trace.n_vars as usize;
+            objects.truncate(n);
+            for i in objects.len()..n {
+                objects.push(crate::ObjId::new(i as u32));
+            }
+            trace.var_objects = objects;
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::event::{LockId, VarId};
+    use ft_clock::Tid;
+
+    #[test]
+    fn json_round_trip() {
+        let mut b = TraceBuilder::with_threads(2);
+        b.write(Tid::new(0), VarId::new(0)).unwrap();
+        b.acquire(Tid::new(1), LockId::new(0)).unwrap();
+        b.release(Tid::new(1), LockId::new(0)).unwrap();
+        b.set_var_object(VarId::new(0), crate::ObjId::new(7));
+        let trace = b.finish();
+
+        let json = trace.to_json();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(back.events(), trace.events());
+        assert_eq!(back.n_threads(), trace.n_threads());
+        assert_eq!(back.object_of(VarId::new(0)), crate::ObjId::new(7));
+    }
+
+    #[test]
+    fn malformed_json_is_reported() {
+        let err = Trace::from_json("{not json").unwrap_err();
+        assert!(matches!(err, TraceFormatError::Json(_)));
+        assert!(err.to_string().contains("malformed"));
+    }
+
+    #[test]
+    fn infeasible_events_are_rejected() {
+        // Hand-craft a JSON trace with a double acquire.
+        let t = Tid::new(0);
+        let m = LockId::new(0);
+        let events = vec![Op::Acquire(t, m), Op::Acquire(t, m)];
+        let json = format!(
+            "{{\"events\":{},\"n_threads\":1,\"n_vars\":0,\"n_locks\":1,\"var_objects\":[]}}",
+            serde_json::to_string(&events).unwrap()
+        );
+        let err = Trace::from_json(&json).unwrap_err();
+        assert!(matches!(err, TraceFormatError::Infeasible(_)));
+    }
+}

@@ -1,0 +1,211 @@
+//! Operation-mix statistics (the Figure 2 frequency columns).
+
+use crate::event::Op;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Counts of each operation category in a trace.
+///
+/// §3 of the paper reports that "reads and writes to object fields and
+/// arrays account for over 96% of monitored operations"; the Figure 2 margin
+/// notes give 82.3% reads, 14.5% writes, 3.3% other. [`OpMix::ratios`]
+/// computes the same breakdown for any trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpMix {
+    /// Data reads.
+    pub reads: u64,
+    /// Data writes.
+    pub writes: u64,
+    /// Lock acquires (incl. the acquire half of waits).
+    pub acquires: u64,
+    /// Lock releases (incl. the release half of waits).
+    pub releases: u64,
+    /// Forks.
+    pub forks: u64,
+    /// Joins.
+    pub joins: u64,
+    /// Volatile reads and writes.
+    pub volatiles: u64,
+    /// Barrier releases.
+    pub barriers: u64,
+    /// Waits (counted once each; also contribute to acquires/releases).
+    pub waits: u64,
+    /// Notifies and atomic-block markers (no happens-before effect).
+    pub markers: u64,
+}
+
+impl OpMix {
+    /// Tallies the mix of an event sequence.
+    pub fn of(events: &[Op]) -> OpMix {
+        let mut mix = OpMix::default();
+        for op in events {
+            mix.count(op);
+        }
+        mix
+    }
+
+    /// Adds one operation to the tally.
+    pub fn count(&mut self, op: &Op) {
+        match op {
+            Op::Read(..) => self.reads += 1,
+            Op::Write(..) => self.writes += 1,
+            Op::Acquire(..) => self.acquires += 1,
+            Op::Release(..) => self.releases += 1,
+            Op::Fork(..) => self.forks += 1,
+            Op::Join(..) => self.joins += 1,
+            Op::VolatileRead(..) | Op::VolatileWrite(..) => self.volatiles += 1,
+            Op::BarrierRelease(..) => self.barriers += 1,
+            Op::Wait(..) => {
+                self.waits += 1;
+                self.acquires += 1;
+                self.releases += 1;
+            }
+            Op::Notify(..) | Op::AtomicBegin(_) | Op::AtomicEnd(_) => self.markers += 1,
+        }
+    }
+
+    /// Total monitored operations (markers excluded, matching the paper's
+    /// accounting of analysis-relevant events).
+    pub fn total_monitored(&self) -> u64 {
+        self.reads
+            + self.writes
+            + self.acquires
+            + self.releases
+            + self.forks
+            + self.joins
+            + self.volatiles
+            + self.barriers
+    }
+
+    /// Percentage breakdown into reads / writes / other.
+    pub fn ratios(&self) -> OpMixRatios {
+        let total = self.total_monitored();
+        if total == 0 {
+            return OpMixRatios::default();
+        }
+        let pct = |n: u64| 100.0 * n as f64 / total as f64;
+        OpMixRatios {
+            reads_pct: pct(self.reads),
+            writes_pct: pct(self.writes),
+            other_pct: pct(total - self.reads - self.writes),
+        }
+    }
+}
+
+impl std::ops::Add for OpMix {
+    type Output = OpMix;
+
+    fn add(self, rhs: OpMix) -> OpMix {
+        OpMix {
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+            acquires: self.acquires + rhs.acquires,
+            releases: self.releases + rhs.releases,
+            forks: self.forks + rhs.forks,
+            joins: self.joins + rhs.joins,
+            volatiles: self.volatiles + rhs.volatiles,
+            barriers: self.barriers + rhs.barriers,
+            waits: self.waits + rhs.waits,
+            markers: self.markers + rhs.markers,
+        }
+    }
+}
+
+impl std::iter::Sum for OpMix {
+    fn sum<I: Iterator<Item = OpMix>>(iter: I) -> OpMix {
+        iter.fold(OpMix::default(), |a, b| a + b)
+    }
+}
+
+/// The reads/writes/other percentage split of Figure 2's margin notes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct OpMixRatios {
+    /// Percentage of monitored operations that are data reads.
+    pub reads_pct: f64,
+    /// Percentage that are data writes.
+    pub writes_pct: f64,
+    /// Percentage that are synchronization operations.
+    pub other_pct: f64,
+}
+
+impl fmt::Display for OpMixRatios {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads {:.1}% / writes {:.1}% / other {:.1}%",
+            self.reads_pct, self.writes_pct, self.other_pct
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{LockId, VarId};
+    use ft_clock::Tid;
+
+    #[test]
+    fn counts_each_category() {
+        let t = Tid::new(0);
+        let u = Tid::new(1);
+        let x = VarId::new(0);
+        let m = LockId::new(0);
+        let events = vec![
+            Op::Read(t, x),
+            Op::Read(t, x),
+            Op::Write(t, x),
+            Op::Acquire(t, m),
+            Op::Wait(t, m),
+            Op::Notify(t, m),
+            Op::Release(t, m),
+            Op::Fork(t, u),
+            Op::Join(t, u),
+            Op::VolatileWrite(t, x),
+            Op::BarrierRelease(vec![t, u]),
+            Op::AtomicBegin(t),
+            Op::AtomicEnd(t),
+        ];
+        let mix = OpMix::of(&events);
+        assert_eq!(mix.reads, 2);
+        assert_eq!(mix.writes, 1);
+        assert_eq!(mix.acquires, 2); // explicit + wait
+        assert_eq!(mix.releases, 2);
+        assert_eq!(mix.waits, 1);
+        assert_eq!(mix.markers, 3); // notify + begin + end
+        assert_eq!(mix.forks, 1);
+        assert_eq!(mix.joins, 1);
+        assert_eq!(mix.volatiles, 1);
+        assert_eq!(mix.barriers, 1);
+        assert_eq!(mix.total_monitored(), 11);
+    }
+
+    #[test]
+    fn ratios_sum_to_hundred() {
+        let t = Tid::new(0);
+        let x = VarId::new(0);
+        let events: Vec<Op> = (0..82).map(|_| Op::Read(t, x))
+            .chain((0..15).map(|_| Op::Write(t, x)))
+            .chain((0..3).map(|_| Op::Acquire(t, LockId::new(0))))
+            .collect();
+        let r = OpMix::of(&events).ratios();
+        assert!((r.reads_pct + r.writes_pct + r.other_pct - 100.0).abs() < 1e-9);
+        assert!(r.reads_pct > 80.0);
+    }
+
+    #[test]
+    fn empty_mix_has_zero_ratios() {
+        let r = OpMix::default().ratios();
+        assert_eq!(r, OpMixRatios::default());
+    }
+
+    #[test]
+    fn mixes_add_and_sum() {
+        let t = Tid::new(0);
+        let x = VarId::new(0);
+        let a = OpMix::of(&[Op::Read(t, x)]);
+        let b = OpMix::of(&[Op::Write(t, x)]);
+        let s: OpMix = vec![a, b].into_iter().sum();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! The capstone soundness check: the vector-clock oracle agrees with the
+//! *definitional* happens-before relation (a direct transitive closure of
+//! §2.1) on which variables are racy — so the oracle, and through the
+//! agreement tests every detector, is pinned to the paper's definition
+//! rather than to a second copy of the vector-clock algebra.
+
+use ft_trace::gen::{self, GenConfig};
+use ft_trace::{definitional_race_vars, HbOracle, Trace};
+use proptest::prelude::*;
+
+fn assert_agreement(trace: &Trace, label: &str) {
+    let by_definition = definitional_race_vars(trace);
+    let by_clocks = HbOracle::analyze(trace).race_vars();
+    assert_eq!(
+        by_clocks,
+        by_definition,
+        "{label}: vector-clock oracle disagrees with the §2.1 definition\n\
+         trace ({} events): {:?}",
+        trace.len(),
+        trace.events()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn oracle_matches_definition_on_chaotic_traces(
+        seed in 0u64..100_000,
+        threads in 2u32..6,
+        vars in 1u32..6,
+        locks in 1u32..4,
+        ops in 10usize..150,
+    ) {
+        let trace = gen::chaotic(threads, vars, locks, ops, seed);
+        assert_agreement(&trace, "chaotic");
+    }
+
+    #[test]
+    fn oracle_matches_definition_on_structured_traces(
+        seed in 0u64..10_000,
+        w_racy in 0.0f64..0.5,
+    ) {
+        let cfg = GenConfig {
+            ops: 140,
+            threads: 3,
+            vars: 8,
+            p_barrier: 0.01,
+            p_volatile: 0.02,
+            ..GenConfig::default().with_races(w_racy)
+        };
+        let trace = gen::generate(&cfg, seed);
+        assert_agreement(&trace, "structured");
+    }
+}
+
+#[test]
+fn soak_oracle_vs_definition() {
+    for seed in 0..400u64 {
+        let trace = gen::chaotic(4, 4, 3, 120, seed);
+        assert_agreement(&trace, "soak");
+    }
+}

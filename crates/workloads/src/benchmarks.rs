@@ -1,0 +1,509 @@
+//! The 16 benchmark simulations of Table 1.
+
+use crate::patterns::{Par, ParBuilder, Scale};
+use ft_runtime::sim::{Program, Script};
+use ft_trace::{Trace, VarId};
+
+/// Registry entry for one paper benchmark.
+#[derive(Copy, Clone, Debug)]
+pub struct Benchmark {
+    /// Benchmark name (Table 1 row).
+    pub name: &'static str,
+    /// Thread count from Table 1.
+    pub threads: u32,
+    /// Races FastTrack reports (the Table 1 FASTTRACK "Warnings" column).
+    pub expected_races: usize,
+    /// `false` for the rows marked '*' (not compute-bound), which the paper
+    /// excludes from average slowdowns.
+    pub compute_bound: bool,
+}
+
+/// All 16 benchmarks in the paper's row order.
+pub const BENCHMARKS: &[Benchmark] = &[
+    Benchmark { name: "colt", threads: 11, expected_races: 0, compute_bound: true },
+    Benchmark { name: "crypt", threads: 7, expected_races: 0, compute_bound: true },
+    Benchmark { name: "lufact", threads: 4, expected_races: 0, compute_bound: true },
+    Benchmark { name: "moldyn", threads: 4, expected_races: 0, compute_bound: true },
+    Benchmark { name: "montecarlo", threads: 4, expected_races: 0, compute_bound: true },
+    Benchmark { name: "mtrt", threads: 5, expected_races: 1, compute_bound: true },
+    Benchmark { name: "raja", threads: 2, expected_races: 0, compute_bound: true },
+    Benchmark { name: "raytracer", threads: 4, expected_races: 1, compute_bound: true },
+    Benchmark { name: "sparse", threads: 4, expected_races: 0, compute_bound: true },
+    Benchmark { name: "series", threads: 4, expected_races: 0, compute_bound: true },
+    Benchmark { name: "sor", threads: 4, expected_races: 0, compute_bound: true },
+    Benchmark { name: "tsp", threads: 5, expected_races: 1, compute_bound: true },
+    Benchmark { name: "elevator", threads: 5, expected_races: 0, compute_bound: false },
+    Benchmark { name: "philo", threads: 6, expected_races: 0, compute_bound: false },
+    Benchmark { name: "hedc", threads: 6, expected_races: 3, compute_bound: false },
+    Benchmark { name: "jbb", threads: 5, expected_races: 2, compute_bound: false },
+];
+
+/// Builds the named benchmark's trace.
+///
+/// # Panics
+///
+/// Panics if `name` is not a registry entry.
+pub fn build(name: &str, scale: Scale, seed: u64) -> Trace {
+    match name {
+        "colt" => colt(scale, seed),
+        "crypt" => crypt(scale, seed),
+        "lufact" => lufact(scale, seed),
+        "moldyn" => moldyn(scale, seed),
+        "montecarlo" => montecarlo(scale, seed),
+        "mtrt" => mtrt(scale, seed),
+        "raja" => raja(scale, seed),
+        "raytracer" => raytracer(scale, seed),
+        "sparse" => sparse(scale, seed),
+        "series" => series(scale, seed),
+        "sor" => sor(scale, seed),
+        "tsp" => tsp(scale, seed),
+        "elevator" => elevator(scale, seed),
+        "philo" => philo(scale, seed),
+        "hedc" => hedc(scale, seed),
+        "jbb" => jbb(scale, seed),
+        other => panic!("unknown benchmark {other:?}"),
+    }
+}
+
+/// Per-worker slice of thread-local variables, grouped 8 fields/object.
+fn local_slices(p: &mut Par, per_worker: u32) -> Vec<Vec<VarId>> {
+    let n = p.workers.len();
+    let mut obj = 100_000; // object ids distinct from the race/table vars
+    (0..n)
+        .map(|_| {
+            let vars = p.vars(per_worker);
+            obj = p.group(&vars, 8, obj);
+            vars
+        })
+        .collect()
+}
+
+/// Slice length so each worker-local variable is touched ~`touches` times —
+/// array-style working sets that grow with the trace, as in the real
+/// benchmarks (this is what makes per-location shadow state, and hence the
+/// BasicVC/DJIT⁺ memory traffic, realistic).
+fn slice_len(scale: Scale, workers: usize, touches: usize) -> u32 {
+    (scale.ops / (workers * touches)).clamp(32, 65_536) as u32
+}
+
+/// Shared-table size scaled to the trace (read-shared data sets).
+fn table_len(scale: Scale, divisor: usize) -> u32 {
+    (scale.ops / divisor).clamp(64, 32_768) as u32
+}
+
+/// colt: scientific computing library — matrix kernels on worker-local
+/// slices plus a few lock-protected result accumulators. Race-free.
+fn colt(scale: Scale, seed: u64) -> Trace {
+    let mut pb = ParBuilder::new();
+    let table = pb.shared_table(table_len(scale, 120));
+    let mut p = pb.fork(10, seed);
+    // Three race-free volatile hand-offs Eraser misreads (Table 1: colt,
+    // ERASER warnings = 3, FASTTRACK = 0).
+    for _ in 0..3 {
+        let data = p.var();
+        let flag = p.var();
+        p.inject_volatile_handoff_fp(data, flag);
+    }
+    let slices = local_slices(&mut p, slice_len(scale, 10, 16));
+    let m = p.lock();
+    let acc = p.vars(8);
+    while p.len() < scale.ops {
+        let i = p.rng_range(p.workers.len());
+        let t = p.workers[i];
+        let slice = slices[i].clone();
+        match p.rng_range(10) {
+            0..=5 => p.local_burst(t, &slice, 24, 0.10),
+            6..=8 => p.shared_reads(t, &table, 10),
+            _ => p.locked_update(t, m, &acc, 4),
+        }
+    }
+    p.finish()
+}
+
+/// crypt: IDEA encryption — each worker en/decrypts its own slice using a
+/// read-shared key schedule. Race-free, almost no locking.
+fn crypt(scale: Scale, seed: u64) -> Trace {
+    let mut pb = ParBuilder::new();
+    let keys = pb.shared_table(64);
+    let mut p = pb.fork(6, seed);
+    let slices = local_slices(&mut p, slice_len(scale, 6, 4));
+    while p.len() < scale.ops {
+        let i = p.rng_range(p.workers.len());
+        let t = p.workers[i];
+        let slice = slices[i].clone();
+        p.shared_reads(t, &keys, 2);
+        p.local_burst(t, &slice, 28, 0.18);
+    }
+    p.barrier();
+    p.finish()
+}
+
+/// lufact: LU factorization — per-round pivot row broadcast through
+/// barriers, rotating owner. Race-free.
+fn lufact(scale: Scale, seed: u64) -> Trace {
+    let mut p = Par::new(3, seed);
+    for _ in 0..4 {
+        let data = p.var();
+        let flag = p.var();
+        p.inject_volatile_handoff_fp(data, flag); // Table 1: ERASER = 4
+    }
+    let pivot = p.vars(12);
+    let slices = local_slices(&mut p, slice_len(scale, 3, 6));
+    let mut round = 0usize;
+    while p.len() < scale.ops {
+        let owner = p.workers[round % p.workers.len()];
+        for &v in &pivot {
+            p.b.write(owner, v).expect("pivot write");
+            p.b.write(owner, v).expect("pivot normalize write");
+        }
+        p.barrier();
+        for i in 0..p.workers.len() {
+            let t = p.workers[i];
+            let slice = slices[i].clone();
+            p.shared_reads(t, &pivot, 12);
+            p.local_burst(t, &slice, 80, 0.15);
+        }
+        p.barrier();
+        round += 1;
+    }
+    p.finish()
+}
+
+/// moldyn: molecular dynamics — barrier phases plus a lock-protected force
+/// reduction each round. Race-free.
+fn moldyn(scale: Scale, seed: u64) -> Trace {
+    let mut p = Par::new(3, seed);
+    let m = p.lock();
+    let forces = p.vars(8);
+    let slices = local_slices(&mut p, slice_len(scale, 3, 8));
+    while p.len() < scale.ops {
+        for i in 0..p.workers.len() {
+            let t = p.workers[i];
+            let slice = slices[i].clone();
+            p.local_burst(t, &slice, 90, 0.15);
+        }
+        for i in 0..p.workers.len() {
+            let t = p.workers[i];
+            p.locked_update(t, m, &forces, 5);
+        }
+        p.barrier();
+    }
+    p.finish()
+}
+
+/// montecarlo: workers sample a large read-shared dataset into local
+/// accumulators; one lock-protected global result merge. Race-free.
+fn montecarlo(scale: Scale, seed: u64) -> Trace {
+    let mut pb = ParBuilder::new();
+    let data = pb.shared_table(table_len(scale, 40));
+    let mut p = pb.fork(3, seed);
+    let m = p.lock();
+    let global = p.vars(4);
+    let slices = local_slices(&mut p, slice_len(scale, 3, 24));
+    while p.len() < scale.ops {
+        let i = p.rng_range(p.workers.len());
+        let t = p.workers[i];
+        let slice = slices[i].clone();
+        p.shared_reads(t, &data, 12);
+        p.local_burst(t, &slice, 24, 0.15);
+        if p.rng_range(16) == 0 {
+            p.locked_update(t, m, &global, 3);
+        }
+    }
+    p.finish()
+}
+
+/// mtrt: SPEC ray tracer — read-shared scene, local framebuffer slices,
+/// and the one known benign race (an unlocked read of a counter updated
+/// under a lock).
+fn mtrt(scale: Scale, seed: u64) -> Trace {
+    let mut pb = ParBuilder::new();
+    let scene = pb.shared_table(table_len(scale, 80));
+    let mut p = pb.fork(4, seed);
+    let counter = p.var();
+    let m = p.lock();
+    p.inject_unlocked_read_race(counter, m);
+    let slices = local_slices(&mut p, slice_len(scale, 4, 8));
+    while p.len() < scale.ops {
+        let i = p.rng_range(p.workers.len());
+        let t = p.workers[i];
+        let slice = slices[i].clone();
+        p.shared_reads(t, &scene, 8);
+        p.local_burst(t, &slice, 20, 0.12);
+    }
+    p.finish()
+}
+
+/// raja: a small two-thread ray tracer. Race-free.
+fn raja(scale: Scale, seed: u64) -> Trace {
+    let mut pb = ParBuilder::new();
+    let scene = pb.shared_table(table_len(scale, 160));
+    let mut p = pb.fork(1, seed);
+    let slices = local_slices(&mut p, slice_len(scale, 1, 10));
+    let t = p.workers[0];
+    let slice = slices[0].clone();
+    while p.len() < scale.ops {
+        p.shared_reads(t, &scene, 6);
+        p.local_burst(t, &slice, 24, 0.12);
+    }
+    p.finish()
+}
+
+/// raytracer: Java Grande ray tracer with its real write-write race on the
+/// `checksum` field.
+fn raytracer(scale: Scale, seed: u64) -> Trace {
+    let mut pb = ParBuilder::new();
+    let scene = pb.shared_table(table_len(scale, 100));
+    let mut p = pb.fork(3, seed);
+    let checksum = p.var();
+    p.inject_write_write_race(checksum);
+    let slices = local_slices(&mut p, slice_len(scale, 3, 7));
+    while p.len() < scale.ops {
+        let i = p.rng_range(p.workers.len());
+        let t = p.workers[i];
+        let slice = slices[i].clone();
+        p.shared_reads(t, &scene, 6);
+        p.local_burst(t, &slice, 24, 0.15);
+    }
+    p.barrier();
+    p.finish()
+}
+
+/// sparse: sparse mat-vec — read-shared matrix, worker-owned output
+/// slices, barrier per iteration. Race-free.
+fn sparse(scale: Scale, seed: u64) -> Trace {
+    let mut pb = ParBuilder::new();
+    let matrix = pb.shared_table(table_len(scale, 60));
+    let mut p = pb.fork(3, seed);
+    let slices = local_slices(&mut p, slice_len(scale, 3, 10));
+    while p.len() < scale.ops {
+        for i in 0..p.workers.len() {
+            let t = p.workers[i];
+            let slice = slices[i].clone();
+            p.shared_reads(t, &matrix, 10);
+            p.local_burst(t, &slice, 24, 0.12);
+        }
+        p.barrier();
+    }
+    p.finish()
+}
+
+/// series: Fourier coefficients — embarrassingly parallel, purely
+/// thread-local with a final join. Race-free, almost no synchronization.
+fn series(scale: Scale, seed: u64) -> Trace {
+    let mut p = Par::new(3, seed);
+    let data = p.var();
+    let flag = p.var();
+    p.inject_volatile_handoff_fp(data, flag); // Table 1: ERASER = 1
+    let slices = local_slices(&mut p, slice_len(scale, 3, 4));
+    while p.len() < scale.ops {
+        let i = p.rng_range(p.workers.len());
+        let t = p.workers[i];
+        let slice = slices[i].clone();
+        p.local_burst(t, &slice, 24, 0.12);
+    }
+    p.finish()
+}
+
+/// sor: successive over-relaxation — neighbors exchange boundary rows
+/// through double-barrier phases. Race-free.
+fn sor(scale: Scale, seed: u64) -> Trace {
+    let mut p = Par::new(3, seed);
+    for _ in 0..3 {
+        let data = p.var();
+        let flag = p.var();
+        p.inject_volatile_handoff_fp(data, flag); // Table 1: ERASER = 3
+    }
+    let n = p.workers.len();
+    let boundaries: Vec<Vec<VarId>> = (0..n).map(|_| p.vars(8)).collect();
+    let slices = local_slices(&mut p, slice_len(scale, 3, 8));
+    while p.len() < scale.ops {
+        // Read phase: everyone reads neighbours' boundaries.
+        for i in 0..n {
+            let t = p.workers[i];
+            let left = boundaries[(i + n - 1) % n].clone();
+            let right = boundaries[(i + 1) % n].clone();
+            p.shared_reads(t, &left, 8);
+            p.shared_reads(t, &right, 8);
+            let slice = slices[i].clone();
+            p.local_burst(t, &slice, 60, 0.18);
+        }
+        p.barrier();
+        // Write phase: everyone writes its own boundary.
+        for i in 0..n {
+            let t = p.workers[i];
+            for &v in &boundaries[i] {
+                p.b.write(t, v).expect("own boundary write");
+                p.b.write(t, v).expect("own boundary smooth write");
+            }
+        }
+        p.barrier();
+    }
+    p.finish()
+}
+
+/// tsp: branch-and-bound travelling salesman — lock-protected work queue
+/// and best-tour updates, plus the known benign unlocked read of the
+/// current bound.
+fn tsp(scale: Scale, seed: u64) -> Trace {
+    let mut p = Par::new(4, seed);
+    let queue_lock = p.lock();
+    let best_lock = p.lock();
+    let queue = p.vars(16);
+    let best = p.vars(4);
+    let bound = p.var();
+    p.inject_unlocked_read_race(bound, best_lock);
+    // Table 1: tsp is Eraser's worst case — 9 warnings vs 1 real race.
+    for _ in 0..8 {
+        let data = p.var();
+        let flag = p.var();
+        p.inject_volatile_handoff_fp(data, flag);
+    }
+    let slices = local_slices(&mut p, slice_len(scale, 4, 16));
+    while p.len() < scale.ops {
+        let i = p.rng_range(p.workers.len());
+        let t = p.workers[i];
+        let slice = slices[i].clone();
+        p.locked_update(t, queue_lock, &queue, 4);
+        p.local_burst(t, &slice, 24, 0.15);
+        if p.rng_range(8) == 0 {
+            p.locked_update(t, best_lock, &best, 3);
+        }
+    }
+    p.finish()
+}
+
+/// elevator: a lock-heavy discrete-event simulator — nearly all shared
+/// state lives under one monitor. Race-free; not compute-bound.
+fn elevator(scale: Scale, seed: u64) -> Trace {
+    let mut p = Par::new(4, seed);
+    let monitor = p.lock();
+    let state = p.vars(24);
+    let slices = local_slices(&mut p, 4);
+    while p.len() < scale.ops {
+        let i = p.rng_range(p.workers.len());
+        let t = p.workers[i];
+        p.locked_update(t, monitor, &state, 8);
+        let slice = slices[i].clone();
+        p.local_burst(t, &slice, 6, 0.2);
+    }
+    p.finish()
+}
+
+/// philo: dining philosophers on the program simulator — fork locks
+/// acquired in global order, shared plates protected by the common fork.
+/// Race-free; not compute-bound.
+fn philo(scale: Scale, seed: u64) -> Trace {
+    let philosophers = 5usize;
+    let rounds = (scale.ops / (philosophers * 9)).max(2);
+    let mut program = Program::new();
+    let mut ids = Vec::new();
+    for i in 0..philosophers {
+        let left = i;
+        let right = (i + 1) % philosophers;
+        let (lo, hi) = (left.min(right), left.max(right));
+        let plate = VarId::new(i as u32);
+        let own = VarId::new((philosophers + i) as u32);
+        let script = Script::new()
+            .repeat(rounds, |s| {
+                s.lock(ft_trace::LockId::new(lo as u32))
+                    .lock(ft_trace::LockId::new(hi as u32))
+                    .read(plate)
+                    .read(plate)
+                    .read(plate)
+                    .write(plate)
+                    .write(plate)
+                    .read(own)
+                    .read(own)
+                    .read(own)
+                    .read(own)
+                    .read(own)
+                    .read(own)
+                    .write(own)
+                    .write(own)
+                    .read(own)
+                    .read(own)
+                    .write(own)
+                    .unlock(ft_trace::LockId::new(hi as u32))
+                    .unlock(ft_trace::LockId::new(lo as u32))
+            })
+            .build();
+        ids.push(program.add_thread(script));
+    }
+    let mut main = Script::new();
+    for &id in &ids {
+        main = main.fork(id);
+    }
+    for &id in &ids {
+        main = main.join(id);
+    }
+    program.main(main.build());
+    program.run(seed).expect("philo is deadlock-free under ordered forks")
+}
+
+/// hedc: the astrophysics web-crawler — a lock-protected task pool whose
+/// task hand-offs contain the three real races of Table 1. Two of them are
+/// write→read ownership transfers that Eraser's state machine misses; one
+/// extra fork/join pattern triggers Eraser's classic false alarm.
+fn hedc(scale: Scale, seed: u64) -> Trace {
+    let mut pb = ParBuilder::new();
+    let config = pb.shared_table(24);
+    let mut p = pb.fork(5, seed);
+    let pool_lock = p.lock();
+    let pool = p.vars(12);
+    // The three real races.
+    let task_state = p.var();
+    p.inject_write_write_race(task_state);
+    let task_url = p.var();
+    p.inject_write_read_race(task_url);
+    let task_result = p.var();
+    p.inject_write_read_race(task_result);
+    // An Eraser false alarm: worker writes, main rewrites after join; we
+    // emulate with a late main write (ordered by join in finish()) —
+    // allocated here, written post-join below.
+    let summary = p.var();
+    let w0 = p.workers[0];
+    p.b.write(w0, summary).expect("worker summary write");
+    let slices = local_slices(&mut p, 8);
+    while p.len() < scale.ops {
+        let i = p.rng_range(p.workers.len());
+        let t = p.workers[i];
+        p.locked_update(t, pool_lock, &pool, 4);
+        p.shared_reads(t, &config, 3);
+        let slice = slices[i].clone();
+        p.local_burst(t, &slice, 8, 0.15);
+    }
+    let main = p.main;
+    let mut trace_builder = p.into_builder_after_joins();
+    trace_builder.write(main, summary).expect("post-join main write");
+    trace_builder.finish()
+}
+
+/// jbb: the SPEC JBB business-object workload — per-warehouse locks,
+/// read-shared item catalog, and its two known races on thread-pool
+/// communication fields.
+fn jbb(scale: Scale, seed: u64) -> Trace {
+    let mut pb = ParBuilder::new();
+    let catalog = pb.shared_table(table_len(scale, 100));
+    let mut p = pb.fork(4, seed);
+    let warehouse_locks: Vec<_> = (0..4).map(|_| p.lock()).collect();
+    let warehouses: Vec<Vec<VarId>> = (0..4).map(|_| p.vars(16)).collect();
+    let comm = p.var();
+    p.inject_write_read_race(comm);
+    let status = p.var();
+    p.inject_unlocked_read_race(status, warehouse_locks[0]);
+    let data = p.var();
+    let flag = p.var();
+    p.inject_volatile_handoff_fp(data, flag); // jbb's spurious Eraser report
+    let slices = local_slices(&mut p, slice_len(scale, 4, 20));
+    while p.len() < scale.ops {
+        let i = p.rng_range(p.workers.len());
+        let t = p.workers[i];
+        let w = p.rng_range(4);
+        p.locked_update(t, warehouse_locks[w], &warehouses[w].clone(), 5);
+        p.shared_reads(t, &catalog, 6);
+        let slice = slices[i].clone();
+        p.local_burst(t, &slice, 14, 0.15);
+    }
+    p.finish()
+}

@@ -1,0 +1,215 @@
+//! The §5.3 Eclipse-like workload.
+//!
+//! The paper validates FastTrack "in a more realistic setting" by checking
+//! the Eclipse 3.4 IDE across five user-initiated operations, with up to 24
+//! concurrent threads and a large, idiom-diverse codebase ("wait/notify,
+//! semaphores, readers-writer locks, etc."). ERASER reported potential
+//! races on 960 distinct accesses — overwhelmingly spurious — while
+//! FASTTRACK reported 30 distinct warnings.
+//!
+//! `eclipse_sim` reproduces that *shape*: 24 threads, thousands of shadow
+//! locations grouped into objects, heavy lock/wait/volatile traffic, a
+//! known number of genuine races per operation (30 across all five), and a
+//! large population of volatile/wait-notify hand-offs that lockset
+//! analysis misreads.
+
+use crate::patterns::{ParBuilder, Scale};
+use ft_trace::{Op, Trace};
+
+/// The five scripted Eclipse operations of §5.3.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum EclipseOp {
+    /// Launch Eclipse and load a four-project workspace.
+    Startup,
+    /// Import and build a 23 kloc project.
+    Import,
+    /// Rebuild a four-project 65 kloc workspace.
+    CleanSmall,
+    /// Rebuild a 290 kloc project.
+    CleanLarge,
+    /// Launch the debugger on a crashing program.
+    Debug,
+}
+
+impl EclipseOp {
+    /// All five operations in the paper's table order.
+    pub const ALL: [EclipseOp; 5] = [
+        EclipseOp::Startup,
+        EclipseOp::Import,
+        EclipseOp::CleanSmall,
+        EclipseOp::CleanLarge,
+        EclipseOp::Debug,
+    ];
+
+    /// Display name matching the paper's table.
+    pub fn name(self) -> &'static str {
+        match self {
+            EclipseOp::Startup => "Startup",
+            EclipseOp::Import => "Import",
+            EclipseOp::CleanSmall => "Clean Small",
+            EclipseOp::CleanLarge => "Clean Large",
+            EclipseOp::Debug => "Debug",
+        }
+    }
+
+    /// The paper's uninstrumented base time for this operation (seconds);
+    /// used only to scale relative trace sizes.
+    pub fn base_time_secs(self) -> f64 {
+        match self {
+            EclipseOp::Startup => 6.0,
+            EclipseOp::Import => 2.5,
+            EclipseOp::CleanSmall => 2.7,
+            EclipseOp::CleanLarge => 6.5,
+            EclipseOp::Debug => 1.1,
+        }
+    }
+
+    /// Genuine races in this operation (they sum to the paper's 30
+    /// distinct FastTrack warnings).
+    pub fn real_races(self) -> usize {
+        match self {
+            EclipseOp::Startup => 8,
+            EclipseOp::Import => 6,
+            EclipseOp::CleanSmall => 6,
+            EclipseOp::CleanLarge => 7,
+            EclipseOp::Debug => 3,
+        }
+    }
+
+    /// Spurious-lockset hand-offs in this operation (they produce roughly
+    /// the paper's 960 distinct Eraser reports across all five).
+    pub fn spurious_handoffs(self) -> usize {
+        match self {
+            EclipseOp::Startup => 250,
+            EclipseOp::Import => 160,
+            EclipseOp::CleanSmall => 170,
+            EclipseOp::CleanLarge => 270,
+            EclipseOp::Debug => 80,
+        }
+    }
+}
+
+/// Builds one Eclipse operation's trace. Uses 24 threads (23 workers plus
+/// the UI/main thread), per the paper's "up to 24 concurrent threads".
+pub fn build(op: EclipseOp, scale: Scale, seed: u64) -> Trace {
+    let ops_target = ((scale.ops as f64) * op.base_time_secs() / 6.0) as usize;
+    let mut pb = ParBuilder::new();
+    // The plugin registry / compilation-unit cache: a large read-shared
+    // table initialized on the UI thread.
+    let registry = pb.shared_table(512);
+    let mut p = pb.fork(23, seed);
+
+    // The §5.3 warning populations.
+    for i in 0..op.real_races() {
+        let v = p.var();
+        match i % 3 {
+            // "Races on an array of nodes in a tree data structure".
+            0 => p.inject_write_write_race(v),
+            // "Races on fields related to progress meters".
+            1 => p.inject_write_read_race(v),
+            // "Double-checked locking" / "benign races on array entries".
+            _ => {
+                let m = p.lock();
+                p.inject_unlocked_read_race(v, m);
+            }
+        }
+    }
+    for _ in 0..op.spurious_handoffs() {
+        let data = p.var();
+        let flag = p.var();
+        p.inject_volatile_handoff_fp(data, flag);
+    }
+
+    // Idiom-diverse steady state: job-pool monitors with wait/notify,
+    // per-project build locks, worker-local AST scratch space.
+    let pool_lock = p.lock();
+    let pool = p.vars(48);
+    let project_locks: Vec<_> = (0..6).map(|_| p.lock()).collect();
+    let projects: Vec<Vec<_>> = (0..6).map(|_| p.vars(64)).collect();
+    let mut scratch = Vec::new();
+    for _ in 0..p.workers.len() {
+        let vars = p.vars(32);
+        scratch.push(vars);
+    }
+
+    while p.len() < ops_target {
+        let i = p.rng_range(p.workers.len());
+        let t = p.workers[i];
+        match p.rng_range(12) {
+            0..=4 => {
+                let slice = scratch[i].clone();
+                p.local_burst(t, &slice, 20, 0.15);
+            }
+            5..=7 => p.shared_reads(t, &registry, 8),
+            8..=9 => {
+                let j = p.rng_range(projects.len());
+                let vars = projects[j].clone();
+                p.locked_update(t, project_locks[j], &vars, 5);
+            }
+            10 => p.locked_update(t, pool_lock, &pool, 4),
+            _ => {
+                // A job-pool wait: re-acquire semantics, no extra edges.
+                p.b.acquire(t, pool_lock).expect("pool acquire");
+                p.b.push(Op::Wait(t, pool_lock)).expect("pool wait");
+                p.b.push(Op::Notify(t, pool_lock)).expect("pool notify");
+                p.b.release(t, pool_lock).expect("pool release");
+            }
+        }
+    }
+    p.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fasttrack::{Detector, FastTrack};
+    use ft_detectors::Eraser;
+
+    #[test]
+    fn total_real_races_is_thirty() {
+        let total: usize = EclipseOp::ALL.iter().map(|op| op.real_races()).sum();
+        assert_eq!(total, 30, "the paper's 30 distinct FastTrack warnings");
+    }
+
+    #[test]
+    fn fasttrack_finds_exactly_the_real_races() {
+        for op in EclipseOp::ALL {
+            let trace = build(op, Scale::test(), 1);
+            let mut ft = FastTrack::new();
+            ft.run(&trace);
+            assert_eq!(
+                ft.warnings().len(),
+                op.real_races(),
+                "{}: {:?}",
+                op.name(),
+                ft.warnings()
+            );
+        }
+    }
+
+    #[test]
+    fn eraser_warnings_dwarf_fasttrack_warnings() {
+        let mut eraser_total = 0;
+        let mut ft_total = 0;
+        for op in EclipseOp::ALL {
+            let trace = build(op, Scale::test(), 1);
+            let mut er = Eraser::new();
+            er.run(&trace);
+            eraser_total += er.warnings().len();
+            let mut ft = FastTrack::new();
+            ft.run(&trace);
+            ft_total += ft.warnings().len();
+        }
+        assert_eq!(ft_total, 30);
+        assert!(
+            eraser_total > 20 * ft_total,
+            "Eraser should report an order of magnitude more: {eraser_total} vs {ft_total}"
+        );
+    }
+
+    #[test]
+    fn uses_24_threads() {
+        let trace = build(EclipseOp::Startup, Scale::test(), 0);
+        assert_eq!(trace.n_threads(), 24);
+    }
+}

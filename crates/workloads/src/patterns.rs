@@ -1,0 +1,369 @@
+//! Shared building blocks for the benchmark simulations.
+
+use ft_clock::Tid;
+
+use ft_trace::{LockId, ObjId, Trace, TraceBuilder, VarId};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// How large a benchmark trace to generate.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Scale {
+    /// Approximate number of events per benchmark.
+    pub ops: usize,
+}
+
+impl Scale {
+    /// Small traces for unit/property tests (~3k events).
+    pub fn test() -> Self {
+        Scale { ops: 3_000 }
+    }
+
+    /// Benchmark-sized traces (~200k events) — large enough that the
+    /// per-event analysis cost dominates and the Table 1/2/3 ratios are
+    /// stable, small enough to run the full suite on a laptop.
+    pub fn bench() -> Self {
+        Scale { ops: 200_000 }
+    }
+
+    /// Large traces (~1M events) for memory studies.
+    pub fn large() -> Self {
+        Scale { ops: 1_000_000 }
+    }
+}
+
+/// A fork/join parallel-section builder: main forks `n` workers, the
+/// benchmark body interleaves their work, and `finish` joins everyone.
+pub(crate) struct Par {
+    pub b: TraceBuilder,
+    pub rng: ChaCha8Rng,
+    pub main: Tid,
+    pub workers: Vec<Tid>,
+    next_var: u32,
+    next_lock: u32,
+}
+
+impl Par {
+    /// Starts a parallel section with `workers` worker threads (total
+    /// thread count is `workers + 1` including main, matching the Table 1
+    /// "Thread Count" column).
+    pub fn new(workers: u32, seed: u64) -> Self {
+        let mut b = TraceBuilder::with_threads(1);
+        let main = Tid::new(0);
+        let workers: Vec<Tid> = (1..=workers).map(Tid::new).collect();
+        for &w in &workers {
+            b.fork(main, w).expect("fork of fresh worker");
+        }
+        Par {
+            b,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            main,
+            workers,
+            next_var: 0,
+            next_lock: 0,
+        }
+    }
+
+    /// Allocates a contiguous range of variable ids.
+    pub fn vars(&mut self, n: u32) -> Vec<VarId> {
+        let start = self.next_var;
+        self.next_var += n;
+        (start..start + n).map(VarId::new).collect()
+    }
+
+    /// Allocates one variable id.
+    pub fn var(&mut self) -> VarId {
+        self.vars(1)[0]
+    }
+
+    /// Allocates a lock id.
+    pub fn lock(&mut self) -> LockId {
+        let id = self.next_lock;
+        self.next_lock += 1;
+        LockId::new(id)
+    }
+
+    /// Groups a variable range into objects of `per_object` fields (for the
+    /// coarse-grain studies).
+    pub fn group(&mut self, vars: &[VarId], per_object: u32, first_obj: u32) -> u32 {
+        let mut obj = first_obj;
+        for chunk in vars.chunks(per_object as usize) {
+            for &v in chunk {
+                self.b.set_var_object(v, ObjId::new(obj));
+            }
+            obj += 1;
+        }
+        obj
+    }
+
+    /// Worker does a burst of reads/writes over its own variables, modeled
+    /// on the `acc += f(a[i])` kernel idiom that dominates the real
+    /// benchmarks: element variables are read a couple of times each, and a
+    /// per-burst *accumulator* variable is read-modify-written repeatedly
+    /// within the same synchronization epoch.
+    ///
+    /// This reproduces the paper's access statistics — heavy read bias and
+    /// high same-epoch rates (63–78% of reads, ~71% of writes) — which are
+    /// exactly what the FastTrack/DJIT⁺ fast paths exploit.
+    ///
+    /// `write_ratio` is the target fraction of accesses that are writes
+    /// (values above 0.45 are clamped: a read-modify-write idiom cannot
+    /// exceed one write per two accesses).
+    pub fn local_burst(&mut self, t: Tid, vars: &[VarId], accesses: usize, write_ratio: f64) {
+        let wf = write_ratio.clamp(0.0, 0.4);
+        // Each element contributes 2 reads; each accumulator update
+        // contributes 1 read and 1.5 writes on average, so the update
+        // probability that hits the target write fraction `wf` is
+        // 1.5p = wf(2 + 2.5p)  ⇒  p = 2wf / (1.5 − 2.5wf).
+        let p_update = (2.0 * wf / (1.5 - 2.5 * wf)).clamp(0.0, 1.0);
+        let &acc = vars.choose(&mut self.rng).expect("nonempty vars");
+        let mut emitted = 0usize;
+        while emitted < accesses {
+            let &elem = vars.choose(&mut self.rng).expect("nonempty vars");
+            // Element access: a couple of reads (locality).
+            for _ in 0..2.min(accesses - emitted) {
+                self.b.read(t, elem).expect("local read");
+                emitted += 1;
+            }
+            // Accumulator update: read-modify-write (sometimes write-again)
+            // of the same variable, all within one epoch.
+            if emitted < accesses && self.rng.gen_bool(p_update) {
+                self.b.read(t, acc).expect("accumulator read");
+                emitted += 1;
+                if emitted < accesses {
+                    self.b.write(t, acc).expect("accumulator write");
+                    emitted += 1;
+                }
+                if emitted < accesses && self.rng.gen_bool(0.5) {
+                    self.b.write(t, acc).expect("accumulator re-write");
+                    emitted += 1;
+                }
+            }
+        }
+    }
+
+    /// Worker reads from a shared read-only table (with the same re-read
+    /// locality as [`Par::local_burst`]).
+    pub fn shared_reads(&mut self, t: Tid, vars: &[VarId], count: usize) {
+        let mut remaining = count;
+        while remaining > 0 {
+            let &v = vars.choose(&mut self.rng).expect("nonempty vars");
+            let touches = self.rng.gen_range(2..=3).min(remaining);
+            for _ in 0..touches {
+                self.b.read(t, v).expect("shared read");
+            }
+            remaining -= touches;
+        }
+    }
+
+    /// Worker updates shared state inside one critical section: each chosen
+    /// variable is read a couple of times and then (usually) written — the
+    /// guarded read-modify-write idiom. `accesses` counts variables chosen;
+    /// roughly `3 × accesses` events are emitted per section, keeping the
+    /// synchronization share of the event stream realistic (~3%).
+    pub fn locked_update(&mut self, t: Tid, m: LockId, vars: &[VarId], accesses: usize) {
+        // Critical sections concentrate on a couple of fields (head/tail,
+        // count/state, …), re-reading and re-writing them — the locality
+        // behind the same-epoch fast-path hits on lock-protected data.
+        let focus: Vec<VarId> = (0..2)
+            .map(|_| *vars.choose(&mut self.rng).expect("nonempty vars"))
+            .collect();
+        self.b.acquire(t, m).expect("acquire");
+        for _ in 0..accesses {
+            let &v = focus.choose(&mut self.rng).expect("nonempty focus");
+            self.b.read(t, v).expect("locked read");
+            if self.rng.gen_bool(0.5) {
+                self.b.read(t, v).expect("locked re-read");
+            }
+            if self.rng.gen_bool(0.66) {
+                self.b.write(t, v).expect("locked write");
+                if self.rng.gen_bool(0.4) {
+                    self.b.write(t, v).expect("locked re-write");
+                }
+            }
+        }
+        self.b.release(t, m).expect("release");
+    }
+
+    /// All workers pass a barrier together.
+    pub fn barrier(&mut self) {
+        self.b
+            .barrier_release(self.workers.clone())
+            .expect("barrier over live workers");
+    }
+
+    /// A deterministic write-write race on a dedicated variable: two
+    /// distinct workers write it back-to-back with no synchronization.
+    pub fn inject_write_write_race(&mut self, v: VarId) {
+        let (a, b) = self.pick_two_workers();
+        self.b.write(a, v).expect("racy write 1");
+        self.b.write(b, v).expect("racy write 2");
+    }
+
+    /// A deterministic write-read race (the hedc ownership-transfer
+    /// pattern Eraser misses): one worker writes, another reads, no sync.
+    pub fn inject_write_read_race(&mut self, v: VarId) {
+        let (a, b) = self.pick_two_workers();
+        self.b.write(a, v).expect("racy write");
+        self.b.read(b, v).expect("racy read");
+    }
+
+    /// A benign unlocked read of a variable otherwise updated under `m`
+    /// (the tsp/mtrt "benign race" idiom): produces exactly one racy var.
+    pub fn inject_unlocked_read_race(&mut self, v: VarId, m: LockId) {
+        let (a, b) = self.pick_two_workers();
+        self.b.acquire(a, m).expect("acquire");
+        self.b.write(a, v).expect("locked write");
+        self.b.release(a, m).expect("release");
+        self.b.read(b, v).expect("unlocked racy read");
+    }
+
+    /// A race-*free* hand-off through a volatile flag — invisible to
+    /// Eraser, which ignores volatile synchronization, so it produces
+    /// exactly one spurious Eraser warning per call (the source of the
+    /// paper's colt/lufact/series/sor/tsp false alarms).
+    pub fn inject_volatile_handoff_fp(&mut self, data: VarId, flag: VarId) {
+        let (a, b) = self.pick_two_workers();
+        self.b.write(a, data).expect("publisher write");
+        self.b.volatile_write(a, flag).expect("volatile publish");
+        self.b.volatile_read(b, flag).expect("volatile subscribe");
+        self.b.write(b, data).expect("subscriber write");
+    }
+
+    /// A seeded random index below `n`.
+    pub fn rng_range(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+
+    /// Joins all workers and hands back the builder so the caller can
+    /// append post-join main-thread work before finishing.
+    pub fn into_builder_after_joins(mut self) -> TraceBuilder {
+        for &w in &self.workers.clone() {
+            self.b.join(self.main, w).expect("join live worker");
+        }
+        self.b
+    }
+
+    fn pick_two_workers(&mut self) -> (Tid, Tid) {
+        assert!(self.workers.len() >= 2, "need two workers to race");
+        let i = self.rng.gen_range(0..self.workers.len());
+        let j = (i + 1 + self.rng.gen_range(0..self.workers.len() - 1)) % self.workers.len();
+        (self.workers[i], self.workers[j])
+    }
+
+    /// Events emitted so far.
+    pub fn len(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Joins all workers and finishes the trace.
+    pub fn finish(mut self) -> Trace {
+        for &w in &self.workers.clone() {
+            self.b.join(self.main, w).expect("join live worker");
+        }
+        self.b.finish()
+    }
+}
+
+/// Builds a `Par` whose read-shared tables are initialized by main *before*
+/// the workers are forked (so the initializing writes happen-before every
+/// worker read).
+pub(crate) struct ParBuilder {
+    b: TraceBuilder,
+    next_var: u32,
+}
+
+impl ParBuilder {
+    pub fn new() -> Self {
+        ParBuilder {
+            b: TraceBuilder::with_threads(1),
+            next_var: 0,
+        }
+    }
+
+    /// Allocates and initializes a read-shared table (main writes each
+    /// entry once, pre-fork).
+    pub fn shared_table(&mut self, n: u32) -> Vec<VarId> {
+        let start = self.next_var;
+        self.next_var += n;
+        let vars: Vec<VarId> = (start..start + n).map(VarId::new).collect();
+        for &v in &vars {
+            self.b.write(Tid::new(0), v).expect("pre-fork init");
+        }
+        vars
+    }
+
+    /// Forks the workers and converts into a [`Par`] (subsequent var
+    /// allocations continue after the tables).
+    pub fn fork(mut self, workers: u32, seed: u64) -> Par {
+        let main = Tid::new(0);
+        let workers: Vec<Tid> = (1..=workers).map(Tid::new).collect();
+        for &w in &workers {
+            self.b.fork(main, w).expect("fork of fresh worker");
+        }
+        Par {
+            b: self.b,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            main,
+            workers,
+            next_var: self.next_var,
+            next_lock: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_trace::HbOracle;
+
+    #[test]
+    fn par_roundtrip_is_race_free() {
+        let mut p = Par::new(3, 1);
+        let locals: Vec<Vec<VarId>> = (0..3).map(|_| p.vars(4)).collect();
+        for round in 0..10 {
+            let t = p.workers[round % 3];
+            let vars = locals[round % 3].clone();
+            p.local_burst(t, &vars, 5, 0.3);
+        }
+        p.barrier();
+        let trace = p.finish();
+        assert!(HbOracle::analyze(&trace).is_race_free());
+    }
+
+    #[test]
+    fn shared_table_reads_are_race_free() {
+        let mut pb = ParBuilder::new();
+        let table = pb.shared_table(8);
+        let mut p = pb.fork(2, 3);
+        let (w0, w1) = (p.workers[0], p.workers[1]);
+        p.shared_reads(w0, &table, 20);
+        p.shared_reads(w1, &table, 20);
+        let trace = p.finish();
+        assert!(HbOracle::analyze(&trace).is_race_free());
+    }
+
+    #[test]
+    fn injected_races_are_real_and_exactly_one_var_each() {
+        let mut p = Par::new(3, 7);
+        let v1 = p.var();
+        let v2 = p.var();
+        let v3 = p.var();
+        let m = p.lock();
+        p.inject_write_write_race(v1);
+        p.inject_write_read_race(v2);
+        p.inject_unlocked_read_race(v3, m);
+        let trace = p.finish();
+        let report = HbOracle::analyze(&trace);
+        assert_eq!(report.race_vars(), vec![v1, v2, v3]);
+    }
+
+    #[test]
+    fn pick_two_workers_are_distinct() {
+        let mut p = Par::new(4, 11);
+        for _ in 0..100 {
+            let (a, b) = p.pick_two_workers();
+            assert_ne!(a, b);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Run all seven detectors over one workload and compare precision and
+//! cost — a miniature Table 1.
+//!
+//! ```text
+//! cargo run --release --example detector_comparison [workload]
+//! ```
+//!
+//! `workload` is any Table 1 benchmark name (default `hedc`, whose races
+//! show off the precision differences).
+
+use fasttrack_suite::detectors::{run_all, Detector};
+use fasttrack_suite::workloads::{build, Scale, BENCHMARKS};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "hedc".to_string());
+    assert!(
+        BENCHMARKS.iter().any(|b| b.name == name),
+        "unknown workload {name:?}; pick one of {:?}",
+        BENCHMARKS.iter().map(|b| b.name).collect::<Vec<_>>()
+    );
+
+    let trace = build(&name, Scale { ops: 50_000 }, 42);
+    println!(
+        "workload {name}: {} events, {} threads, {} variables\n",
+        trace.len(),
+        trace.n_threads(),
+        trace.n_vars()
+    );
+
+    let tools = run_all(&trace);
+    println!(
+        "{:<12} {:>9} {:>14} {:>12} {:>12}",
+        "tool", "warnings", "VCs allocated", "VC ops", "shadow bytes"
+    );
+    for tool in &tools {
+        println!(
+            "{:<12} {:>9} {:>14} {:>12} {:>12}",
+            tool.name(),
+            tool.warnings().len(),
+            tool.stats().vc_allocated,
+            tool.stats().vc_ops,
+            tool.shadow_bytes()
+        );
+    }
+
+    println!("\nwarnings in detail:");
+    for tool in &tools {
+        if tool.warnings().is_empty() {
+            continue;
+        }
+        println!("  {}:", tool.name());
+        for w in tool.warnings() {
+            println!("    {w}");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Umbrella crate for the FastTrack reproduction.
+//!
+//! Re-exports every piece of the workspace under one roof so examples,
+//! integration tests, and downstream users can depend on a single crate:
+//!
+//! * [`clock`] — epochs and vector clocks (`ft-clock`);
+//! * [`trace`] — the trace model, feasibility checking, happens-before
+//!   oracle, and generators (`ft-trace`);
+//! * [`core`] — the FastTrack analysis and the shared `Detector` trait
+//!   (`fasttrack`);
+//! * [`detectors`] — the comparison tools: Eraser, BasicVC, DJIT⁺,
+//!   MultiRace, Goldilocks (`ft-detectors`);
+//! * [`runtime`] — pipelines/prefilters, granularity adapters, the program
+//!   simulator, and online monitoring (`ft-runtime`);
+//! * [`checkers`] — Atomizer, Velodrome, SingleTrack (`ft-checkers`);
+//! * [`workloads`] — the paper's 16 benchmarks and the Eclipse-like
+//!   workload (`ft-workloads`).
+//!
+//! See the repository README for a tour and `DESIGN.md` for the mapping
+//! from the paper's systems and experiments to these modules.
+
+#![forbid(unsafe_code)]
+
+pub use ft_clock as clock;
+pub use ft_trace as trace;
+#[doc(inline)]
+pub use fasttrack as core;
+pub use ft_checkers as checkers;
+pub use ft_detectors as detectors;
+pub use ft_runtime as runtime;
+pub use ft_workloads as workloads;

@@ -1,0 +1,192 @@
+//! Fast, deterministic regression tests for the *shape* of every evaluation
+//! result — the table/figure claims at test scale (the `--release` harness
+//! binaries produce the full-size numbers).
+
+use fasttrack_suite::core::{Detector, FastTrack};
+use fasttrack_suite::detectors::{BasicVc, Djit, Eraser, Goldilocks, MultiRace};
+use fasttrack_suite::runtime::coarsen;
+use fasttrack_suite::trace::OpMix;
+use fasttrack_suite::workloads::eclipse::{self, EclipseOp};
+use fasttrack_suite::workloads::{build, Scale, BENCHMARKS};
+
+fn scale() -> Scale {
+    Scale { ops: 12_000 }
+}
+
+/// Table 1, warnings columns: the precise tools agree; Eraser reports both
+/// spurious warnings and misses.
+#[test]
+fn table1_warning_shape() {
+    let mut ft_total = 0usize;
+    let mut eraser_total = 0usize;
+    let mut eraser_spurious = 0usize;
+    let mut eraser_missed = 0usize;
+    for bench in BENCHMARKS {
+        let trace = build(bench.name, scale(), 0);
+        let mut ft = FastTrack::new();
+        ft.run(&trace);
+        let mut dj = Djit::new();
+        dj.run(&trace);
+        let mut bv = BasicVc::new();
+        bv.run(&trace);
+        let mut er = Eraser::new();
+        er.run(&trace);
+
+        // BASICVC and DJIT+ "reported exactly the same race conditions".
+        let vars = |d: &dyn Detector| {
+            let mut v: Vec<_> = d.warnings().iter().map(|w| w.var).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        assert_eq!(vars(&ft), vars(&dj), "{}", bench.name);
+        assert_eq!(vars(&ft), vars(&bv), "{}", bench.name);
+        assert_eq!(ft.warnings().len(), bench.expected_races, "{}", bench.name);
+
+        ft_total += ft.warnings().len();
+        eraser_total += er.warnings().len();
+        let ft_vars = vars(&ft);
+        for v in vars(&er) {
+            if !ft_vars.contains(&v) {
+                eraser_spurious += 1;
+            }
+        }
+        for v in &ft_vars {
+            if !vars(&er).contains(v) {
+                eraser_missed += 1;
+            }
+        }
+    }
+    assert_eq!(ft_total, 8, "the paper's eight FastTrack warnings");
+    assert!(
+        eraser_total > ft_total,
+        "Eraser reports more warnings overall ({eraser_total} vs {ft_total})"
+    );
+    assert!(eraser_spurious >= 10, "spurious Eraser reports: {eraser_spurious}");
+    assert!(eraser_missed >= 4, "Eraser misses real races: {eraser_missed}");
+}
+
+/// Table 2: orders of magnitude fewer VC allocations and O(n) VC ops.
+#[test]
+fn table2_vc_shape() {
+    let mut djit_alloc = 0u64;
+    let mut ft_alloc = 0u64;
+    let mut djit_ops = 0u64;
+    let mut ft_ops = 0u64;
+    for bench in BENCHMARKS {
+        let trace = build(bench.name, scale(), 0);
+        let mut dj = Djit::new();
+        dj.run(&trace);
+        let mut ft = FastTrack::new();
+        ft.run(&trace);
+        djit_alloc += dj.stats().vc_allocated;
+        ft_alloc += ft.stats().vc_allocated;
+        djit_ops += dj.stats().vc_ops;
+        ft_ops += ft.stats().vc_ops;
+    }
+    assert!(
+        djit_alloc > 15 * ft_alloc,
+        "allocations: DJIT+ {djit_alloc} vs FT {ft_alloc}"
+    );
+    assert!(djit_ops > 3 * ft_ops, "VC ops: DJIT+ {djit_ops} vs FT {ft_ops}");
+}
+
+/// Table 3: FastTrack's shadow memory is well below DJIT+'s at fine grain;
+/// coarse grain shrinks both.
+#[test]
+fn table3_memory_shape() {
+    let mut checked = 0;
+    for bench in BENCHMARKS.iter().filter(|b| b.compute_bound) {
+        let fine = build(bench.name, scale(), 0);
+        let coarse = coarsen(&fine);
+        let shadow = |trace| {
+            let mut dj = Djit::new();
+            dj.run(trace);
+            let mut ft = FastTrack::new();
+            ft.run(trace);
+            (dj.shadow_bytes(), ft.shadow_bytes())
+        };
+        let (dj_fine, ft_fine) = shadow(&fine);
+        let (dj_coarse, ft_coarse) = shadow(&coarse);
+        assert!(
+            2 * ft_fine < dj_fine,
+            "{}: FT fine {ft_fine} vs DJIT+ fine {dj_fine}",
+            bench.name
+        );
+        assert!(dj_coarse < dj_fine, "{}", bench.name);
+        assert!(ft_coarse <= ft_fine, "{}", bench.name);
+        checked += 1;
+    }
+    assert!(checked >= 10);
+}
+
+/// Figure 2: aggregate op mix is read-heavy and the constant-time fast
+/// paths dominate.
+#[test]
+fn figure2_mix_shape() {
+    let mut mix = OpMix::default();
+    let mut fast_hits = 0u64;
+    let mut accesses = 0u64;
+    for bench in BENCHMARKS {
+        let trace = build(bench.name, scale(), 0);
+        mix = mix + trace.op_mix();
+        let mut ft = FastTrack::new();
+        ft.run(&trace);
+        for rule in ft.rule_breakdown() {
+            if rule.rule != "FT READ SHARE" && rule.rule != "FT WRITE SHARED" {
+                fast_hits += rule.hits;
+            }
+        }
+        accesses += ft.stats().reads + ft.stats().writes;
+    }
+    let ratios = mix.ratios();
+    assert!(ratios.reads_pct > 70.0, "{ratios}");
+    assert!(ratios.writes_pct < 25.0, "{ratios}");
+    assert!(ratios.other_pct < 10.0, "{ratios}");
+    let fast_pct = 100.0 * fast_hits as f64 / accesses as f64;
+    assert!(fast_pct > 96.0, "fast paths cover {fast_pct:.2}% (paper: >96%)");
+}
+
+/// §5.3: Eclipse warnings — FastTrack 30 real races, Eraser an order of
+/// magnitude more reports, DJIT+ agrees with FastTrack.
+#[test]
+fn eclipse_warning_shape() {
+    let mut ft_total = 0usize;
+    let mut dj_total = 0usize;
+    let mut er_total = 0usize;
+    for op in EclipseOp::ALL {
+        let trace = eclipse::build(op, scale(), 7);
+        let mut ft = FastTrack::new();
+        ft.run(&trace);
+        let mut dj = Djit::new();
+        dj.run(&trace);
+        let mut er = Eraser::new();
+        er.run(&trace);
+        ft_total += ft.warnings().len();
+        dj_total += dj.warnings().len();
+        er_total += er.warnings().len();
+    }
+    assert_eq!(ft_total, 30);
+    assert_eq!(dj_total, 30);
+    assert!(er_total >= 600, "Eraser reported only {er_total}");
+}
+
+/// MultiRace performs far fewer VC comparisons than DJIT+ (its design
+/// goal), while Goldilocks does none at all.
+#[test]
+fn hybrid_tools_cost_shape() {
+    let trace = build("moldyn", scale(), 0);
+    let mut dj = Djit::new();
+    dj.run(&trace);
+    let mut mr = MultiRace::new();
+    mr.run(&trace);
+    let mut gl = Goldilocks::new();
+    gl.run(&trace);
+    assert!(
+        mr.stats().vc_ops < dj.stats().vc_ops / 2,
+        "MultiRace {} vs DJIT+ {}",
+        mr.stats().vc_ops,
+        dj.stats().vc_ops
+    );
+    assert!(gl.transfer_ops() > 0);
+}

@@ -1,0 +1,158 @@
+//! Stress and boundary tests: maximum thread counts, long epochs, deep
+//! nesting, and wide read-sharing.
+
+use fasttrack_suite::clock::{Tid, MAX_TID};
+use fasttrack_suite::core::{Detector, FastTrack, ReadMode};
+use fasttrack_suite::detectors::{BasicVc, Djit};
+use fasttrack_suite::trace::{gen, HbOracle, LockId, TraceBuilder, VarId};
+
+/// 256 threads — the full 8-bit tid space of the packed epoch.
+#[test]
+fn full_tid_space_reads_inflate_to_wide_vc() {
+    let n = MAX_TID + 1; // 256 threads, ids 0..=255
+    let x = VarId::new(0);
+    let mut b = TraceBuilder::with_threads(n);
+    // Every thread reads x concurrently: the read history must hold all of
+    // them. Thread 0 writes first; the write is concurrent with nothing.
+    b.write(Tid::new(0), x).unwrap();
+    let barrier: Vec<Tid> = (0..n).map(Tid::new).collect();
+    b.barrier_release(barrier).unwrap(); // orders the write before the reads
+    for t in 0..n {
+        b.read(Tid::new(t), x).unwrap();
+    }
+    let trace = b.finish();
+
+    let mut ft = FastTrack::new();
+    ft.run(&trace);
+    assert!(ft.warnings().is_empty());
+    assert_eq!(ft.read_mode(x), ReadMode::Shared);
+    let rvc = ft.read_clock(x).expect("shared mode");
+    assert_eq!(rvc.iter_nonzero().count(), n as usize);
+
+    // And a write after everything must see all 256 reads at once.
+    let mut b2 = TraceBuilder::with_threads(n);
+    b2.write(Tid::new(0), x).unwrap();
+    let all: Vec<Tid> = (0..n).map(Tid::new).collect();
+    b2.barrier_release(all.clone()).unwrap();
+    for t in 0..n {
+        b2.read(Tid::new(t), x).unwrap();
+    }
+    b2.barrier_release(all).unwrap();
+    b2.write(Tid::new(7), x).unwrap();
+    let trace2 = b2.finish();
+    let mut ft2 = FastTrack::new();
+    ft2.run(&trace2);
+    assert!(ft2.warnings().is_empty());
+    assert_eq!(ft2.read_mode(x), ReadMode::Unread, "write collapsed the VC");
+}
+
+/// Long-running thread: tens of thousands of epochs, clocks well below the
+/// 2²⁴ packing limit, epochs stay consistent throughout.
+#[test]
+fn long_epoch_sequences() {
+    let t = Tid::new(0);
+    let m = LockId::new(0);
+    let x = VarId::new(0);
+    let mut b = TraceBuilder::with_threads(1);
+    for _ in 0..30_000 {
+        b.write(t, x).unwrap();
+        b.acquire(t, m).unwrap();
+        b.release(t, m).unwrap(); // each release advances the epoch
+    }
+    let trace = b.finish();
+    let mut ft = FastTrack::new();
+    ft.run(&trace);
+    assert!(ft.warnings().is_empty());
+    assert_eq!(ft.write_epoch(x).clock(), 30_000, "one epoch per release, minus the last write");
+    assert_eq!(ft.write_epoch(x).tid(), t);
+}
+
+/// Deeply nested distinct locks (well-nested, not re-entrant).
+#[test]
+fn deep_lock_nesting() {
+    let t0 = Tid::new(0);
+    let t1 = Tid::new(1);
+    let x = VarId::new(0);
+    let depth = 200u32;
+    let mut b = TraceBuilder::with_threads(2);
+    for round in 0..2 {
+        let t = if round == 0 { t0 } else { t1 };
+        for i in 0..depth {
+            b.acquire(t, LockId::new(i)).unwrap();
+        }
+        b.write(t, x).unwrap();
+        for i in (0..depth).rev() {
+            b.release(t, LockId::new(i)).unwrap();
+        }
+    }
+    let trace = b.finish();
+    let mut ft = FastTrack::new();
+    ft.run(&trace);
+    assert!(ft.warnings().is_empty(), "nested locking orders the writes");
+}
+
+/// Many threads hammering one variable under one lock: heavy clock growth,
+/// everyone agrees it is race-free.
+#[test]
+fn contended_counter_across_many_threads() {
+    let n = 32u32;
+    let x = VarId::new(0);
+    let m = LockId::new(0);
+    let mut b = TraceBuilder::with_threads(n);
+    for round in 0..2_000u32 {
+        let t = Tid::new(round % n);
+        b.acquire(t, m).unwrap();
+        b.read(t, x).unwrap();
+        b.write(t, x).unwrap();
+        b.release(t, m).unwrap();
+    }
+    let trace = b.finish();
+    for mut tool in [
+        Box::new(FastTrack::new()) as Box<dyn Detector>,
+        Box::new(Djit::new()),
+        Box::new(BasicVc::new()),
+    ] {
+        for (i, op) in trace.events().iter().enumerate() {
+            tool.on_op(i, op);
+        }
+        assert!(tool.warnings().is_empty(), "{}", tool.name());
+    }
+}
+
+/// A heavier chaotic soak with wider thread counts than the per-crate
+/// property tests use.
+#[test]
+fn wide_chaotic_soak_matches_oracle() {
+    for seed in 0..40u64 {
+        let trace = gen::chaotic(12, 8, 5, 600, seed);
+        let expected = HbOracle::analyze(&trace).race_vars();
+        let mut ft = FastTrack::new();
+        ft.run(&trace);
+        let mut got: Vec<_> = ft.warnings().iter().map(|w| w.var).collect();
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got, expected, "seed {seed}");
+    }
+}
+
+/// Interleaved volatile publication chains across many threads.
+#[test]
+fn volatile_chain_across_threads() {
+    let n = 16u32;
+    let data = VarId::new(0);
+    let flag = VarId::new(1);
+    let mut b = TraceBuilder::with_threads(n);
+    // A relay: each thread reads the previous value and republishes.
+    b.write(Tid::new(0), data).unwrap();
+    b.volatile_write(Tid::new(0), flag).unwrap();
+    for t in 1..n {
+        b.volatile_read(Tid::new(t), flag).unwrap();
+        b.write(Tid::new(t), data).unwrap();
+        b.volatile_write(Tid::new(t), flag).unwrap();
+    }
+    let trace = b.finish();
+    assert!(HbOracle::analyze(&trace).is_race_free());
+    let mut ft = FastTrack::new();
+    ft.run(&trace);
+    assert!(ft.warnings().is_empty());
+}
