@@ -1,45 +1,35 @@
 //! Micro-benchmarks for the core claim: epoch operations are O(1) while
 //! vector-clock operations are O(n) in the thread count.
+//!
+//! Runs on the `ft_bench::micro` harness (offline, no external framework):
+//! `cargo bench -p ft-bench --features criterion --bench clock_ops`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_bench::micro::{finish_suite, run_micro};
 use ft_clock::{Epoch, Tid, VectorClock};
 use std::hint::black_box;
 
-fn bench_epoch_vs_vc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("happens_before_check");
+fn main() {
+    let mut results = Vec::new();
     for &threads in &[2u32, 8, 32, 128] {
         let vc = VectorClock::from_components(&(0..threads).map(|i| i + 1).collect::<Vec<_>>());
         let other = VectorClock::from_components(&(0..threads).map(|i| i + 2).collect::<Vec<_>>());
         let epoch = Epoch::new(Tid::new(threads.min(255) - 1), threads);
 
-        group.bench_with_input(BenchmarkId::new("epoch_vs_vc_O1", threads), &threads, |b, _| {
-            b.iter(|| black_box(epoch).happens_before(black_box(&vc)))
-        });
-        group.bench_with_input(BenchmarkId::new("vc_vs_vc_On", threads), &threads, |b, _| {
-            b.iter(|| black_box(&other).leq(black_box(&vc)))
-        });
-        group.bench_with_input(BenchmarkId::new("vc_join_On", threads), &threads, |b, _| {
-            b.iter_batched(
-                || vc.clone(),
-                |mut target| {
-                    target.join(black_box(&other));
-                    target
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        results.push(run_micro(&format!("epoch_vs_vc_O1/{threads}"), || {
+            black_box(epoch).happens_before(black_box(&vc))
+        }));
+        results.push(run_micro(&format!("vc_vs_vc_On/{threads}"), || {
+            black_box(&other).leq(black_box(&vc))
+        }));
+        results.push(run_micro(&format!("vc_join_On/{threads}"), || {
+            let mut target = vc.clone();
+            target.join(black_box(&other));
+            target
+        }));
     }
-    group.finish();
+    results.push(run_micro("epoch_pack_unpack", || {
+        let e = Epoch::new(black_box(Tid::new(7)), black_box(1234));
+        black_box((e.tid(), e.clock()))
+    }));
+    finish_suite("clock_ops", &results);
 }
-
-fn bench_epoch_construction(c: &mut Criterion) {
-    c.bench_function("epoch_pack_unpack", |b| {
-        b.iter(|| {
-            let e = Epoch::new(black_box(Tid::new(7)), black_box(1234));
-            black_box((e.tid(), e.clock()))
-        })
-    });
-}
-
-criterion_group!(benches, bench_epoch_vs_vc, bench_epoch_construction);
-criterion_main!(benches);

@@ -1,47 +1,42 @@
 //! Per-event throughput of every detector on a representative workload —
 //! the microscopic view of Table 1's slowdown columns.
+//!
+//! Runs on the `ft_bench::micro` harness (offline, no external framework):
+//! `cargo bench -p ft-bench --features criterion --bench detector_throughput`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ft_bench::micro::{finish_suite, run_micro};
 use ft_bench::{make_tool, TOOL_NAMES};
 use ft_workloads::{build, Scale};
 
-fn bench_detectors(c: &mut Criterion) {
+fn main() {
+    let mut results = Vec::new();
+
     // A mid-size mixed workload: locks, barriers, thread-local slices.
     let trace = build("moldyn", Scale { ops: 20_000 }, 7);
-    let mut group = c.benchmark_group("detector_throughput");
-    group.throughput(Throughput::Elements(trace.len() as u64));
+    println!(
+        "detector_throughput: {} events per iteration\n",
+        trace.len()
+    );
     for name in TOOL_NAMES {
-        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, name| {
-            b.iter(|| {
-                let mut tool = make_tool(name);
-                for (i, op) in trace.events().iter().enumerate() {
-                    tool.on_op(i, op);
-                }
-                tool.warnings().len()
-            })
-        });
+        results.push(run_micro(&format!("detector_throughput/{name}"), || {
+            let mut tool = make_tool(name);
+            for (i, op) in trace.events().iter().enumerate() {
+                tool.on_op(i, op);
+            }
+            tool.warnings().len()
+        }));
     }
-    group.finish();
-}
 
-fn bench_read_fast_path(c: &mut Criterion) {
     // Thread-local re-reads: the [FT READ SAME EPOCH] hot loop.
     let trace = build("series", Scale { ops: 20_000 }, 7);
-    let mut group = c.benchmark_group("same_epoch_fast_path");
-    group.throughput(Throughput::Elements(trace.len() as u64));
     for name in ["FASTTRACK", "DJIT+", "BASICVC"] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
-            b.iter(|| {
-                let mut tool = make_tool(name);
-                for (i, op) in trace.events().iter().enumerate() {
-                    tool.on_op(i, op);
-                }
-                tool.stats().vc_ops
-            })
-        });
+        results.push(run_micro(&format!("same_epoch_fast_path/{name}"), || {
+            let mut tool = make_tool(name);
+            for (i, op) in trace.events().iter().enumerate() {
+                tool.on_op(i, op);
+            }
+            tool.stats().vc_ops
+        }));
     }
-    group.finish();
+    finish_suite("detector_throughput", &results);
 }
-
-criterion_group!(benches, bench_detectors, bench_read_fast_path);
-criterion_main!(benches);

@@ -1,9 +1,12 @@
 //! Overhead of the online monitoring modes: synchronous (direct, one lock
-//! round-trip per event) vs buffered (one channel send per event, analysis
-//! on a dedicated thread).
+//! round-trip per event) vs buffered (one queue push per event, analysis on
+//! a dedicated thread).
+//!
+//! Runs on the `ft_bench::micro` harness (offline, no external framework):
+//! `cargo bench -p ft-bench --features criterion --bench online_overhead`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fasttrack::FastTrack;
+use ft_bench::micro::{finish_suite, run_micro};
 use ft_runtime::online::Monitor;
 
 fn run_workload(monitor: &Monitor, threads: usize, iters: usize) {
@@ -29,21 +32,20 @@ fn run_workload(monitor: &Monitor, threads: usize, iters: usize) {
     assert!(monitor.report().warnings.is_empty());
 }
 
-fn bench_online_modes(c: &mut Criterion) {
+fn main() {
     let threads = 4;
     let iters = 500;
-    let events = (threads * iters * 4) as u64; // lock+read+write+unlock
-    let mut group = c.benchmark_group("online_monitoring");
-    group.throughput(Throughput::Elements(events));
-    group.sample_size(20);
-    group.bench_with_input(BenchmarkId::from_parameter("direct"), &(), |b, _| {
-        b.iter(|| run_workload(&Monitor::new(FastTrack::new()), threads, iters))
-    });
-    group.bench_with_input(BenchmarkId::from_parameter("buffered"), &(), |b, _| {
-        b.iter(|| run_workload(&Monitor::buffered(FastTrack::new()), threads, iters))
-    });
-    group.finish();
+    println!(
+        "online_overhead: {} events per iteration\n",
+        threads * iters * 4 // lock+read+write+unlock
+    );
+    let results = vec![
+        run_micro("online_monitoring/direct", || {
+            run_workload(&Monitor::new(FastTrack::new()), threads, iters)
+        }),
+        run_micro("online_monitoring/buffered", || {
+            run_workload(&Monitor::buffered(FastTrack::new()), threads, iters)
+        }),
+    ];
+    finish_suite("online_overhead", &results);
 }
-
-criterion_group!(benches, bench_online_modes);
-criterion_main!(benches);

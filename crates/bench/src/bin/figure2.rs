@@ -15,6 +15,7 @@
 
 use fasttrack::Detector;
 use ft_bench::{time_tool, HarnessOpts};
+use ft_obs::JsonWriter;
 use ft_trace::OpMix;
 use ft_workloads::{build, BENCHMARKS};
 use std::collections::BTreeMap;
@@ -22,7 +23,10 @@ use std::collections::BTreeMap;
 fn main() {
     let opts = HarnessOpts::from_env(200_000);
     println!("Figure 2: operation mix and per-rule frequencies (all 16 benchmarks)");
-    println!("workload: ~{} events/benchmark, seed {}\n", opts.ops, opts.seed);
+    println!(
+        "workload: ~{} events/benchmark, seed {}\n",
+        opts.ops, opts.seed
+    );
 
     let mut mix = OpMix::default();
     let mut ft_rules: BTreeMap<&'static str, u64> = BTreeMap::new();
@@ -50,14 +54,24 @@ fn main() {
     println!("  {ratios}\n");
 
     let pct = |hits: u64, total: u64| 100.0 * hits as f64 / total.max(1) as f64;
-    println!("FASTTRACK rules (paper: 63.4 / 20.8 / 15.7 / 0.1 of reads; 71.0 / 28.9 / 0.1 of writes):");
+    println!(
+        "FASTTRACK rules (paper: 63.4 / 20.8 / 15.7 / 0.1 of reads; 71.0 / 28.9 / 0.1 of writes):"
+    );
     for (rule, hits) in &ft_rules {
-        let total = if rule.contains("READ") { total_reads } else { total_writes };
+        let total = if rule.contains("READ") {
+            total_reads
+        } else {
+            total_writes
+        };
         println!("  [{rule}] {:>12} hits  {:>5.1}%", hits, pct(*hits, total));
     }
     println!("\nDJIT+ rules (paper: 78.0 / 22.0 of reads; 71.0 / 29.0 of writes):");
     for (rule, hits) in &djit_rules {
-        let total = if rule.contains("READ") { total_reads } else { total_writes };
+        let total = if rule.contains("READ") {
+            total_reads
+        } else {
+            total_writes
+        };
         println!("  [{rule}] {:>12} hits  {:>5.1}%", hits, pct(*hits, total));
     }
 
@@ -72,4 +86,37 @@ fn main() {
         pct(fast_path_writes, total_writes)
     );
     println!("(paper: \"optimized constant-time fast paths handle upwards of 96% of operations\")");
+
+    let mut json = JsonWriter::new();
+    json.begin_object();
+    json.field_str("suite", "figure2");
+    json.field_u64("total_reads", total_reads);
+    json.field_u64("total_writes", total_writes);
+    for (label, rules) in [("fasttrack_rules", &ft_rules), ("djit_rules", &djit_rules)] {
+        json.key(label);
+        json.begin_array();
+        for (rule, hits) in rules {
+            let total = if rule.contains("READ") {
+                total_reads
+            } else {
+                total_writes
+            };
+            json.begin_object();
+            json.field_str("rule", rule);
+            json.field_u64("hits", *hits);
+            json.field_f64("percent", pct(*hits, total));
+            json.end_object();
+        }
+        json.end_array();
+    }
+    json.field_f64("fast_path_read_percent", pct(fast_path_reads, total_reads));
+    json.field_f64(
+        "fast_path_write_percent",
+        pct(fast_path_writes, total_writes),
+    );
+    json.end_object();
+    match std::fs::write("BENCH_figure2.json", json.finish()) {
+        Ok(()) => println!("wrote BENCH_figure2.json"),
+        Err(e) => eprintln!("failed to write BENCH_figure2.json: {e}"),
+    }
 }

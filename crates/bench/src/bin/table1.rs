@@ -11,9 +11,15 @@
 //! exactly.
 
 use ft_bench::{arithmetic_mean, fmt1, time_base, time_tool, HarnessOpts, TOOL_NAMES};
+use ft_obs::JsonWriter;
 use ft_workloads::{build, BENCHMARKS};
 
 fn main() {
+    let mut json = JsonWriter::new();
+    json.begin_object();
+    json.field_str("suite", "table1");
+    json.key("rows");
+    json.begin_array();
     let opts = HarnessOpts::from_env(200_000);
     println!("Table 1: Benchmark Results (slowdown vs. bare replay; warnings)");
     println!(
@@ -34,6 +40,11 @@ fn main() {
         let base = time_base(&trace, opts.reps);
         let mut row_slow = Vec::new();
         let mut row_warn = Vec::new();
+        json.begin_object();
+        json.field_str("program", bench.name);
+        json.field_u64("threads", bench.threads as u64);
+        json.field_u64("events", trace.len() as u64);
+        json.field_bool("compute_bound", bench.compute_bound);
         for (i, name) in TOOL_NAMES.iter().enumerate() {
             let (d, tool) = time_tool(name, &trace, opts.reps);
             let s = ft_bench::slowdown(d, base);
@@ -44,7 +55,11 @@ fn main() {
             if bench.compute_bound {
                 slowdowns[i].push(s);
             }
+            json.key(&format!("slowdown.{name}"));
+            json.f64(s);
+            json.field_u64(&format!("warnings.{name}"), tool.warnings().len() as u64);
         }
+        json.end_object();
         println!(
             "{:<12} {:>7} {:>8} | {:>7} {:>7} {:>9} {:>10} {:>8} {:>7} {:>9} | {:>3} {:>3} {:>3} {:>3} {:>3} {:>3}{}",
             bench.name,
@@ -81,4 +96,24 @@ fn main() {
     println!("  DJIT+   / FASTTRACK  = {:.1}x", avg(5) / avg(6));
     println!("  ERASER  / FASTTRACK  = {:.1}x", avg(1) / avg(6));
     println!("  GOLDILOCKS / FASTTRACK = {:.1}x", avg(3) / avg(6));
+
+    json.end_array();
+    json.key("average_slowdown_compute_bound");
+    json.begin_object();
+    for (i, name) in TOOL_NAMES.iter().enumerate() {
+        json.field_f64(name, arithmetic_mean(&slowdowns[i]));
+    }
+    json.end_object();
+    json.key("headline_ratios");
+    json.begin_object();
+    json.field_f64("basicvc_over_fasttrack", avg(4) / avg(6));
+    json.field_f64("djit_over_fasttrack", avg(5) / avg(6));
+    json.field_f64("eraser_over_fasttrack", avg(1) / avg(6));
+    json.field_f64("goldilocks_over_fasttrack", avg(3) / avg(6));
+    json.end_object();
+    json.end_object();
+    match std::fs::write("BENCH_table1.json", json.finish()) {
+        Ok(()) => println!("\nwrote BENCH_table1.json"),
+        Err(e) => eprintln!("failed to write BENCH_table1.json: {e}"),
+    }
 }

@@ -11,12 +11,21 @@
 //! performed only 17 million" — i.e. orders of magnitude on both axes.
 
 use ft_bench::{time_tool, HarnessOpts};
+use ft_obs::JsonWriter;
 use ft_workloads::{build, BENCHMARKS};
 
 fn main() {
+    let mut json = JsonWriter::new();
+    json.begin_object();
+    json.field_str("suite", "table2");
+    json.key("rows");
+    json.begin_array();
     let opts = HarnessOpts::from_env(200_000);
     println!("Table 2: Vector Clock Allocation and Usage");
-    println!("workload: ~{} events/benchmark, seed {}\n", opts.ops, opts.seed);
+    println!(
+        "workload: ~{} events/benchmark, seed {}\n",
+        opts.ops, opts.seed
+    );
     println!(
         "{:<12} | {:>14} {:>14} | {:>14} {:>14}",
         "", "VCs Allocated", "", "VC Operations", ""
@@ -40,6 +49,13 @@ fn main() {
         for (t, r) in totals.iter_mut().zip(row.iter()) {
             *t += r;
         }
+        json.begin_object();
+        json.field_str("program", bench.name);
+        json.field_u64("djit_vc_allocated", row[0]);
+        json.field_u64("fasttrack_vc_allocated", row[1]);
+        json.field_u64("djit_vc_ops", row[2]);
+        json.field_u64("fasttrack_vc_ops", row[3]);
+        json.end_object();
         println!(
             "{:<12} | {:>14} {:>14} | {:>14} {:>14}",
             bench.name, row[0], row[1], row[2], row[3]
@@ -55,4 +71,23 @@ fn main() {
         totals[0] as f64 / totals[1].max(1) as f64,
         totals[2] as f64 / totals[3].max(1) as f64
     );
+
+    json.end_array();
+    json.key("totals");
+    json.begin_object();
+    json.field_u64("djit_vc_allocated", totals[0]);
+    json.field_u64("fasttrack_vc_allocated", totals[1]);
+    json.field_u64("djit_vc_ops", totals[2]);
+    json.field_u64("fasttrack_vc_ops", totals[3]);
+    json.field_f64(
+        "allocation_ratio",
+        totals[0] as f64 / totals[1].max(1) as f64,
+    );
+    json.field_f64("vc_op_ratio", totals[2] as f64 / totals[3].max(1) as f64);
+    json.end_object();
+    json.end_object();
+    match std::fs::write("BENCH_table2.json", json.finish()) {
+        Ok(()) => println!("\nwrote BENCH_table2.json"),
+        Err(e) => eprintln!("failed to write BENCH_table2.json: {e}"),
+    }
 }

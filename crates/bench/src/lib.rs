@@ -14,6 +14,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod micro;
+
 use fasttrack::{Detector, Empty, FastTrack};
 use ft_detectors::{BasicVc, Djit, Eraser, Goldilocks, MultiRace};
 use ft_trace::{Op, Trace};

@@ -1,0 +1,128 @@
+//! A small self-contained micro-benchmark harness (the benches in
+//! `benches/` run on this instead of an external framework, so they build
+//! offline). Batches are auto-calibrated so one sample takes about a
+//! millisecond, then per-iteration latency is collected into an `ft-obs`
+//! histogram for quantile reporting.
+
+use ft_obs::{Histogram, JsonWriter};
+use std::time::Instant;
+
+/// Samples collected per benchmark.
+const SAMPLES: u32 = 30;
+/// Target wall time per sample during calibration.
+const TARGET_SAMPLE_NANOS: u128 = 1_000_000;
+/// Calibration cap: never batch more than this many iterations.
+const MAX_BATCH: u64 = 1 << 22;
+
+/// Result of one micro-benchmark: name, batch size, and the distribution of
+/// mean ns/iteration across samples.
+pub struct MicroResult {
+    /// Benchmark id (e.g. `"epoch_vs_vc_O1/8"`).
+    pub name: String,
+    /// Iterations per timed sample.
+    pub batch: u64,
+    /// Mean nanoseconds per iteration, one record per sample.
+    pub ns_per_iter: Histogram,
+}
+
+impl MicroResult {
+    /// Best (minimum) observed ns/iter — the conventional headline number.
+    pub fn best_ns(&self) -> u64 {
+        self.ns_per_iter.min()
+    }
+
+    /// One human-readable line.
+    pub fn report_line(&self) -> String {
+        let s = self.ns_per_iter.summary();
+        format!(
+            "{:<40} {:>8} ns/iter (p50 {:>8}, p99 {:>8}, batch {})",
+            self.name, s.min, s.p50, s.p99, self.batch
+        )
+    }
+
+    /// Serializes as one JSON object.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_str("name", &self.name);
+        w.field_u64("batch", self.batch);
+        w.key("ns_per_iter");
+        self.ns_per_iter.summary().write_json(w);
+        w.end_object();
+    }
+}
+
+/// Runs `f` under the harness: calibrates a batch size, takes [`SAMPLES`]
+/// timed samples, and returns the ns/iter distribution. The closure's
+/// return value is passed through [`std::hint::black_box`] so the work is
+/// not optimized away.
+pub fn run_micro<R>(name: &str, mut f: impl FnMut() -> R) -> MicroResult {
+    // Calibrate: grow the batch until one batch takes >= the target.
+    let mut batch = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        if start.elapsed().as_nanos() >= TARGET_SAMPLE_NANOS || batch >= MAX_BATCH {
+            break;
+        }
+        batch *= 2;
+    }
+    let mut ns_per_iter = Histogram::new();
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        let total = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        ns_per_iter.record(total / batch.max(1));
+    }
+    MicroResult {
+        name: name.to_string(),
+        batch,
+        ns_per_iter,
+    }
+}
+
+/// Prints results and writes them as a `BENCH_*.json` array.
+pub fn finish_suite(suite: &str, results: &[MicroResult]) {
+    for r in results {
+        println!("{}", r.report_line());
+    }
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("suite", suite);
+    w.key("results");
+    w.begin_array();
+    for r in results {
+        r.write_json(&mut w);
+    }
+    w.end_array();
+    w.end_object();
+    let path = format!("BENCH_{suite}.json");
+    match std::fs::write(&path, w.finish()) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_measures_something() {
+        let mut x = 0u64;
+        let r = run_micro("noop_add", || {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(r.ns_per_iter.count(), SAMPLES as u64);
+        assert!(r.batch >= 1);
+        // A wrapping add cannot plausibly take a millisecond.
+        assert!(r.best_ns() < 1_000_000);
+        let mut w = JsonWriter::new();
+        r.write_json(&mut w);
+        assert!(w.finish().contains("\"name\":\"noop_add\""));
+    }
+}

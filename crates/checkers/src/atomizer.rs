@@ -187,8 +187,7 @@ impl Detector for Atomizer {
     }
 
     fn shadow_bytes(&self) -> usize {
-        self.eraser.shadow_bytes()
-            + self.blocks.capacity() * std::mem::size_of::<ThreadBlock>()
+        self.eraser.shadow_bytes() + self.blocks.capacity() * std::mem::size_of::<ThreadBlock>()
     }
 }
 
@@ -203,7 +202,9 @@ mod tests {
     const Y: VarId = VarId::new(1);
     const M: LockId = LockId::new(0);
 
-    fn run(build: impl FnOnce(&mut TraceBuilder) -> Result<(), ft_trace::FeasibilityError>) -> Atomizer {
+    fn run(
+        build: impl FnOnce(&mut TraceBuilder) -> Result<(), ft_trace::FeasibilityError>,
+    ) -> Atomizer {
         let mut b = TraceBuilder::with_threads(2);
         build(&mut b).unwrap();
         let mut a = Atomizer::new();

@@ -87,7 +87,9 @@ mod tests {
     const X: VarId = VarId::new(0);
     const M: LockId = LockId::new(0);
 
-    fn run(build: impl FnOnce(&mut TraceBuilder) -> Result<(), ft_trace::FeasibilityError>) -> SingleTrack {
+    fn run(
+        build: impl FnOnce(&mut TraceBuilder) -> Result<(), ft_trace::FeasibilityError>,
+    ) -> SingleTrack {
         let mut b = TraceBuilder::with_threads(2);
         build(&mut b).unwrap();
         let mut s = SingleTrack::new();

@@ -337,7 +337,9 @@ mod tests {
     const X: VarId = VarId::new(0);
     const M: LockId = LockId::new(0);
 
-    fn run(build: impl FnOnce(&mut TraceBuilder) -> Result<(), ft_trace::FeasibilityError>) -> Velodrome {
+    fn run(
+        build: impl FnOnce(&mut TraceBuilder) -> Result<(), ft_trace::FeasibilityError>,
+    ) -> Velodrome {
         let mut b = TraceBuilder::with_threads(2);
         build(&mut b).unwrap();
         let mut v = Velodrome::new();

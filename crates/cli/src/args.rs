@@ -35,7 +35,8 @@ impl Args {
                 }
             } else if a == "-o" {
                 if i + 1 < argv.len() {
-                    args.options.insert("output".to_string(), argv[i + 1].clone());
+                    args.options
+                        .insert("output".to_string(), argv[i + 1].clone());
                     i += 1;
                 }
             } else {
@@ -70,6 +71,16 @@ impl Args {
     pub fn has_flag(&self, flag: &str) -> bool {
         self.flags.iter().any(|f| f == flag)
     }
+
+    /// An option that must carry a value whenever it appears (a bare
+    /// `--key` with nothing after it is an error, not a silent no-op).
+    pub fn get_with_value(&self, key: &str) -> Result<Option<&str>, String> {
+        match self.get(key) {
+            Some(v) => Ok(Some(v)),
+            None if self.has_flag(key) => Err(format!("--{key} requires a value")),
+            None => Ok(None),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -82,7 +93,14 @@ mod tests {
 
     #[test]
     fn positional_and_options() {
-        let a = parse(&["file.json", "--tool", "FASTTRACK", "--ops=5", "-o", "out.json"]);
+        let a = parse(&[
+            "file.json",
+            "--tool",
+            "FASTTRACK",
+            "--ops=5",
+            "-o",
+            "out.json",
+        ]);
         assert_eq!(a.positional(0), Some("file.json"));
         assert_eq!(a.get("tool"), Some("FASTTRACK"));
         assert_eq!(a.get_num::<usize>("ops", 0).unwrap(), 5);

@@ -28,9 +28,38 @@ fn make_tool(name: &str, all_warnings: bool) -> Result<Box<dyn Detector>, String
 }
 
 fn run_tool(tool: &mut dyn Detector, trace: &Trace) {
+    let _span = ft_obs::span!("analyze", tool = tool.name(), events = trace.len());
     for (i, op) in trace.events().iter().enumerate() {
         tool.on_op(i, op);
     }
+}
+
+/// Installs a span sink if `--trace-spans` was given (`stderr` for
+/// human-readable lines, anything else as a JSONL output path).
+fn maybe_enable_tracing(args: &Args) -> Result<(), String> {
+    match args.get_with_value("trace-spans")? {
+        None => Ok(()),
+        Some("stderr") => {
+            ft_obs::set_sink(Box::new(ft_obs::StderrSink));
+            Ok(())
+        }
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("creating span log {path}: {e}"))?;
+            ft_obs::set_sink(Box::new(ft_obs::JsonlSink::new(Box::new(file))));
+            Ok(())
+        }
+    }
+}
+
+/// Writes a metrics snapshot to `--metrics PATH` if requested.
+fn maybe_write_metrics(args: &Args, snapshot: &ft_obs::Snapshot) -> Result<(), String> {
+    if let Some(path) = args.get_with_value("metrics")? {
+        std::fs::write(path, snapshot.to_json())
+            .map_err(|e| format!("writing metrics to {path}: {e}"))?;
+        println!("wrote metrics snapshot to {path}");
+    }
+    Ok(())
 }
 
 /// `ftrace generate`.
@@ -91,11 +120,13 @@ pub fn generate(args: &Args) -> Result<(), String> {
 /// `ftrace analyze`.
 pub fn analyze(args: &Args) -> Result<(), String> {
     let path = args.positional(0).ok_or("analyze requires a trace file")?;
+    maybe_enable_tracing(args)?;
     let trace = load_trace(path)?;
     let tool_name = args.get("tool").unwrap_or("FASTTRACK");
     let mut tool = make_tool(tool_name, args.has_flag("all-warnings"))?;
     run_tool(tool.as_mut(), &trace);
     print_report(tool.as_ref(), true);
+    maybe_write_metrics(args, &tool.metrics())?;
     Ok(())
 }
 
@@ -125,6 +156,7 @@ pub fn pipeline(args: &Args) -> Result<(), String> {
     use ft_runtime::{Pipeline, ThreadLocalFilter};
 
     let path = args.positional(0).ok_or("pipeline requires a trace file")?;
+    maybe_enable_tracing(args)?;
     let trace = load_trace(path)?;
     let filter = args.get("filter").unwrap_or("FASTTRACK");
     let checker = args.get("checker").unwrap_or("VELODROME");
@@ -150,15 +182,110 @@ pub fn pipeline(args: &Args) -> Result<(), String> {
     }
     for report in p.stage_reports() {
         println!(
-            "{:<12} saw {:>9} events, suppressed {:>9}, {} warning(s)",
+            "{:<12} saw {:>9} events, suppressed {:>9} ({:>5.1}%), p50 {:>6} ns/op, {} warning(s)",
             report.name,
             report.events_seen,
             report.events_suppressed,
+            100.0 * report.suppression_rate,
+            report.latency.p50,
             report.warnings.len()
         );
         for w in &report.warnings {
             println!("    {w}");
         }
+    }
+    maybe_write_metrics(args, &p.metrics_snapshot())?;
+    Ok(())
+}
+
+/// `ftrace profile`: one full observability run over a trace — the chosen
+/// detector's metrics (rule percentages), a FastTrack→EMPTY pipeline's
+/// per-stage latency quantiles and suppression rates, and the online
+/// monitor's per-event overhead in both direct and buffered modes. Writes
+/// everything as one JSON document (`--metrics PATH`, else stdout).
+pub fn profile(args: &Args) -> Result<(), String> {
+    use ft_runtime::online::Monitor;
+    use ft_runtime::Pipeline;
+
+    let path = args.positional(0).ok_or("profile requires a trace file")?;
+    maybe_enable_tracing(args)?;
+    let trace = load_trace(path)?;
+    let tool_name = args.get("tool").unwrap_or("FASTTRACK");
+
+    // 1. The chosen detector on its own.
+    let mut tool = make_tool(tool_name, args.has_flag("all-warnings"))?;
+    run_tool(tool.as_mut(), &trace);
+    let detector_metrics = tool.metrics();
+
+    // 2. A FastTrack→EMPTY pipeline: per-stage latency and suppression.
+    let mut pipeline = Pipeline::new(vec![Box::new(FastTrack::new()), Box::new(Empty::new())]);
+    {
+        let _span = ft_obs::span!("profile.pipeline", events = trace.len());
+        for (i, op) in trace.events().iter().enumerate() {
+            pipeline.on_op(i, op);
+        }
+    }
+    let pipeline_metrics = pipeline.metrics_snapshot();
+
+    // 3. The online monitor replaying the same stream, both modes.
+    let online = |make: fn() -> Monitor| {
+        let monitor = make();
+        let _span = ft_obs::span!("profile.online", events = trace.len());
+        for op in trace.events() {
+            monitor.emit_raw(op.clone());
+        }
+        monitor.report().metrics
+    };
+    let direct_metrics = online(|| Monitor::new(FastTrack::new()));
+    let buffered_metrics = online(|| Monitor::buffered(FastTrack::new()));
+
+    println!(
+        "{}: {} events; {} {} warning(s)",
+        path,
+        trace.len(),
+        tool.name(),
+        tool.warnings().len()
+    );
+    for (name, value) in &detector_metrics.gauges {
+        if name.ends_with(".percent") {
+            println!("  {name} = {value:.1}");
+        }
+    }
+    let show = |label: &str, snap: &ft_obs::Snapshot, key: &str| {
+        if let Some(h) = snap.histogram(key) {
+            println!(
+                "  {label}: {key} p50 {} p90 {} p99 {} max {}",
+                h.p50, h.p90, h.p99, h.max
+            );
+        }
+    };
+    show("pipeline", &pipeline_metrics, "stage.0.FASTTRACK.on_op_ns");
+    show("pipeline", &pipeline_metrics, "stage.1.EMPTY.on_op_ns");
+    show("online/direct", &direct_metrics, "online.emit_ns");
+    show("online/buffered", &buffered_metrics, "online.emit_ns");
+    show("online/buffered", &buffered_metrics, "online.queue_lag_ns");
+
+    let mut w = ft_obs::JsonWriter::new();
+    w.begin_object();
+    w.field_str("trace", path);
+    w.field_u64("events", trace.len() as u64);
+    for (key, snap) in [
+        ("detector", &detector_metrics),
+        ("pipeline", &pipeline_metrics),
+        ("online_direct", &direct_metrics),
+        ("online_buffered", &buffered_metrics),
+    ] {
+        w.key(key);
+        snap.write_json(&mut w);
+    }
+    w.end_object();
+    let json = w.finish();
+    match args.get_with_value("metrics")? {
+        Some(out) => {
+            std::fs::write(out, &json).map_err(|e| format!("writing metrics to {out}: {e}"))?;
+            println!("wrote metrics snapshot to {out}");
+        }
+        None => println!("{json}"),
     }
     Ok(())
 }

@@ -26,14 +26,24 @@ ftrace — FastTrack race-detection trace tool
 USAGE:
   ftrace generate [--benchmark NAME | --random] [--ops N] [--seed N]
                   [--racy FRAC] -o FILE     generate a trace
-  ftrace analyze FILE [--tool NAME] [--all-warnings]
+  ftrace analyze FILE [--tool NAME] [--all-warnings] [--metrics OUT.json]
                                             run one detector
   ftrace compare FILE                       run every detector
-  ftrace pipeline FILE [--filter NAME] [--checker NAME]
+  ftrace pipeline FILE [--filter NAME] [--checker NAME] [--metrics OUT.json]
                                             prefilter + downstream checker
+  ftrace profile FILE [--tool NAME] [--metrics OUT.json]
+                                            full observability run: detector
+                                            rule percentages, per-stage
+                                            latency quantiles, online-monitor
+                                            overhead
   ftrace oracle FILE                        exact happens-before ground truth
   ftrace coarsen FILE -o FILE               coarse-grain (object) variant
   ftrace info FILE                          trace statistics
+
+OPTIONS (analyze/pipeline/profile):
+  --metrics OUT.json      write an ft-obs metrics snapshot as JSON
+  --trace-spans stderr    stream span/event tracing to stderr
+  --trace-spans FILE      ... or as JSONL to FILE
 
 TOOLS: EMPTY ERASER MULTIRACE GOLDILOCKS BASICVC DJIT+ FASTTRACK
 BENCHMARKS: the 16 Table 1 names (colt crypt lufact ... jbb) or eclipse:OP
@@ -62,6 +72,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "analyze" => commands::analyze(&args),
         "compare" => commands::compare(&args),
         "pipeline" => commands::pipeline(&args),
+        "profile" => commands::profile(&args),
         "oracle" => commands::oracle(&args),
         "coarsen" => commands::coarsen_cmd(&args),
         "info" => commands::info(&args),

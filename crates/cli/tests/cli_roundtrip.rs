@@ -18,11 +18,23 @@ fn tmp(name: &str) -> PathBuf {
 fn generate_analyze_roundtrip() {
     let file = tmp("roundtrip.ftrace");
     let out = ftrace()
-        .args(["generate", "--benchmark", "raytracer", "--ops", "4000", "--seed", "3"])
+        .args([
+            "generate",
+            "--benchmark",
+            "raytracer",
+            "--ops",
+            "4000",
+            "--seed",
+            "3",
+        ])
         .args(["-o", file.to_str().unwrap()])
         .output()
         .expect("run ftrace generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = ftrace()
         .args(["analyze", file.to_str().unwrap(), "--tool", "FASTTRACK"])
@@ -31,7 +43,10 @@ fn generate_analyze_roundtrip() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("FASTTRACK"), "{stdout}");
-    assert!(stdout.contains("1 warning(s)"), "raytracer has one race: {stdout}");
+    assert!(
+        stdout.contains("1 warning(s)"),
+        "raytracer has one race: {stdout}"
+    );
 
     let out = ftrace()
         .args(["oracle", file.to_str().unwrap()])
@@ -54,11 +69,19 @@ fn coarsen_and_info() {
         .unwrap()
         .success());
     let out = ftrace()
-        .args(["coarsen", fine.to_str().unwrap(), "-o", coarse.to_str().unwrap()])
+        .args([
+            "coarsen",
+            fine.to_str().unwrap(),
+            "-o",
+            coarse.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
-    let out = ftrace().args(["info", coarse.to_str().unwrap()]).output().unwrap();
+    let out = ftrace()
+        .args(["info", coarse.to_str().unwrap()])
+        .output()
+        .unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("events"), "{stdout}");
     assert!(stdout.contains("mix: reads"), "{stdout}");
@@ -76,20 +99,33 @@ fn pipeline_command_reports_stages() {
         .unwrap()
         .success());
     let out = ftrace()
-        .args(["pipeline", file.to_str().unwrap(), "--filter", "FASTTRACK", "--checker", "VELODROME"])
+        .args([
+            "pipeline",
+            file.to_str().unwrap(),
+            "--filter",
+            "FASTTRACK",
+            "--checker",
+            "VELODROME",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("FASTTRACK"), "{stdout}");
     assert!(stdout.contains("VELODROME"), "{stdout}");
-    assert!(stdout.contains("3 warning(s)"), "hedc's three races: {stdout}");
+    assert!(
+        stdout.contains("3 warning(s)"),
+        "hedc's three races: {stdout}"
+    );
     std::fs::remove_file(&file).ok();
 }
 
 #[test]
 fn errors_are_reported_cleanly() {
-    let out = ftrace().args(["analyze", "/nonexistent.ftrace"]).output().unwrap();
+    let out = ftrace()
+        .args(["analyze", "/nonexistent.ftrace"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
 

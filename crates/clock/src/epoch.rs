@@ -1,7 +1,6 @@
 //! Packed scalar timestamps (`clock@tid` pairs).
 
 use crate::{Tid, VectorClock};
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -68,8 +67,7 @@ impl Error for EpochOverflowError {}
 /// vc.set(Tid::new(3), 20);
 /// assert!(e.happens_before(&vc));
 /// ```
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
 pub struct Epoch(u32);
 
 impl Epoch {
@@ -180,8 +178,7 @@ impl fmt::Debug for Epoch {
 /// 2^48 clock ticks, per the paper's §4 remark about large programs. The
 /// detectors in this repository use the 32-bit [`Epoch`]; `Epoch64` is
 /// exercised by tests and available for embedding in other analyses.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
 pub struct Epoch64(u64);
 
 impl Epoch64 {

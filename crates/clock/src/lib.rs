@@ -50,7 +50,6 @@ pub use epoch::{Epoch, Epoch64, EpochOverflowError, MAX_CLOCK, MAX_CLOCK64, MAX_
 pub use recycle::TidRecycler;
 pub use vc::VectorClock;
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A thread identifier.
@@ -58,8 +57,7 @@ use std::fmt;
 /// Thread ids are small dense integers assigned by the runtime (the first
 /// thread is `Tid::new(0)`, the next `Tid::new(1)`, and so on). They index
 /// directly into [`VectorClock`]s and are packed into [`Epoch`]s.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Tid(u32);
 
 impl Tid {

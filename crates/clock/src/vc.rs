@@ -1,7 +1,6 @@
 //! Vector clocks with the lattice operations of §2.2.
 
 use crate::{Epoch, Tid};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A vector clock `VC : Tid -> Nat`.
@@ -34,8 +33,7 @@ use std::fmt;
 /// assert_eq!(acquirer.get(Tid::new(1)), 8);
 /// assert!(release.leq(&acquirer));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct VectorClock {
     clocks: Vec<u32>,
 }
@@ -297,7 +295,9 @@ mod tests {
 
     #[test]
     fn from_iterator_collects_pairs() {
-        let a: VectorClock = vec![(Tid::new(1), 5), (Tid::new(0), 2)].into_iter().collect();
+        let a: VectorClock = vec![(Tid::new(1), 5), (Tid::new(0), 2)]
+            .into_iter()
+            .collect();
         assert_eq!(a, vc(&[2, 5]));
     }
 }

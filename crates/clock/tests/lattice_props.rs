@@ -3,108 +3,177 @@
 //! These check the algebraic laws §2.2 relies on: ⊑ is a partial order,
 //! ⊔ is the least upper bound, ⊥ is the bottom element, and the O(1) epoch
 //! comparison ≼ agrees with the O(n) definition it optimizes.
+//!
+//! Randomized inputs come from a tiny local splitmix64 (ft-clock sits below
+//! the crate that hosts the workspace PRNG), fixed seeds, 256 cases per law.
 
 use ft_clock::{Epoch, Tid, VectorClock, MAX_CLOCK, MAX_TID};
-use proptest::prelude::*;
 
-fn arb_vc() -> impl Strategy<Value = VectorClock> {
-    prop::collection::vec(0u32..50, 0..8).prop_map(|v| VectorClock::from_components(&v))
-}
+/// Minimal deterministic generator; splitmix64.
+struct Rng(u64);
 
-fn arb_epoch() -> impl Strategy<Value = Epoch> {
-    (0u32..8, 0u32..50).prop_map(|(t, c)| Epoch::new(Tid::new(t), c))
-}
-
-proptest! {
-    #[test]
-    fn leq_is_reflexive(a in arb_vc()) {
-        prop_assert!(a.leq(&a));
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
     }
 
-    #[test]
-    fn leq_is_antisymmetric(a in arb_vc(), b in arb_vc()) {
+    /// Uniform-ish value in `[0, bound)`; bias is irrelevant here.
+    fn below(&mut self, bound: u32) -> u32 {
+        (self.next_u64() % bound as u64) as u32
+    }
+
+    fn vc(&mut self) -> VectorClock {
+        let dim = self.below(8) as usize;
+        let v: Vec<u32> = (0..dim).map(|_| self.below(50)).collect();
+        VectorClock::from_components(&v)
+    }
+
+    fn epoch(&mut self) -> Epoch {
+        Epoch::new(Tid::new(self.below(8)), self.below(50))
+    }
+}
+
+const CASES: usize = 256;
+
+fn assert_vc_eq(a: &VectorClock, b: &VectorClock) {
+    let dim = a.dim().max(b.dim());
+    for i in 0..dim {
+        assert_eq!(a.get(Tid::new(i as u32)), b.get(Tid::new(i as u32)));
+    }
+}
+
+#[test]
+fn leq_is_reflexive() {
+    let mut rng = Rng(1);
+    for _ in 0..CASES {
+        let a = rng.vc();
+        assert!(a.leq(&a));
+    }
+}
+
+#[test]
+fn leq_is_antisymmetric() {
+    let mut rng = Rng(2);
+    for _ in 0..CASES {
+        let (a, b) = (rng.vc(), rng.vc());
         if a.leq(&b) && b.leq(&a) {
-            // Equal as functions: compare component-wise over both supports.
-            let dim = a.dim().max(b.dim());
-            for i in 0..dim {
-                prop_assert_eq!(a.get(Tid::new(i as u32)), b.get(Tid::new(i as u32)));
-            }
+            assert_vc_eq(&a, &b);
         }
     }
+}
 
-    #[test]
-    fn leq_is_transitive(a in arb_vc(), b in arb_vc(), c in arb_vc()) {
+#[test]
+fn leq_is_transitive() {
+    let mut rng = Rng(3);
+    for _ in 0..CASES {
+        let (a, b, c) = (rng.vc(), rng.vc(), rng.vc());
         if a.leq(&b) && b.leq(&c) {
-            prop_assert!(a.leq(&c));
+            assert!(a.leq(&c));
         }
     }
+}
 
-    #[test]
-    fn join_is_least_upper_bound(a in arb_vc(), b in arb_vc(), c in arb_vc()) {
+#[test]
+fn join_is_least_upper_bound() {
+    let mut rng = Rng(4);
+    for _ in 0..CASES {
+        let (a, b, c) = (rng.vc(), rng.vc(), rng.vc());
         let mut j = a.clone();
         j.join(&b);
         // Upper bound.
-        prop_assert!(a.leq(&j));
-        prop_assert!(b.leq(&j));
+        assert!(a.leq(&j));
+        assert!(b.leq(&j));
         // Least: any other upper bound dominates the join.
         if a.leq(&c) && b.leq(&c) {
-            prop_assert!(j.leq(&c));
+            assert!(j.leq(&c));
         }
     }
+}
 
-    #[test]
-    fn join_is_commutative_and_idempotent(a in arb_vc(), b in arb_vc()) {
+#[test]
+fn join_is_commutative_and_idempotent() {
+    let mut rng = Rng(5);
+    for _ in 0..CASES {
+        let (a, b) = (rng.vc(), rng.vc());
         let mut ab = a.clone();
         ab.join(&b);
         let mut ba = b.clone();
         ba.join(&a);
-        let dim = ab.dim().max(ba.dim());
-        for i in 0..dim {
-            prop_assert_eq!(ab.get(Tid::new(i as u32)), ba.get(Tid::new(i as u32)));
-        }
+        assert_vc_eq(&ab, &ba);
         let mut aa = a.clone();
         aa.join(&a);
-        prop_assert!(aa.leq(&a) && a.leq(&aa));
+        assert!(aa.leq(&a) && a.leq(&aa));
     }
+}
 
-    #[test]
-    fn bottom_is_identity_for_join(a in arb_vc()) {
+#[test]
+fn bottom_is_identity_for_join() {
+    let mut rng = Rng(6);
+    for _ in 0..CASES {
+        let a = rng.vc();
         let mut j = a.clone();
         j.join(&VectorClock::new());
-        prop_assert!(j.leq(&a) && a.leq(&j));
-        prop_assert!(VectorClock::new().leq(&a));
+        assert!(j.leq(&a) && a.leq(&j));
+        assert!(VectorClock::new().leq(&a));
     }
+}
 
-    #[test]
-    fn inc_strictly_increases(a in arb_vc(), t in 0u32..8) {
+#[test]
+fn inc_strictly_increases() {
+    let mut rng = Rng(7);
+    for _ in 0..CASES {
+        let a = rng.vc();
+        let t = Tid::new(rng.below(8));
         let mut b = a.clone();
-        b.inc(Tid::new(t));
-        prop_assert!(a.leq(&b));
-        prop_assert!(!b.leq(&a));
-        prop_assert_eq!(b.get(Tid::new(t)), a.get(Tid::new(t)) + 1);
+        b.inc(t);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+        assert_eq!(b.get(t), a.get(t) + 1);
     }
+}
 
-    /// ≼ agrees with its definition: c@t ≼ V iff c ≤ V(t), which equals the
-    /// vector-clock comparison of the epoch's "interpretation as a function"
-    /// (§A of the paper: c@t ≃ λu. if t = u then c else 0).
-    #[test]
-    fn epoch_hb_matches_vc_interpretation(e in arb_epoch(), v in arb_vc()) {
+/// ≼ agrees with its definition: c@t ≼ V iff c ≤ V(t), which equals the
+/// vector-clock comparison of the epoch's "interpretation as a function"
+/// (§A of the paper: c@t ≃ λu. if t = u then c else 0).
+#[test]
+fn epoch_hb_matches_vc_interpretation() {
+    let mut rng = Rng(8);
+    for _ in 0..CASES {
+        let e = rng.epoch();
+        let v = rng.vc();
         let mut as_vc = VectorClock::new();
         as_vc.set(e.tid(), e.clock());
-        prop_assert_eq!(e.happens_before(&v), as_vc.leq(&v));
+        assert_eq!(e.happens_before(&v), as_vc.leq(&v));
     }
+}
 
-    #[test]
-    fn epoch_packing_round_trips(t in 0..=MAX_TID, c in 0..=MAX_CLOCK) {
+#[test]
+fn epoch_packing_round_trips() {
+    let mut rng = Rng(9);
+    // Always exercise the extremes, then random interior points.
+    let mut cases = vec![(0, 0), (MAX_TID, MAX_CLOCK), (MAX_TID, 0), (0, MAX_CLOCK)];
+    for _ in 0..CASES {
+        cases.push((rng.below(MAX_TID + 1), rng.below(MAX_CLOCK + 1)));
+    }
+    for (t, c) in cases {
         let e = Epoch::new(Tid::new(t), c);
-        prop_assert_eq!(e.tid().as_u32(), t);
-        prop_assert_eq!(e.clock(), c);
-        prop_assert_eq!(Epoch::from_raw(e.as_raw()), e);
+        assert_eq!(e.tid().as_u32(), t);
+        assert_eq!(e.clock(), c);
+        assert_eq!(Epoch::from_raw(e.as_raw()), e);
     }
+}
 
-    #[test]
-    fn epoch_of_then_happens_before_is_reflexive(v in arb_vc(), t in 0u32..8) {
+#[test]
+fn epoch_of_then_happens_before_is_reflexive() {
+    let mut rng = Rng(10);
+    for _ in 0..CASES {
+        let v = rng.vc();
+        let t = Tid::new(rng.below(8));
         // E(t) ≼ C_t always holds for a thread's own clock.
-        prop_assert!(v.epoch_of(Tid::new(t)).happens_before(&v));
+        assert!(v.epoch_of(t).happens_before(&v));
     }
 }

@@ -392,7 +392,11 @@ impl FastTrack {
         self.thread(t);
         self.thread(u);
         self.stats.vc_ops += 1;
-        let ct = self.threads[t.as_usize()].as_ref().expect("ensured").vc.clone();
+        let ct = self.threads[t.as_usize()]
+            .as_ref()
+            .expect("ensured")
+            .vc
+            .clone();
         let us = self.threads[u.as_usize()].as_mut().expect("ensured");
         us.vc.join(&ct);
         us.refresh_epoch();
@@ -405,7 +409,11 @@ impl FastTrack {
         self.thread(t);
         self.thread(u);
         self.stats.vc_ops += 1;
-        let cu = self.threads[u.as_usize()].as_ref().expect("ensured").vc.clone();
+        let cu = self.threads[u.as_usize()]
+            .as_ref()
+            .expect("ensured")
+            .vc
+            .clone();
         let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
         ts.vc.join(&cu);
         ts.refresh_epoch();
@@ -580,9 +588,7 @@ impl FastTrack {
 
     /// The read vector clock `Rvc_x` while in shared mode.
     pub fn read_clock(&self, x: VarId) -> Option<&VectorClock> {
-        self.vars
-            .get(x.as_usize())
-            .and_then(|vs| vs.rvc.as_deref())
+        self.vars.get(x.as_usize()).and_then(|vs| vs.rvc.as_deref())
     }
 }
 
@@ -711,7 +717,9 @@ mod tests {
     const X: VarId = VarId::new(0);
     const M: LockId = LockId::new(0);
 
-    fn run(build: impl FnOnce(&mut TraceBuilder) -> Result<(), ft_trace::FeasibilityError>) -> FastTrack {
+    fn run(
+        build: impl FnOnce(&mut TraceBuilder) -> Result<(), ft_trace::FeasibilityError>,
+    ) -> FastTrack {
         let mut b = TraceBuilder::with_threads(3);
         build(&mut b).unwrap();
         let mut ft = FastTrack::new();

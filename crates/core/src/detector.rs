@@ -2,6 +2,7 @@
 
 use crate::stats::{RuleCount, Stats};
 use crate::warning::Warning;
+use ft_obs::{MetricsRegistry, Snapshot};
 use ft_trace::{Op, Trace};
 
 /// What a detector wants done with an event when it is used as a
@@ -67,6 +68,32 @@ pub trait Detector {
         Vec::new()
     }
 
+    /// Bridges [`Detector::stats`], [`Detector::rule_breakdown`], and
+    /// [`Detector::shadow_bytes`] into an `ft-obs` metrics [`Snapshot`]:
+    /// `ops`/`reads`/… become counters, per-rule hits become
+    /// `rule.<NAME>.hits` counters with `rule.<NAME>.percent` gauges, and
+    /// warning/shadow totals become gauges. The default implementation
+    /// covers every detector; tools with richer instrumentation can
+    /// override and merge their own registries.
+    fn metrics(&self) -> Snapshot {
+        let mut reg = MetricsRegistry::new();
+        reg.set_meta("tool", self.name());
+        let s = self.stats();
+        reg.inc_counter("ops", s.ops);
+        reg.inc_counter("reads", s.reads);
+        reg.inc_counter("writes", s.writes);
+        reg.inc_counter("sync_ops", s.sync_ops);
+        reg.inc_counter("vc_allocated", s.vc_allocated);
+        reg.inc_counter("vc_ops", s.vc_ops);
+        reg.inc_counter("warnings", self.warnings().len() as u64);
+        reg.set_gauge("shadow_bytes", self.shadow_bytes() as f64);
+        for rc in self.rule_breakdown() {
+            reg.inc_counter(&format!("rule.{}.hits", rc.rule), rc.hits);
+            reg.set_gauge(&format!("rule.{}.percent", rc.rule), rc.percent);
+        }
+        reg.snapshot()
+    }
+
     /// Replays an entire trace through [`Detector::on_op`].
     fn run(&mut self, trace: &Trace)
     where
@@ -103,5 +130,9 @@ impl<D: Detector + ?Sized> Detector for Box<D> {
 
     fn rule_breakdown(&self) -> Vec<RuleCount> {
         (**self).rule_breakdown()
+    }
+
+    fn metrics(&self) -> Snapshot {
+        (**self).metrics()
     }
 }

@@ -50,8 +50,8 @@ impl Detector for Empty {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ft_trace::{TraceBuilder, VarId};
     use ft_clock::Tid;
+    use ft_trace::{TraceBuilder, VarId};
 
     #[test]
     fn counts_but_never_warns() {

@@ -71,13 +71,21 @@ impl RuleCount {
         } else {
             100.0 * hits as f64 / total as f64
         };
-        RuleCount { rule, hits, percent }
+        RuleCount {
+            rule,
+            hits,
+            percent,
+        }
     }
 }
 
 impl fmt::Display for RuleCount {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {} hits ({:.1}%)", self.rule, self.hits, self.percent)
+        write!(
+            f,
+            "[{}] {} hits ({:.1}%)",
+            self.rule, self.hits, self.percent
+        )
     }
 }
 

@@ -8,8 +8,7 @@
 
 use fasttrack::{Detector, FastTrack};
 use ft_trace::gen::{self, GenConfig};
-use ft_trace::{HbOracle, Trace, VarId};
-use proptest::prelude::*;
+use ft_trace::{HbOracle, Prng, Trace, VarId};
 
 fn warned_vars(ft: &FastTrack) -> Vec<VarId> {
     let mut vars: Vec<VarId> = ft.warnings().iter().map(|w| w.var).collect();
@@ -25,7 +24,8 @@ fn assert_matches_oracle(trace: &Trace, label: &str) {
     let expected = oracle.race_vars();
     let actual = warned_vars(&ft);
     assert_eq!(
-        actual, expected,
+        actual,
+        expected,
         "{label}: FastTrack warned on {actual:?} but the oracle found races on {expected:?}\n\
          trace ({} events): {:?}",
         trace.len(),
@@ -33,12 +33,12 @@ fn assert_matches_oracle(trace: &Trace, label: &str) {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Race-free direction on structured traces: no false alarms, ever.
-    #[test]
-    fn no_false_alarms_on_structured_race_free_traces(seed in 0u64..10_000) {
+/// Race-free direction on structured traces: no false alarms, ever.
+#[test]
+fn no_false_alarms_on_structured_race_free_traces() {
+    let mut rng = Prng::seed_from_u64(0xf1);
+    for _ in 0..64 {
+        let seed = rng.gen_range(0u64..10_000);
         let cfg = GenConfig {
             ops: 600,
             p_barrier: 0.01,
@@ -48,10 +48,15 @@ proptest! {
         let trace = gen::generate(&cfg, seed);
         assert_matches_oracle(&trace, "structured race-free");
     }
+}
 
-    /// Racy direction on structured traces with racy variables.
-    #[test]
-    fn warned_vars_match_oracle_on_racy_traces(seed in 0u64..10_000, w_racy in 0.05f64..0.5) {
+/// Racy direction on structured traces with racy variables.
+#[test]
+fn warned_vars_match_oracle_on_racy_traces() {
+    let mut rng = Prng::seed_from_u64(0xf2);
+    for _ in 0..64 {
+        let seed = rng.gen_range(0u64..10_000);
+        let w_racy = rng.gen_range(0.05f64..0.5);
         let cfg = GenConfig {
             ops: 600,
             ..GenConfig::default().with_races(w_racy)
@@ -59,17 +64,19 @@ proptest! {
         let trace = gen::generate(&cfg, seed);
         assert_matches_oracle(&trace, "structured racy");
     }
+}
 
-    /// Both directions on chaotic traces: arbitrary feasible interleavings
-    /// of all operation kinds, racy or not.
-    #[test]
-    fn matches_oracle_on_chaotic_traces(
-        seed in 0u64..100_000,
-        threads in 2u32..7,
-        vars in 1u32..8,
-        locks in 1u32..5,
-        ops in 20usize..400,
-    ) {
+/// Both directions on chaotic traces: arbitrary feasible interleavings
+/// of all operation kinds, racy or not.
+#[test]
+fn matches_oracle_on_chaotic_traces() {
+    let mut rng = Prng::seed_from_u64(0xf3);
+    for _ in 0..64 {
+        let seed = rng.gen_range(0u64..100_000);
+        let threads = rng.gen_range(2u32..7);
+        let vars = rng.gen_range(1u32..8);
+        let locks = rng.gen_range(1u32..5);
+        let ops = rng.gen_range(20usize..400);
         let trace = gen::chaotic(threads, vars, locks, ops, seed);
         assert_matches_oracle(&trace, "chaotic");
     }
@@ -89,11 +96,7 @@ fn soak_chaotic_agreement() {
 #[test]
 fn ablated_configurations_remain_precise() {
     use fasttrack::FastTrackConfig;
-    let configs = [
-        (true, false),
-        (false, true),
-        (true, true),
-    ];
+    let configs = [(true, false), (false, true), (true, true)];
     for seed in 0..120u64 {
         let trace = gen::chaotic(4, 5, 3, 220, seed);
         let expected = HbOracle::analyze(&trace).race_vars();

@@ -82,7 +82,10 @@ impl BasicVc {
     /// Some thread whose component of `prior` exceeds the observer's clock —
     /// the witness to the race.
     fn concurrent_witness(prior: &VectorClock, ct: &VectorClock) -> Option<Tid> {
-        prior.iter_nonzero().find(|&(u, c)| c > ct.get(u)).map(|(u, _)| u)
+        prior
+            .iter_nonzero()
+            .find(|&(u, c)| c > ct.get(u))
+            .map(|(u, _)| u)
     }
 
     fn read(&mut self, index: usize, t: Tid, x: VarId) {
@@ -97,7 +100,13 @@ impl BasicVc {
         vs.r.set(t, ct.get(t));
         if let Some(witness) = racy {
             let u = witness.unwrap_or(t);
-            self.report(x, WarningKind::WriteRead, (u, AccessKind::Write), (t, AccessKind::Read), index);
+            self.report(
+                x,
+                WarningKind::WriteRead,
+                (u, AccessKind::Write),
+                (t, AccessKind::Read),
+                index,
+            );
         }
     }
 
@@ -113,11 +122,23 @@ impl BasicVc {
         vs.w.set(t, ct.get(t));
         if let Some(witness) = racy_write {
             let u = witness.unwrap_or(t);
-            self.report(x, WarningKind::WriteWrite, (u, AccessKind::Write), (t, AccessKind::Write), index);
+            self.report(
+                x,
+                WarningKind::WriteWrite,
+                (u, AccessKind::Write),
+                (t, AccessKind::Write),
+                index,
+            );
         }
         if let Some(witness) = racy_read {
             let u = witness.unwrap_or(t);
-            self.report(x, WarningKind::ReadWrite, (u, AccessKind::Read), (t, AccessKind::Write), index);
+            self.report(
+                x,
+                WarningKind::ReadWrite,
+                (u, AccessKind::Read),
+                (t, AccessKind::Write),
+                index,
+            );
         }
     }
 }
@@ -182,9 +203,7 @@ impl Detector for BasicVc {
             .vars
             .iter()
             .flatten()
-            .map(|vs| {
-                std::mem::size_of::<VarClocks>() + vs.r.heap_bytes() + vs.w.heap_bytes()
-            })
+            .map(|vs| std::mem::size_of::<VarClocks>() + vs.r.heap_bytes() + vs.w.heap_bytes())
             .sum();
         vars + self.sync.shadow_bytes()
     }

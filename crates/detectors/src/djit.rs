@@ -94,7 +94,10 @@ impl Djit {
     }
 
     fn concurrent_witness(prior: &VectorClock, ct: &VectorClock) -> Option<Tid> {
-        prior.iter_nonzero().find(|&(u, c)| c > ct.get(u)).map(|(u, _)| u)
+        prior
+            .iter_nonzero()
+            .find(|&(u, c)| c > ct.get(u))
+            .map(|(u, _)| u)
     }
 
     fn read(&mut self, index: usize, t: Tid, x: VarId) {
@@ -118,7 +121,13 @@ impl Djit {
         vs.r.set(t, own);
         if let Some(witness) = racy {
             let u = witness.unwrap_or(t);
-            self.report(x, WarningKind::WriteRead, (u, AccessKind::Write), (t, AccessKind::Read), index);
+            self.report(
+                x,
+                WarningKind::WriteRead,
+                (u, AccessKind::Write),
+                (t, AccessKind::Read),
+                index,
+            );
         }
     }
 
@@ -144,11 +153,23 @@ impl Djit {
         vs.w.set(t, own);
         if let Some(witness) = racy_write {
             let u = witness.unwrap_or(t);
-            self.report(x, WarningKind::WriteWrite, (u, AccessKind::Write), (t, AccessKind::Write), index);
+            self.report(
+                x,
+                WarningKind::WriteWrite,
+                (u, AccessKind::Write),
+                (t, AccessKind::Write),
+                index,
+            );
         }
         if let Some(witness) = racy_read {
             let u = witness.unwrap_or(t);
-            self.report(x, WarningKind::ReadWrite, (u, AccessKind::Read), (t, AccessKind::Write), index);
+            self.report(
+                x,
+                WarningKind::ReadWrite,
+                (u, AccessKind::Read),
+                (t, AccessKind::Write),
+                index,
+            );
         }
     }
 }

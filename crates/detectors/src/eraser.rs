@@ -59,7 +59,9 @@ pub struct EraserConfig {
 
 impl Default for EraserConfig {
     fn default() -> Self {
-        EraserConfig { barrier_aware: true }
+        EraserConfig {
+            barrier_aware: true,
+        }
     }
 }
 
@@ -340,7 +342,9 @@ mod tests {
     const M: LockId = LockId::new(0);
     const N: LockId = LockId::new(1);
 
-    fn run(build: impl FnOnce(&mut TraceBuilder) -> Result<(), ft_trace::FeasibilityError>) -> Eraser {
+    fn run(
+        build: impl FnOnce(&mut TraceBuilder) -> Result<(), ft_trace::FeasibilityError>,
+    ) -> Eraser {
         let mut b = TraceBuilder::with_threads(3);
         build(&mut b).unwrap();
         let mut e = Eraser::new();
@@ -431,7 +435,9 @@ mod tests {
 
         let mut b = TraceBuilder::with_threads(3);
         build(&mut b).unwrap();
-        let mut blind = Eraser::with_config(EraserConfig { barrier_aware: false });
+        let mut blind = Eraser::with_config(EraserConfig {
+            barrier_aware: false,
+        });
         blind.run(&b.finish());
         assert_eq!(blind.warnings().len(), 1);
     }

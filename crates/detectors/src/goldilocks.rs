@@ -313,7 +313,13 @@ impl Goldilocks {
             self.report(x, kind_w, (u, AccessKind::Write), (t, kind), index);
         }
         if let Some(u) = racy_read_prior {
-            self.report(x, WarningKind::ReadWrite, (u, AccessKind::Read), (t, kind), index);
+            self.report(
+                x,
+                WarningKind::ReadWrite,
+                (u, AccessKind::Read),
+                (t, kind),
+                index,
+            );
         }
     }
 }
@@ -383,8 +389,7 @@ impl Detector for Goldilocks {
             .map(|vs| {
                 std::mem::size_of::<GVar>()
                     + vs.write.as_ref().map_or(0, Gls::heap_bytes)
-                    + vs
-                        .readers
+                    + vs.readers
                         .values()
                         .map(|g| std::mem::size_of::<Gls>() + g.heap_bytes())
                         .sum::<usize>()
@@ -406,7 +411,9 @@ mod tests {
     const M: LockId = LockId::new(0);
     const N: LockId = LockId::new(1);
 
-    fn run(build: impl FnOnce(&mut TraceBuilder) -> Result<(), ft_trace::FeasibilityError>) -> Goldilocks {
+    fn run(
+        build: impl FnOnce(&mut TraceBuilder) -> Result<(), ft_trace::FeasibilityError>,
+    ) -> Goldilocks {
         let mut b = TraceBuilder::with_threads(3);
         build(&mut b).unwrap();
         let mut g = Goldilocks::new();
@@ -515,7 +522,10 @@ mod tests {
 
         let mut fast = Goldilocks::with_thread_local_fast_path();
         fast.run(&trace);
-        assert!(fast.warnings().is_empty(), "unsound extension should miss it");
+        assert!(
+            fast.warnings().is_empty(),
+            "unsound extension should miss it"
+        );
     }
 
     #[test]

@@ -124,7 +124,10 @@ impl MultiRace {
     }
 
     fn concurrent_witness(prior: &VectorClock, ct: &VectorClock) -> Option<Tid> {
-        prior.iter_nonzero().find(|&(u, c)| c > ct.get(u)).map(|(u, _)| u)
+        prior
+            .iter_nonzero()
+            .find(|&(u, c)| c > ct.get(u))
+            .map(|(u, _)| u)
     }
 
     fn access(&mut self, index: usize, t: Tid, x: VarId, kind: AccessKind) {
@@ -233,7 +236,13 @@ impl MultiRace {
         }
         if let Some(witness) = racy_read_witness {
             let u = witness.unwrap_or(t);
-            self.report(x, WarningKind::ReadWrite, (u, AccessKind::Read), (t, kind), index);
+            self.report(
+                x,
+                WarningKind::ReadWrite,
+                (u, AccessKind::Read),
+                (t, kind),
+                index,
+            );
         }
     }
 
@@ -344,7 +353,9 @@ mod tests {
     const M: LockId = LockId::new(0);
     const N: LockId = LockId::new(1);
 
-    fn run(build: impl FnOnce(&mut TraceBuilder) -> Result<(), ft_trace::FeasibilityError>) -> MultiRace {
+    fn run(
+        build: impl FnOnce(&mut TraceBuilder) -> Result<(), ft_trace::FeasibilityError>,
+    ) -> MultiRace {
         let mut b = TraceBuilder::with_threads(3);
         build(&mut b).unwrap();
         let mut d = MultiRace::new();
@@ -412,7 +423,10 @@ mod tests {
         assert!(d.warnings().is_empty());
         let rules = d.rule_breakdown();
         let vc_checks = rules.iter().find(|r| r.rule == "MR VC CHECK").unwrap().hits;
-        assert_eq!(vc_checks, 0, "consistent lockset should avoid all VC checks");
+        assert_eq!(
+            vc_checks, 0,
+            "consistent lockset should avoid all VC checks"
+        );
         assert!(d.lockset_only_accesses() > 0);
     }
 }

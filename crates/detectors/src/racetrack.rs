@@ -119,11 +119,16 @@ impl RaceTrack {
                 .threadset
                 .iter()
                 .any(|e| e.wrote || kind == AccessKind::Write);
-        let prior = vs
-            .threadset
-            .iter()
-            .find(|e| e.tid != t)
-            .map(|e| (e.tid, if e.wrote { AccessKind::Write } else { AccessKind::Read }));
+        let prior = vs.threadset.iter().find(|e| e.tid != t).map(|e| {
+            (
+                e.tid,
+                if e.wrote {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+            )
+        });
         if vs.lockset.is_empty() && concurrent_conflict {
             let idx = x.as_usize();
             if !self.warned[idx] {
@@ -230,7 +235,9 @@ mod tests {
     const X: VarId = VarId::new(0);
     const M: LockId = LockId::new(0);
 
-    fn run(build: impl FnOnce(&mut TraceBuilder) -> Result<(), ft_trace::FeasibilityError>) -> RaceTrack {
+    fn run(
+        build: impl FnOnce(&mut TraceBuilder) -> Result<(), ft_trace::FeasibilityError>,
+    ) -> RaceTrack {
         let mut b = TraceBuilder::with_threads(2);
         build(&mut b).unwrap();
         let mut r = RaceTrack::new();

@@ -110,7 +110,11 @@ impl VcSync {
         self.thread(t, stats);
         self.thread(u, stats);
         stats.vc_ops += 1;
-        let ct = self.threads[t.as_usize()].as_ref().expect("ensured").vc.clone();
+        let ct = self.threads[t.as_usize()]
+            .as_ref()
+            .expect("ensured")
+            .vc
+            .clone();
         self.threads[u.as_usize()]
             .as_mut()
             .expect("ensured")
@@ -128,7 +132,11 @@ impl VcSync {
         self.thread(t, stats);
         self.thread(u, stats);
         stats.vc_ops += 1;
-        let cu = self.threads[u.as_usize()].as_ref().expect("ensured").vc.clone();
+        let cu = self.threads[u.as_usize()]
+            .as_ref()
+            .expect("ensured")
+            .vc
+            .clone();
         self.threads[t.as_usize()]
             .as_mut()
             .expect("ensured")

@@ -14,8 +14,7 @@
 use fasttrack::{Detector, FastTrack, WarningKind};
 use ft_detectors::{BasicVc, Djit, Eraser, Goldilocks, MultiRace, RaceTrack};
 use ft_trace::gen::{self, GenConfig};
-use ft_trace::{HbOracle, Trace, VarId};
-use proptest::prelude::*;
+use ft_trace::{HbOracle, Prng, Trace, VarId};
 
 fn warned_vars<D: Detector>(d: &D) -> Vec<VarId> {
     let mut vars: Vec<VarId> = d.warnings().iter().map(|w| w.var).collect();
@@ -43,8 +42,16 @@ fn check_all(trace: &Trace, label: &str) {
     let ft_vars = warned_vars(&ft);
     assert_eq!(ft_vars, oracle_vars, "{label}: FASTTRACK vs oracle");
     assert_eq!(warned_vars(&djit), oracle_vars, "{label}: DJIT+ vs oracle");
-    assert_eq!(warned_vars(&basic), oracle_vars, "{label}: BASICVC vs oracle");
-    assert_eq!(warned_vars(&gold), oracle_vars, "{label}: GOLDILOCKS vs oracle");
+    assert_eq!(
+        warned_vars(&basic),
+        oracle_vars,
+        "{label}: BASICVC vs oracle"
+    );
+    assert_eq!(
+        warned_vars(&gold),
+        oracle_vars,
+        "{label}: GOLDILOCKS vs oracle"
+    );
 
     // MultiRace: sound warnings (every warned var is truly racy).
     for v in warned_vars(&multi) {
@@ -75,23 +82,26 @@ fn check_all(trace: &Trace, label: &str) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn agreement_on_chaotic_traces(
-        seed in 0u64..100_000,
-        threads in 2u32..7,
-        vars in 1u32..8,
-        locks in 1u32..5,
-        ops in 20usize..350,
-    ) {
+#[test]
+fn agreement_on_chaotic_traces() {
+    let mut rng = Prng::seed_from_u64(0xa1);
+    for _ in 0..48 {
+        let seed = rng.gen_range(0u64..100_000);
+        let threads = rng.gen_range(2u32..7);
+        let vars = rng.gen_range(1u32..8);
+        let locks = rng.gen_range(1u32..5);
+        let ops = rng.gen_range(20usize..350);
         let trace = gen::chaotic(threads, vars, locks, ops, seed);
         check_all(&trace, "chaotic");
     }
+}
 
-    #[test]
-    fn agreement_on_structured_traces(seed in 0u64..10_000, w_racy in 0.0f64..0.4) {
+#[test]
+fn agreement_on_structured_traces() {
+    let mut rng = Prng::seed_from_u64(0xa2);
+    for _ in 0..48 {
+        let seed = rng.gen_range(0u64..10_000);
+        let w_racy = rng.gen_range(0.0f64..0.4);
         let cfg = GenConfig {
             ops: 500,
             p_barrier: 0.002,

@@ -1,0 +1,225 @@
+//! A hand-rolled JSON writer (the build environment has no serde).
+//!
+//! The writer is a push-style builder that tracks nesting and inserts
+//! commas, so callers never emit malformed separators:
+//!
+//! ```
+//! use ft_obs::json::JsonWriter;
+//!
+//! let mut w = JsonWriter::new();
+//! w.begin_object();
+//! w.field_str("tool", "FASTTRACK");
+//! w.key("reads");
+//! w.begin_array();
+//! w.u64(1);
+//! w.u64(2);
+//! w.end_array();
+//! w.end_object();
+//! assert_eq!(w.finish(), r#"{"tool":"FASTTRACK","reads":[1,2]}"#);
+//! ```
+
+/// Incremental writer for compact JSON.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: `true` once the first element has been
+    /// written (so the next one needs a comma).
+    stack: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    /// Consumes the writer, returning the JSON text.
+    pub fn finish(self) -> String {
+        debug_assert!(self.stack.is_empty(), "unclosed container in JSON output");
+        self.out
+    }
+
+    fn sep(&mut self) {
+        if let Some(has_prev) = self.stack.last_mut() {
+            if *has_prev {
+                self.out.push(',');
+            }
+            *has_prev = true;
+        }
+    }
+
+    /// Opens a `{`.
+    pub fn begin_object(&mut self) {
+        self.sep();
+        self.out.push('{');
+        self.stack.push(false);
+    }
+
+    /// Closes a `}`.
+    pub fn end_object(&mut self) {
+        self.stack.pop();
+        self.out.push('}');
+    }
+
+    /// Opens a `[`.
+    pub fn begin_array(&mut self) {
+        self.sep();
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    /// Closes a `]`.
+    pub fn end_array(&mut self) {
+        self.stack.pop();
+        self.out.push(']');
+    }
+
+    /// Writes an object key; the next value call supplies its value.
+    pub fn key(&mut self, key: &str) {
+        self.sep();
+        escape_into(&mut self.out, key);
+        self.out.push(':');
+        // The value that follows must not emit a comma of its own.
+        if let Some(top) = self.stack.last_mut() {
+            *top = false;
+        }
+    }
+
+    /// Writes a string value.
+    pub fn string(&mut self, v: &str) {
+        self.sep();
+        escape_into(&mut self.out, v);
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn u64(&mut self, v: u64) {
+        self.sep();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a signed integer value.
+    pub fn i64(&mut self, v: i64) {
+        self.sep();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a float value; non-finite floats become `null` (JSON has no
+    /// NaN/Infinity).
+    pub fn f64(&mut self, v: f64) {
+        self.sep();
+        if v.is_finite() {
+            self.out.push_str(&format!("{v}"));
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Writes a boolean value.
+    pub fn bool(&mut self, v: bool) {
+        self.sep();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Writes a `null`.
+    pub fn null(&mut self) {
+        self.sep();
+        self.out.push_str("null");
+    }
+
+    /// `"key": "value"` shorthand.
+    pub fn field_str(&mut self, key: &str, v: &str) {
+        self.key(key);
+        self.string(v);
+    }
+
+    /// `"key": 123` shorthand.
+    pub fn field_u64(&mut self, key: &str, v: u64) {
+        self.key(key);
+        self.u64(v);
+    }
+
+    /// `"key": -123` shorthand.
+    pub fn field_i64(&mut self, key: &str, v: i64) {
+        self.key(key);
+        self.i64(v);
+    }
+
+    /// `"key": 1.5` shorthand.
+    pub fn field_f64(&mut self, key: &str, v: f64) {
+        self.key(key);
+        self.f64(v);
+    }
+
+    /// `"key": true` shorthand.
+    pub fn field_bool(&mut self, key: &str, v: bool) {
+        self.key(key);
+        self.bool(v);
+    }
+}
+
+/// Appends `s` as a quoted, escaped JSON string.
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structures_and_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("a", 1);
+        w.key("b");
+        w.begin_array();
+        w.begin_object();
+        w.field_bool("x", true);
+        w.end_object();
+        w.u64(2);
+        w.null();
+        w.end_array();
+        w.field_f64("c", 0.5);
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":1,"b":[{"x":true},2,null],"c":0.5}"#);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut w = JsonWriter::new();
+        w.string("a\"b\\c\nd\u{1}");
+        assert_eq!(w.finish(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.f64(f64::NAN);
+        w.f64(f64::INFINITY);
+        w.f64(1.25);
+        w.end_array();
+        assert_eq!(w.finish(), "[null,null,1.25]");
+    }
+
+    #[test]
+    fn top_level_scalar() {
+        let mut w = JsonWriter::new();
+        w.u64(7);
+        assert_eq!(w.finish(), "7");
+    }
+}

@@ -1,0 +1,29 @@
+//! `ft-obs`: zero-dependency observability for the FastTrack suite.
+//!
+//! Three pieces, layered bottom-up:
+//!
+//! - [`json`] — a hand-rolled compact-JSON writer (the build environment has
+//!   no serde), shared by metrics export and the JSONL trace sink.
+//! - [`metrics`] — [`MetricsRegistry`] of named counters, gauges, and
+//!   log₂-bucketed [`Histogram`]s (p50/p90/p99/max, merge-able across
+//!   threads), exported as a [`Snapshot`].
+//! - [`spans`] — a [`span!`]/[`event!`] tracing facade with pluggable sinks
+//!   ([`NoopSink`], [`StderrSink`], [`JsonlSink`]). Disabled cost is a
+//!   single branch: no allocation, no clock read.
+//!
+//! The crate deliberately depends on nothing (not even other workspace
+//! crates) so every layer — clock, trace, core, runtime, cli, bench — can
+//! use it without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod spans;
+
+pub use json::JsonWriter;
+pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, Snapshot};
+pub use spans::{
+    disable_tracing, set_sink, trace_enabled, JsonlSink, NoopSink, SpanGuard, StderrSink, TraceSink,
+};

@@ -1,0 +1,563 @@
+//! Counters, gauges, and log₂-bucketed histograms, plus the registry and
+//! snapshot types that carry them to JSON.
+//!
+//! The histogram is the workhorse: per-access *cost distributions* (not just
+//! totals) are what expose where a happens-before detector's time goes, so
+//! every recorded value lands in a power-of-two bucket and the snapshot
+//! reports p50/p90/p99/max. Recording is allocation-free (a fixed bucket
+//! array), and histograms from different threads merge by bucket-wise
+//! addition, which is associative and commutative.
+
+use crate::json::JsonWriter;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Number of buckets: bucket 0 holds zeros, bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`, and the last bucket absorbs everything from
+/// `2^(BUCKETS-2)` up (the overflow bucket).
+pub const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` samples (typically nanoseconds).
+///
+/// ```
+/// use ft_obs::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [1, 2, 3, 100, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max(), 1000);
+/// assert!(h.quantile(0.5) >= 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// The bucket index a value lands in: 0 for 0, else `64 - leading_zeros`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample. No allocation; a handful of arithmetic ops.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records a duration as nanoseconds.
+    #[inline]
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts.
+    pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// The inclusive lower bound of bucket `i` (0, then powers of two).
+    pub fn bucket_lower_bound(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// The inclusive upper bound of bucket `i` (`u64::MAX` for the overflow
+    /// bucket).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// An estimate of the `q`-quantile (`0.0 ≤ q ≤ 1.0`): the upper bound
+    /// of the bucket containing the `⌈q·count⌉`-th sample, clamped to the
+    /// observed min/max so single-sample and narrow histograms are exact.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper_bound(i).clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one (bucket-wise addition). The
+    /// operation is associative and commutative, so per-thread histograms
+    /// can be combined in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The summary row exported into snapshots.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.p50(),
+            p90: self.p90(),
+            p99: self.p99(),
+        }
+    }
+}
+
+/// The exported view of a [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// Writes this summary as a JSON object.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_u64("count", self.count);
+        w.field_u64("sum", self.sum);
+        w.field_u64("min", self.min);
+        w.field_u64("max", self.max);
+        w.field_f64("mean", self.mean);
+        w.field_u64("p50", self.p50);
+        w.field_u64("p90", self.p90);
+        w.field_u64("p99", self.p99);
+        w.end_object();
+    }
+}
+
+/// A named collection of counters, gauges, and histograms.
+///
+/// Names are free-form dotted paths (`"rule.FT READ SAME EPOCH.hits"`,
+/// `"stage.0.latency_ns"`). The registry is single-threaded by design —
+/// per-thread registries/histograms are merged with
+/// [`MetricsRegistry::merge`], mirroring how per-thread analysis state is
+/// combined elsewhere in the suite.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    meta: BTreeMap<String, String>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to the named counter (creating it at zero).
+    pub fn inc_counter(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Sets the named gauge.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Records a sample into the named histogram (creating it if needed).
+    pub fn record(&mut self, name: &str, v: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(v);
+    }
+
+    /// Records a duration (as nanoseconds) into the named histogram.
+    pub fn record_duration(&mut self, name: &str, d: Duration) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record_duration(d);
+    }
+
+    /// Mutable access to a named histogram, for hot loops that want to skip
+    /// the name lookup per sample.
+    pub fn histogram_mut(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_string()).or_default()
+    }
+
+    /// Attaches a string annotation (tool name, workload, …).
+    pub fn set_meta(&mut self, key: &str, value: &str) {
+        self.meta.insert(key.to_string(), value.to_string());
+    }
+
+    /// Merges another registry: counters add, gauges take the other's value,
+    /// histograms merge bucket-wise, meta entries union (other wins).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+        for (k, v) in &other.meta {
+            self.meta.insert(k.clone(), v.clone());
+        }
+    }
+
+    /// Exports the current state.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            meta: self
+                .meta
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.summary()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time export of a [`MetricsRegistry`]: plain vectors, already
+/// sorted by name, ready for JSON serialization or assertion in tests.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// String annotations (tool name, workload, …).
+    pub meta: Vec<(String, String)>,
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl Snapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Looks up a meta annotation by key.
+    pub fn meta(&self, key: &str) -> Option<&str> {
+        self.meta
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Writes this snapshot as a JSON object into an existing writer.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("meta");
+        w.begin_object();
+        for (k, v) in &self.meta {
+            w.field_str(k, v);
+        }
+        w.end_object();
+        w.key("counters");
+        w.begin_object();
+        for (k, v) in &self.counters {
+            w.field_u64(k, *v);
+        }
+        w.end_object();
+        w.key("gauges");
+        w.begin_object();
+        for (k, v) in &self.gauges {
+            w.field_f64(k, *v);
+        }
+        w.end_object();
+        w.key("histograms");
+        w.begin_object();
+        for (k, h) in &self.histograms {
+            w.key(k);
+            h.write_json(w);
+        }
+        w.end_object();
+        w.end_object();
+    }
+
+    /// Serializes this snapshot as a standalone JSON document.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 1..BUCKETS {
+            // The lower bound of each bucket maps into that bucket.
+            assert_eq!(bucket_of(Histogram::bucket_lower_bound(i)), i, "bucket {i}");
+            assert_eq!(bucket_of(Histogram::bucket_upper_bound(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn one_sample_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        h.record(37);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 37, "q={q}");
+        }
+        assert_eq!(h.min(), 37);
+        assert_eq!(h.max(), 37);
+        assert_eq!(h.mean(), 37.0);
+    }
+
+    #[test]
+    fn overflow_bucket_absorbs_huge_values() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.bucket_counts()[64], 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.p50(), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // Log-bucket estimates are upper bounds of the right bucket:
+        // within a factor of 2 of the true quantile, never below it.
+        let p50 = h.p50();
+        assert!((500..=1023).contains(&p50), "p50={p50}");
+        let p99 = h.p99();
+        assert!((990..=1023).contains(&p99), "p99={p99}");
+        assert_eq!(h.quantile(1.0), 1000); // clamped to observed max
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let sample_sets: [&[u64]; 3] = [&[0, 1, 5], &[2, 1 << 40, 7], &[u64::MAX, 3, 3, 3]];
+        let hists: Vec<Histogram> = sample_sets
+            .iter()
+            .map(|s| {
+                let mut h = Histogram::new();
+                for &v in *s {
+                    h.record(v);
+                }
+                h
+            })
+            .collect();
+
+        // (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c)
+        let mut left = hists[0].clone();
+        left.merge(&hists[1]);
+        left.merge(&hists[2]);
+        let mut bc = hists[1].clone();
+        bc.merge(&hists[2]);
+        let mut right = hists[0].clone();
+        right.merge(&bc);
+        assert_eq!(left.summary(), right.summary());
+        assert_eq!(left.bucket_counts(), right.bucket_counts());
+
+        // a ⊔ b == b ⊔ a
+        let mut ab = hists[0].clone();
+        ab.merge(&hists[1]);
+        let mut ba = hists[1].clone();
+        ba.merge(&hists[0]);
+        assert_eq!(ab.summary(), ba.summary());
+
+        // Merged summary equals recording everything into one histogram.
+        let mut all = Histogram::new();
+        for s in sample_sets {
+            for &v in s {
+                all.record(v);
+            }
+        }
+        assert_eq!(left.summary(), all.summary());
+    }
+
+    #[test]
+    fn registry_snapshot_and_merge() {
+        let mut a = MetricsRegistry::new();
+        a.inc_counter("ops", 10);
+        a.set_gauge("depth", 3.0);
+        a.record("lat", 100);
+        a.set_meta("tool", "FASTTRACK");
+
+        let mut b = MetricsRegistry::new();
+        b.inc_counter("ops", 5);
+        b.record("lat", 200);
+
+        a.merge(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap.counter("ops"), Some(15));
+        assert_eq!(snap.gauge("depth"), Some(3.0));
+        assert_eq!(snap.histogram("lat").unwrap().count, 2);
+        assert_eq!(snap.meta("tool"), Some("FASTTRACK"));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let mut r = MetricsRegistry::new();
+        r.inc_counter("reads", 7);
+        r.set_meta("tool", "EMPTY");
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"counters\":{\"reads\":7}"), "{json}");
+        assert!(json.contains("\"meta\":{\"tool\":\"EMPTY\"}"), "{json}");
+    }
+}

@@ -1,0 +1,325 @@
+//! A lightweight span/event tracing facade with pluggable sinks.
+//!
+//! Tracing is off by default. The [`span!`] and [`event!`] macros check a
+//! single relaxed atomic load before touching their arguments, so on hot
+//! paths (per-event detector work) the disabled cost is one branch — no
+//! allocation, no formatting, no clock read. Enabling tracing installs a
+//! sink:
+//!
+//! ```
+//! use ft_obs::{span, event, StderrSink};
+//!
+//! // ft_obs::set_sink(Box::new(StderrSink)); // uncomment to see output
+//! {
+//!     let _g = span!("analyze", tool = "FASTTRACK");
+//!     event!("warning", var = 3.to_string());
+//! } // span duration recorded on drop
+//! ```
+//!
+//! Sinks: [`NoopSink`] (default), [`StderrSink`] (human-readable lines),
+//! [`JsonlSink`] (one JSON object per line, written with the same
+//! hand-rolled writer as metrics snapshots).
+
+use crate::json::JsonWriter;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A key/value annotation on a span or event. Values are plain strings:
+/// field construction only happens when tracing is enabled.
+pub type Field = (&'static str, String);
+
+/// Receiver for span/event records. Implementations must be cheap enough to
+/// call from analysis loops when tracing is on, and thread-safe.
+pub trait TraceSink: Send + Sync {
+    /// Called when a span closes, with its total duration.
+    fn span(&self, name: &'static str, duration: Duration, fields: &[Field]);
+    /// Called for instantaneous events.
+    fn event(&self, name: &'static str, fields: &[Field]);
+}
+
+/// Discards everything. With this sink installed and tracing disabled, the
+/// macros cost a single branch.
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn span(&self, _: &'static str, _: Duration, _: &[Field]) {}
+    fn event(&self, _: &'static str, _: &[Field]) {}
+}
+
+/// Human-readable one-line-per-record output on stderr.
+pub struct StderrSink;
+
+fn fmt_fields(fields: &[Field]) -> String {
+    let mut s = String::new();
+    for (k, v) in fields {
+        s.push(' ');
+        s.push_str(k);
+        s.push('=');
+        s.push_str(v);
+    }
+    s
+}
+
+impl TraceSink for StderrSink {
+    fn span(&self, name: &'static str, duration: Duration, fields: &[Field]) {
+        eprintln!("[span] {name} {duration:?}{}", fmt_fields(fields));
+    }
+
+    fn event(&self, name: &'static str, fields: &[Field]) {
+        eprintln!("[event] {name}{}", fmt_fields(fields));
+    }
+}
+
+/// One JSON object per line (`{"kind":"span","name":...,"ns":...,...}`),
+/// suitable for piping into analysis scripts.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Wraps any writer (a `File`, `Vec<u8>`, `std::io::stderr()`, …).
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    fn write_record(&self, kind: &str, name: &str, ns: Option<u64>, fields: &[Field]) {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("kind", kind);
+        w.field_str("name", name);
+        if let Some(ns) = ns {
+            w.field_u64("ns", ns);
+        }
+        for (k, v) in fields {
+            w.field_str(k, v);
+        }
+        w.end_object();
+        let mut line = w.finish();
+        line.push('\n');
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = out.write_all(line.as_bytes());
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn span(&self, name: &'static str, duration: Duration, fields: &[Field]) {
+        let ns = duration.as_nanos().min(u64::MAX as u128) as u64;
+        self.write_record("span", name, Some(ns), fields);
+    }
+
+    fn event(&self, name: &'static str, fields: &[Field]) {
+        self.write_record("event", name, None, fields);
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: OnceLock<Mutex<Box<dyn TraceSink>>> = OnceLock::new();
+
+fn sink_cell() -> &'static Mutex<Box<dyn TraceSink>> {
+    SINK.get_or_init(|| Mutex::new(Box::new(NoopSink)))
+}
+
+/// Installs a sink and enables tracing. Replaces any previous sink.
+pub fn set_sink(sink: Box<dyn TraceSink>) {
+    *sink_cell().lock().unwrap_or_else(|e| e.into_inner()) = sink;
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Disables tracing and restores the no-op sink. After this returns, the
+/// macros are back to their branch-only disabled cost.
+pub fn disable_tracing() {
+    ENABLED.store(false, Ordering::Release);
+    *sink_cell().lock().unwrap_or_else(|e| e.into_inner()) = Box::new(NoopSink);
+}
+
+/// Whether a sink is installed. The macros consult this before evaluating
+/// any of their field expressions.
+#[inline]
+pub fn trace_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+#[doc(hidden)]
+pub fn __dispatch_span(name: &'static str, duration: Duration, fields: &[Field]) {
+    sink_cell()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .span(name, duration, fields);
+}
+
+#[doc(hidden)]
+pub fn __dispatch_event(name: &'static str, fields: &[Field]) {
+    sink_cell()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .event(name, fields);
+}
+
+/// Live data for an open span; stored only while tracing is enabled.
+#[derive(Debug)]
+pub struct SpanData {
+    name: &'static str,
+    start: Instant,
+    fields: Vec<Field>,
+}
+
+/// RAII guard returned by [`span!`]. Reports the span to the sink on drop.
+/// When tracing is disabled the guard holds `None` and drop is free.
+#[derive(Debug)]
+#[must_use = "a span measures the scope it lives in; dropping it immediately records ~0ns"]
+pub struct SpanGuard {
+    inner: Option<SpanData>,
+}
+
+impl SpanGuard {
+    /// A disabled guard (what `span!` returns when tracing is off).
+    pub fn disabled() -> Self {
+        SpanGuard { inner: None }
+    }
+
+    /// An active guard that starts timing now.
+    pub fn enabled(name: &'static str, fields: Vec<Field>) -> Self {
+        SpanGuard {
+            inner: Some(SpanData {
+                name,
+                start: Instant::now(),
+                fields,
+            }),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(data) = self.inner.take() {
+            __dispatch_span(data.name, data.start.elapsed(), &data.fields);
+        }
+    }
+}
+
+/// Opens a span: `let _g = span!("analyze", tool = name, ops = n.to_string());`
+///
+/// Field values are any `Into<String>` expressions, evaluated **only when
+/// tracing is enabled** — the disabled path is one relaxed atomic load.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::trace_enabled() {
+            $crate::SpanGuard::enabled(
+                $name,
+                vec![$((stringify!($k), ::std::string::ToString::to_string(&$v))),*],
+            )
+        } else {
+            $crate::SpanGuard::disabled()
+        }
+    };
+}
+
+/// Emits an instantaneous event: `event!("race", var = v.to_string());`
+///
+/// Same lazy-field contract as [`span!`].
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::trace_enabled() {
+            $crate::spans::__dispatch_event(
+                $name,
+                &[$((stringify!($k), ::std::string::ToString::to_string(&$v))),*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    struct CountingSink {
+        spans: Arc<AtomicUsize>,
+        events: Arc<AtomicUsize>,
+    }
+
+    impl TraceSink for CountingSink {
+        fn span(&self, _: &'static str, _: Duration, _: &[Field]) {
+            self.spans.fetch_add(1, Ordering::SeqCst);
+        }
+        fn event(&self, _: &'static str, _: &[Field]) {
+            self.events.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    // The global sink is process-wide, so exercise all its states in one
+    // test to avoid cross-test interference under the parallel runner.
+    #[test]
+    fn sink_lifecycle() {
+        assert!(!trace_enabled());
+        {
+            let _g = span!("disabled-span", k = "v");
+            event!("disabled-event");
+        } // must not panic, must not dispatch
+
+        let spans = Arc::new(AtomicUsize::new(0));
+        let events = Arc::new(AtomicUsize::new(0));
+        set_sink(Box::new(CountingSink {
+            spans: spans.clone(),
+            events: events.clone(),
+        }));
+        assert!(trace_enabled());
+        {
+            let _g = span!("analyze", tool = "FASTTRACK");
+            event!("warning", var = 3.to_string());
+            event!("warning");
+        }
+        assert_eq!(spans.load(Ordering::SeqCst), 1);
+        assert_eq!(events.load(Ordering::SeqCst), 2);
+
+        disable_tracing();
+        assert!(!trace_enabled());
+        {
+            let _g = span!("after-disable");
+            event!("after-disable");
+        }
+        assert_eq!(spans.load(Ordering::SeqCst), 1);
+        assert_eq!(events.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_object_per_line() {
+        // Write into a shared buffer we can inspect.
+        #[derive(Clone)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl Write for Buf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let shared = Arc::new(Mutex::new(Vec::new()));
+        let sink = JsonlSink::new(Box::new(Buf(shared.clone())));
+        sink.span(
+            "analyze",
+            Duration::from_nanos(1500),
+            &[("tool", "FT".into())],
+        );
+        sink.event("race", &[("var", "3".into())]);
+
+        let text = String::from_utf8(shared.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"kind":"span","name":"analyze","ns":1500,"tool":"FT"}"#
+        );
+        assert_eq!(lines[1], r#"{"kind":"event","name":"race","var":"3"}"#);
+    }
+}

@@ -86,7 +86,11 @@ mod tests {
         let coarse = coarsen(&fine);
         let mut ft_coarse = FastTrack::new();
         ft_coarse.run(&coarse);
-        assert_eq!(ft_coarse.warnings().len(), 1, "expected the coarse false alarm");
+        assert_eq!(
+            ft_coarse.warnings().len(),
+            1,
+            "expected the coarse false alarm"
+        );
     }
 
     /// Same synchronization discipline for all fields (the common OO case):

@@ -6,8 +6,8 @@
 //! any [`Detector`] — the moral equivalent of RoadRunner's load-time
 //! instrumentation for programs you run for real. Two delivery modes:
 //! [`Monitor::new`] analyzes synchronously under a lock;
-//! [`Monitor::buffered`] streams events over a channel to a dedicated
-//! analysis thread, so monitored threads pay only a channel send.
+//! [`Monitor::buffered`] streams events over an internal queue to a
+//! dedicated analysis thread, so monitored threads pay only an enqueue.
 //!
 //! Event ordering is made sound by construction: a release is logged
 //! *before* the underlying lock is released and an acquire *after* it is
@@ -15,6 +15,13 @@
 //! feasible linearization of the real execution. Data accesses are logged
 //! atomically with the access itself under the event lock; for genuinely
 //! racy programs, the recorded interleaving is one of the possible ones.
+//!
+//! Both sinks instrument themselves: the report's metrics snapshot carries
+//! `online.emit_ns` (per-event instrumentation overhead on the monitored
+//! threads), and buffered mode adds `online.analysis_ns` (detector time per
+//! event), `online.queue_lag_ns` (enqueue→dequeue latency), and
+//! `online.queue_depth` (backlog seen at each dequeue) — the numbers that
+//! show what online monitoring actually costs.
 //!
 //! # Example
 //!
@@ -44,12 +51,22 @@
 
 use fasttrack::{Detector, Stats, Warning};
 use ft_clock::Tid;
+use ft_obs::{Histogram, MetricsRegistry, Snapshot};
 use ft_trace::{LockId, Op, VarId};
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::time::Instant;
+
+/// Locks a std mutex, recovering from poisoning: a panic on another
+/// monitored thread must not wedge the monitor (the detector state is a
+/// plain value, valid at every step).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Where emitted events go: either straight into the detector under a lock
-/// (synchronous, lowest latency to a verdict) or over a channel to a
+/// (synchronous, lowest latency to a verdict) or over a queue to a
 /// dedicated analysis thread (buffered, lowest overhead on the monitored
 /// threads — RoadRunner's event-stream decoupling).
 trait EventSink: Send + Sync {
@@ -60,9 +77,18 @@ trait EventSink: Send + Sync {
 struct DetectorState {
     detector: Box<dyn Detector + Send>,
     next_index: usize,
+    metrics: MetricsRegistry,
 }
 
 impl DetectorState {
+    fn new(detector: Box<dyn Detector + Send>) -> Self {
+        DetectorState {
+            detector,
+            next_index: 0,
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
     fn feed(&mut self, op: &Op) {
         let index = self.next_index;
         self.next_index += 1;
@@ -70,9 +96,28 @@ impl DetectorState {
     }
 
     fn report(&self) -> OnlineReport {
+        let mut metrics = self.metrics.clone();
+        let mut snapshot = self.detector.metrics();
+        // The detector's own view plus the sink-side instrumentation.
+        let mut bridge = MetricsRegistry::new();
+        for (k, v) in std::mem::take(&mut snapshot.counters) {
+            bridge.inc_counter(&k, v);
+        }
+        for (k, v) in std::mem::take(&mut snapshot.gauges) {
+            bridge.set_gauge(&k, v);
+        }
+        for (k, v) in &snapshot.meta {
+            bridge.set_meta(k, v);
+        }
+        metrics.merge(&bridge);
+        let mut out = metrics.snapshot();
+        // Histogram summaries from the detector snapshot can't round-trip
+        // through a registry (summaries aren't buckets); append directly.
+        out.histograms.extend(snapshot.histograms);
         OnlineReport {
             warnings: self.detector.warnings().to_vec(),
             stats: self.detector.stats().clone(),
+            metrics: out,
         }
     }
 }
@@ -83,61 +128,159 @@ struct DirectSink {
 
 impl EventSink for DirectSink {
     fn emit(&self, op: Op) {
-        self.state.lock().feed(&op);
+        let start = Instant::now();
+        let mut state = lock(&self.state);
+        state.feed(&op);
+        state
+            .metrics
+            .histogram_mut("online.emit_ns")
+            .record_duration(start.elapsed());
     }
 
     fn report(&self) -> OnlineReport {
-        self.state.lock().report()
+        lock(&self.state).report()
     }
 }
 
 enum BufferedMsg {
-    Event(Op),
-    Snapshot(crossbeam::channel::Sender<OnlineReport>),
+    Event(Op, Instant),
+    Snapshot(Arc<ReportSlot>),
+}
+
+/// One-shot reply slot for snapshot requests.
+struct ReportSlot {
+    slot: Mutex<Option<OnlineReport>>,
+    ready: Condvar,
+}
+
+/// A minimal MPSC queue (mutex + condvar + `VecDeque`). `std::sync::mpsc`'s
+/// `Sender` is `!Sync`, but the sink must be shared by reference across
+/// monitored threads — and owning the queue also gives us the depth/lag
+/// numbers the metrics report wants.
+struct EventQueue {
+    q: Mutex<VecDeque<BufferedMsg>>,
+    cv: Condvar,
+    closed: AtomicBool,
+}
+
+impl EventQueue {
+    fn new() -> Self {
+        EventQueue {
+            q: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    fn push(&self, msg: BufferedMsg) {
+        lock(&self.q).push_back(msg);
+        self.cv.notify_one();
+    }
+
+    /// Pops the next message and the backlog length left behind it; returns
+    /// `None` once the queue is closed *and* drained.
+    fn pop(&self) -> Option<(BufferedMsg, usize)> {
+        let mut q = lock(&self.q);
+        loop {
+            if let Some(msg) = q.pop_front() {
+                let depth = q.len();
+                return Some((msg, depth));
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            q = self.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
 }
 
 struct BufferedSink {
-    tx: crossbeam::channel::Sender<BufferedMsg>,
+    queue: Arc<EventQueue>,
+    emit_ns: Mutex<Histogram>,
 }
 
 impl BufferedSink {
     fn spawn(detector: Box<dyn Detector + Send>) -> Self {
-        let (tx, rx) = crossbeam::channel::unbounded::<BufferedMsg>();
+        let queue = Arc::new(EventQueue::new());
+        let rx = Arc::clone(&queue);
         std::thread::spawn(move || {
-            let mut state = DetectorState {
-                detector,
-                next_index: 0,
-            };
-            // Exits when every sender (i.e. every Monitor clone) is gone.
-            for msg in rx {
+            let mut state = DetectorState::new(detector);
+            // Exits when the queue is closed (the last Monitor dropped) and
+            // every already-enqueued message has been handled.
+            while let Some((msg, depth)) = rx.pop() {
                 match msg {
-                    BufferedMsg::Event(op) => state.feed(&op),
+                    BufferedMsg::Event(op, enqueued_at) => {
+                        state
+                            .metrics
+                            .histogram_mut("online.queue_lag_ns")
+                            .record_duration(enqueued_at.elapsed());
+                        state
+                            .metrics
+                            .histogram_mut("online.queue_depth")
+                            .record(depth as u64);
+                        let start = Instant::now();
+                        state.feed(&op);
+                        state
+                            .metrics
+                            .histogram_mut("online.analysis_ns")
+                            .record_duration(start.elapsed());
+                    }
                     BufferedMsg::Snapshot(reply) => {
-                        let _ = reply.send(state.report());
+                        *lock(&reply.slot) = Some(state.report());
+                        reply.ready.notify_all();
                     }
                 }
             }
         });
-        BufferedSink { tx }
+        BufferedSink {
+            queue,
+            emit_ns: Mutex::new(Histogram::new()),
+        }
     }
 }
 
 impl EventSink for BufferedSink {
     fn emit(&self, op: Op) {
-        // The channel is a linearizable FIFO: if emit A returns before emit
+        // The queue is a linearizable FIFO: if emit A returns before emit
         // B starts, A is dequeued first — exactly the ordering soundness
         // argument the direct sink gets from its mutex.
-        let _ = self.tx.send(BufferedMsg::Event(op));
+        let start = Instant::now();
+        self.queue.push(BufferedMsg::Event(op, start));
+        lock(&self.emit_ns).record_duration(start.elapsed());
     }
 
     fn report(&self) -> OnlineReport {
-        let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
-        self.tx
-            .send(BufferedMsg::Snapshot(reply_tx))
-            .expect("analysis thread alive while a Monitor exists");
-        reply_rx
-            .recv()
-            .expect("analysis thread answers snapshots")
+        let reply = Arc::new(ReportSlot {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        self.queue.push(BufferedMsg::Snapshot(Arc::clone(&reply)));
+        let mut slot = lock(&reply.slot);
+        while slot.is_none() {
+            slot = reply.ready.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+        let mut report = slot.take().expect("slot filled while condvar signaled");
+        // Sender-side overhead lives on this side of the queue; splice it in.
+        let emit = lock(&self.emit_ns);
+        if emit.count() > 0 {
+            report
+                .metrics
+                .histograms
+                .push(("online.emit_ns".to_string(), emit.summary()));
+            report.metrics.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        report
+    }
+}
+
+impl Drop for BufferedSink {
+    fn drop(&mut self) {
+        self.queue.close();
     }
 }
 
@@ -165,6 +308,10 @@ pub struct OnlineReport {
     pub warnings: Vec<Warning>,
     /// The detector's statistics.
     pub stats: Stats,
+    /// Detector metrics plus monitoring-overhead instrumentation
+    /// (`online.emit_ns`, and in buffered mode `online.analysis_ns`,
+    /// `online.queue_lag_ns`, `online.queue_depth`).
+    pub metrics: Snapshot,
 }
 
 /// A handle to the online detector; clone freely and share across threads.
@@ -178,16 +325,13 @@ impl Monitor {
     /// under a lock. The calling thread becomes thread 0.
     pub fn new<D: Detector + Send + 'static>(detector: D) -> Self {
         Self::with_sink(Box::new(DirectSink {
-            state: Mutex::new(DetectorState {
-                detector: Box::new(detector),
-                next_index: 0,
-            }),
+            state: Mutex::new(DetectorState::new(Box::new(detector))),
         }))
     }
 
-    /// Wraps a detector with *buffered* analysis: events stream over a
-    /// channel to a dedicated analysis thread, so monitored threads pay
-    /// only a channel send per event. [`Monitor::report`] performs a
+    /// Wraps a detector with *buffered* analysis: events stream over an
+    /// internal queue to a dedicated analysis thread, so monitored threads
+    /// pay only an enqueue per event. [`Monitor::report`] performs a
     /// synchronizing round-trip, so it observes every event emitted before
     /// it was called.
     pub fn buffered<D: Detector + Send + 'static>(detector: D) -> Self {
@@ -218,7 +362,7 @@ impl Monitor {
     /// Creates a monitored shared variable holding `initial`.
     pub fn tracked_var<T: Send + Sync>(&self, initial: T) -> TrackedVar<T> {
         let var = {
-            let mut s = self.inner.ids.lock();
+            let mut s = lock(&self.inner.ids);
             let v = VarId::new(s.next_var);
             s.next_var += 1;
             v
@@ -226,14 +370,14 @@ impl Monitor {
         TrackedVar {
             monitor: self.clone(),
             var,
-            value: Arc::new(parking_lot::RwLock::new(initial)),
+            value: Arc::new(RwLock::new(initial)),
         }
     }
 
     /// Creates a monitored mutex protecting `data`.
     pub fn mutex<T: Send>(&self, data: T) -> MonitoredMutex<T> {
         let lock_id = {
-            let mut s = self.inner.ids.lock();
+            let mut s = lock(&self.inner.ids);
             let m = LockId::new(s.next_lock);
             s.next_lock += 1;
             m
@@ -260,11 +404,21 @@ impl Monitor {
         }
     }
 
-    /// Snapshots the detector's warnings and statistics. In buffered mode
-    /// this synchronizes with the analysis thread, so every event emitted
-    /// before the call is reflected.
+    /// Snapshots the detector's warnings, statistics, and metrics. In
+    /// buffered mode this synchronizes with the analysis thread, so every
+    /// event emitted before the call is reflected.
     pub fn report(&self) -> OnlineReport {
         self.inner.sink.report()
+    }
+
+    /// Feeds an already-recorded event straight to the analysis sink,
+    /// bypassing the instrumented wrappers. This replays a captured
+    /// [`ft_trace::Trace`] through the online machinery — e.g. to measure
+    /// the per-event monitoring overhead (`online.emit_ns`, queue lag) on a
+    /// realistic event stream. The caller is responsible for the stream
+    /// being feasible; the id allocator is not consulted.
+    pub fn emit_raw(&self, op: Op) {
+        self.inner.emit(op);
     }
 }
 
@@ -297,7 +451,7 @@ impl ThreadCtx {
         F: FnOnce(ThreadCtx) + Send + 'static,
     {
         let child_tid = {
-            let mut s = self.monitor.inner.ids.lock();
+            let mut s = lock(&self.monitor.inner.ids);
             let tid = Tid::new(s.next_tid);
             s.next_tid += 1;
             tid
@@ -348,7 +502,7 @@ impl MonitoredJoinHandle {
 pub struct TrackedVar<T> {
     monitor: Monitor,
     var: VarId,
-    value: Arc<parking_lot::RwLock<T>>,
+    value: Arc<RwLock<T>>,
 }
 
 impl<T> Clone for TrackedVar<T> {
@@ -365,13 +519,13 @@ impl<T: Clone + Send + Sync> TrackedVar<T> {
     /// Reads the value (logs a `rd` event).
     pub fn get(&self, ctx: &ThreadCtx) -> T {
         self.monitor.inner.emit(Op::Read(ctx.tid, self.var));
-        self.value.read().clone()
+        self.value.read().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Writes the value (logs a `wr` event).
     pub fn set(&self, ctx: &ThreadCtx, value: T) {
         self.monitor.inner.emit(Op::Write(ctx.tid, self.var));
-        *self.value.write() = value;
+        *self.value.write().unwrap_or_else(|e| e.into_inner()) = value;
     }
 
     /// The analysis id of this variable.
@@ -382,7 +536,9 @@ impl<T: Clone + Send + Sync> TrackedVar<T> {
 
 impl<T> std::fmt::Debug for TrackedVar<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TrackedVar").field("var", &self.var).finish()
+        f.debug_struct("TrackedVar")
+            .field("var", &self.var)
+            .finish()
     }
 }
 
@@ -406,7 +562,7 @@ impl<T> Clone for MonitoredMutex<T> {
 impl<T: Send> MonitoredMutex<T> {
     /// Acquires the mutex; the guard logs the release when dropped.
     pub fn lock(&self, ctx: &ThreadCtx) -> MonitoredGuard<'_, T> {
-        let guard = self.data.lock();
+        let guard = lock(&self.data);
         // Acquire is logged after the real lock is held, release before it
         // is dropped: the logged acquire/release order matches reality.
         self.monitor.inner.emit(Op::Acquire(ctx.tid, self.lock_id));
@@ -437,7 +593,7 @@ pub struct MonitoredGuard<'a, T> {
     monitor: Monitor,
     lock_id: LockId,
     tid: Tid,
-    guard: Option<parking_lot::MutexGuard<'a, T>>,
+    guard: Option<MutexGuard<'a, T>>,
 }
 
 impl<T> std::ops::Deref for MonitoredGuard<'_, T> {
@@ -483,15 +639,17 @@ impl MonitoredCondvar {
 
     /// Releases the guard's mutex, blocks until notified, re-acquires.
     ///
-    /// Spurious wakeups are possible, exactly as with
-    /// [`parking_lot::Condvar`]; guard waits with a predicate loop.
+    /// Spurious wakeups are possible, exactly as with [`std::sync::Condvar`];
+    /// guard waits with a predicate loop.
     pub fn wait<T>(&self, ctx: &ThreadCtx, guard: &mut MonitoredGuard<'_, T>) {
         let monitor = guard.monitor.clone();
         let lock_id = guard.lock_id;
         // Logged while still holding the real lock (sound release order).
         monitor.inner.emit(Op::Release(ctx.tid, lock_id));
-        self.condvar
-            .wait(guard.guard.as_mut().expect("guard present until drop"));
+        // std's Condvar::wait takes the guard by value; park it back after.
+        let inner = guard.guard.take().expect("guard present until drop");
+        let inner = self.condvar.wait(inner).unwrap_or_else(|e| e.into_inner());
+        guard.guard = Some(inner);
         // Awake and holding the lock again (sound acquire order).
         monitor.inner.emit(Op::Acquire(ctx.tid, lock_id));
     }
@@ -536,7 +694,7 @@ impl MonitoredBarrier {
     /// Blocks until all parties arrive; the last arriver logs the
     /// barrier-release event for the whole set.
     pub fn wait(&self, ctx: &ThreadCtx) {
-        let mut state = self.inner.state.lock();
+        let mut state = lock(&self.inner.state);
         let generation = state.generation;
         state.arrived.push(ctx.tid);
         if state.arrived.len() == self.inner.parties {
@@ -548,7 +706,11 @@ impl MonitoredBarrier {
             self.inner.condvar.notify_all();
         } else {
             while state.generation == generation {
-                self.inner.condvar.wait(&mut state);
+                state = self
+                    .inner
+                    .condvar
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
             }
         }
     }
@@ -690,20 +852,20 @@ mod tests {
             })
         };
         data.set(&root, 7); // no lock: the race
-        // Notify in a loop until the consumer is done, so a wakeup sent
-        // before the consumer reaches its wait cannot hang the test.
-        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+                            // Notify in a loop until the consumer is done, so a wakeup sent
+                            // before the consumer reaches its wait cannot hang the test.
+        let stop = Arc::new(AtomicBool::new(false));
         let notifier = {
             let (cv, stop) = (Arc::clone(&cv), Arc::clone(&stop));
             std::thread::spawn(move || {
-                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                while !stop.load(Ordering::Relaxed) {
                     cv.notify_all();
                     std::thread::sleep(std::time::Duration::from_millis(2));
                 }
             })
         };
         consumer.join(&root);
-        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        stop.store(true, Ordering::Relaxed);
         notifier.join().unwrap();
         let report = monitor.report();
         assert_eq!(report.warnings.len(), 1, "{:?}", report.warnings);
@@ -711,7 +873,10 @@ mod tests {
 
     #[test]
     fn buffered_mode_matches_direct_mode() {
-        for make in [Monitor::new::<FastTrack> as fn(FastTrack) -> Monitor, Monitor::buffered] {
+        for make in [
+            Monitor::new::<FastTrack> as fn(FastTrack) -> Monitor,
+            Monitor::buffered,
+        ] {
             let monitor = make(FastTrack::new());
             let counter = monitor.tracked_var(0u64);
             let lock = monitor.mutex(());
@@ -774,5 +939,43 @@ mod tests {
         let _ = a.get(&root);
         child.join(&root);
         assert!(monitor.report().warnings.is_empty());
+    }
+
+    #[test]
+    fn direct_report_carries_overhead_metrics() {
+        let monitor = Monitor::new(FastTrack::new());
+        let v = monitor.tracked_var(0u8);
+        let root = monitor.root();
+        for _ in 0..100 {
+            v.set(&root, 1);
+        }
+        let report = monitor.report();
+        let emit = report.metrics.histogram("online.emit_ns").unwrap();
+        assert_eq!(emit.count, 100);
+        assert!(emit.p99 >= emit.p50);
+        assert_eq!(report.metrics.counter("writes"), Some(100));
+        assert_eq!(report.metrics.meta("tool"), Some("FASTTRACK"));
+    }
+
+    #[test]
+    fn buffered_report_carries_queue_metrics() {
+        let monitor = Monitor::buffered(FastTrack::new());
+        let v = monitor.tracked_var(0u8);
+        let root = monitor.root();
+        for _ in 0..500 {
+            v.set(&root, 1);
+        }
+        let report = monitor.report();
+        for h in [
+            "online.emit_ns",
+            "online.analysis_ns",
+            "online.queue_lag_ns",
+            "online.queue_depth",
+        ] {
+            let summary = report.metrics.histogram(h).unwrap_or_else(|| {
+                panic!("missing histogram {h}: {:?}", report.metrics.histograms)
+            });
+            assert_eq!(summary.count, 500, "{h}");
+        }
     }
 }

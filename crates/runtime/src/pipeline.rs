@@ -1,7 +1,9 @@
 //! Tool composition: the `-tool A:B` chaining of §5.2.
 
 use fasttrack::{Detector, Disposition, Stats, Warning};
+use ft_obs::{Histogram, HistogramSummary, MetricsRegistry, Snapshot};
 use ft_trace::{Op, Trace};
+use std::time::Instant;
 
 /// Per-stage results after a pipeline run.
 #[derive(Debug)]
@@ -12,6 +14,11 @@ pub struct StageReport {
     pub events_seen: u64,
     /// Events this stage suppressed (not passed downstream).
     pub events_suppressed: u64,
+    /// Fraction of received events this stage suppressed (0 when idle).
+    pub suppression_rate: f64,
+    /// Distribution of this stage's per-event `on_op` latency, in
+    /// nanoseconds.
+    pub latency: HistogramSummary,
     /// Warnings the stage produced.
     pub warnings: Vec<Warning>,
 }
@@ -43,6 +50,7 @@ pub struct Pipeline {
     stages: Vec<Box<dyn Detector + Send>>,
     seen: Vec<u64>,
     suppressed: Vec<u64>,
+    latency: Vec<Histogram>,
     stats: Stats,
 }
 
@@ -59,6 +67,7 @@ impl Pipeline {
             stages,
             seen: vec![0; n],
             suppressed: vec![0; n],
+            latency: vec![Histogram::new(); n],
             stats: Stats::new(),
         }
     }
@@ -68,7 +77,8 @@ impl Pipeline {
         &self.stages
     }
 
-    /// Per-stage reports (event counts and warnings).
+    /// Per-stage reports (event counts, suppression rates, latency
+    /// quantiles, and warnings).
     pub fn stage_reports(&self) -> Vec<StageReport> {
         self.stages
             .iter()
@@ -77,9 +87,54 @@ impl Pipeline {
                 name: stage.name(),
                 events_seen: self.seen[i],
                 events_suppressed: self.suppressed[i],
+                suppression_rate: if self.seen[i] == 0 {
+                    0.0
+                } else {
+                    self.suppressed[i] as f64 / self.seen[i] as f64
+                },
+                latency: self.latency[i].summary(),
                 warnings: stage.warnings().to_vec(),
             })
             .collect()
+    }
+
+    /// A full metrics snapshot of the pipeline: each stage contributes its
+    /// detector metrics plus `events_seen`/`events_suppressed` counters, a
+    /// `suppression_rate` gauge, and an `on_op_ns` latency histogram, all
+    /// prefixed `stage.<i>.<TOOL>.`.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut reg = MetricsRegistry::new();
+        reg.set_meta("tool", self.name());
+        reg.inc_counter("ops", self.stats.ops);
+        let mut histograms: Vec<(String, HistogramSummary)> = Vec::new();
+        for (i, stage) in self.stages.iter().enumerate() {
+            let prefix = format!("stage.{i}.{}", stage.name());
+            reg.inc_counter(&format!("{prefix}.events_seen"), self.seen[i]);
+            reg.inc_counter(&format!("{prefix}.events_suppressed"), self.suppressed[i]);
+            reg.set_gauge(
+                &format!("{prefix}.suppression_rate"),
+                if self.seen[i] == 0 {
+                    0.0
+                } else {
+                    self.suppressed[i] as f64 / self.seen[i] as f64
+                },
+            );
+            histograms.push((format!("{prefix}.on_op_ns"), self.latency[i].summary()));
+            let stage_metrics = stage.metrics();
+            for (k, v) in &stage_metrics.counters {
+                reg.inc_counter(&format!("{prefix}.{k}"), *v);
+            }
+            for (k, v) in &stage_metrics.gauges {
+                reg.set_gauge(&format!("{prefix}.{k}"), *v);
+            }
+            for (k, v) in &stage_metrics.histograms {
+                histograms.push((format!("{prefix}.{k}"), *v));
+            }
+        }
+        let mut snapshot = reg.snapshot();
+        snapshot.histograms.extend(histograms);
+        snapshot.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        snapshot
     }
 }
 
@@ -97,7 +152,10 @@ impl Detector for Pipeline {
         }
         for (i, stage) in self.stages.iter_mut().enumerate() {
             self.seen[i] += 1;
-            if stage.on_op(index, op) == Disposition::Suppress {
+            let start = Instant::now();
+            let disposition = stage.on_op(index, op);
+            self.latency[i].record_duration(start.elapsed());
+            if disposition == Disposition::Suppress {
                 self.suppressed[i] += 1;
                 return Disposition::Suppress;
             }
@@ -118,11 +176,16 @@ impl Detector for Pipeline {
     fn shadow_bytes(&self) -> usize {
         self.stages.iter().map(|s| s.shadow_bytes()).sum()
     }
+
+    fn metrics(&self) -> Snapshot {
+        self.metrics_snapshot()
+    }
 }
 
 /// Replays a trace through a pipeline (convenience mirroring
 /// [`Detector::run`], which needs `Sized`).
 pub fn run_pipeline(pipeline: &mut Pipeline, trace: &Trace) {
+    let _span = ft_obs::span!("pipeline.run", events = trace.len());
     for (i, op) in trace.events().iter().enumerate() {
         pipeline.on_op(i, op);
     }
@@ -145,10 +208,7 @@ mod tests {
         b.write(Tid::new(1), VarId::new(1)).unwrap(); // the only race
         let trace = b.finish();
 
-        let mut p = Pipeline::new(vec![
-            Box::new(FastTrack::new()),
-            Box::new(Empty::new()),
-        ]);
+        let mut p = Pipeline::new(vec![Box::new(FastTrack::new()), Box::new(Empty::new())]);
         p.run(&trace);
         let reports = p.stage_reports();
         assert_eq!(reports[0].events_seen, 52);
@@ -164,12 +224,49 @@ mod tests {
         b.release(Tid::new(0), ft_trace::LockId::new(0)).unwrap();
         let trace = b.finish();
 
-        let mut p = Pipeline::new(vec![
-            Box::new(FastTrack::new()),
-            Box::new(Empty::new()),
-        ]);
+        let mut p = Pipeline::new(vec![Box::new(FastTrack::new()), Box::new(Empty::new())]);
         p.run(&trace);
         assert_eq!(p.stage_reports()[1].events_seen, 2);
+    }
+
+    #[test]
+    fn stage_reports_carry_latency_and_rates() {
+        let mut b = TraceBuilder::with_threads(2);
+        for _ in 0..20 {
+            b.read(Tid::new(0), VarId::new(0)).unwrap();
+        }
+        let trace = b.finish();
+
+        let mut p = Pipeline::new(vec![Box::new(FastTrack::new()), Box::new(Empty::new())]);
+        p.run(&trace);
+        let reports = p.stage_reports();
+        // Stage 0 saw all 20 events and timed each one.
+        assert_eq!(reports[0].latency.count, 20);
+        assert!(reports[0].latency.p99 >= reports[0].latency.p50);
+        // All single-thread race-free reads after the first are suppressed.
+        assert!(reports[0].suppression_rate > 0.0);
+        assert!(reports[0].suppression_rate <= 1.0);
+        assert_eq!(reports[1].latency.count, reports[1].events_seen);
+    }
+
+    #[test]
+    fn metrics_snapshot_has_per_stage_names() {
+        let mut b = TraceBuilder::with_threads(2);
+        b.write(Tid::new(0), VarId::new(0)).unwrap();
+        b.write(Tid::new(1), VarId::new(0)).unwrap();
+        let trace = b.finish();
+
+        let mut p = Pipeline::new(vec![Box::new(FastTrack::new()), Box::new(Empty::new())]);
+        p.run(&trace);
+        let snap = p.metrics_snapshot();
+        assert_eq!(snap.counter("stage.0.FASTTRACK.events_seen"), Some(2));
+        assert!(snap.gauge("stage.0.FASTTRACK.suppression_rate").is_some());
+        assert!(snap.histogram("stage.0.FASTTRACK.on_op_ns").is_some());
+        assert_eq!(snap.counter("stage.1.EMPTY.events_seen"), Some(1));
+        // Detector-level metrics are folded in under the stage prefix.
+        assert_eq!(snap.counter("stage.0.FASTTRACK.warnings"), Some(1));
+        // And the whole thing serializes.
+        assert!(snap.to_json().starts_with('{'));
     }
 
     #[test]

@@ -2,8 +2,7 @@
 
 use fasttrack::{Detector, Disposition, Stats, Warning};
 use ft_trace::{FeasibilityError, Op, Trace};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A pass-through detector that records every event it sees.
 ///
@@ -56,7 +55,10 @@ impl Recorder {
 impl RecorderHandle {
     /// A snapshot of the recorded events.
     pub fn events(&self) -> Vec<Op> {
-        self.events.lock().clone()
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Rebuilds (and re-validates) a trace from the recording.
@@ -68,7 +70,7 @@ impl RecorderHandle {
     /// e.g. re-entrant, events — normalize with
     /// [`crate::ReentrancyFilter`] first).
     pub fn to_trace(&self) -> Result<Trace, FeasibilityError> {
-        ft_trace::validate(&self.events.lock())
+        ft_trace::validate(&self.events.lock().unwrap_or_else(|e| e.into_inner()))
     }
 }
 
@@ -84,7 +86,10 @@ impl Detector for Recorder {
             Op::Write(..) => self.stats.writes += 1,
             _ => self.stats.sync_ops += 1,
         }
-        self.events.lock().push(op.clone());
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(op.clone());
         Disposition::Forward
     }
 
@@ -97,7 +102,11 @@ impl Detector for Recorder {
     }
 
     fn shadow_bytes(&self) -> usize {
-        self.events.lock().capacity() * std::mem::size_of::<Op>()
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .capacity()
+            * std::mem::size_of::<Op>()
     }
 }
 

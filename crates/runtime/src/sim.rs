@@ -26,9 +26,8 @@
 //! ```
 
 use ft_clock::Tid;
+use ft_trace::Prng;
 use ft_trace::{FeasibilityError, LockId, Op, Trace, TraceBuilder, VarId};
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -242,7 +241,10 @@ enum Status {
     Ready,
     BlockedLock(LockId),
     /// Waiting on a condition: must be notified, then re-acquires the lock.
-    BlockedWait { lock: LockId, notified: bool },
+    BlockedWait {
+        lock: LockId,
+        notified: bool,
+    },
     BlockedBarrier(BarrierId),
     BlockedJoin(ThreadIndex),
     Finished,
@@ -307,7 +309,7 @@ impl Program {
 
 struct Simulator<'p> {
     program: &'p Program,
-    rng: ChaCha8Rng,
+    rng: Prng,
     builder: TraceBuilder,
     pc: Vec<usize>,
     status: Vec<Status>,
@@ -322,7 +324,7 @@ impl<'p> Simulator<'p> {
         status[0] = Status::Ready;
         Ok(Simulator {
             program,
-            rng: ChaCha8Rng::seed_from_u64(seed),
+            rng: Prng::seed_from_u64(seed),
             builder: TraceBuilder::with_threads(1),
             pc: vec![0; n],
             status,
@@ -362,9 +364,7 @@ impl<'p> Simulator<'p> {
                     .status
                     .iter()
                     .enumerate()
-                    .filter(|(_, s)| {
-                        !matches!(s, Status::Finished | Status::NotStarted)
-                    })
+                    .filter(|(_, s)| !matches!(s, Status::Finished | Status::NotStarted))
                     .map(|(i, _)| i)
                     .collect();
                 if blocked.is_empty() {
@@ -374,7 +374,7 @@ impl<'p> Simulator<'p> {
                 }
                 return Err(SimError::Deadlock { blocked });
             }
-            let &i = runnable.choose(&mut self.rng).expect("nonempty");
+            let &i = self.rng.choose(&runnable).expect("nonempty");
             self.step(i)?;
         }
     }
@@ -519,7 +519,15 @@ mod tests {
     fn deterministic_in_seed() {
         let mut p = Program::new();
         let w = p.add_thread(Script::new().lock(M).write(X).unlock(M).build());
-        p.main(Script::new().fork(w).lock(M).write(X).unlock(M).join(w).build());
+        p.main(
+            Script::new()
+                .fork(w)
+                .lock(M)
+                .write(X)
+                .unlock(M)
+                .join(w)
+                .build(),
+        );
         let a = p.run(7).unwrap();
         let b = p.run(7).unwrap();
         assert_eq!(a, b);
@@ -565,7 +573,15 @@ mod tests {
         // Classic lock-order inversion, forced by making each thread grab
         // its first lock then spin on the other.
         let w = p.add_thread(Script::new().lock(n).lock(m).unlock(m).unlock(n).build());
-        p.main(Script::new().lock(m).fork(w).lock(n).unlock(n).unlock(m).build());
+        p.main(
+            Script::new()
+                .lock(m)
+                .fork(w)
+                .lock(n)
+                .unlock(n)
+                .unlock(m)
+                .build(),
+        );
         // Some seed deadlocks: main holds m, w holds n.
         let mut saw_deadlock = false;
         for seed in 0..50 {
@@ -582,14 +598,7 @@ mod tests {
         // Producer/consumer: consumer waits until the producer notifies.
         let flag = VarId::new(3);
         let mut p = Program::new();
-        let consumer = p.add_thread(
-            Script::new()
-                .lock(M)
-                .wait(M)
-                .read(flag)
-                .unlock(M)
-                .build(),
-        );
+        let consumer = p.add_thread(Script::new().lock(M).wait(M).read(flag).unlock(M).build());
         p.main(
             Script::new()
                 .fork(consumer)
@@ -622,7 +631,13 @@ mod tests {
     fn barrier_synchronizes_phases() {
         let mut p = Program::new();
         let b = p.add_barrier(2);
-        let w = p.add_thread(Script::new().write(X).barrier(b).read(VarId::new(1)).build());
+        let w = p.add_thread(
+            Script::new()
+                .write(X)
+                .barrier(b)
+                .read(VarId::new(1))
+                .build(),
+        );
         p.main(
             Script::new()
                 .fork(w)
@@ -652,7 +667,10 @@ mod tests {
                 racy += 1;
             }
         }
-        assert_eq!(racy, 20, "the unsynchronized write is racy in every schedule");
+        assert_eq!(
+            racy, 20,
+            "the unsynchronized write is racy in every schedule"
+        );
     }
 
     #[test]

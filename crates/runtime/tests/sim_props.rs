@@ -5,8 +5,8 @@
 
 use fasttrack::{Detector, FastTrack};
 use ft_runtime::sim::{Program, Script};
+use ft_trace::Prng;
 use ft_trace::{validate, HbOracle, LockId, VarId};
-use proptest::prelude::*;
 
 /// One structural segment of a generated thread script.
 #[derive(Clone, Debug)]
@@ -15,19 +15,42 @@ enum Segment {
     Local { reads: u8, writes: u8 },
     /// A critical section over locks acquired in ascending order (the
     /// classic deadlock-freedom discipline), touching shared variables.
-    Critical { first_lock: u8, n_locks: u8, accesses: u8 },
+    Critical {
+        first_lock: u8,
+        n_locks: u8,
+        accesses: u8,
+    },
     /// Volatile publish of the thread's progress.
     Publish,
 }
 
-fn arb_segment() -> impl Strategy<Value = Segment> {
-    prop_oneof![
-        (1u8..6, 0u8..3).prop_map(|(reads, writes)| Segment::Local { reads, writes }),
-        (0u8..3, 1u8..3, 1u8..5).prop_map(|(first_lock, n_locks, accesses)| {
-            Segment::Critical { first_lock, n_locks, accesses }
-        }),
-        Just(Segment::Publish),
-    ]
+fn arb_segment(rng: &mut Prng) -> Segment {
+    match rng.gen_range(0u32..3) {
+        0 => Segment::Local {
+            reads: rng.gen_range(1u32..6) as u8,
+            writes: rng.gen_range(0u32..3) as u8,
+        },
+        1 => Segment::Critical {
+            first_lock: rng.gen_range(0u32..3) as u8,
+            n_locks: rng.gen_range(1u32..3) as u8,
+            accesses: rng.gen_range(1u32..5) as u8,
+        },
+        _ => Segment::Publish,
+    }
+}
+
+fn arb_per_thread(
+    rng: &mut Prng,
+    threads: std::ops::Range<usize>,
+    segs: std::ops::Range<usize>,
+) -> Vec<Vec<Segment>> {
+    let n = rng.gen_range(threads);
+    (0..n)
+        .map(|_| {
+            let k = rng.gen_range(segs.clone());
+            (0..k).map(|_| arb_segment(rng)).collect()
+        })
+        .collect()
 }
 
 /// Builds a program from per-thread segment lists plus one barrier that
@@ -66,7 +89,11 @@ fn build_program(per_thread: &[Vec<Segment>], use_barrier: bool) -> Program {
                         script = script.write(v);
                     }
                 }
-                Segment::Critical { first_lock, n_locks, accesses } => {
+                Segment::Critical {
+                    first_lock,
+                    n_locks,
+                    accesses,
+                } => {
                     let locks: Vec<LockId> = (first_lock..first_lock + n_locks)
                         .map(|l| LockId::new(l as u32))
                         .collect();
@@ -77,7 +104,11 @@ fn build_program(per_thread: &[Vec<Segment>], use_barrier: bool) -> Program {
                     // lock, which every accessor of it holds.
                     let v = VarId::new(shared_base + first_lock as u32);
                     for i in 0..accesses {
-                        script = if i % 3 == 2 { script.write(v) } else { script.read(v) };
+                        script = if i % 3 == 2 {
+                            script.write(v)
+                        } else {
+                            script.read(v)
+                        };
                     }
                     for &m in locks.iter().rev() {
                         script = script.unlock(m);
@@ -103,43 +134,49 @@ fn build_program(per_thread: &[Vec<Segment>], use_barrier: bool) -> Program {
     program
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// Random disciplined programs: never deadlock, always feasible,
-    /// deterministic per seed, race-free under every tested schedule, and
-    /// FastTrack agrees with the oracle throughout.
-    #[test]
-    fn disciplined_programs_behave(
-        per_thread in prop::collection::vec(
-            prop::collection::vec(arb_segment(), 1..6), 1..5),
-        use_barrier in any::<bool>(),
-        seeds in prop::collection::vec(0u64..1_000, 1..4),
-    ) {
+/// Random disciplined programs: never deadlock, always feasible,
+/// deterministic per seed, race-free under every tested schedule, and
+/// FastTrack agrees with the oracle throughout.
+#[test]
+fn disciplined_programs_behave() {
+    let mut rng = Prng::seed_from_u64(0x51317a0b);
+    for _ in 0..40 {
+        let per_thread = arb_per_thread(&mut rng, 1..5, 1..6);
+        let use_barrier = rng.gen_bool(0.5);
+        let n_seeds = rng.gen_range(1usize..4);
         let program = build_program(&per_thread, use_barrier);
-        for &seed in &seeds {
-            let trace = program.run(seed).expect("ascending lock order cannot deadlock");
-            prop_assert!(validate(trace.events()).is_ok());
+        for _ in 0..n_seeds {
+            let seed = rng.gen_range(0u64..1_000);
+            let trace = program
+                .run(seed)
+                .expect("ascending lock order cannot deadlock");
+            assert!(validate(trace.events()).is_ok());
             // Determinism.
-            prop_assert_eq!(&trace, &program.run(seed).unwrap());
+            assert_eq!(&trace, &program.run(seed).unwrap());
             // Race freedom + precision agreement.
             let oracle = HbOracle::analyze(&trace);
-            prop_assert!(oracle.is_race_free(), "seed {}: {}", seed, oracle.races[0].describe());
+            assert!(
+                oracle.is_race_free(),
+                "seed {}: {}",
+                seed,
+                oracle.races[0].describe()
+            );
             let mut ft = FastTrack::new();
             ft.run(&trace);
-            prop_assert!(ft.warnings().is_empty());
+            assert!(ft.warnings().is_empty());
         }
     }
+}
 
-    /// Breaking the discipline with one unguarded shared write makes the
-    /// oracle and FastTrack agree on the racy variable (when a race occurs
-    /// at all under the tested schedule).
-    #[test]
-    fn undisciplined_programs_still_match_oracle(
-        per_thread in prop::collection::vec(
-            prop::collection::vec(arb_segment(), 1..5), 2..4),
-        seed in 0u64..1_000,
-    ) {
+/// Breaking the discipline with one unguarded shared write makes the
+/// oracle and FastTrack agree on the racy variable (when a race occurs
+/// at all under the tested schedule).
+#[test]
+fn undisciplined_programs_still_match_oracle() {
+    let mut rng = Prng::seed_from_u64(0x0b5e55ed);
+    for _ in 0..40 {
+        let per_thread = arb_per_thread(&mut rng, 2..4, 1..5);
+        let seed = rng.gen_range(0u64..1_000);
         let mut program = build_program(&per_thread, false);
         // A rogue thread writing a shared (lock 0) variable with no locks.
         let rogue = program.add_thread(Script::new().write(VarId::new(0)).build());
@@ -164,6 +201,6 @@ proptest! {
         let mut got: Vec<VarId> = ft.warnings().iter().map(|w| w.var).collect();
         got.sort_unstable();
         got.dedup();
-        prop_assert_eq!(got, oracle.race_vars());
+        assert_eq!(got, oracle.race_vars());
     }
 }

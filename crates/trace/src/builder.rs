@@ -93,7 +93,11 @@ impl fmt::Display for FeasibilityError {
                 f,
                 "event {index}: {acquirer} acquires {lock} already held by {holder}"
             ),
-            FeasibilityError::LockNotHeld { index, lock, thread } => {
+            FeasibilityError::LockNotHeld {
+                index,
+                lock,
+                thread,
+            } => {
                 write!(f, "event {index}: {thread} does not hold {lock}")
             }
             FeasibilityError::ForkOfRunningThread { index, child } => {
@@ -112,10 +116,16 @@ impl fmt::Display for FeasibilityError {
                 write!(f, "event {index}: thread {thread} was already joined")
             }
             FeasibilityError::UnmatchedAtomicEnd { index, thread } => {
-                write!(f, "event {index}: atomic_end by {thread} without atomic_begin")
+                write!(
+                    f,
+                    "event {index}: atomic_end by {thread} without atomic_begin"
+                )
             }
             FeasibilityError::MalformedBarrier { index } => {
-                write!(f, "event {index}: barrier release set is empty or has duplicates")
+                write!(
+                    f,
+                    "event {index}: barrier release set is empty or has duplicates"
+                )
             }
         }
     }
@@ -283,17 +293,9 @@ impl TraceBuilder {
                 match self.phase(*u) {
                     ThreadPhase::Unseen => {}
                     ThreadPhase::Joined => {
-                        return Err(FeasibilityError::ThreadAlreadyJoined {
-                            index,
-                            thread: *u,
-                        })
+                        return Err(FeasibilityError::ThreadAlreadyJoined { index, thread: *u })
                     }
-                    _ => {
-                        return Err(FeasibilityError::ForkOfRunningThread {
-                            index,
-                            child: *u,
-                        })
-                    }
+                    _ => return Err(FeasibilityError::ForkOfRunningThread { index, child: *u }),
                 }
                 self.step(*t)?;
                 self.set_phase(*u, ThreadPhase::Forked);
@@ -305,17 +307,9 @@ impl TraceBuilder {
                 match self.phase(*u) {
                     ThreadPhase::Running => {}
                     ThreadPhase::Joined => {
-                        return Err(FeasibilityError::ThreadAlreadyJoined {
-                            index,
-                            thread: *u,
-                        })
+                        return Err(FeasibilityError::ThreadAlreadyJoined { index, thread: *u })
                     }
-                    _ => {
-                        return Err(FeasibilityError::JoinOfUnstartedThread {
-                            index,
-                            child: *u,
-                        })
-                    }
+                    _ => return Err(FeasibilityError::JoinOfUnstartedThread { index, child: *u }),
                 }
                 self.step(*t)?;
                 self.set_phase(*u, ThreadPhase::Joined);
@@ -330,10 +324,7 @@ impl TraceBuilder {
                         return Err(FeasibilityError::MalformedBarrier { index });
                     }
                     if self.phase(*t) == ThreadPhase::Joined {
-                        return Err(FeasibilityError::ThreadAlreadyJoined {
-                            index,
-                            thread: *t,
-                        });
+                        return Err(FeasibilityError::ThreadAlreadyJoined { index, thread: *t });
                     }
                 }
                 for t in ts.clone() {
@@ -346,10 +337,7 @@ impl TraceBuilder {
             }
             Op::AtomicEnd(t) => {
                 if self.atomic_depth.get(t).copied().unwrap_or(0) == 0 {
-                    return Err(FeasibilityError::UnmatchedAtomicEnd {
-                        index,
-                        thread: *t,
-                    });
+                    return Err(FeasibilityError::UnmatchedAtomicEnd { index, thread: *t });
                 }
                 self.step(*t)?;
                 *self.atomic_depth.get_mut(t).expect("depth checked nonzero") -= 1;
@@ -556,11 +544,17 @@ mod tests {
         let mut b = TraceBuilder::new();
         // Join of a never-started thread.
         let err = b.join(T0, T1).unwrap_err();
-        assert!(matches!(err, FeasibilityError::JoinOfUnstartedThread { .. }));
+        assert!(matches!(
+            err,
+            FeasibilityError::JoinOfUnstartedThread { .. }
+        ));
         // Join of a forked thread that never ran (constraint 4).
         b.fork(T0, T1).unwrap();
         let err = b.join(T0, T1).unwrap_err();
-        assert!(matches!(err, FeasibilityError::JoinOfUnstartedThread { .. }));
+        assert!(matches!(
+            err,
+            FeasibilityError::JoinOfUnstartedThread { .. }
+        ));
         // After one instruction the join is fine; a second join is not.
         b.write(T1, X).unwrap();
         b.join(T0, T1).unwrap();
@@ -621,6 +615,9 @@ mod tests {
         b.acquire(T0, M).unwrap();
         let err = b.acquire(T1, M).unwrap_err();
         let msg = err.to_string();
-        assert!(msg.contains("T1") && msg.contains("m0") && msg.contains("T0"), "{msg}");
+        assert!(
+            msg.contains("T1") && msg.contains("m0") && msg.contains("T0"),
+            "{msg}"
+        );
     }
 }

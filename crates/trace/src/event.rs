@@ -1,13 +1,11 @@
 //! Trace operations (Figure 1 of the paper, plus the §4 extensions).
 
 use ft_clock::Tid;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a shared variable (an object field or array element in the
 /// paper's Java setting).
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VarId(u32);
 
 impl VarId {
@@ -43,8 +41,7 @@ impl fmt::Debug for VarId {
 }
 
 /// Identifier of a lock.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LockId(u32);
 
 impl LockId {
@@ -82,8 +79,7 @@ impl fmt::Debug for LockId {
 /// Identifier of the object that owns a variable, for the coarse-grain
 /// analysis of §4 ("Granularity"): the coarse analysis treats all fields of
 /// an object as a single entity.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjId(u32);
 
 impl ObjId {
@@ -119,7 +115,7 @@ impl fmt::Debug for ObjId {
 }
 
 /// Whether a memory access reads or writes.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum AccessKind {
     /// A read access `rd(t, x)`.
     Read,
@@ -151,7 +147,7 @@ impl fmt::Display for AccessKind {
 /// of §4 ("Extensions") plus the atomic-block markers consumed by the
 /// §5.2 downstream checkers (Atomizer/Velodrome/SingleTrack). Markers have no
 /// effect on the happens-before relation.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Op {
     /// `rd(t, x)`: thread `t` reads variable `x`.
     Read(Tid, VarId),

@@ -17,10 +17,9 @@
 
 use crate::builder::TraceBuilder;
 use crate::event::{LockId, ObjId, Op, VarId};
+use crate::rng::Prng;
 use crate::trace::Trace;
 use ft_clock::Tid;
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
 
 /// The sharing discipline assigned to a generated variable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -119,7 +118,7 @@ impl GenConfig {
 pub fn generate(cfg: &GenConfig, seed: u64) -> Trace {
     assert!(cfg.threads >= 1, "need at least one thread");
     assert!(cfg.vars >= 1, "need at least one variable");
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     // With fork/join the workers must be *forked* (not pre-existing), so
     // only the main thread is pre-registered in that mode.
     let mut b = if cfg.fork_join && cfg.threads > 1 {
@@ -138,11 +137,15 @@ pub fn generate(cfg: &GenConfig, seed: u64) -> Trace {
     };
     let disciplines: Vec<Discipline> = (0..cfg.vars)
         .map(|_| {
-            let roll = rng.gen::<f64>() * total_w;
+            let roll = rng.next_f64() * total_w;
             if roll < cfg.w_thread_local {
-                Discipline::ThreadLocal(*workers.choose(&mut rng).expect("nonempty workers"))
+                Discipline::ThreadLocal(*rng.choose(&workers).expect("nonempty workers"))
             } else if roll < cfg.w_thread_local + cfg.w_lock_protected {
-                let m = if cfg.locks == 0 { 0 } else { rng.gen_range(0..cfg.locks) };
+                let m = if cfg.locks == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..cfg.locks)
+                };
                 Discipline::LockProtected(LockId::new(m))
             } else if roll < cfg.w_thread_local + cfg.w_lock_protected + cfg.w_read_shared {
                 Discipline::ReadShared
@@ -166,7 +169,8 @@ pub fn generate(cfg: &GenConfig, seed: u64) -> Trace {
     if cfg.fork_join {
         for (v, d) in disciplines.iter().enumerate() {
             if matches!(d, Discipline::ReadShared) {
-                b.write(main, VarId::new(v as u32)).expect("feasible init write");
+                b.write(main, VarId::new(v as u32))
+                    .expect("feasible init write");
             }
         }
         for &w in &workers {
@@ -181,17 +185,20 @@ pub fn generate(cfg: &GenConfig, seed: u64) -> Trace {
     let mut emitted = b.len();
     let target = cfg.ops;
     while emitted < target {
-        let &t = workers.choose(&mut rng).expect("nonempty workers");
+        let &t = rng.choose(&workers).expect("nonempty workers");
         if cfg.p_barrier > 0.0 && workers.len() > 1 && rng.gen_bool(cfg.p_barrier) {
-            b.barrier_release(workers.clone()).expect("feasible barrier");
+            b.barrier_release(workers.clone())
+                .expect("feasible barrier");
             emitted = b.len();
             continue;
         }
         if cfg.p_volatile > 0.0 && rng.gen_bool(cfg.p_volatile) {
             // A volatile publish/subscribe pair between two random workers.
-            let &u = workers.choose(&mut rng).expect("nonempty workers");
-            b.volatile_write(t, volatile_var).expect("feasible volatile write");
-            b.volatile_read(u, volatile_var).expect("feasible volatile read");
+            let &u = rng.choose(&workers).expect("nonempty workers");
+            b.volatile_write(t, volatile_var)
+                .expect("feasible volatile write");
+            b.volatile_read(u, volatile_var)
+                .expect("feasible volatile read");
             emitted = b.len();
             continue;
         }
@@ -199,9 +206,8 @@ pub fn generate(cfg: &GenConfig, seed: u64) -> Trace {
         // Pick a variable this thread is allowed to touch.
         let v = rng.gen_range(0..cfg.vars);
         let x = VarId::new(v);
-        let is_write = |rng: &mut ChaCha8Rng, cfg: &GenConfig| {
-            rng.gen_range(0..=cfg.reads_per_write) == 0
-        };
+        let is_write =
+            |rng: &mut Prng, cfg: &GenConfig| rng.gen_range(0..=cfg.reads_per_write) == 0;
         match disciplines[v as usize] {
             Discipline::ThreadLocal(owner) => {
                 let burst = rng.gen_range(1..=cfg.accesses_per_cs.max(1));
@@ -253,7 +259,8 @@ pub fn generate(cfg: &GenConfig, seed: u64) -> Trace {
         }
         // Main reads a few variables after joining (all ordered).
         for v in 0..cfg.vars.min(4) {
-            b.read(main, VarId::new(v)).expect("feasible post-join read");
+            b.read(main, VarId::new(v))
+                .expect("feasible post-join read");
         }
     }
 
@@ -270,7 +277,7 @@ pub fn chaotic(threads: u32, vars: u32, locks: u32, ops: usize, seed: u64) -> Tr
     let threads = threads.max(1);
     let vars = vars.max(1);
     let locks = locks.max(1);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     // Half the thread budget pre-exists; the rest must be forked, so the
     // generator exercises real fork/join structure.
     let preexisting = (threads / 2).max(1);
@@ -282,7 +289,7 @@ pub fn chaotic(threads: u32, vars: u32, locks: u32, ops: usize, seed: u64) -> Tr
     let max_attempts = ops.saturating_mul(4).max(16);
     while b.len() < ops && attempts < max_attempts {
         attempts += 1;
-        let t = *started.choose(&mut rng).expect("at least one started thread");
+        let t = *rng.choose(&started).expect("at least one started thread");
         let accepted = match rng.gen_range(0..12u32) {
             0..=4 => b.read(t, VarId::new(rng.gen_range(0..vars))).is_ok(),
             5..=6 => b.write(t, VarId::new(rng.gen_range(0..vars))).is_ok(),
@@ -316,9 +323,15 @@ pub fn chaotic(threads: u32, vars: u32, locks: u32, ops: usize, seed: u64) -> Tr
                 }
             }
             _ => match rng.gen_range(0..4u32) {
-                0 => b.volatile_read(t, VarId::new(rng.gen_range(0..vars))).is_ok(),
-                1 => b.volatile_write(t, VarId::new(rng.gen_range(0..vars))).is_ok(),
-                2 => b.push(Op::Wait(t, LockId::new(rng.gen_range(0..locks)))).is_ok(),
+                0 => b
+                    .volatile_read(t, VarId::new(rng.gen_range(0..vars)))
+                    .is_ok(),
+                1 => b
+                    .volatile_write(t, VarId::new(rng.gen_range(0..vars)))
+                    .is_ok(),
+                2 => b
+                    .push(Op::Wait(t, LockId::new(rng.gen_range(0..locks))))
+                    .is_ok(),
                 _ => {
                     let k = rng.gen_range(1..=started.len());
                     let mut set = started.clone();

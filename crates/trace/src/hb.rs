@@ -262,7 +262,9 @@ mod tests {
     const X: VarId = VarId::new(0);
     const M: LockId = LockId::new(0);
 
-    fn analyze(build: impl FnOnce(&mut TraceBuilder) -> Result<(), crate::FeasibilityError>) -> OracleReport {
+    fn analyze(
+        build: impl FnOnce(&mut TraceBuilder) -> Result<(), crate::FeasibilityError>,
+    ) -> OracleReport {
         let mut b = TraceBuilder::with_threads(3);
         build(&mut b).unwrap();
         HbOracle::analyze(&b.finish())

@@ -222,7 +222,9 @@ mod tests {
     const X: VarId = VarId::new(0);
     const M: LockId = LockId::new(0);
 
-    fn vars(build: impl FnOnce(&mut TraceBuilder) -> Result<(), crate::FeasibilityError>) -> Vec<VarId> {
+    fn vars(
+        build: impl FnOnce(&mut TraceBuilder) -> Result<(), crate::FeasibilityError>,
+    ) -> Vec<VarId> {
         let mut b = TraceBuilder::with_threads(2);
         build(&mut b).unwrap();
         definitional_race_vars(&b.finish())

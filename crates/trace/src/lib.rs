@@ -49,6 +49,8 @@ mod event;
 pub mod gen;
 mod hb;
 mod hb_def;
+pub mod json;
+pub mod rng;
 mod serial;
 mod stats;
 mod trace;
@@ -57,6 +59,7 @@ pub use builder::{FeasibilityError, TraceBuilder};
 pub use event::{AccessKind, LockId, ObjId, Op, VarId};
 pub use hb::{Access, HbOracle, OracleReport, RacePair};
 pub use hb_def::definitional_race_vars;
+pub use rng::Prng;
 pub use serial::TraceFormatError;
 pub use stats::{OpMix, OpMixRatios};
 pub use trace::{validate, Trace};

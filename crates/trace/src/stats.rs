@@ -1,7 +1,6 @@
 //! Operation-mix statistics (the Figure 2 frequency columns).
 
 use crate::event::Op;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Counts of each operation category in a trace.
@@ -10,7 +9,7 @@ use std::fmt;
 /// arrays account for over 96% of monitored operations"; the Figure 2 margin
 /// notes give 82.3% reads, 14.5% writes, 3.3% other. [`OpMix::ratios`]
 /// computes the same breakdown for any trace.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OpMix {
     /// Data reads.
     pub reads: u64,
@@ -118,7 +117,7 @@ impl std::iter::Sum for OpMix {
 }
 
 /// The reads/writes/other percentage split of Figure 2's margin notes.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct OpMixRatios {
     /// Percentage of monitored operations that are data reads.
     pub reads_pct: f64,
@@ -183,7 +182,8 @@ mod tests {
     fn ratios_sum_to_hundred() {
         let t = Tid::new(0);
         let x = VarId::new(0);
-        let events: Vec<Op> = (0..82).map(|_| Op::Read(t, x))
+        let events: Vec<Op> = (0..82)
+            .map(|_| Op::Read(t, x))
             .chain((0..15).map(|_| Op::Write(t, x)))
             .chain((0..3).map(|_| Op::Acquire(t, LockId::new(0))))
             .collect();

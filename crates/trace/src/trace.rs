@@ -3,7 +3,6 @@
 use crate::builder::{FeasibilityError, TraceBuilder};
 use crate::event::{ObjId, Op};
 use crate::stats::OpMix;
-use serde::{Deserialize, Serialize};
 
 /// A feasible execution trace of a multithreaded program (§2.1).
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// Construct traces with [`TraceBuilder`] (which enforces feasibility as
 /// operations are appended) or deserialize them and re-check with
 /// [`validate`].
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Trace {
     pub(crate) events: Vec<Op>,
     pub(crate) n_threads: u32,

@@ -20,22 +20,102 @@ pub struct Benchmark {
 
 /// All 16 benchmarks in the paper's row order.
 pub const BENCHMARKS: &[Benchmark] = &[
-    Benchmark { name: "colt", threads: 11, expected_races: 0, compute_bound: true },
-    Benchmark { name: "crypt", threads: 7, expected_races: 0, compute_bound: true },
-    Benchmark { name: "lufact", threads: 4, expected_races: 0, compute_bound: true },
-    Benchmark { name: "moldyn", threads: 4, expected_races: 0, compute_bound: true },
-    Benchmark { name: "montecarlo", threads: 4, expected_races: 0, compute_bound: true },
-    Benchmark { name: "mtrt", threads: 5, expected_races: 1, compute_bound: true },
-    Benchmark { name: "raja", threads: 2, expected_races: 0, compute_bound: true },
-    Benchmark { name: "raytracer", threads: 4, expected_races: 1, compute_bound: true },
-    Benchmark { name: "sparse", threads: 4, expected_races: 0, compute_bound: true },
-    Benchmark { name: "series", threads: 4, expected_races: 0, compute_bound: true },
-    Benchmark { name: "sor", threads: 4, expected_races: 0, compute_bound: true },
-    Benchmark { name: "tsp", threads: 5, expected_races: 1, compute_bound: true },
-    Benchmark { name: "elevator", threads: 5, expected_races: 0, compute_bound: false },
-    Benchmark { name: "philo", threads: 6, expected_races: 0, compute_bound: false },
-    Benchmark { name: "hedc", threads: 6, expected_races: 3, compute_bound: false },
-    Benchmark { name: "jbb", threads: 5, expected_races: 2, compute_bound: false },
+    Benchmark {
+        name: "colt",
+        threads: 11,
+        expected_races: 0,
+        compute_bound: true,
+    },
+    Benchmark {
+        name: "crypt",
+        threads: 7,
+        expected_races: 0,
+        compute_bound: true,
+    },
+    Benchmark {
+        name: "lufact",
+        threads: 4,
+        expected_races: 0,
+        compute_bound: true,
+    },
+    Benchmark {
+        name: "moldyn",
+        threads: 4,
+        expected_races: 0,
+        compute_bound: true,
+    },
+    Benchmark {
+        name: "montecarlo",
+        threads: 4,
+        expected_races: 0,
+        compute_bound: true,
+    },
+    Benchmark {
+        name: "mtrt",
+        threads: 5,
+        expected_races: 1,
+        compute_bound: true,
+    },
+    Benchmark {
+        name: "raja",
+        threads: 2,
+        expected_races: 0,
+        compute_bound: true,
+    },
+    Benchmark {
+        name: "raytracer",
+        threads: 4,
+        expected_races: 1,
+        compute_bound: true,
+    },
+    Benchmark {
+        name: "sparse",
+        threads: 4,
+        expected_races: 0,
+        compute_bound: true,
+    },
+    Benchmark {
+        name: "series",
+        threads: 4,
+        expected_races: 0,
+        compute_bound: true,
+    },
+    Benchmark {
+        name: "sor",
+        threads: 4,
+        expected_races: 0,
+        compute_bound: true,
+    },
+    Benchmark {
+        name: "tsp",
+        threads: 5,
+        expected_races: 1,
+        compute_bound: true,
+    },
+    Benchmark {
+        name: "elevator",
+        threads: 5,
+        expected_races: 0,
+        compute_bound: false,
+    },
+    Benchmark {
+        name: "philo",
+        threads: 6,
+        expected_races: 0,
+        compute_bound: false,
+    },
+    Benchmark {
+        name: "hedc",
+        threads: 6,
+        expected_races: 3,
+        compute_bound: false,
+    },
+    Benchmark {
+        name: "jbb",
+        threads: 5,
+        expected_races: 2,
+        compute_bound: false,
+    },
 ];
 
 /// Builds the named benchmark's trace.
@@ -438,7 +518,9 @@ fn philo(scale: Scale, seed: u64) -> Trace {
         main = main.join(id);
     }
     program.main(main.build());
-    program.run(seed).expect("philo is deadlock-free under ordered forks")
+    program
+        .run(seed)
+        .expect("philo is deadlock-free under ordered forks")
 }
 
 /// hedc: the astrophysics web-crawler — a lock-protected task pool whose
@@ -475,7 +557,9 @@ fn hedc(scale: Scale, seed: u64) -> Trace {
     }
     let main = p.main;
     let mut trace_builder = p.into_builder_after_joins();
-    trace_builder.write(main, summary).expect("post-join main write");
+    trace_builder
+        .write(main, summary)
+        .expect("post-join main write");
     trace_builder.finish()
 }
 

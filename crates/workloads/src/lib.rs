@@ -39,8 +39,22 @@ mod tests {
         assert_eq!(BENCHMARKS.len(), 16);
         let names: Vec<&str> = BENCHMARKS.iter().map(|b| b.name).collect();
         for expected in [
-            "colt", "crypt", "lufact", "moldyn", "montecarlo", "mtrt", "raja", "raytracer",
-            "sparse", "series", "sor", "tsp", "elevator", "philo", "hedc", "jbb",
+            "colt",
+            "crypt",
+            "lufact",
+            "moldyn",
+            "montecarlo",
+            "mtrt",
+            "raja",
+            "raytracer",
+            "sparse",
+            "series",
+            "sor",
+            "tsp",
+            "elevator",
+            "philo",
+            "hedc",
+            "jbb",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
@@ -128,7 +142,9 @@ mod tests {
             let trace = build(name, Scale::test(), 0);
             let mut aware = Eraser::new();
             aware.run(&trace);
-            let mut blind = Eraser::with_config(EraserConfig { barrier_aware: false });
+            let mut blind = Eraser::with_config(EraserConfig {
+                barrier_aware: false,
+            });
             blind.run(&trace);
             total_aware += aware.warnings().len();
             total_blind += blind.warnings().len();

@@ -2,9 +2,8 @@
 
 use ft_clock::Tid;
 
+use ft_trace::Prng;
 use ft_trace::{LockId, ObjId, Trace, TraceBuilder, VarId};
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
 
 /// How large a benchmark trace to generate.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -36,7 +35,7 @@ impl Scale {
 /// benchmark body interleaves their work, and `finish` joins everyone.
 pub(crate) struct Par {
     pub b: TraceBuilder,
-    pub rng: ChaCha8Rng,
+    pub rng: Prng,
     pub main: Tid,
     pub workers: Vec<Tid>,
     next_var: u32,
@@ -56,7 +55,7 @@ impl Par {
         }
         Par {
             b,
-            rng: ChaCha8Rng::seed_from_u64(seed),
+            rng: Prng::seed_from_u64(seed),
             main,
             workers,
             next_var: 0,
@@ -116,10 +115,10 @@ impl Par {
         // probability that hits the target write fraction `wf` is
         // 1.5p = wf(2 + 2.5p)  ⇒  p = 2wf / (1.5 − 2.5wf).
         let p_update = (2.0 * wf / (1.5 - 2.5 * wf)).clamp(0.0, 1.0);
-        let &acc = vars.choose(&mut self.rng).expect("nonempty vars");
+        let &acc = self.rng.choose(vars).expect("nonempty vars");
         let mut emitted = 0usize;
         while emitted < accesses {
-            let &elem = vars.choose(&mut self.rng).expect("nonempty vars");
+            let &elem = self.rng.choose(vars).expect("nonempty vars");
             // Element access: a couple of reads (locality).
             for _ in 0..2.min(accesses - emitted) {
                 self.b.read(t, elem).expect("local read");
@@ -147,8 +146,8 @@ impl Par {
     pub fn shared_reads(&mut self, t: Tid, vars: &[VarId], count: usize) {
         let mut remaining = count;
         while remaining > 0 {
-            let &v = vars.choose(&mut self.rng).expect("nonempty vars");
-            let touches = self.rng.gen_range(2..=3).min(remaining);
+            let &v = self.rng.choose(vars).expect("nonempty vars");
+            let touches = self.rng.gen_range(2usize..=3).min(remaining);
             for _ in 0..touches {
                 self.b.read(t, v).expect("shared read");
             }
@@ -166,11 +165,11 @@ impl Par {
         // count/state, …), re-reading and re-writing them — the locality
         // behind the same-epoch fast-path hits on lock-protected data.
         let focus: Vec<VarId> = (0..2)
-            .map(|_| *vars.choose(&mut self.rng).expect("nonempty vars"))
+            .map(|_| *self.rng.choose(vars).expect("nonempty vars"))
             .collect();
         self.b.acquire(t, m).expect("acquire");
         for _ in 0..accesses {
-            let &v = focus.choose(&mut self.rng).expect("nonempty focus");
+            let &v = self.rng.choose(&focus).expect("nonempty focus");
             self.b.read(t, v).expect("locked read");
             if self.rng.gen_bool(0.5) {
                 self.b.read(t, v).expect("locked re-read");
@@ -303,7 +302,7 @@ impl ParBuilder {
         }
         Par {
             b: self.b,
-            rng: ChaCha8Rng::seed_from_u64(seed),
+            rng: Prng::seed_from_u64(seed),
             main,
             workers,
             next_var: self.next_var,

@@ -6,9 +6,9 @@
 //! cargo run --example adaptive_trace
 //! ```
 
+use fasttrack_suite::clock::Tid;
 use fasttrack_suite::core::{Detector, FastTrack, ReadMode};
 use fasttrack_suite::trace::{Op, VarId};
-use fasttrack_suite::clock::Tid;
 
 fn mode_name(m: ReadMode) -> &'static str {
     match m {
@@ -27,18 +27,35 @@ fn main() {
         (Op::Write(t0, x), "W_x := 7@0 — write epoch recorded"),
         (Op::Fork(t0, t1), "fork(0,1)"),
         (Op::Read(t1, x), "R_x := 1@1 — [FT READ EXCLUSIVE]"),
-        (Op::Read(t0, x), "R_x := <8,1> — [FT READ SHARE] inflates to a VC"),
-        (Op::Read(t1, x), "R_x[1] updated in place — [FT READ SHARED]"),
+        (
+            Op::Read(t0, x),
+            "R_x := <8,1> — [FT READ SHARE] inflates to a VC",
+        ),
+        (
+            Op::Read(t1, x),
+            "R_x[1] updated in place — [FT READ SHARED]",
+        ),
         (Op::Join(t0, t1), "join(0,1)"),
-        (Op::Write(t0, x), "R_x := ⊥e — [FT WRITE SHARED] collapses the VC"),
+        (
+            Op::Write(t0, x),
+            "R_x := ⊥e — [FT WRITE SHARED] collapses the VC",
+        ),
         (Op::Read(t0, x), "R_x := 8@0 — epoch mode again"),
     ];
 
     let mut ft = FastTrack::new();
-    println!("{:<16} {:<28} read-history representation", "operation", "paper state");
+    println!(
+        "{:<16} {:<28} read-history representation",
+        "operation", "paper state"
+    );
     for (i, (op, note)) in script.iter().enumerate() {
         ft.on_op(i, op);
-        println!("{:<16} {:<28} {}", op.to_string(), note, mode_name(ft.read_mode(x)));
+        println!(
+            "{:<16} {:<28} {}",
+            op.to_string(),
+            note,
+            mode_name(ft.read_mode(x))
+        );
     }
 
     assert!(ft.warnings().is_empty(), "the Figure 4 trace is race-free");

@@ -12,7 +12,9 @@ use fasttrack_suite::detectors::{run_all, Detector};
 use fasttrack_suite::workloads::{build, Scale, BENCHMARKS};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "hedc".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "hedc".to_string());
     assert!(
         BENCHMARKS.iter().any(|b| b.name == name),
         "unknown workload {name:?}; pick one of {:?}",

@@ -4,9 +4,9 @@
 //! cargo run --example quickstart
 //! ```
 
+use fasttrack_suite::clock::Tid;
 use fasttrack_suite::core::{Detector, FastTrack};
 use fasttrack_suite::trace::{HbOracle, LockId, TraceBuilder, VarId};
-use fasttrack_suite::clock::Tid;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (alice, bob) = (Tid::new(0), Tid::new(1));

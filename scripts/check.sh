@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Full local gate: build, tests, formatting, and a CLI observability smoke run.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> bench binaries compile (feature-gated, no external deps)"
+cargo build -p ft-bench --features criterion --benches
+
+echo "==> CLI profile smoke"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run --release -q -p ft-cli -- \
+    generate --benchmark moldyn --ops 5000 -o "$tmp/moldyn.ftrace"
+cargo run --release -q -p ft-cli -- \
+    profile "$tmp/moldyn.ftrace" --metrics "$tmp/out.json"
+python3 - "$tmp/out.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert any(k.startswith("rule.") and k.endswith(".percent")
+           for k in doc["detector"]["gauges"]), "missing per-rule percentages"
+assert any(".on_op_ns" in k for k in doc["pipeline"]["histograms"]), \
+    "missing per-stage latency histograms"
+assert "online.emit_ns" in doc["online_direct"]["histograms"], \
+    "missing online overhead stats"
+assert "online.queue_lag_ns" in doc["online_buffered"]["histograms"], \
+    "missing buffered queue stats"
+print("profile smoke OK:", sys.argv[1])
+EOF
+
+echo "==> all checks passed"

@@ -3,6 +3,8 @@
 //! Re-exports every piece of the workspace under one roof so examples,
 //! integration tests, and downstream users can depend on a single crate:
 //!
+//! * [`obs`] — dependency-free metrics registry, histograms, and span
+//!   tracing (`ft-obs`);
 //! * [`clock`] — epochs and vector clocks (`ft-clock`);
 //! * [`trace`] — the trace model, feasibility checking, happens-before
 //!   oracle, and generators (`ft-trace`);
@@ -21,11 +23,12 @@
 
 #![forbid(unsafe_code)]
 
-pub use ft_clock as clock;
-pub use ft_trace as trace;
 #[doc(inline)]
 pub use fasttrack as core;
 pub use ft_checkers as checkers;
+pub use ft_clock as clock;
 pub use ft_detectors as detectors;
+pub use ft_obs as obs;
 pub use ft_runtime as runtime;
+pub use ft_trace as trace;
 pub use ft_workloads as workloads;

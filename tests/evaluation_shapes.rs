@@ -62,8 +62,14 @@ fn table1_warning_shape() {
         eraser_total > ft_total,
         "Eraser reports more warnings overall ({eraser_total} vs {ft_total})"
     );
-    assert!(eraser_spurious >= 10, "spurious Eraser reports: {eraser_spurious}");
-    assert!(eraser_missed >= 4, "Eraser misses real races: {eraser_missed}");
+    assert!(
+        eraser_spurious >= 10,
+        "spurious Eraser reports: {eraser_spurious}"
+    );
+    assert!(
+        eraser_missed >= 4,
+        "Eraser misses real races: {eraser_missed}"
+    );
 }
 
 /// Table 2: orders of magnitude fewer VC allocations and O(n) VC ops.
@@ -88,7 +94,10 @@ fn table2_vc_shape() {
         djit_alloc > 15 * ft_alloc,
         "allocations: DJIT+ {djit_alloc} vs FT {ft_alloc}"
     );
-    assert!(djit_ops > 3 * ft_ops, "VC ops: DJIT+ {djit_ops} vs FT {ft_ops}");
+    assert!(
+        djit_ops > 3 * ft_ops,
+        "VC ops: DJIT+ {djit_ops} vs FT {ft_ops}"
+    );
 }
 
 /// Table 3: FastTrack's shadow memory is well below DJIT+'s at fine grain;
@@ -144,7 +153,10 @@ fn figure2_mix_shape() {
     assert!(ratios.writes_pct < 25.0, "{ratios}");
     assert!(ratios.other_pct < 10.0, "{ratios}");
     let fast_pct = 100.0 * fast_hits as f64 / accesses as f64;
-    assert!(fast_pct > 96.0, "fast paths cover {fast_pct:.2}% (paper: >96%)");
+    assert!(
+        fast_pct > 96.0,
+        "fast paths cover {fast_pct:.2}% (paper: >96%)"
+    );
 }
 
 /// §5.3: Eclipse warnings — FastTrack 30 real races, Eraser an order of

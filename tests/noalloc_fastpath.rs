@@ -1,0 +1,51 @@
+//! Verifies the ft-obs hot-path guarantee: with tracing disabled, `span!` /
+//! `event!` are branch-only and `Histogram::record` never allocates.
+//!
+//! This lives in its own integration-test binary so the counting global
+//! allocator observes only this file's single test (the libtest harness
+//! itself allocates, so the measured window is confined to the loop below).
+
+use fasttrack_suite::obs::{span, Histogram};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_spans_and_histogram_records_do_not_allocate() {
+    // Warm up: the first histogram is built outside the measured window.
+    let mut h = Histogram::new();
+    h.record(1);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        // Tracing is disabled (never enabled in this binary): the field
+        // expressions must not be evaluated, so no String is built.
+        let _g = span!("hot", op = format!("op{i}"));
+        h.record(i);
+        h.record(u64::MAX - i);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled span! or Histogram::record allocated"
+    );
+    assert_eq!(h.count(), 20_001);
+}

@@ -1,0 +1,171 @@
+//! End-to-end checks of the ft-obs observability wiring: detector metrics
+//! snapshots, pipeline per-stage instrumentation, online-monitor overhead
+//! reporting, and the JSON snapshot format round-tripping through the
+//! workspace's own JSON parser.
+
+use fasttrack_suite::core::{Detector, Empty, FastTrack};
+use fasttrack_suite::obs::{JsonlSink, MetricsRegistry};
+use fasttrack_suite::runtime::online::Monitor;
+use fasttrack_suite::runtime::{run_pipeline, Pipeline};
+use fasttrack_suite::trace::gen::{self, GenConfig};
+use fasttrack_suite::trace::json as ftjson;
+
+#[test]
+fn pipeline_over_race_free_trace_suppresses_and_is_monotone() {
+    let trace = gen::generate(&GenConfig::race_free(), 11);
+    let mut p = Pipeline::new(vec![Box::new(FastTrack::new()), Box::new(Empty::new())]);
+    run_pipeline(&mut p, &trace);
+    let reports = p.stage_reports();
+
+    // The prefilter suppressed something on a race-free workload...
+    assert!(reports[0].events_suppressed > 0);
+    assert!(reports[0].suppression_rate > 0.0);
+    // ...and events_seen is monotone non-increasing down the chain.
+    assert!(reports[1].events_seen <= reports[0].events_seen);
+    assert_eq!(reports[0].events_seen, trace.len() as u64);
+    assert_eq!(
+        reports[1].events_seen,
+        reports[0].events_seen - reports[0].events_suppressed
+    );
+    // Latency histograms saw exactly the events each stage received.
+    assert_eq!(reports[0].latency.count, reports[0].events_seen);
+    assert_eq!(reports[1].latency.count, reports[1].events_seen);
+}
+
+#[test]
+fn detector_metrics_bridge_stats_and_rules() {
+    let trace = gen::generate(&GenConfig::default(), 5);
+    let mut ft = FastTrack::new();
+    ft.run(&trace);
+    let snap = ft.metrics();
+    assert_eq!(snap.meta("tool"), Some("FASTTRACK"));
+    assert_eq!(snap.counter("ops"), Some(ft.stats().ops));
+    assert_eq!(snap.counter("reads"), Some(ft.stats().reads));
+    assert_eq!(snap.counter("warnings"), Some(ft.warnings().len() as u64));
+    // Per-rule counters + percentage gauges for every breakdown entry.
+    for rc in ft.rule_breakdown() {
+        assert_eq!(
+            snap.counter(&format!("rule.{}.hits", rc.rule)),
+            Some(rc.hits)
+        );
+        let pct = snap
+            .gauge(&format!("rule.{}.percent", rc.rule))
+            .expect("percent gauge");
+        assert!((pct - rc.percent).abs() < 1e-9);
+    }
+}
+
+/// The hand-rolled JSON snapshot writer produces documents the workspace's
+/// own parser accepts, with every counter/gauge/histogram intact.
+#[test]
+fn snapshot_json_round_trips_through_the_trace_parser() {
+    let trace = gen::generate(&GenConfig::default(), 9);
+    let mut p = Pipeline::new(vec![Box::new(FastTrack::new()), Box::new(Empty::new())]);
+    run_pipeline(&mut p, &trace);
+    let snap = p.metrics_snapshot();
+    let parsed = ftjson::parse(&snap.to_json()).expect("snapshot JSON parses");
+
+    let counters = parsed.get("counters").expect("counters object");
+    for (name, value) in &snap.counters {
+        let got = counters.get(name).and_then(|v| v.as_f64()).unwrap();
+        assert_eq!(got as u64, *value, "{name}");
+    }
+    let gauges = parsed.get("gauges").expect("gauges object");
+    for (name, value) in &snap.gauges {
+        let got = gauges.get(name).and_then(|v| v.as_f64()).unwrap();
+        assert!((got - value).abs() < 1e-9, "{name}");
+    }
+    let histograms = parsed.get("histograms").expect("histograms object");
+    for (name, summary) in &snap.histograms {
+        let h = histograms.get(name).unwrap_or_else(|| panic!("{name}"));
+        assert_eq!(
+            h.get("count").and_then(|v| v.as_f64()).unwrap() as u64,
+            summary.count
+        );
+        assert_eq!(
+            h.get("p50").and_then(|v| v.as_f64()).unwrap() as u64,
+            summary.p50
+        );
+        assert_eq!(
+            h.get("max").and_then(|v| v.as_f64()).unwrap() as u64,
+            summary.max
+        );
+    }
+}
+
+#[test]
+fn online_monitor_replay_reports_overhead_in_both_modes() {
+    let trace = gen::generate(&GenConfig::race_free(), 21);
+    for make in [
+        Monitor::new::<FastTrack> as fn(FastTrack) -> Monitor,
+        Monitor::buffered,
+    ] {
+        let monitor = make(FastTrack::new());
+        for op in trace.events() {
+            monitor.emit_raw(op.clone());
+        }
+        let report = monitor.report();
+        assert!(report.warnings.is_empty());
+        assert_eq!(report.stats.ops, trace.len() as u64);
+        let emit = report.metrics.histogram("online.emit_ns").expect("emit_ns");
+        assert_eq!(emit.count, trace.len() as u64);
+    }
+}
+
+#[test]
+fn registry_merge_collects_worker_thread_metrics() {
+    // The cross-thread aggregation pattern: each worker keeps its own
+    // registry, the owner merges them afterwards.
+    let handles: Vec<_> = (0..4)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut reg = MetricsRegistry::new();
+                for i in 0..100u64 {
+                    reg.inc_counter("events", 1);
+                    reg.record("latency_ns", i * (w + 1));
+                }
+                reg
+            })
+        })
+        .collect();
+    let mut total = MetricsRegistry::new();
+    for h in handles {
+        total.merge(&h.join().unwrap());
+    }
+    let snap = total.snapshot();
+    assert_eq!(snap.counter("events"), Some(400));
+    assert_eq!(snap.histogram("latency_ns").unwrap().count, 400);
+}
+
+#[test]
+fn jsonl_sink_records_cli_style_spans() {
+    // Drive a span through a JSONL sink and parse each emitted line.
+    let buf: std::sync::Arc<std::sync::Mutex<Vec<u8>>> = Default::default();
+
+    struct Shared(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+    impl std::io::Write for Shared {
+        fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(b);
+            Ok(b.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fasttrack_suite::obs::set_sink(Box::new(JsonlSink::new(Box::new(Shared(buf.clone())))));
+    {
+        let _g = fasttrack_suite::obs::span!("analyze", tool = "FASTTRACK");
+        fasttrack_suite::obs::event!("warning", var = 3);
+    }
+    fasttrack_suite::obs::disable_tracing();
+
+    let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text:?}");
+    for line in &lines {
+        ftjson::parse(line).expect("span line is valid JSON");
+    }
+    assert!(lines[0].contains("\"kind\":\"event\""));
+    assert!(lines[1].contains("\"kind\":\"span\""));
+}

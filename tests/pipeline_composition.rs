@@ -11,10 +11,7 @@ use fasttrack_suite::workloads::{build, Scale, BENCHMARKS};
 fn fasttrack_prefilter_suppresses_most_accesses_on_race_free_workloads() {
     for name in ["crypt", "series", "sor"] {
         let trace = build(name, Scale::test(), 3);
-        let mut p = Pipeline::new(vec![
-            Box::new(FastTrack::new()),
-            Box::new(Velodrome::new()),
-        ]);
+        let mut p = Pipeline::new(vec![Box::new(FastTrack::new()), Box::new(Velodrome::new())]);
         run_pipeline(&mut p, &trace);
         let reports = p.stage_reports();
         let upstream = reports[0].events_seen;
@@ -90,10 +87,7 @@ fn tl_filter_is_weaker_than_race_filters() {
         run_pipeline(&mut tl, &trace);
         let tl_seen = tl.stage_reports()[1].events_seen;
 
-        let mut ft = Pipeline::new(vec![
-            Box::new(FastTrack::new()),
-            Box::new(Velodrome::new()),
-        ]);
+        let mut ft = Pipeline::new(vec![Box::new(FastTrack::new()), Box::new(Velodrome::new())]);
         run_pipeline(&mut ft, &trace);
         let ft_seen = ft.stage_reports()[1].events_seen;
 

@@ -63,7 +63,11 @@ fn long_epoch_sequences() {
     let mut ft = FastTrack::new();
     ft.run(&trace);
     assert!(ft.warnings().is_empty());
-    assert_eq!(ft.write_epoch(x).clock(), 30_000, "one epoch per release, minus the last write");
+    assert_eq!(
+        ft.write_epoch(x).clock(),
+        30_000,
+        "one epoch per release, minus the last write"
+    );
     assert_eq!(ft.write_epoch(x).tid(), t);
 }
 
