@@ -1,0 +1,178 @@
+//! Benchmarks the epoch-sliced parallel analysis engine against the
+//! sequential FASTTRACK detector.
+//!
+//! ```text
+//! cargo run --release -p ft-bench --bin parallel [-- --ops=200000 --seed=42]
+//! ```
+//!
+//! Two questions are answered:
+//!
+//! 1. **Throughput** — events/second of `analyze_parallel` at 1, 2, 4 and 8
+//!    shards on the eclipse_sim workloads, versus the sequential detector.
+//!    Speedups depend on the host: the JSON records
+//!    `available_parallelism` so a 1-CPU container's flat curve is not
+//!    mistaken for an engine defect.
+//! 2. **Agreement** — for every standard benchmark and eclipse workload,
+//!    the parallel engine must report *exactly* the sequential warning
+//!    count at every shard width. Any divergence is a correctness bug and
+//!    is counted in the JSON.
+
+use std::time::{Duration, Instant};
+
+use fasttrack::{Detector, FastTrack};
+use ft_bench::{fmt1, HarnessOpts};
+use ft_obs::JsonWriter;
+use ft_runtime::{analyze_parallel, ParallelConfig};
+use ft_trace::Trace;
+use ft_workloads::eclipse::{build as build_eclipse, EclipseOp};
+use ft_workloads::{build, Scale, BENCHMARKS};
+
+const SHARD_SERIES: [usize; 4] = [1, 2, 4, 8];
+
+fn time_sequential(trace: &Trace, reps: u32) -> (Duration, u64) {
+    let mut best = Duration::MAX;
+    let mut warnings = 0u64;
+    for _ in 0..reps.max(1) {
+        let mut ft = FastTrack::new();
+        let started = Instant::now();
+        ft.run(trace);
+        best = best.min(started.elapsed());
+        warnings = ft.warnings().len() as u64;
+    }
+    (best, warnings)
+}
+
+fn time_parallel(trace: &Trace, shards: usize, reps: u32) -> (Duration, u64) {
+    let config = ParallelConfig::with_shards(shards);
+    let mut best = Duration::MAX;
+    let mut warnings = 0u64;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        let report = analyze_parallel(trace, &config);
+        best = best.min(started.elapsed());
+        warnings = report.warnings.len() as u64;
+    }
+    (best, warnings)
+}
+
+fn mops(trace: &Trace, d: Duration) -> f64 {
+    trace.len() as f64 / d.as_secs_f64().max(1e-9) / 1e6
+}
+
+fn main() {
+    let opts = HarnessOpts::from_env(200_000);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut json = JsonWriter::new();
+    json.begin_object();
+    json.field_str("suite", "parallel");
+    json.field_u64("ops", opts.ops as u64);
+    json.field_u64("seed", opts.seed);
+    json.field_u64("available_parallelism", threads as u64);
+
+    println!("Parallel engine throughput (eclipse_sim workloads)");
+    println!(
+        "workload: ~{} events/trace, seed {}, host parallelism {}\n",
+        opts.ops, opts.seed, threads
+    );
+    println!(
+        "{:<16} | {:>10} | {:>9} {:>9} {:>9} {:>9} | {:>8}",
+        "Operation", "seq Mop/s", "W=1", "W=2", "W=4", "W=8", "best x"
+    );
+
+    json.key("rows");
+    json.begin_array();
+    let mut divergences = 0u64;
+    for op in EclipseOp::ALL {
+        let trace = build_eclipse(op, opts.scale(), opts.seed);
+        let (seq, seq_warnings) = time_sequential(&trace, opts.reps);
+        let seq_mops = mops(&trace, seq);
+
+        json.begin_object();
+        json.field_str("operation", op.name());
+        json.field_u64("events", trace.len() as u64);
+        json.field_u64("warnings", seq_warnings);
+        json.field_f64("sequential_mops", seq_mops);
+        json.key("shards");
+        json.begin_array();
+        let mut cells = Vec::new();
+        let mut best_speedup = 0.0f64;
+        for shards in SHARD_SERIES {
+            let (par, par_warnings) = time_parallel(&trace, shards, opts.reps);
+            let par_mops = mops(&trace, par);
+            let speedup = seq.as_secs_f64() / par.as_secs_f64().max(1e-9);
+            best_speedup = best_speedup.max(speedup);
+            if par_warnings != seq_warnings {
+                divergences += 1;
+            }
+            json.begin_object();
+            json.field_u64("shards", shards as u64);
+            json.field_f64("mops", par_mops);
+            json.field_f64("speedup_vs_sequential", speedup);
+            json.field_bool("agrees", par_warnings == seq_warnings);
+            json.end_object();
+            cells.push(format!("{:>9}", fmt1(par_mops)));
+        }
+        json.end_array();
+        json.end_object();
+        println!(
+            "{:<16} | {:>10} | {} | {:>8}",
+            op.name(),
+            fmt1(seq_mops),
+            cells.join(" "),
+            fmt1(best_speedup)
+        );
+    }
+    json.end_array();
+
+    // Agreement sweep: the 16 standard benchmarks at a reduced scale, plus
+    // the eclipse workloads above. Divergent warning counts at any shard
+    // width are correctness failures.
+    let sweep_scale = Scale {
+        ops: opts.ops.min(50_000),
+    };
+    let mut traces_checked = 0u64;
+    json.key("agreement");
+    json.begin_array();
+    for bench in BENCHMARKS {
+        let trace = build(bench.name, sweep_scale, opts.seed);
+        let mut ft = FastTrack::new();
+        ft.run(&trace);
+        let seq_warnings = ft.warnings().len() as u64;
+        traces_checked += 1;
+        let mut agrees = true;
+        for shards in SHARD_SERIES {
+            let config = ParallelConfig::with_shards(shards);
+            let report = analyze_parallel(&trace, &config);
+            if report.warnings.len() as u64 != seq_warnings {
+                divergences += 1;
+                agrees = false;
+            }
+        }
+        json.begin_object();
+        json.field_str("program", bench.name);
+        json.field_u64("warnings", seq_warnings);
+        json.field_bool("agrees", agrees);
+        json.end_object();
+    }
+    json.end_array();
+
+    println!(
+        "\nagreement sweep: {} benchmarks x {:?} shards, {} divergences",
+        traces_checked, SHARD_SERIES, divergences
+    );
+    json.field_u64("traces_checked", traces_checked);
+    json.field_u64("divergences", divergences);
+    json.end_object();
+
+    match std::fs::write("BENCH_parallel.json", json.finish()) {
+        Ok(()) => println!("wrote BENCH_parallel.json"),
+        Err(e) => eprintln!("failed to write BENCH_parallel.json: {e}"),
+    }
+    if divergences > 0 {
+        eprintln!("FAIL: parallel engine diverged from sequential");
+        std::process::exit(1);
+    }
+}

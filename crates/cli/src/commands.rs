@@ -4,6 +4,7 @@ use crate::args::Args;
 use crate::{coarsen_trace, load_trace, print_oracle, print_report, save_trace};
 use fasttrack::{Detector, Empty, FastTrack, FastTrackConfig};
 use ft_detectors::{BasicVc, Djit, Eraser, Goldilocks, MultiRace, RaceTrack};
+use ft_runtime::{analyze_parallel, ParallelConfig, ParallelReport};
 use ft_trace::gen::{self, GenConfig};
 use ft_trace::Trace;
 use ft_workloads::eclipse::EclipseOp;
@@ -117,12 +118,58 @@ pub fn generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the parallel-engine configuration for a `--shards N` request.
+fn parallel_config(shards: usize, all_warnings: bool) -> ParallelConfig {
+    ParallelConfig {
+        shards,
+        detector: FastTrackConfig {
+            report_all: all_warnings,
+            ..FastTrackConfig::default()
+        },
+        ..ParallelConfig::default()
+    }
+}
+
+/// Pretty-prints a parallel-engine outcome in the same shape as
+/// [`print_report`].
+fn print_parallel_report(report: &ParallelReport, verbose: bool) {
+    println!(
+        "{:<12} {} warning(s); {}; shadow {} bytes; {} shard(s)",
+        "FASTTRACK-P",
+        report.warnings.len(),
+        report.stats,
+        report.shadow_bytes,
+        report.shards
+    );
+    if verbose {
+        for w in &report.warnings {
+            println!("    {w}");
+        }
+        for rule in &report.rule_breakdown {
+            println!("    {rule}");
+        }
+    }
+}
+
 /// `ftrace analyze`.
 pub fn analyze(args: &Args) -> Result<(), String> {
     let path = args.positional(0).ok_or("analyze requires a trace file")?;
     maybe_enable_tracing(args)?;
     let trace = load_trace(path)?;
     let tool_name = args.get("tool").unwrap_or("FASTTRACK");
+    let shards = args.get_num::<usize>("shards", 1)?;
+    if shards > 1 {
+        if !tool_name.eq_ignore_ascii_case("FASTTRACK") {
+            return Err(format!(
+                "--shards applies only to FASTTRACK, not {tool_name:?}"
+            ));
+        }
+        let config = parallel_config(shards, args.has_flag("all-warnings"));
+        let report = analyze_parallel(&trace, &config);
+        print_parallel_report(&report, true);
+        maybe_write_metrics(args, &report.metrics)?;
+        return Ok(());
+    }
     let mut tool = make_tool(tool_name, args.has_flag("all-warnings"))?;
     run_tool(tool.as_mut(), &trace);
     print_report(tool.as_ref(), true);
@@ -239,6 +286,15 @@ pub fn profile(args: &Args) -> Result<(), String> {
     let direct_metrics = online(|| Monitor::new(FastTrack::new()));
     let buffered_metrics = online(|| Monitor::buffered(FastTrack::new()));
 
+    // 4. The epoch-sliced parallel engine, if `--shards N` was given.
+    let shards = args.get_num::<usize>("shards", 0)?;
+    let parallel = if shards > 0 {
+        let config = parallel_config(shards, args.has_flag("all-warnings"));
+        Some(analyze_parallel(&trace, &config))
+    } else {
+        None
+    };
+
     println!(
         "{}: {} events; {} {} warning(s)",
         path,
@@ -264,17 +320,29 @@ pub fn profile(args: &Args) -> Result<(), String> {
     show("online/direct", &direct_metrics, "online.emit_ns");
     show("online/buffered", &buffered_metrics, "online.emit_ns");
     show("online/buffered", &buffered_metrics, "online.queue_lag_ns");
+    if let Some(report) = &parallel {
+        println!(
+            "  parallel: {} shard(s), {} warning(s)",
+            report.shards,
+            report.warnings.len()
+        );
+        show("parallel", &report.metrics, "parallel.batch_ns");
+    }
 
     let mut w = ft_obs::JsonWriter::new();
     w.begin_object();
     w.field_str("trace", path);
     w.field_u64("events", trace.len() as u64);
-    for (key, snap) in [
+    let mut sections = vec![
         ("detector", &detector_metrics),
         ("pipeline", &pipeline_metrics),
         ("online_direct", &direct_metrics),
         ("online_buffered", &buffered_metrics),
-    ] {
+    ];
+    if let Some(report) = &parallel {
+        sections.push(("parallel", &report.metrics));
+    }
+    for (key, snap) in sections {
         w.key(key);
         snap.write_json(&mut w);
     }

@@ -26,16 +26,19 @@ ftrace — FastTrack race-detection trace tool
 USAGE:
   ftrace generate [--benchmark NAME | --random] [--ops N] [--seed N]
                   [--racy FRAC] -o FILE     generate a trace
-  ftrace analyze FILE [--tool NAME] [--all-warnings] [--metrics OUT.json]
-                                            run one detector
+  ftrace analyze FILE [--tool NAME] [--all-warnings] [--shards N]
+                  [--metrics OUT.json]      run one detector (with N > 1,
+                                            FASTTRACK runs on the epoch-sliced
+                                            parallel engine)
   ftrace compare FILE                       run every detector
   ftrace pipeline FILE [--filter NAME] [--checker NAME] [--metrics OUT.json]
                                             prefilter + downstream checker
-  ftrace profile FILE [--tool NAME] [--metrics OUT.json]
+  ftrace profile FILE [--tool NAME] [--shards N] [--metrics OUT.json]
                                             full observability run: detector
                                             rule percentages, per-stage
                                             latency quantiles, online-monitor
-                                            overhead
+                                            overhead, and (with --shards) the
+                                            parallel engine's batch metrics
   ftrace oracle FILE                        exact happens-before ground truth
   ftrace coarsen FILE -o FILE               coarse-grain (object) variant
   ftrace info FILE                          trace statistics

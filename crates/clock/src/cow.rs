@@ -1,0 +1,134 @@
+//! Copy-on-write vector clocks for snapshot-heavy consumers.
+//!
+//! The parallel analysis engine (`ft-runtime::parallel`) needs to hand every
+//! worker shard a read-only snapshot of each thread's clock `C_t` after every
+//! synchronization operation. Cloning the clocks eagerly would turn each sync
+//! op into *O(threads × threads)* work; [`CowClock`] makes the snapshot *O(1)*
+//! instead: publishing is an `Arc` bump, and only the *next mutation* of a
+//! clock that is still shared pays for a copy (`Arc::make_mut`).
+
+use crate::VectorClock;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A [`VectorClock`] behind an `Arc` with copy-on-write mutation.
+///
+/// Reads go through [`Deref`], so a `CowClock` can be used anywhere a
+/// `&VectorClock` is expected. Mutations go through [`CowClock::to_mut`],
+/// which clones the underlying clock only if a snapshot still holds a
+/// reference to it.
+///
+/// # Example
+///
+/// ```
+/// use ft_clock::{CowClock, Tid, VectorClock};
+///
+/// let mut c = CowClock::new(VectorClock::new());
+/// c.to_mut().inc(Tid::new(0));
+///
+/// let snap = c.snapshot(); // O(1): just an Arc clone
+/// c.to_mut().inc(Tid::new(0)); // copy-on-write: snap is unaffected
+///
+/// assert_eq!(snap.get(Tid::new(0)), 1);
+/// assert_eq!(c.get(Tid::new(0)), 2);
+/// ```
+#[derive(Clone)]
+pub struct CowClock {
+    inner: Arc<VectorClock>,
+}
+
+impl CowClock {
+    /// Wraps a clock for copy-on-write sharing.
+    #[inline]
+    pub fn new(vc: VectorClock) -> Self {
+        CowClock {
+            inner: Arc::new(vc),
+        }
+    }
+
+    /// Mutable access to the clock. If any snapshot still shares the
+    /// underlying allocation, the clock is cloned first ("copy on write");
+    /// otherwise this is free.
+    #[inline]
+    pub fn to_mut(&mut self) -> &mut VectorClock {
+        Arc::make_mut(&mut self.inner)
+    }
+
+    /// An *O(1)* immutable snapshot of the current clock value. Later
+    /// mutations of `self` do not affect the snapshot.
+    #[inline]
+    pub fn snapshot(&self) -> Arc<VectorClock> {
+        Arc::clone(&self.inner)
+    }
+
+    /// Whether the next [`CowClock::to_mut`] call will have to copy (i.e.
+    /// whether an outstanding snapshot shares the allocation).
+    #[inline]
+    pub fn is_shared(&self) -> bool {
+        Arc::strong_count(&self.inner) > 1
+    }
+}
+
+impl Deref for CowClock {
+    type Target = VectorClock;
+
+    #[inline]
+    fn deref(&self) -> &VectorClock {
+        &self.inner
+    }
+}
+
+impl From<VectorClock> for CowClock {
+    fn from(vc: VectorClock) -> Self {
+        CowClock::new(vc)
+    }
+}
+
+impl fmt::Debug for CowClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CowClock({:?})", *self.inner)
+    }
+}
+
+impl fmt::Display for CowClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&*self.inner, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tid;
+
+    #[test]
+    fn snapshot_is_isolated_from_later_mutation() {
+        let mut c = CowClock::new(VectorClock::from_components(&[3, 1]));
+        let snap = c.snapshot();
+        c.to_mut().set(Tid::new(1), 9);
+        assert_eq!(snap.get(Tid::new(1)), 1);
+        assert_eq!(c.get(Tid::new(1)), 9);
+    }
+
+    #[test]
+    fn mutation_without_snapshot_does_not_copy() {
+        let mut c = CowClock::new(VectorClock::new());
+        assert!(!c.is_shared());
+        {
+            let _snap = c.snapshot();
+            assert!(c.is_shared());
+        }
+        // The snapshot dropped: exclusive again, to_mut reuses in place.
+        assert!(!c.is_shared());
+        c.to_mut().inc(Tid::new(2));
+        assert_eq!(c.get(Tid::new(2)), 1);
+    }
+
+    #[test]
+    fn deref_exposes_clock_operations() {
+        let c = CowClock::new(VectorClock::from_components(&[2]));
+        assert!(c.leq(&VectorClock::from_components(&[5])));
+        assert_eq!(c.to_string(), "<2>");
+    }
+}

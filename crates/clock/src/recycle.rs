@@ -1,4 +1,4 @@
-//! Thread-id recycling for programs with many short-lived threads.
+//! Recycling of analysis resources: thread ids and vector-clock boxes.
 //!
 //! Packed epochs limit the number of *concurrently live* thread ids (256 for
 //! [`crate::Epoch`]). Programs such as web servers create and join far more
@@ -13,7 +13,7 @@
 //! only retire a tid once the thread has been joined (so its final clock has
 //! been merged into its parent's vector clock).
 
-use crate::Tid;
+use crate::{Tid, VectorClock};
 
 /// Allocates dense thread ids, recycling ids of retired (joined) threads.
 ///
@@ -102,6 +102,93 @@ impl TidRecycler {
     }
 }
 
+/// A free list of boxed [`VectorClock`]s, so hot allocate/drop cycles reuse
+/// storage instead of hitting the allocator.
+///
+/// FastTrack's adaptive read representation allocates a read vector clock
+/// `Rvc` when a variable inflates to read-shared mode (`[FT READ SHARE]`)
+/// and drops it again when a write collapses the history back to an epoch
+/// (`[FT WRITE SHARED]`). On traces that repeatedly inflate and collapse the
+/// same few variables, routing the collapsed boxes through a `VcPool` turns
+/// that churn into reuse of a handful of allocations.
+///
+/// The pool keeps at most `cap` clocks; excess [`VcPool::put`]s drop the box
+/// as usual. Returned clocks are always cleared back to ⊥ᵥ (with capacity
+/// retained).
+///
+/// # Example
+///
+/// ```
+/// use ft_clock::{Tid, VcPool, VectorClock};
+///
+/// let mut pool = VcPool::new(8);
+/// let mut vc = pool.take(); // fresh: nothing pooled yet
+/// vc.set(Tid::new(3), 7);
+/// pool.put(vc);
+///
+/// let reused = pool.take(); // same allocation, cleared to bottom
+/// assert!(reused.is_bottom());
+/// assert_eq!(pool.reused(), 1);
+/// assert_eq!(pool.recycled(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct VcPool {
+    free: Vec<Box<VectorClock>>,
+    cap: usize,
+    reused: u64,
+    recycled: u64,
+}
+
+impl VcPool {
+    /// Creates a pool holding at most `cap` free clocks.
+    pub fn new(cap: usize) -> Self {
+        VcPool {
+            free: Vec::new(),
+            cap,
+            reused: 0,
+            recycled: 0,
+        }
+    }
+
+    /// Hands out a bottom clock, reusing a pooled allocation when one is
+    /// available.
+    pub fn take(&mut self) -> Box<VectorClock> {
+        match self.free.pop() {
+            Some(vc) => {
+                self.reused += 1;
+                vc
+            }
+            None => Box::new(VectorClock::new()),
+        }
+    }
+
+    /// Returns a clock to the pool (clearing it first). Drops the box
+    /// instead when the pool is full.
+    pub fn put(&mut self, mut vc: Box<VectorClock>) {
+        self.recycled += 1;
+        if self.free.len() < self.cap {
+            vc.clear();
+            self.free.push(vc);
+        }
+    }
+
+    /// How many [`VcPool::take`] calls were served from the free list.
+    pub fn reused(&self) -> u64 {
+        self.reused
+    }
+
+    /// How many clocks were handed back via [`VcPool::put`] (whether pooled
+    /// or dropped for capacity).
+    pub fn recycled(&self) -> u64 {
+        self.recycled
+    }
+
+    /// Number of clocks currently sitting in the free list.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +236,28 @@ mod tests {
     fn retire_unallocated_panics() {
         let mut r = TidRecycler::new();
         r.retire(Tid::new(3), 1);
+    }
+
+    #[test]
+    fn vc_pool_reuses_cleared_clocks() {
+        let mut pool = VcPool::new(2);
+        let mut a = pool.take();
+        a.set(Tid::new(0), 5);
+        assert_eq!(pool.reused(), 0);
+        pool.put(a);
+        let b = pool.take();
+        assert!(b.is_bottom());
+        assert_eq!(pool.reused(), 1);
+        assert_eq!(pool.recycled(), 1);
+    }
+
+    #[test]
+    fn vc_pool_respects_capacity() {
+        let mut pool = VcPool::new(1);
+        pool.put(Box::new(VectorClock::new()));
+        pool.put(Box::new(VectorClock::new()));
+        assert_eq!(pool.free_count(), 1);
+        assert_eq!(pool.recycled(), 2); // both returns counted, one dropped
     }
 
     #[test]

@@ -121,6 +121,14 @@ impl VectorClock {
         self.clocks.extend_from_slice(&other.clocks);
     }
 
+    /// Resets every component to zero (back to ⊥ᵥ) while keeping the
+    /// allocation, so a recycled clock (see [`crate::VcPool`]) costs no
+    /// fresh heap traffic.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.clocks.clear();
+    }
+
     /// Returns the epoch `V(t)@t` for thread `tid` — the current epoch
     /// `E(t)` of the paper when applied to a thread's own clock.
     ///
@@ -278,6 +286,16 @@ mod tests {
         a.assign(&b);
         assert_eq!(a, b);
         assert_eq!(a.get(Tid::new(1)), 0);
+    }
+
+    #[test]
+    fn clear_resets_to_bottom_without_freeing() {
+        let mut a = vc(&[1, 2, 3]);
+        let cap_bytes = a.heap_bytes();
+        a.clear();
+        assert!(a.is_bottom());
+        assert_eq!(a.dim(), 0);
+        assert_eq!(a.heap_bytes(), cap_bytes);
     }
 
     #[test]

@@ -7,11 +7,17 @@
 //! `[FT READ/WRITE VOLATILE]`, and `[FT BARRIER RELEASE]`.
 
 use crate::detector::{Detector, Disposition};
-use crate::state::{ThreadState, VarState, READ_SHARED};
+use crate::rules::{self, RuleHits};
+use crate::state::{ThreadState, VarState};
 use crate::stats::{RuleCount, Stats};
 use crate::warning::{AccessSummary, Warning, WarningKind};
-use ft_clock::{Epoch, Tid, VectorClock};
+use ft_clock::{Epoch, Tid, VcPool, VectorClock};
 use ft_trace::{AccessKind, LockId, Op, VarId};
+
+/// Free clocks the detector keeps around for `Rvc` reuse (the inflate /
+/// collapse cycle of `[FT READ SHARE]` / `[FT WRITE SHARED]` rarely has
+/// many variables in read-shared mode simultaneously).
+pub(crate) const RVC_POOL_CAP: usize = 32;
 
 /// Which representation currently holds a variable's read history.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -57,18 +63,6 @@ impl Default for FastTrackConfig {
     }
 }
 
-/// Per-rule hit counters (the Figure 2/5 frequency annotations).
-#[derive(Clone, Debug, Default)]
-struct RuleHits {
-    read_same_epoch: u64,
-    read_shared: u64,
-    read_exclusive: u64,
-    read_share: u64,
-    write_same_epoch: u64,
-    write_exclusive: u64,
-    write_shared: u64,
-}
-
 /// The FastTrack race detector.
 ///
 /// An online analysis over the operations of a multithreaded trace that
@@ -101,6 +95,7 @@ pub struct FastTrack {
     warnings: Vec<Warning>,
     stats: Stats,
     rules: RuleHits,
+    pool: VcPool,
     config: FastTrackConfig,
 }
 
@@ -127,6 +122,7 @@ impl FastTrack {
             warnings: Vec::new(),
             stats: Stats::new(),
             rules: RuleHits::default(),
+            pool: VcPool::new(RVC_POOL_CAP),
             config,
         }
     }
@@ -200,74 +196,36 @@ impl FastTrack {
     }
 
     /// Figure 5 `read(VarState x, ThreadState t)`.
+    ///
+    /// The transition itself lives in [`rules::read_var`], shared with the
+    /// parallel engine's shards; this wrapper only resolves the shadow
+    /// state and turns the outcome into warnings.
     fn read(&mut self, index: usize, t: Tid, x: VarId) {
         self.stats.reads += 1;
-        let (epoch, _) = {
-            let ts = self.thread(t);
-            (ts.epoch, ())
-        };
+        let epoch = self.thread(t).epoch;
+        self.var(x); // ensure shadow state exists
 
-        // [FT READ SAME EPOCH] — 63.4% of reads in the paper's benchmarks.
-        if !self.config.ablate_same_epoch && self.var(x).r == epoch {
-            self.rules.read_same_epoch += 1;
-            return;
-        }
-        self.var(x); // ensure shadow state exists even when ablated
-
-        // Ablation: force the DJIT⁺-shaped always-VC read representation.
-        if self.config.ablate_adaptive_read && !self.vars[x.as_usize()].is_read_shared() {
-            let vs = &mut self.vars[x.as_usize()];
-            self.stats.vc_allocated += 1;
-            let mut rvc = VectorClock::new();
-            if !vs.r.is_initial() {
-                rvc.set(vs.r.tid(), vs.r.clock());
-            }
-            vs.rvc = Some(Box::new(rvc));
-            vs.r = READ_SHARED;
-        }
-
-        // Split borrows: take what we need from the thread state up front.
+        // Split borrows: the rules touch disjoint fields of self.
         let ts_vc = &self.threads[t.as_usize()]
             .as_ref()
             .expect("thread initialized above")
             .vc;
-        let own_clock = ts_vc.get(t);
+        let outcome = rules::read_var(
+            &mut self.vars[x.as_usize()],
+            t,
+            epoch,
+            ts_vc,
+            &self.config,
+            &mut self.pool,
+            &mut self.stats,
+        );
+        self.rules.hit_read(outcome.rule);
 
-        let vs = &mut self.vars[x.as_usize()];
-
-        // Write-read race check: W_x ≼ C_t.
-        let w = vs.w;
-        let racy_write = !w.happens_before(ts_vc);
-
-        if vs.r == READ_SHARED {
-            // [FT READ SHARED] — O(1): update our slot of Rvc.
-            self.rules.read_shared += 1;
-            vs.rvc
-                .as_mut()
-                .expect("read-shared mode implies Rvc")
-                .set(t, own_clock);
-        } else if vs.r.happens_before(ts_vc) {
-            // [FT READ EXCLUSIVE] — reads stay totally ordered.
-            self.rules.read_exclusive += 1;
-            vs.r = epoch;
-        } else {
-            // [FT READ SHARE] — concurrent reads: inflate to a vector clock
-            // recording both read epochs. (The 0.1% slow path.)
-            self.rules.read_share += 1;
-            self.stats.vc_allocated += 1;
-            let mut rvc = VectorClock::new();
-            rvc.set(vs.r.tid(), vs.r.clock());
-            rvc.set(t, own_clock);
-            vs.rvc = Some(Box::new(rvc));
-            vs.r = READ_SHARED;
-        }
-
-        if racy_write {
-            let w_tid = w.tid();
+        if let Some(w) = outcome.racy_write {
             self.report(
                 x,
                 WarningKind::WriteRead,
-                w_tid,
+                w.tid(),
                 AccessKind::Write,
                 t,
                 AccessKind::Read,
@@ -277,71 +235,40 @@ impl FastTrack {
     }
 
     /// Figure 5 `write(VarState x, ThreadState t)`.
+    ///
+    /// Like [`FastTrack::read`], delegates the transition to
+    /// [`rules::write_var`].
     fn write(&mut self, index: usize, t: Tid, x: VarId) {
         self.stats.writes += 1;
         let epoch = self.thread(t).epoch;
-
-        // [FT WRITE SAME EPOCH] — 71.0% of writes.
-        if !self.config.ablate_same_epoch && self.var(x).w == epoch {
-            self.rules.write_same_epoch += 1;
-            return;
-        }
-        self.var(x); // ensure shadow state exists even when ablated
+        self.var(x); // ensure shadow state exists
 
         let ts_vc = &self.threads[t.as_usize()]
             .as_ref()
             .expect("thread initialized above")
             .vc;
-        let vs = &mut self.vars[x.as_usize()];
+        let outcome = rules::write_var(
+            &mut self.vars[x.as_usize()],
+            epoch,
+            ts_vc,
+            &self.config,
+            &mut self.pool,
+            &mut self.stats,
+        );
+        self.rules.hit_write(outcome.rule);
 
-        // Write-write race check: W_x ≼ C_t.
-        let w = vs.w;
-        let racy_write = !w.happens_before(ts_vc);
-
-        // Read-write race check, then collapse/update the read history.
-        let mut racy_read: Option<Tid> = None;
-        if vs.r != READ_SHARED {
-            // [FT WRITE EXCLUSIVE] — 28.9% of writes: epoch-epoch check.
-            self.rules.write_exclusive += 1;
-            if !vs.r.happens_before(ts_vc) {
-                racy_read = Some(vs.r.tid());
-            }
-        } else {
-            // [FT WRITE SHARED] — 0.1% of writes: full VC comparison, then
-            // discard the read history (R := ⊥ₑ), switching x back to the
-            // cheap epoch representation.
-            self.rules.write_shared += 1;
-            self.stats.vc_ops += 1;
-            let rvc = vs.rvc.as_ref().expect("read-shared mode implies Rvc");
-            if !rvc.leq(ts_vc) {
-                // Attribute the race to some thread whose read is unordered.
-                racy_read = rvc
-                    .iter_nonzero()
-                    .find(|&(u, c)| c > ts_vc.get(u))
-                    .map(|(u, _)| u);
-            }
-            if !self.config.ablate_adaptive_read {
-                // R := ⊥ₑ — switch x back to the cheap epoch representation.
-                vs.rvc = None;
-                vs.r = Epoch::MIN;
-            }
-        }
-
-        vs.w = epoch;
-
-        if racy_write {
-            let w_tid = w.tid();
+        if let Some(w) = outcome.racy_write {
             self.report(
                 x,
                 WarningKind::WriteWrite,
-                w_tid,
+                w.tid(),
                 AccessKind::Write,
                 t,
                 AccessKind::Write,
                 index,
             );
         }
-        if let Some(u) = racy_read {
+        if let Some(u) = outcome.racy_read {
             self.report(
                 x,
                 WarningKind::ReadWrite,
@@ -677,17 +604,7 @@ impl Detector for FastTrack {
     }
 
     fn rule_breakdown(&self) -> Vec<RuleCount> {
-        let r = self.stats.reads;
-        let w = self.stats.writes;
-        vec![
-            RuleCount::of("FT READ SAME EPOCH", self.rules.read_same_epoch, r),
-            RuleCount::of("FT READ SHARED", self.rules.read_shared, r),
-            RuleCount::of("FT READ EXCLUSIVE", self.rules.read_exclusive, r),
-            RuleCount::of("FT READ SHARE", self.rules.read_share, r),
-            RuleCount::of("FT WRITE SAME EPOCH", self.rules.write_same_epoch, w),
-            RuleCount::of("FT WRITE EXCLUSIVE", self.rules.write_exclusive, w),
-            RuleCount::of("FT WRITE SHARED", self.rules.write_shared, w),
-        ]
+        self.rules.breakdown(self.stats.reads, self.stats.writes)
     }
 }
 
@@ -989,6 +906,25 @@ mod tests {
         });
         assert_eq!(ft.stats().vc_allocated, 1); // just T0's C_t
         assert_eq!(ft.stats().vc_ops, 0);
+    }
+
+    #[test]
+    fn collapsed_read_clocks_are_recycled_and_reused() {
+        let ft = run(|b| {
+            // Concurrent reads inflate X's read history to a vector clock…
+            b.read(T0, X)?;
+            b.read(T1, X)?;
+            // …then a write collapses it: the Rvc goes to the recycle pool.
+            b.write(T0, X)?;
+            // A second inflation is served from the pool, not the allocator.
+            b.read(T0, X)?;
+            b.read(T1, X)
+        });
+        assert_eq!(ft.stats().vc_recycled, 1);
+        assert_eq!(ft.stats().vc_reused, 1);
+        // Logical allocations keep Table 2 semantics: two thread clocks plus
+        // both Rvc inflations, pool hit or not.
+        assert_eq!(ft.stats().vc_allocated, 4);
     }
 
     #[test]

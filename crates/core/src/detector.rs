@@ -85,6 +85,8 @@ pub trait Detector {
         reg.inc_counter("sync_ops", s.sync_ops);
         reg.inc_counter("vc_allocated", s.vc_allocated);
         reg.inc_counter("vc_ops", s.vc_ops);
+        reg.inc_counter("vc_recycled", s.vc_recycled);
+        reg.inc_counter("vc_reused", s.vc_reused);
         reg.inc_counter("warnings", self.warnings().len() as u64);
         reg.set_gauge("shadow_bytes", self.shadow_bytes() as f64);
         for rc in self.rule_breakdown() {

@@ -51,6 +51,8 @@
 pub mod analysis;
 mod detector;
 mod empty;
+mod rules;
+pub mod shard;
 mod state;
 mod stats;
 mod warning;

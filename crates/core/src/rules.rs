@@ -1,0 +1,261 @@
+//! The `[FT READ *]` / `[FT WRITE *]` transition rules over one variable.
+//!
+//! Both the sequential [`FastTrack`](crate::FastTrack) detector and the
+//! per-shard state of the parallel engine ([`crate::shard::VarShard`]) apply
+//! *exactly this code* to a variable's shadow state — that shared
+//! implementation is what makes the parallel ≡ sequential equivalence
+//! argument a structural one rather than a testing hope: for a given
+//! `(VarState, thread clock)` input, both engines take the same transition
+//! and report the same races.
+//!
+//! The functions here deliberately know nothing about how the caller stores
+//! variables or thread clocks; they receive one `&mut VarState`, the
+//! accessing thread's epoch and clock, and mutate only per-variable state
+//! plus the caller's counters.
+
+use crate::analysis::FastTrackConfig;
+use crate::state::{VarState, READ_SHARED};
+use crate::stats::{RuleCount, Stats};
+use ft_clock::{Epoch, Tid, VcPool, VectorClock};
+
+/// Which Figure 5 read rule fired for an access.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub(crate) enum ReadRule {
+    /// `[FT READ SAME EPOCH]` — the O(1) fast path.
+    SameEpoch,
+    /// `[FT READ SHARED]` — O(1) slot update of `Rvc`.
+    Shared,
+    /// `[FT READ EXCLUSIVE]` — reads stay totally ordered.
+    Exclusive,
+    /// `[FT READ SHARE]` — inflate the read history to a vector clock.
+    Share,
+}
+
+/// Which Figure 5 write rule fired for an access.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub(crate) enum WriteRule {
+    /// `[FT WRITE SAME EPOCH]` — the O(1) fast path.
+    SameEpoch,
+    /// `[FT WRITE EXCLUSIVE]` — epoch-epoch read check.
+    Exclusive,
+    /// `[FT WRITE SHARED]` — full VC comparison, then collapse.
+    Shared,
+}
+
+/// Result of [`read_var`].
+pub(crate) struct ReadOutcome {
+    pub rule: ReadRule,
+    /// The prior write epoch when it is concurrent with this read.
+    pub racy_write: Option<Epoch>,
+}
+
+/// Result of [`write_var`].
+pub(crate) struct WriteOutcome {
+    pub rule: WriteRule,
+    /// The prior write epoch when it is concurrent with this write.
+    pub racy_write: Option<Epoch>,
+    /// Some thread whose prior read is concurrent with this write.
+    pub racy_read: Option<Tid>,
+}
+
+/// Takes a clock from the pool, keeping the logical-allocation and reuse
+/// counters in sync (see [`Stats::vc_allocated`]).
+fn alloc_rvc(pool: &mut VcPool, stats: &mut Stats) -> Box<VectorClock> {
+    stats.vc_allocated += 1;
+    if pool.free_count() > 0 {
+        stats.vc_reused += 1;
+    }
+    pool.take()
+}
+
+/// Figure 5 `read(VarState x, ThreadState t)`, minus the warning plumbing.
+///
+/// `epoch` must be `t`'s current epoch and `ts_vc` its vector clock `C_t`
+/// (so `ts_vc.get(t) == epoch.clock()`).
+pub(crate) fn read_var(
+    vs: &mut VarState,
+    t: Tid,
+    epoch: Epoch,
+    ts_vc: &VectorClock,
+    config: &FastTrackConfig,
+    pool: &mut VcPool,
+    stats: &mut Stats,
+) -> ReadOutcome {
+    // [FT READ SAME EPOCH] — 63.4% of reads in the paper's benchmarks.
+    if !config.ablate_same_epoch && vs.r == epoch {
+        return ReadOutcome {
+            rule: ReadRule::SameEpoch,
+            racy_write: None,
+        };
+    }
+
+    // Ablation: force the DJIT⁺-shaped always-VC read representation.
+    if config.ablate_adaptive_read && !vs.is_read_shared() {
+        let mut rvc = alloc_rvc(pool, stats);
+        if !vs.r.is_initial() {
+            rvc.set(vs.r.tid(), vs.r.clock());
+        }
+        vs.rvc = Some(rvc);
+        vs.r = READ_SHARED;
+    }
+
+    let own_clock = ts_vc.get(t);
+
+    // Write-read race check: W_x ≼ C_t.
+    let w = vs.w;
+    let racy_write = if w.happens_before(ts_vc) {
+        None
+    } else {
+        Some(w)
+    };
+
+    let rule = if vs.r == READ_SHARED {
+        // [FT READ SHARED] — O(1): update our slot of Rvc.
+        vs.rvc
+            .as_mut()
+            .expect("read-shared mode implies Rvc")
+            .set(t, own_clock);
+        ReadRule::Shared
+    } else if vs.r.happens_before(ts_vc) {
+        // [FT READ EXCLUSIVE] — reads stay totally ordered.
+        vs.r = epoch;
+        ReadRule::Exclusive
+    } else {
+        // [FT READ SHARE] — concurrent reads: inflate to a vector clock
+        // recording both read epochs. (The 0.1% slow path.)
+        let mut rvc = alloc_rvc(pool, stats);
+        rvc.set(vs.r.tid(), vs.r.clock());
+        rvc.set(t, own_clock);
+        vs.rvc = Some(rvc);
+        vs.r = READ_SHARED;
+        ReadRule::Share
+    };
+
+    ReadOutcome { rule, racy_write }
+}
+
+/// Figure 5 `write(VarState x, ThreadState t)`, minus the warning plumbing.
+pub(crate) fn write_var(
+    vs: &mut VarState,
+    epoch: Epoch,
+    ts_vc: &VectorClock,
+    config: &FastTrackConfig,
+    pool: &mut VcPool,
+    stats: &mut Stats,
+) -> WriteOutcome {
+    // [FT WRITE SAME EPOCH] — 71.0% of writes.
+    if !config.ablate_same_epoch && vs.w == epoch {
+        return WriteOutcome {
+            rule: WriteRule::SameEpoch,
+            racy_write: None,
+            racy_read: None,
+        };
+    }
+
+    // Write-write race check: W_x ≼ C_t.
+    let w = vs.w;
+    let racy_write = if w.happens_before(ts_vc) {
+        None
+    } else {
+        Some(w)
+    };
+
+    // Read-write race check, then collapse/update the read history.
+    let mut racy_read: Option<Tid> = None;
+    let rule = if vs.r != READ_SHARED {
+        // [FT WRITE EXCLUSIVE] — 28.9% of writes: epoch-epoch check.
+        if !vs.r.happens_before(ts_vc) {
+            racy_read = Some(vs.r.tid());
+        }
+        WriteRule::Exclusive
+    } else {
+        // [FT WRITE SHARED] — 0.1% of writes: full VC comparison, then
+        // discard the read history (R := ⊥ₑ), switching x back to the
+        // cheap epoch representation.
+        stats.vc_ops += 1;
+        let rvc = vs.rvc.as_ref().expect("read-shared mode implies Rvc");
+        if !rvc.leq(ts_vc) {
+            // Attribute the race to some thread whose read is unordered.
+            racy_read = rvc
+                .iter_nonzero()
+                .find(|&(u, c)| c > ts_vc.get(u))
+                .map(|(u, _)| u);
+        }
+        if !config.ablate_adaptive_read {
+            // R := ⊥ₑ — the collapsed Rvc goes back to the pool instead of
+            // the allocator, ready for the next [FT READ SHARE].
+            if let Some(rvc) = vs.rvc.take() {
+                pool.put(rvc);
+                stats.vc_recycled += 1;
+            }
+            vs.r = Epoch::MIN;
+        }
+        WriteRule::Shared
+    };
+
+    vs.w = epoch;
+
+    WriteOutcome {
+        rule,
+        racy_write,
+        racy_read,
+    }
+}
+
+/// Per-rule hit counters (the Figure 2/5 frequency annotations), shared by
+/// the sequential detector and the parallel shards.
+#[derive(Clone, Debug, Default)]
+pub struct RuleHits {
+    read_same_epoch: u64,
+    read_shared: u64,
+    read_exclusive: u64,
+    read_share: u64,
+    write_same_epoch: u64,
+    write_exclusive: u64,
+    write_shared: u64,
+}
+
+impl RuleHits {
+    /// Records a read-rule hit.
+    pub(crate) fn hit_read(&mut self, rule: ReadRule) {
+        match rule {
+            ReadRule::SameEpoch => self.read_same_epoch += 1,
+            ReadRule::Shared => self.read_shared += 1,
+            ReadRule::Exclusive => self.read_exclusive += 1,
+            ReadRule::Share => self.read_share += 1,
+        }
+    }
+
+    /// Records a write-rule hit.
+    pub(crate) fn hit_write(&mut self, rule: WriteRule) {
+        match rule {
+            WriteRule::SameEpoch => self.write_same_epoch += 1,
+            WriteRule::Exclusive => self.write_exclusive += 1,
+            WriteRule::Shared => self.write_shared += 1,
+        }
+    }
+
+    /// Adds `other`'s hit counts into `self` (folding per-shard counters).
+    pub fn merge(&mut self, other: &RuleHits) {
+        self.read_same_epoch += other.read_same_epoch;
+        self.read_shared += other.read_shared;
+        self.read_exclusive += other.read_exclusive;
+        self.read_share += other.read_share;
+        self.write_same_epoch += other.write_same_epoch;
+        self.write_exclusive += other.write_exclusive;
+        self.write_shared += other.write_shared;
+    }
+
+    /// The Figure 2-style rule breakdown given the read/write totals.
+    pub fn breakdown(&self, reads: u64, writes: u64) -> Vec<RuleCount> {
+        vec![
+            RuleCount::of("FT READ SAME EPOCH", self.read_same_epoch, reads),
+            RuleCount::of("FT READ SHARED", self.read_shared, reads),
+            RuleCount::of("FT READ EXCLUSIVE", self.read_exclusive, reads),
+            RuleCount::of("FT READ SHARE", self.read_share, reads),
+            RuleCount::of("FT WRITE SAME EPOCH", self.write_same_epoch, writes),
+            RuleCount::of("FT WRITE EXCLUSIVE", self.write_exclusive, writes),
+            RuleCount::of("FT WRITE SHARED", self.write_shared, writes),
+        ]
+    }
+}

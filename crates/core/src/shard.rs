@@ -1,0 +1,639 @@
+//! Shardable FastTrack state for the epoch-sliced parallel engine.
+//!
+//! FastTrack's transition rules have a structural property that makes the
+//! analysis parallelizable without losing precision: **access events (reads
+//! and writes) mutate only per-variable state** (`W_x`, `R_x`, `Rvc_x`),
+//! never a thread's clock, while **synchronization operations mutate only
+//! thread/lock clocks**, never variable state. Between two synchronization
+//! events, therefore, the analysis of accesses to *distinct* variables
+//! commutes — each access reads a thread clock that no other access can
+//! change, and writes a `VarState` that no access to another variable
+//! touches. Accesses to the *same* variable are kept in trace order by
+//! routing every variable to a fixed shard (`var_id % W`).
+//!
+//! This module provides the two halves the engine composes:
+//!
+//! * [`SyncClocks`] — the coordinator's state: per-thread clocks `C_t`
+//!   (copy-on-write, so publishing a snapshot to the shards is *O(1)*),
+//!   lock clocks `L_m`, and volatile clocks `L_vx`. Applies sync events in
+//!   trace order, exactly mirroring the sequential detector's handlers.
+//! * [`VarShard`] — one worker's state: a disjoint partition of the
+//!   variables, analyzed with the *same* [`crate::rules`] transition
+//!   functions the sequential detector uses.
+//!
+//! [`fold`] recombines the per-shard results. Because every access is
+//! analyzed against the same thread clock it would see sequentially, and
+//! per-variable access order equals trace order, each shard's warnings are
+//! exactly the sequential warnings for its variables — sorting the merged
+//! warnings by trace position reproduces the sequential warning list
+//! verbatim (asserted wholesale by the parallel-agreement property tests).
+
+use crate::analysis::{FastTrackConfig, RVC_POOL_CAP};
+use crate::rules::{self, RuleHits};
+use crate::state::VarState;
+use crate::stats::{RuleCount, Stats};
+use crate::warning::{AccessSummary, Warning, WarningKind};
+use ft_clock::{CowClock, Epoch, Tid, VcPool, VectorClock};
+use ft_trace::{AccessKind, LockId, Op, VarId};
+use std::sync::Arc;
+
+/// Per-thread coordinator state: `C_t` behind a copy-on-write handle plus
+/// the cached epoch `E(t)`.
+#[derive(Debug)]
+struct SyncThread {
+    clock: CowClock,
+    /// Invariant: `epoch == clock.epoch_of(tid)`.
+    epoch: Epoch,
+    tid: Tid,
+}
+
+impl SyncThread {
+    fn new(tid: Tid) -> Self {
+        let mut vc = VectorClock::new();
+        vc.inc(tid);
+        let epoch = vc.epoch_of(tid);
+        SyncThread {
+            clock: CowClock::new(vc),
+            epoch,
+            tid,
+        }
+    }
+
+    #[inline]
+    fn refresh_epoch(&mut self) {
+        self.epoch = self.clock.epoch_of(self.tid);
+    }
+
+    #[inline]
+    fn inc(&mut self) {
+        let tid = self.tid;
+        self.clock.to_mut().inc(tid);
+        self.refresh_epoch();
+    }
+}
+
+/// A read-only view of one thread's clock at some trace position.
+#[derive(Clone, Debug)]
+pub struct ThreadView {
+    /// The thread's epoch `E(t)` at snapshot time.
+    pub epoch: Epoch,
+    /// The thread's vector clock `C_t` at snapshot time.
+    pub clock: Arc<VectorClock>,
+}
+
+/// An *O(threads)*-to-build, *O(1)*-per-clock snapshot of every thread's
+/// clock, published by the coordinator after each synchronization event and
+/// read concurrently by all shards.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadsSnapshot {
+    views: Vec<Option<ThreadView>>,
+}
+
+impl ThreadsSnapshot {
+    /// The view for thread `t`, if the coordinator has seen it.
+    #[inline]
+    pub fn view(&self, t: Tid) -> Option<&ThreadView> {
+        self.views.get(t.as_usize()).and_then(|v| v.as_ref())
+    }
+}
+
+/// The coordinator's half of the sharded analysis: thread, lock, and
+/// volatile clocks, advanced by synchronization events in trace order.
+///
+/// Every handler mirrors the sequential [`crate::FastTrack`] implementation
+/// — including its statistics accounting — so the folded parallel statistics
+/// equal the sequential ones (modulo `vc_reused`, which depends on pool
+/// locality).
+#[derive(Debug, Default)]
+pub struct SyncClocks {
+    threads: Vec<Option<SyncThread>>,
+    /// `L_m` per lock, allocated on first release.
+    locks: Vec<Option<VectorClock>>,
+    /// `L_vx` per volatile variable (§4 extends `L` over volatiles).
+    volatiles: Vec<Option<VectorClock>>,
+    stats: Stats,
+}
+
+impl SyncClocks {
+    /// Creates empty coordinator state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Makes sure thread `t` has a clock (`C_t = incₜ(⊥ᵥ)` on first sight),
+    /// counting the allocation exactly like the sequential detector. Returns
+    /// `true` when the thread was created (so the caller knows its snapshot
+    /// went stale).
+    pub fn ensure_thread(&mut self, t: Tid) -> bool {
+        let idx = t.as_usize();
+        if idx >= self.threads.len() {
+            self.threads.resize_with(idx + 1, || None);
+        }
+        if self.threads[idx].is_none() {
+            self.stats.vc_allocated += 1; // the thread's own C_t
+            self.threads[idx] = Some(SyncThread::new(t));
+            return true;
+        }
+        false
+    }
+
+    /// Applies one synchronization event. Must be called for exactly the
+    /// events where [`Op::is_sync`] holds, in trace order.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when handed an access or no-op event.
+    pub fn on_sync(&mut self, op: &Op) {
+        self.stats.sync_ops += 1;
+        match op {
+            Op::Acquire(t, m) => self.acquire(*t, *m),
+            Op::Release(t, m) => self.release(*t, *m),
+            Op::Fork(t, u) => self.fork(*t, *u),
+            Op::Join(t, u) => self.join(*t, *u),
+            Op::VolatileRead(t, x) => self.volatile_read(*t, *x),
+            Op::VolatileWrite(t, x) => self.volatile_write(*t, *x),
+            Op::Wait(t, m) => {
+                // §4: wait = release + subsequent acquire.
+                self.release(*t, *m);
+                self.acquire(*t, *m);
+            }
+            Op::BarrierRelease(ts) => self.barrier_release(ts),
+            other => {
+                debug_assert!(false, "on_sync called with non-sync op {other:?}");
+            }
+        }
+    }
+
+    /// Publishes the current thread clocks. Each clock is shared by `Arc`,
+    /// so the snapshot costs one refcount bump per thread; the next mutation
+    /// of a still-shared clock copies it (copy-on-write).
+    pub fn snapshot(&self) -> ThreadsSnapshot {
+        ThreadsSnapshot {
+            views: self
+                .threads
+                .iter()
+                .map(|slot| {
+                    slot.as_ref().map(|ts| ThreadView {
+                        epoch: ts.epoch,
+                        clock: ts.clock.snapshot(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// The synchronization-side statistics gathered so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Bytes held by thread/lock/volatile clocks (the coordinator's share of
+    /// the Table 3 memory accounting).
+    pub fn shadow_bytes(&self) -> usize {
+        let threads: usize = self
+            .threads
+            .iter()
+            .flatten()
+            .map(|ts| std::mem::size_of::<SyncThread>() + ts.clock.heap_bytes())
+            .sum();
+        let locks: usize = self
+            .locks
+            .iter()
+            .chain(self.volatiles.iter())
+            .flatten()
+            .map(|vc| std::mem::size_of::<VectorClock>() + vc.heap_bytes())
+            .sum();
+        threads + locks
+    }
+
+    /// `[FT ACQUIRE]`: `C_t := C_t ⊔ L_m`.
+    fn acquire(&mut self, t: Tid, m: LockId) {
+        self.ensure_thread(t);
+        if let Some(Some(lm)) = self.locks.get(m.as_usize()) {
+            self.stats.vc_ops += 1;
+            let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
+            ts.clock.to_mut().join(lm);
+            ts.refresh_epoch();
+        }
+    }
+
+    /// `[FT RELEASE]`: `L_m := C_t; C_t := incₜ(C_t)`.
+    fn release(&mut self, t: Tid, m: LockId) {
+        self.ensure_thread(t);
+        let idx = m.as_usize();
+        if idx >= self.locks.len() {
+            self.locks.resize_with(idx + 1, || None);
+        }
+        let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
+        self.stats.vc_ops += 1; // O(n) copy
+        match &mut self.locks[idx] {
+            Some(lm) => lm.assign(&ts.clock),
+            slot @ None => {
+                self.stats.vc_allocated += 1;
+                *slot = Some((*ts.clock).clone());
+            }
+        }
+        ts.inc();
+    }
+
+    /// `[FT FORK]`: `C_u := C_u ⊔ C_t; C_t := incₜ(C_t)`.
+    fn fork(&mut self, t: Tid, u: Tid) {
+        self.ensure_thread(t);
+        self.ensure_thread(u);
+        self.stats.vc_ops += 1;
+        {
+            let ct = self.threads[t.as_usize()]
+                .as_ref()
+                .expect("ensured")
+                .clock
+                .snapshot();
+            let us = self.threads[u.as_usize()].as_mut().expect("ensured");
+            us.clock.to_mut().join(&ct);
+            us.refresh_epoch();
+        } // `ct` dropped here so the parent's inc below stays copy-free
+        let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
+        ts.inc();
+    }
+
+    /// `[FT JOIN]`: `C_t := C_t ⊔ C_u; C_u := inc_u(C_u)`.
+    fn join(&mut self, t: Tid, u: Tid) {
+        self.ensure_thread(t);
+        self.ensure_thread(u);
+        self.stats.vc_ops += 1;
+        {
+            let cu = self.threads[u.as_usize()]
+                .as_ref()
+                .expect("ensured")
+                .clock
+                .snapshot();
+            let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
+            ts.clock.to_mut().join(&cu);
+            ts.refresh_epoch();
+        }
+        let us = self.threads[u.as_usize()].as_mut().expect("ensured");
+        us.inc();
+    }
+
+    /// `[FT READ VOLATILE]`: `C_t := C_t ⊔ L_vx` (§4).
+    fn volatile_read(&mut self, t: Tid, x: VarId) {
+        self.ensure_thread(t);
+        if let Some(Some(lv)) = self.volatiles.get(x.as_usize()) {
+            self.stats.vc_ops += 1;
+            let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
+            ts.clock.to_mut().join(lv);
+            ts.refresh_epoch();
+        }
+    }
+
+    /// `[FT WRITE VOLATILE]`: `L_vx := C_t ⊔ L_vx; C_t := incₜ(C_t)` (§4).
+    fn volatile_write(&mut self, t: Tid, x: VarId) {
+        self.ensure_thread(t);
+        let idx = x.as_usize();
+        if idx >= self.volatiles.len() {
+            self.volatiles.resize_with(idx + 1, || None);
+        }
+        let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
+        self.stats.vc_ops += 1;
+        match &mut self.volatiles[idx] {
+            Some(lv) => lv.join(&ts.clock),
+            slot @ None => {
+                self.stats.vc_allocated += 1;
+                *slot = Some((*ts.clock).clone());
+            }
+        }
+        ts.inc();
+    }
+
+    /// `[FT BARRIER RELEASE]`: every `t ∈ T` gets `C_t := incₜ(⊔_{u∈T} C_u)`
+    /// (§4).
+    fn barrier_release(&mut self, threads: &[Tid]) {
+        let mut joined = VectorClock::new();
+        self.stats.vc_allocated += 1;
+        for &u in threads {
+            self.ensure_thread(u);
+            self.stats.vc_ops += 1;
+            joined.join(&self.threads[u.as_usize()].as_ref().expect("ensured").clock);
+        }
+        for &t in threads {
+            self.stats.vc_ops += 1;
+            let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
+            ts.clock.to_mut().assign(&joined);
+            ts.inc();
+        }
+    }
+}
+
+/// One worker shard: the shadow state of every variable with
+/// `var_id % stride == shard`, analyzed with the shared transition rules.
+#[derive(Debug)]
+pub struct VarShard {
+    shard: u32,
+    stride: u32,
+    /// Dense local storage indexed by `var_id / stride`.
+    vars: Vec<VarState>,
+    /// Variables that already produced a warning (suppression set).
+    warned: Vec<bool>,
+    warnings: Vec<Warning>,
+    rules: RuleHits,
+    stats: Stats,
+    pool: VcPool,
+    config: FastTrackConfig,
+}
+
+impl VarShard {
+    /// Creates the shard owning variables `≡ shard (mod stride)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= stride` or `stride == 0`.
+    pub fn new(shard: u32, stride: u32, config: FastTrackConfig) -> Self {
+        assert!(stride > 0 && shard < stride, "shard {shard} of {stride}");
+        VarShard {
+            shard,
+            stride,
+            vars: Vec::new(),
+            warned: Vec::new(),
+            warnings: Vec::new(),
+            rules: RuleHits::default(),
+            stats: Stats::new(),
+            pool: VcPool::new(RVC_POOL_CAP),
+            config,
+        }
+    }
+
+    /// Analyzes one access event against the thread clocks in `snapshot`.
+    ///
+    /// `index` is the event's trace position (the deterministic merge key);
+    /// `snapshot` must be the coordinator's snapshot current at that
+    /// position, and must contain thread `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not belong to this shard or `t` is missing from
+    /// the snapshot.
+    pub fn on_access(
+        &mut self,
+        index: usize,
+        kind: AccessKind,
+        t: Tid,
+        x: VarId,
+        snapshot: &ThreadsSnapshot,
+    ) {
+        debug_assert_eq!(x.as_u32() % self.stride, self.shard, "misrouted {x}");
+        let local = (x.as_u32() / self.stride) as usize;
+        if local >= self.vars.len() {
+            self.vars.resize_with(local + 1, VarState::default);
+            self.warned.resize(local + 1, false);
+        }
+        let view = snapshot
+            .view(t)
+            .unwrap_or_else(|| panic!("snapshot missing thread {t} at event {index}"));
+
+        match kind {
+            AccessKind::Read => {
+                self.stats.reads += 1;
+                let outcome = rules::read_var(
+                    &mut self.vars[local],
+                    t,
+                    view.epoch,
+                    &view.clock,
+                    &self.config,
+                    &mut self.pool,
+                    &mut self.stats,
+                );
+                self.rules.hit_read(outcome.rule);
+                if let Some(w) = outcome.racy_write {
+                    self.report(
+                        local,
+                        x,
+                        WarningKind::WriteRead,
+                        w.tid(),
+                        AccessKind::Write,
+                        t,
+                        AccessKind::Read,
+                        index,
+                    );
+                }
+            }
+            AccessKind::Write => {
+                self.stats.writes += 1;
+                let outcome = rules::write_var(
+                    &mut self.vars[local],
+                    view.epoch,
+                    &view.clock,
+                    &self.config,
+                    &mut self.pool,
+                    &mut self.stats,
+                );
+                self.rules.hit_write(outcome.rule);
+                if let Some(w) = outcome.racy_write {
+                    self.report(
+                        local,
+                        x,
+                        WarningKind::WriteWrite,
+                        w.tid(),
+                        AccessKind::Write,
+                        t,
+                        AccessKind::Write,
+                        index,
+                    );
+                }
+                if let Some(u) = outcome.racy_read {
+                    self.report(
+                        local,
+                        x,
+                        WarningKind::ReadWrite,
+                        u,
+                        AccessKind::Read,
+                        t,
+                        AccessKind::Write,
+                        index,
+                    );
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn report(
+        &mut self,
+        local: usize,
+        x: VarId,
+        kind: WarningKind,
+        prior_tid: Tid,
+        prior_kind: AccessKind,
+        current_tid: Tid,
+        current_kind: AccessKind,
+        index: usize,
+    ) {
+        if self.warned[local] && !self.config.report_all {
+            return;
+        }
+        self.warned[local] = true;
+        self.warnings.push(Warning {
+            var: x,
+            kind,
+            prior: AccessSummary {
+                tid: prior_tid,
+                kind: prior_kind,
+                event_index: None,
+            },
+            current: AccessSummary {
+                tid: current_tid,
+                kind: current_kind,
+                event_index: Some(index),
+            },
+        });
+    }
+
+    /// Consumes the shard, producing its contribution to the fold.
+    pub fn finish(self) -> ShardResult {
+        let shadow_bytes = self.vars.iter().map(VarState::shadow_bytes).sum();
+        ShardResult {
+            warnings: self.warnings,
+            rules: self.rules,
+            stats: self.stats,
+            shadow_bytes,
+        }
+    }
+}
+
+/// One shard's partial results, produced by [`VarShard::finish`].
+#[derive(Debug)]
+pub struct ShardResult {
+    warnings: Vec<Warning>,
+    rules: RuleHits,
+    stats: Stats,
+    shadow_bytes: usize,
+}
+
+/// The recombined whole-trace analysis produced by [`fold`].
+#[derive(Debug, Clone)]
+pub struct FoldedAnalysis {
+    /// Warnings in sequential emission order (sorted by trace position).
+    pub warnings: Vec<Warning>,
+    /// Whole-trace statistics (coordinator + all shards).
+    pub stats: Stats,
+    /// The Figure 2-style rule breakdown over the merged hit counts.
+    pub rule_breakdown: Vec<RuleCount>,
+    /// Total shadow bytes across coordinator and shards.
+    pub shadow_bytes: usize,
+}
+
+/// Recombines the coordinator's state and every shard's partial results.
+///
+/// `total_ops` is the number of trace events processed (every event,
+/// including no-ops, exactly like the sequential `ops` counter).
+///
+/// Warnings are stable-sorted by the triggering access's trace position:
+/// each access is analyzed by exactly one shard, so this reproduces the
+/// sequential warning order (two warnings from the same write keep their
+/// shard-local WriteWrite-before-ReadWrite order because the sort is
+/// stable).
+pub fn fold(sync: &SyncClocks, shards: Vec<ShardResult>, total_ops: u64) -> FoldedAnalysis {
+    let mut stats = sync.stats.clone();
+    let mut rules = RuleHits::default();
+    let mut shadow_bytes = sync.shadow_bytes();
+    let mut warnings: Vec<Warning> = Vec::new();
+    for shard in shards {
+        stats.merge(&shard.stats);
+        rules.merge(&shard.rules);
+        shadow_bytes += shard.shadow_bytes;
+        warnings.extend(shard.warnings);
+    }
+    stats.ops = total_ops;
+    warnings.sort_by_key(|w| w.current.event_index);
+    let rule_breakdown = rules.breakdown(stats.reads, stats.writes);
+    FoldedAnalysis {
+        warnings,
+        stats,
+        rule_breakdown,
+        shadow_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: Tid = Tid::new(0);
+    const T1: Tid = Tid::new(1);
+    const X: VarId = VarId::new(0);
+    const Y: VarId = VarId::new(1);
+
+    #[test]
+    fn snapshot_is_immutable_under_later_syncs() {
+        let mut sync = SyncClocks::new();
+        sync.ensure_thread(T0);
+        let before = sync.snapshot();
+        sync.on_sync(&Op::Release(T0, LockId::new(0)));
+        let after = sync.snapshot();
+        let b = before.view(T0).unwrap();
+        let a = after.view(T0).unwrap();
+        assert_eq!(b.clock.get(T0), 1);
+        assert_eq!(a.clock.get(T0), 2); // release inc'd the clock
+        assert_ne!(a.epoch, b.epoch);
+        assert_eq!(a.epoch, a.clock.epoch_of(T0));
+    }
+
+    #[test]
+    fn sync_stats_mirror_sequential_accounting() {
+        let mut sync = SyncClocks::new();
+        sync.ensure_thread(T0);
+        sync.on_sync(&Op::Release(T0, LockId::new(0)));
+        sync.on_sync(&Op::Acquire(T1, LockId::new(0)));
+        // T0's C_t + T1's C_t + L_m allocation; release copy + acquire join.
+        assert_eq!(sync.stats().vc_allocated, 3);
+        assert_eq!(sync.stats().vc_ops, 2);
+        assert_eq!(sync.stats().sync_ops, 2);
+    }
+
+    #[test]
+    fn shard_detects_race_with_snapshot_clocks() {
+        let mut sync = SyncClocks::new();
+        sync.ensure_thread(T0);
+        sync.ensure_thread(T1);
+        let snap = sync.snapshot();
+        let mut shard = VarShard::new(0, 1, FastTrackConfig::default());
+        shard.on_access(0, AccessKind::Write, T0, X, &snap);
+        shard.on_access(1, AccessKind::Write, T1, X, &snap);
+        let result = shard.finish();
+        assert_eq!(result.warnings.len(), 1);
+        assert_eq!(result.warnings[0].kind, WarningKind::WriteWrite);
+        assert_eq!(result.warnings[0].current.event_index, Some(1));
+    }
+
+    #[test]
+    fn fold_orders_warnings_by_trace_position() {
+        let mut sync = SyncClocks::new();
+        sync.ensure_thread(T0);
+        sync.ensure_thread(T1);
+        let snap = sync.snapshot();
+        // Two shards over stride 2: x0 -> shard 0, x1 -> shard 1. Make the
+        // later event land in the earlier shard to exercise the sort.
+        let mut s0 = VarShard::new(0, 2, FastTrackConfig::default());
+        let mut s1 = VarShard::new(1, 2, FastTrackConfig::default());
+        s1.on_access(0, AccessKind::Write, T0, Y, &snap);
+        s1.on_access(1, AccessKind::Write, T1, Y, &snap); // warning at 1
+        s0.on_access(2, AccessKind::Write, T0, X, &snap);
+        s0.on_access(3, AccessKind::Write, T1, X, &snap); // warning at 3
+        let folded = fold(&sync, vec![s0.finish(), s1.finish()], 4);
+        assert_eq!(folded.stats.ops, 4);
+        assert_eq!(folded.stats.writes, 4);
+        let positions: Vec<_> = folded
+            .warnings
+            .iter()
+            .map(|w| w.current.event_index.unwrap())
+            .collect();
+        assert_eq!(positions, vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot missing thread")]
+    fn access_by_unknown_thread_panics() {
+        let sync = SyncClocks::new();
+        let snap = sync.snapshot();
+        let mut shard = VarShard::new(0, 1, FastTrackConfig::default());
+        shard.on_access(0, AccessKind::Read, T0, X, &snap);
+    }
+}

@@ -25,9 +25,19 @@ pub struct Stats {
     /// volatile/wait/barrier).
     pub sync_ops: u64,
     /// Vector clocks allocated.
+    ///
+    /// This counts *logical* allocations: a clock served from the recycle
+    /// pool still counts here (and additionally in `vc_reused`), so the
+    /// paper's Table 2 numbers are unaffected by pooling.
     pub vc_allocated: u64,
     /// O(n)-time vector-clock operations performed (copy, join, compare).
     pub vc_ops: u64,
+    /// Read vector clocks handed back to the recycle pool when
+    /// `[FT WRITE SHARED]` collapsed a read-shared variable to an epoch.
+    pub vc_recycled: u64,
+    /// Vector-clock allocations served from the recycle pool instead of the
+    /// heap allocator.
+    pub vc_reused: u64,
 }
 
 impl Stats {
@@ -35,14 +45,33 @@ impl Stats {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Adds `other`'s counters into `self` — used to fold per-shard partial
+    /// statistics into a whole-trace total.
+    pub fn merge(&mut self, other: &Stats) {
+        self.ops += other.ops;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.sync_ops += other.sync_ops;
+        self.vc_allocated += other.vc_allocated;
+        self.vc_ops += other.vc_ops;
+        self.vc_recycled += other.vc_recycled;
+        self.vc_reused += other.vc_reused;
+    }
 }
 
 impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} ops ({} reads, {} writes, {} sync); {} VCs allocated; {} VC ops",
-            self.ops, self.reads, self.writes, self.sync_ops, self.vc_allocated, self.vc_ops
+            "{} ops ({} reads, {} writes, {} sync); {} VCs allocated ({} reused); {} VC ops",
+            self.ops,
+            self.reads,
+            self.writes,
+            self.sync_ops,
+            self.vc_allocated,
+            self.vc_reused,
+            self.vc_ops
         )
     }
 }
@@ -98,6 +127,24 @@ mod tests {
         let r = RuleCount::of("FT READ SAME EPOCH", 634, 1000);
         assert!((r.percent - 63.4).abs() < 1e-9);
         assert_eq!(RuleCount::of("X", 5, 0).percent, 0.0);
+    }
+
+    #[test]
+    fn merge_adds_every_counter() {
+        let mut a = Stats {
+            ops: 1,
+            reads: 2,
+            writes: 3,
+            sync_ops: 4,
+            vc_allocated: 5,
+            vc_ops: 6,
+            vc_recycled: 7,
+            vc_reused: 8,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.ops, 2);
+        assert_eq!(a.vc_reused, 16);
+        assert_eq!(a.vc_recycled, 14);
     }
 
     #[test]

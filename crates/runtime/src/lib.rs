@@ -23,12 +23,17 @@
 //! * [`online`] — real-thread monitoring: instrumented mutexes, tracked
 //!   variables, and a spawn/join wrapper that feed any detector live from
 //!   actual `std::thread` threads.
+//! * [`parallel`] — the epoch-sliced parallel analysis engine: one
+//!   coordinator applying synchronization events in trace order plus `W`
+//!   variable shards running the shared FastTrack rules, producing results
+//!   identical to the sequential detector.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod granularity;
 pub mod online;
+pub mod parallel;
 mod pipeline;
 mod recorder;
 mod reentrant;
@@ -36,6 +41,7 @@ pub mod sim;
 mod tl_filter;
 
 pub use granularity::coarsen;
+pub use parallel::{analyze_parallel, ParallelConfig, ParallelReport};
 pub use pipeline::{run_pipeline, Pipeline, StageReport};
 pub use recorder::{Recorder, RecorderHandle};
 pub use reentrant::ReentrancyFilter;

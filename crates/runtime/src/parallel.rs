@@ -1,0 +1,357 @@
+//! The epoch-sliced parallel analysis engine for offline traces.
+//!
+//! The engine splits the work of one FastTrack analysis across a
+//! coordinator and `W` variable shards (see [`fasttrack::shard`] for the
+//! commutation argument that makes this precision-preserving):
+//!
+//! * the **coordinator** walks the trace once, applies every
+//!   synchronization event to [`SyncClocks`] in trace order, and routes each
+//!   access to shard `var_id % W` together with an `Arc` snapshot of the
+//!   thread clocks current at that trace position;
+//! * each **shard worker** drains batches of accesses from a bounded
+//!   channel and runs the shared `[FT READ/WRITE *]` rules against its
+//!   disjoint slice of the variable shadow state.
+//!
+//! Snapshots are copy-on-write: publishing one costs a refcount bump per
+//! thread, and consecutive accesses between two sync events reuse the same
+//! `Arc`, so the coordinator does *O(threads)* extra work per *sync event*,
+//! not per access. There are **no barriers**: workers may lag the
+//! coordinator arbitrarily — a shard analyzing slice *k* while the
+//! coordinator applies sync events of slice *k + 3* is fine, because each
+//! access carries the snapshot it must be judged against and per-variable
+//! order is preserved by the routing.
+//!
+//! The result is bit-for-bit identical to the sequential detector: same
+//! warnings in the same order, same statistics (modulo `vc_reused`, which
+//! depends on which pool a recycled clock lands in), same rule breakdown.
+//! The `parallel_agreement` integration tests assert exactly that across
+//! thousands of generated traces.
+
+use fasttrack::shard::{fold, ShardResult, SyncClocks, ThreadsSnapshot, VarShard};
+use fasttrack::{FastTrackConfig, RuleCount, Stats, Warning};
+use ft_clock::Tid;
+use ft_obs::{MetricsRegistry, Snapshot};
+use ft_trace::{AccessKind, Trace, VarId};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration for [`analyze_parallel`].
+#[derive(Clone, Debug)]
+pub struct ParallelConfig {
+    /// Number of variable shards (worker threads). Clamped to at least 1;
+    /// `1` still exercises the full coordinator/worker machinery.
+    pub shards: usize,
+    /// Accesses per batch sent to a shard (amortizes channel traffic).
+    pub batch: usize,
+    /// Bounded depth of each shard's batch channel (backpressure: the
+    /// coordinator blocks rather than buffering the whole trace).
+    pub queue_depth: usize,
+    /// Configuration forwarded to the FastTrack rules in every shard.
+    pub detector: FastTrackConfig,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            shards: 4,
+            batch: 1024,
+            queue_depth: 8,
+            detector: FastTrackConfig::default(),
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// Default configuration with the given shard count.
+    pub fn with_shards(shards: usize) -> Self {
+        ParallelConfig {
+            shards,
+            ..Self::default()
+        }
+    }
+}
+
+/// The whole-trace result of a parallel analysis, mirroring what the
+/// sequential [`fasttrack::Detector`] interface exposes.
+#[derive(Debug, Clone)]
+pub struct ParallelReport {
+    /// Race warnings in sequential emission order.
+    pub warnings: Vec<Warning>,
+    /// Whole-trace statistics (coordinator + all shards folded).
+    pub stats: Stats,
+    /// Figure 2-style rule breakdown over the merged hit counts.
+    pub rule_breakdown: Vec<RuleCount>,
+    /// Final shadow-state footprint in bytes.
+    pub shadow_bytes: usize,
+    /// Shard count the analysis actually ran with.
+    pub shards: usize,
+    /// Engine metrics: the detector-convention counters/gauges plus
+    /// `parallel.*` instrumentation (batch latency histogram, batched access
+    /// counts, wall-clock).
+    pub metrics: Snapshot,
+}
+
+/// One access routed to a shard, tagged with the snapshot it must be judged
+/// against and its trace position (the deterministic merge key).
+struct Item {
+    /// Index into the owning batch's `snapshots` vector.
+    snap: u32,
+    index: usize,
+    tid: Tid,
+    var: VarId,
+    kind: AccessKind,
+}
+
+/// A chunk of accesses for one shard. Consecutive items between sync events
+/// share a snapshot, so `snapshots` stays tiny relative to `items`.
+struct Batch {
+    snapshots: Vec<Arc<ThreadsSnapshot>>,
+    items: Vec<Item>,
+}
+
+impl Batch {
+    fn new(batch: usize) -> Self {
+        Batch {
+            snapshots: Vec::new(),
+            items: Vec::with_capacity(batch),
+        }
+    }
+
+    fn push(
+        &mut self,
+        current: &Arc<ThreadsSnapshot>,
+        index: usize,
+        tid: Tid,
+        var: VarId,
+        kind: AccessKind,
+    ) {
+        if !self
+            .snapshots
+            .last()
+            .is_some_and(|s| Arc::ptr_eq(s, current))
+        {
+            self.snapshots.push(Arc::clone(current));
+        }
+        let snap = (self.snapshots.len() - 1) as u32;
+        self.items.push(Item {
+            snap,
+            index,
+            tid,
+            var,
+            kind,
+        });
+    }
+}
+
+/// Runs one FastTrack analysis of `trace` across `config.shards` worker
+/// threads, returning the sequential-equivalent report.
+///
+/// # Panics
+///
+/// Panics if a shard worker panics (e.g. on epoch overflow, exactly like
+/// the sequential detector).
+pub fn analyze_parallel(trace: &Trace, config: &ParallelConfig) -> ParallelReport {
+    let shards = config.shards.max(1);
+    let batch_size = config.batch.max(1);
+    let queue_depth = config.queue_depth.max(1);
+    let started = Instant::now();
+
+    let mut engine_reg = MetricsRegistry::new();
+    let (results, sync) = std::thread::scope(|scope| {
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for shard_idx in 0..shards {
+            let (tx, rx) = mpsc::sync_channel::<Batch>(queue_depth);
+            senders.push(tx);
+            let detector = config.detector.clone();
+            handles.push(scope.spawn(move || shard_worker(shard_idx, shards, detector, rx)));
+        }
+
+        // The coordinator: sync events in trace order, accesses routed with
+        // the snapshot current at their position.
+        let mut sync = SyncClocks::new();
+        let mut current = Arc::new(sync.snapshot());
+        let mut dirty = false;
+        let mut pending: Vec<Batch> = (0..shards).map(|_| Batch::new(batch_size)).collect();
+        for (index, op) in trace.events().iter().enumerate() {
+            if let Some((x, kind)) = op.access() {
+                let t = op.tid().expect("accesses carry a thread id");
+                if sync.ensure_thread(t) {
+                    dirty = true; // first sight of t: snapshot lacks its clock
+                }
+                if dirty {
+                    current = Arc::new(sync.snapshot());
+                    dirty = false;
+                }
+                let s = (x.as_u32() as usize) % shards;
+                let b = &mut pending[s];
+                b.push(&current, index, t, x, kind);
+                if b.items.len() >= batch_size {
+                    let full = std::mem::replace(b, Batch::new(batch_size));
+                    senders[s].send(full).expect("shard worker hung up");
+                }
+            } else if op.is_sync() {
+                sync.on_sync(op);
+                dirty = true;
+            }
+            // Notify / atomic markers: no happens-before effect.
+        }
+        for (s, b) in pending.into_iter().enumerate() {
+            if !b.items.is_empty() {
+                senders[s].send(b).expect("shard worker hung up");
+            }
+        }
+        drop(senders); // close the channels so workers drain and exit
+
+        let mut results: Vec<ShardResult> = Vec::with_capacity(shards);
+        for handle in handles {
+            let (result, worker_reg) = handle.join().expect("shard worker panicked");
+            engine_reg.merge(&worker_reg);
+            results.push(result);
+        }
+        (results, sync)
+    });
+
+    let folded = fold(&sync, results, trace.len() as u64);
+    engine_reg.record_duration("parallel.analyze_ns", started.elapsed());
+
+    // Mirror the Detector::metrics conventions so downstream consumers (CLI,
+    // bench bins) can treat both engines uniformly.
+    engine_reg.set_meta("tool", "FASTTRACK-PARALLEL");
+    let s = &folded.stats;
+    engine_reg.inc_counter("ops", s.ops);
+    engine_reg.inc_counter("reads", s.reads);
+    engine_reg.inc_counter("writes", s.writes);
+    engine_reg.inc_counter("sync_ops", s.sync_ops);
+    engine_reg.inc_counter("vc_allocated", s.vc_allocated);
+    engine_reg.inc_counter("vc_ops", s.vc_ops);
+    engine_reg.inc_counter("vc_recycled", s.vc_recycled);
+    engine_reg.inc_counter("vc_reused", s.vc_reused);
+    engine_reg.inc_counter("warnings", folded.warnings.len() as u64);
+    engine_reg.set_gauge("shadow_bytes", folded.shadow_bytes as f64);
+    engine_reg.set_gauge("shards", shards as f64);
+    for rc in &folded.rule_breakdown {
+        engine_reg.inc_counter(&format!("rule.{}.hits", rc.rule), rc.hits);
+        engine_reg.set_gauge(&format!("rule.{}.percent", rc.rule), rc.percent);
+    }
+
+    ParallelReport {
+        warnings: folded.warnings,
+        stats: folded.stats,
+        rule_breakdown: folded.rule_breakdown,
+        shadow_bytes: folded.shadow_bytes,
+        shards,
+        metrics: engine_reg.snapshot(),
+    }
+}
+
+/// One shard worker: drain batches until the channel closes.
+fn shard_worker(
+    shard_idx: usize,
+    shards: usize,
+    detector: FastTrackConfig,
+    rx: mpsc::Receiver<Batch>,
+) -> (ShardResult, MetricsRegistry) {
+    let mut shard = VarShard::new(shard_idx as u32, shards as u32, detector);
+    let mut reg = MetricsRegistry::new();
+    for batch in rx {
+        let begun = Instant::now();
+        for item in &batch.items {
+            shard.on_access(
+                item.index,
+                item.kind,
+                item.tid,
+                item.var,
+                &batch.snapshots[item.snap as usize],
+            );
+        }
+        reg.record_duration("parallel.batch_ns", begun.elapsed());
+        reg.inc_counter("parallel.batched_accesses", batch.items.len() as u64);
+        reg.inc_counter("parallel.batches", 1);
+    }
+    (shard.finish(), reg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fasttrack::{Detector, FastTrack};
+    use ft_trace::gen::{self, GenConfig};
+
+    fn sequential(trace: &Trace) -> FastTrack {
+        let mut ft = FastTrack::new();
+        ft.run(trace);
+        ft
+    }
+
+    /// `vc_reused` legitimately differs (per-shard pools vs one global
+    /// pool); every other counter must match exactly.
+    fn assert_stats_match(par: &Stats, seq: &Stats) {
+        let mut par = par.clone();
+        let mut seq = seq.clone();
+        par.vc_reused = 0;
+        seq.vc_reused = 0;
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn agrees_with_sequential_on_racy_trace() {
+        let trace = gen::generate(&GenConfig::default().with_races(0.05), 7);
+        let seq = sequential(&trace);
+        for shards in [1, 2, 3, 4] {
+            let par = analyze_parallel(&trace, &ParallelConfig::with_shards(shards));
+            assert_eq!(par.warnings, seq.warnings(), "shards={shards}");
+            assert_stats_match(&par.stats, seq.stats());
+            assert_eq!(par.rule_breakdown, seq.rule_breakdown());
+        }
+    }
+
+    #[test]
+    fn agrees_with_sequential_on_chaotic_trace() {
+        let trace = gen::chaotic(6, 24, 4, 4000, 11);
+        let seq = sequential(&trace);
+        let par = analyze_parallel(&trace, &ParallelConfig::with_shards(4));
+        assert_eq!(par.warnings, seq.warnings());
+        assert_stats_match(&par.stats, seq.stats());
+    }
+
+    #[test]
+    fn report_is_deterministic_across_runs() {
+        let trace = gen::chaotic(4, 16, 3, 3000, 23);
+        let cfg = ParallelConfig::with_shards(3);
+        let a = analyze_parallel(&trace, &cfg);
+        let b = analyze_parallel(&trace, &cfg);
+        assert_eq!(a.warnings, b.warnings);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn metrics_follow_detector_conventions() {
+        let trace = gen::generate(&GenConfig::default(), 3);
+        let par = analyze_parallel(&trace, &ParallelConfig::with_shards(2));
+        let m = &par.metrics;
+        assert_eq!(m.meta("tool"), Some("FASTTRACK-PARALLEL"));
+        assert_eq!(m.counter("ops"), Some(trace.len() as u64));
+        assert_eq!(m.gauge("shards"), Some(2.0));
+        let batched = m.counter("parallel.batched_accesses").unwrap();
+        assert_eq!(batched, par.stats.reads + par.stats.writes);
+        assert!(m.histogram("parallel.batch_ns").is_some());
+        assert!(m.histogram("parallel.analyze_ns").is_some());
+    }
+
+    #[test]
+    fn small_batches_and_shallow_queues_still_agree() {
+        let trace = gen::chaotic(5, 9, 2, 2500, 41);
+        let seq = sequential(&trace);
+        let cfg = ParallelConfig {
+            shards: 4,
+            batch: 3,
+            queue_depth: 1,
+            detector: FastTrackConfig::default(),
+        };
+        let par = analyze_parallel(&trace, &cfg);
+        assert_eq!(par.warnings, seq.warnings());
+        assert_stats_match(&par.stats, seq.stats());
+    }
+}

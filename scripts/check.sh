@@ -10,6 +10,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> parallel engine agreement tests"
+cargo test -q --test parallel_agreement
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -22,7 +25,7 @@ trap 'rm -rf "$tmp"' EXIT
 cargo run --release -q -p ft-cli -- \
     generate --benchmark moldyn --ops 5000 -o "$tmp/moldyn.ftrace"
 cargo run --release -q -p ft-cli -- \
-    profile "$tmp/moldyn.ftrace" --metrics "$tmp/out.json"
+    profile "$tmp/moldyn.ftrace" --shards 2 --metrics "$tmp/out.json"
 python3 - "$tmp/out.json" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
@@ -34,7 +37,19 @@ assert "online.emit_ns" in doc["online_direct"]["histograms"], \
     "missing online overhead stats"
 assert "online.queue_lag_ns" in doc["online_buffered"]["histograms"], \
     "missing buffered queue stats"
+assert "parallel.batch_ns" in doc["parallel"]["histograms"], \
+    "missing parallel engine batch stats"
 print("profile smoke OK:", sys.argv[1])
+EOF
+
+echo "==> parallel engine smoke (2 shards, agreement sweep)"
+cargo run --release -q -p ft-bench --bin parallel -- --ops=20000 --reps=1
+python3 - BENCH_parallel.json <<'EOF'
+import json
+doc = json.load(open("BENCH_parallel.json"))
+assert doc["divergences"] == 0, "parallel engine diverged from sequential"
+assert doc["traces_checked"] >= 16, "agreement sweep did not cover the benchmarks"
+print("parallel smoke OK:", doc["traces_checked"], "benchmarks, 0 divergences")
 EOF
 
 echo "==> all checks passed"

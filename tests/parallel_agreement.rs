@@ -1,0 +1,180 @@
+//! Agreement tests for the epoch-sliced parallel analysis engine: across
+//! shard counts {1, 2, 4, 8}, `analyze_parallel` must reproduce the
+//! sequential FastTrack detector's warnings *exactly* — same races, same
+//! order, same statistics — on a large population of randomly generated
+//! feasible traces plus a fixed regression trace exercising every
+//! synchronization operation the trace model has.
+//!
+//! The one tolerated difference is `Stats::vc_reused`: per-shard read-clock
+//! pools see a different recycle/reuse interleaving than the sequential
+//! detector's single pool, so both sides are zeroed before comparison.
+//! `vc_recycled` and `vc_allocated` are deterministic and must match.
+
+use fasttrack_suite::clock::Tid;
+use fasttrack_suite::core::{Detector, FastTrack};
+use fasttrack_suite::runtime::{analyze_parallel, ParallelConfig};
+use fasttrack_suite::trace::gen::{self, GenConfig};
+use fasttrack_suite::trace::{LockId, Op, Trace, TraceBuilder, VarId};
+
+const SHARD_SERIES: [usize; 4] = [1, 2, 4, 8];
+
+fn sequential(trace: &Trace) -> FastTrack {
+    let mut ft = FastTrack::new();
+    ft.run(trace);
+    ft
+}
+
+/// Asserts that every shard width reproduces the sequential analysis.
+fn assert_agrees(trace: &Trace, label: &str) {
+    let seq = sequential(trace);
+    let mut seq_stats = seq.stats().clone();
+    seq_stats.vc_reused = 0;
+    for shards in SHARD_SERIES {
+        let report = analyze_parallel(trace, &ParallelConfig::with_shards(shards));
+        assert_eq!(
+            report.warnings,
+            seq.warnings(),
+            "{label}: warnings diverge at {shards} shard(s)"
+        );
+        let mut par_stats = report.stats.clone();
+        par_stats.vc_reused = 0;
+        assert_eq!(
+            par_stats, seq_stats,
+            "{label}: stats diverge at {shards} shard(s)"
+        );
+        assert_eq!(
+            report.rule_breakdown,
+            seq.rule_breakdown(),
+            "{label}: rule breakdown diverges at {shards} shard(s)"
+        );
+    }
+}
+
+/// Hundreds of random racy traces: the engine must report the exact same
+/// races (variables, access pairs, trace positions) as the sequential
+/// detector at every shard width.
+#[test]
+fn random_racy_traces_agree() {
+    let cfg = GenConfig {
+        ops: 600,
+        ..GenConfig::default().with_races(0.08)
+    };
+    for seed in 0..500u64 {
+        let trace = gen::generate(&cfg, seed);
+        assert_agrees(&trace, &format!("racy seed {seed}"));
+    }
+}
+
+/// Random race-free traces: both engines must agree on the clean verdict
+/// (zero warnings), not just on warning equality.
+#[test]
+fn random_race_free_traces_agree_on_clean_verdict() {
+    let cfg = GenConfig {
+        ops: 600,
+        ..GenConfig::race_free()
+    };
+    for seed in 0..500u64 {
+        let trace = gen::generate(&cfg, seed);
+        let seq = sequential(&trace);
+        assert!(
+            seq.warnings().is_empty(),
+            "race-free generator produced a warning at seed {seed}"
+        );
+        assert_agrees(&trace, &format!("race-free seed {seed}"));
+    }
+}
+
+/// Chaotic traces — unstructured op soup with heavy contention — push the
+/// snapshot machinery hardest: nearly every access sits next to a sync op.
+#[test]
+fn chaotic_traces_agree() {
+    for seed in 0..500u64 {
+        let trace = gen::chaotic(6, 24, 4, 600, seed);
+        assert_agrees(&trace, &format!("chaotic seed {seed}"));
+    }
+}
+
+/// Varying thread/variable shape: routing must stay correct when variables
+/// are scarcer than shards and when threads outnumber shards.
+#[test]
+fn shape_sweep_agrees() {
+    for (threads, vars, seed) in [(2u32, 1u32, 1u64), (2, 3, 2), (8, 5, 3), (12, 64, 4)] {
+        let cfg = GenConfig {
+            threads,
+            vars,
+            ops: 800,
+            ..GenConfig::default().with_races(0.1)
+        };
+        let trace = gen::generate(&cfg, seed);
+        assert_agrees(&trace, &format!("shape {threads}x{vars} seed {seed}"));
+    }
+}
+
+/// A fixed regression trace that exercises every synchronization operation
+/// kind — fork, join, acquire, release, wait, notify, volatile read/write,
+/// barrier release, atomic markers — interleaved with accesses, including
+/// one deliberate race. A change to any sync handler that breaks
+/// coordinator/sequential equivalence fails here with a stable, readable
+/// trace rather than a generated seed.
+#[test]
+fn regression_trace_with_every_sync_op_kind() {
+    let t0 = Tid::new(0);
+    let t1 = Tid::new(1);
+    let t2 = Tid::new(2);
+    let m = LockId::new(0);
+    let x = VarId::new(0);
+    let y = VarId::new(1);
+    let z = VarId::new(2);
+    let v = VarId::new(3);
+
+    let mut b = TraceBuilder::new();
+    b.write(t0, x).unwrap();
+    b.fork(t0, t1).unwrap();
+    b.fork(t0, t2).unwrap();
+
+    // Lock-protected handoff of y, with a wait (release+acquire) inside the
+    // critical section and a happens-before-free notify.
+    b.acquire(t0, m).unwrap();
+    b.write(t0, y).unwrap();
+    b.push(Op::Notify(t0, m)).unwrap();
+    b.release(t0, m).unwrap();
+    b.acquire(t1, m).unwrap();
+    b.push(Op::Wait(t1, m)).unwrap();
+    b.read(t1, y).unwrap();
+    b.release(t1, m).unwrap();
+
+    // Volatile handoff of z from t1 to t2.
+    b.write(t1, z).unwrap();
+    b.volatile_write(t1, v).unwrap();
+    b.volatile_read(t2, v).unwrap();
+    b.read(t2, z).unwrap();
+
+    // Atomic markers are no-ops for race detection but must flow through.
+    b.push(Op::AtomicBegin(t2)).unwrap();
+    b.write(t2, z).unwrap();
+    b.push(Op::AtomicEnd(t2)).unwrap();
+
+    // Barrier: everyone reads x race-free afterwards.
+    b.barrier_release(vec![t0, t1, t2]).unwrap();
+    b.read(t0, x).unwrap();
+    b.read(t1, x).unwrap();
+    b.read(t2, x).unwrap();
+
+    // One deliberate race: t1 writes x while t2's read is concurrent.
+    b.write(t1, x).unwrap();
+    b.read(t2, x).unwrap();
+
+    // Join everything back and touch x once more, race-free.
+    b.join(t0, t1).unwrap();
+    b.join(t0, t2).unwrap();
+    b.write(t0, x).unwrap();
+    let trace = b.finish();
+
+    let seq = sequential(&trace);
+    // One warning: t1's write to x is concurrent with the post-barrier
+    // reads (read-write race); later races on x are suppressed by the
+    // default once-per-variable reporting, and the engine must suppress
+    // them identically.
+    assert_eq!(seq.warnings().len(), 1, "warnings: {:?}", seq.warnings());
+    assert_agrees(&trace, "regression trace");
+}
