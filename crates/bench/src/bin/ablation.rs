@@ -27,6 +27,7 @@ const VARIANTS: &[(&str, FastTrackConfig)] = &[
             report_all: false,
             ablate_same_epoch: false,
             ablate_adaptive_read: false,
+            guard: None,
         },
     ),
     (
@@ -35,6 +36,7 @@ const VARIANTS: &[(&str, FastTrackConfig)] = &[
             report_all: false,
             ablate_same_epoch: true,
             ablate_adaptive_read: false,
+            guard: None,
         },
     ),
     (
@@ -43,6 +45,7 @@ const VARIANTS: &[(&str, FastTrackConfig)] = &[
             report_all: false,
             ablate_same_epoch: false,
             ablate_adaptive_read: true,
+            guard: None,
         },
     ),
     (
@@ -51,6 +54,7 @@ const VARIANTS: &[(&str, FastTrackConfig)] = &[
             report_all: false,
             ablate_same_epoch: true,
             ablate_adaptive_read: true,
+            guard: None,
         },
     ),
 ];

@@ -1,0 +1,195 @@
+//! Benchmarks the ft-guard bounded-memory degradation ladder: throughput
+//! and warnings retained as the shadow-state budget shrinks.
+//!
+//! ```text
+//! cargo run --release -p ft-bench --bin guard [-- --ops=100000 --seed=42]
+//! ```
+//!
+//! For each workload the unguarded detector establishes the baseline
+//! (warning set, peak guarded bytes, throughput), then the budget is swept
+//! down through fractions of that peak. Two invariants are enforced and
+//! recorded in `BENCH_guard.json`:
+//!
+//! 1. **Soundness under degradation** — the racy *variables* reported at
+//!    every finite budget must be a subset of the baseline's. Eviction
+//!    collapses a read vector clock to a genuine last-read epoch and
+//!    sampling only skips never-seen variables, so degradation may *miss*
+//!    races but can never fabricate one. A violation fails the run.
+//! 2. **Honest accounting** — any budget below the peak must produce a
+//!    non-empty degradation record (`Degraded{...}`), never a silent loss.
+
+use std::time::{Duration, Instant};
+
+use fasttrack::{Detector, FastTrack, FastTrackConfig, GuardConfig};
+use ft_bench::{fmt1, HarnessOpts};
+use ft_obs::JsonWriter;
+use ft_trace::gen::{self, GenConfig};
+use ft_trace::{Trace, VarId};
+use ft_workloads::eclipse::{build as build_eclipse, EclipseOp};
+
+/// Budget rungs as fractions of the unguarded peak footprint (plus the
+/// unlimited baseline itself, encoded as `None`).
+const FRACTIONS: [f64; 4] = [0.5, 0.25, 0.1, 0.05];
+
+struct Run {
+    warning_vars: Vec<VarId>,
+    warnings: u64,
+    best: Duration,
+    peak_bytes: u64,
+    degraded: bool,
+    rvc_evictions: u64,
+    sampled_out: u64,
+}
+
+fn run_guarded(trace: &Trace, budget: usize, reps: u32) -> Run {
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let mut ft = FastTrack::with_config(FastTrackConfig {
+            guard: Some(GuardConfig::with_budget(budget)),
+            ..FastTrackConfig::default()
+        });
+        let started = Instant::now();
+        ft.run(trace);
+        best = best.min(started.elapsed());
+        last = Some(ft);
+    }
+    let ft = last.expect("reps >= 1");
+    let mut warning_vars: Vec<VarId> = ft.warnings().iter().map(|w| w.var).collect();
+    warning_vars.sort();
+    warning_vars.dedup();
+    let record = ft.precision().record().cloned().unwrap_or_default();
+    Run {
+        warnings: ft.warnings().len() as u64,
+        warning_vars,
+        best,
+        peak_bytes: ft.shadow_budget().map_or(0, |b| b.peak() as u64),
+        degraded: ft.precision().is_degraded(),
+        rvc_evictions: record.rvc_evictions,
+        sampled_out: record.sampled_out,
+    }
+}
+
+fn mops(trace: &Trace, d: Duration) -> f64 {
+    trace.len() as f64 / d.as_secs_f64().max(1e-9) / 1e6
+}
+
+fn main() {
+    let opts = HarnessOpts::from_env(100_000);
+
+    // Read-shared-heavy workloads, where the guard actually has vector
+    // clocks to evict: the eclipse simulations plus a racy generated trace.
+    let workloads: Vec<(String, Trace)> = [EclipseOp::Startup, EclipseOp::CleanLarge]
+        .into_iter()
+        .map(|op| {
+            (
+                op.name().to_string(),
+                build_eclipse(op, opts.scale(), opts.seed),
+            )
+        })
+        .chain(std::iter::once((
+            "gen_racy".to_string(),
+            gen::generate(
+                &GenConfig {
+                    ops: opts.ops,
+                    ..GenConfig::default().with_races(0.05)
+                },
+                opts.seed,
+            ),
+        )))
+        .collect();
+
+    let mut json = JsonWriter::new();
+    json.begin_object();
+    json.field_str("suite", "guard");
+    json.field_u64("ops", opts.ops as u64);
+    json.field_u64("seed", opts.seed);
+
+    println!("ft-guard degradation ladder: throughput + warnings vs budget");
+    println!(
+        "workloads: ~{} events/trace, seed {}\n",
+        opts.ops, opts.seed
+    );
+    println!(
+        "{:<12} | {:>12} | {:>9} | {:>9} | {:>8} {:>8} | {}",
+        "workload", "budget B", "Mop/s", "warnings", "evicted", "sampled", "verdict"
+    );
+
+    let mut violations = 0u64;
+    json.key("rows");
+    json.begin_array();
+    for (name, trace) in &workloads {
+        // Unlimited baseline: budget 0 never degrades but still meters the
+        // peak footprint the finite rungs are scaled from.
+        let baseline = run_guarded(trace, 0, opts.reps);
+        assert!(!baseline.degraded, "an unlimited budget must never degrade");
+        println!(
+            "{:<12} | {:>12} | {:>9} | {:>9} | {:>8} {:>8} | baseline (peak {} B)",
+            name,
+            "unlimited",
+            fmt1(mops(trace, baseline.best)),
+            baseline.warnings,
+            "-",
+            "-",
+            baseline.peak_bytes
+        );
+
+        json.begin_object();
+        json.field_str("workload", name);
+        json.field_u64("events", trace.len() as u64);
+        json.field_u64("baseline_warnings", baseline.warnings);
+        json.field_u64("baseline_peak_bytes", baseline.peak_bytes);
+        json.field_f64("baseline_mops", mops(trace, baseline.best));
+        json.key("budgets");
+        json.begin_array();
+        for fraction in FRACTIONS {
+            let budget = ((baseline.peak_bytes as f64 * fraction) as usize).max(64);
+            let run = run_guarded(trace, budget, opts.reps);
+            let subset = run
+                .warning_vars
+                .iter()
+                .all(|v| baseline.warning_vars.contains(v));
+            // A budget the run actually exceeded must come with a
+            // degradation record: silent loss is the one forbidden outcome.
+            let accounted = (budget as u64) >= run.peak_bytes || run.degraded;
+            let sound = subset && accounted;
+            if !sound {
+                violations += 1;
+            }
+            json.begin_object();
+            json.field_u64("budget_bytes", budget as u64);
+            json.field_f64("fraction_of_peak", fraction);
+            json.field_f64("mops", mops(trace, run.best));
+            json.field_u64("warnings_retained", run.warnings);
+            json.field_u64("rvc_evictions", run.rvc_evictions);
+            json.field_u64("sampled_out", run.sampled_out);
+            json.field_bool("degraded", run.degraded);
+            json.field_bool("warnings_subset_of_baseline", subset);
+            json.end_object();
+            println!(
+                "{:<12} | {:>12} | {:>9} | {:>9} | {:>8} {:>8} | {}",
+                name,
+                budget,
+                fmt1(mops(trace, run.best)),
+                run.warnings,
+                run.rvc_evictions,
+                run.sampled_out,
+                if sound { "ok" } else { "VIOLATION" }
+            );
+        }
+        json.end_array();
+        json.end_object();
+    }
+    json.end_array();
+    json.field_u64("violations", violations);
+    json.end_object();
+
+    match std::fs::write("BENCH_guard.json", json.finish()) {
+        Ok(()) => println!("\nwrote BENCH_guard.json"),
+        Err(e) => eprintln!("failed to write BENCH_guard.json: {e}"),
+    }
+    if violations > 0 {
+        eprintln!("FAIL: degraded warnings were not a sound subset of the baseline");
+        std::process::exit(1);
+    }
+}

@@ -51,8 +51,8 @@ impl MicroResult {
     }
 }
 
-/// Runs `f` under the harness: calibrates a batch size, takes [`SAMPLES`]
-/// timed samples, and returns the ns/iter distribution. The closure's
+/// Runs `f` under the harness: calibrates a batch size, takes a fixed
+/// number of timed samples, and returns the ns/iter distribution. The closure's
 /// return value is passed through [`std::hint::black_box`] so the work is
 /// not optimized away.
 pub fn run_micro<R>(name: &str, mut f: impl FnMut() -> R) -> MicroResult {

@@ -2,7 +2,7 @@
 
 use crate::args::Args;
 use crate::{coarsen_trace, load_trace, print_oracle, print_report, save_trace};
-use fasttrack::{Detector, Empty, FastTrack, FastTrackConfig};
+use fasttrack::{Detector, Empty, FastTrack, FastTrackConfig, GuardConfig};
 use ft_detectors::{BasicVc, Djit, Eraser, Goldilocks, MultiRace, RaceTrack};
 use ft_runtime::{analyze_parallel, ParallelConfig, ParallelReport};
 use ft_trace::gen::{self, GenConfig};
@@ -10,7 +10,16 @@ use ft_trace::Trace;
 use ft_workloads::eclipse::EclipseOp;
 use ft_workloads::{Scale, BENCHMARKS};
 
-fn make_tool(name: &str, all_warnings: bool) -> Result<Box<dyn Detector>, String> {
+fn make_tool(
+    name: &str,
+    all_warnings: bool,
+    guard: Option<GuardConfig>,
+) -> Result<Box<dyn Detector>, String> {
+    if guard.is_some() && !name.eq_ignore_ascii_case("FASTTRACK") {
+        return Err(format!(
+            "--mem-budget applies only to FASTTRACK, not {name:?}"
+        ));
+    }
     Ok(match name.to_uppercase().as_str() {
         "EMPTY" => Box::new(Empty::new()),
         "ERASER" => Box::new(Eraser::new()),
@@ -22,10 +31,25 @@ fn make_tool(name: &str, all_warnings: bool) -> Result<Box<dyn Detector>, String
         "DJIT+" | "DJIT" => Box::new(Djit::new()),
         "FASTTRACK" => Box::new(FastTrack::with_config(FastTrackConfig {
             report_all: all_warnings,
+            guard,
             ..FastTrackConfig::default()
         })),
         other => return Err(format!("unknown tool {other:?}")),
     })
+}
+
+/// Reads `--mem-budget BYTES` into a guard configuration (`0` or absent
+/// means ungoverned — identical to pre-guard behaviour).
+fn guard_config(args: &Args) -> Result<Option<GuardConfig>, String> {
+    let budget = args.get_num::<usize>("mem-budget", 0)?;
+    Ok((budget > 0).then(|| GuardConfig::with_budget(budget)))
+}
+
+/// Prints the precision verdict when (and only when) the guard degraded.
+fn print_precision(precision: &fasttrack::Precision) {
+    if precision.is_degraded() {
+        println!("    precision: {precision}");
+    }
 }
 
 fn run_tool(tool: &mut dyn Detector, trace: &Trace) {
@@ -119,11 +143,16 @@ pub fn generate(args: &Args) -> Result<(), String> {
 }
 
 /// Builds the parallel-engine configuration for a `--shards N` request.
-fn parallel_config(shards: usize, all_warnings: bool) -> ParallelConfig {
+fn parallel_config(
+    shards: usize,
+    all_warnings: bool,
+    guard: Option<GuardConfig>,
+) -> ParallelConfig {
     ParallelConfig {
         shards,
         detector: FastTrackConfig {
             report_all: all_warnings,
+            guard,
             ..FastTrackConfig::default()
         },
         ..ParallelConfig::default()
@@ -158,21 +187,24 @@ pub fn analyze(args: &Args) -> Result<(), String> {
     let trace = load_trace(path)?;
     let tool_name = args.get("tool").unwrap_or("FASTTRACK");
     let shards = args.get_num::<usize>("shards", 1)?;
+    let guard = guard_config(args)?;
     if shards > 1 {
         if !tool_name.eq_ignore_ascii_case("FASTTRACK") {
             return Err(format!(
                 "--shards applies only to FASTTRACK, not {tool_name:?}"
             ));
         }
-        let config = parallel_config(shards, args.has_flag("all-warnings"));
+        let config = parallel_config(shards, args.has_flag("all-warnings"), guard);
         let report = analyze_parallel(&trace, &config);
         print_parallel_report(&report, true);
+        print_precision(&report.precision);
         maybe_write_metrics(args, &report.metrics)?;
         return Ok(());
     }
-    let mut tool = make_tool(tool_name, args.has_flag("all-warnings"))?;
+    let mut tool = make_tool(tool_name, args.has_flag("all-warnings"), guard)?;
     run_tool(tool.as_mut(), &trace);
     print_report(tool.as_ref(), true);
+    print_precision(&tool.precision());
     maybe_write_metrics(args, &tool.metrics())?;
     Ok(())
 }
@@ -190,7 +222,7 @@ pub fn compare(args: &Args) -> Result<(), String> {
         "DJIT+",
         "FASTTRACK",
     ] {
-        let mut tool = make_tool(name, false)?;
+        let mut tool = make_tool(name, false, None)?;
         run_tool(tool.as_mut(), &trace);
         print_report(tool.as_ref(), false);
     }
@@ -251,16 +283,21 @@ pub fn pipeline(args: &Args) -> Result<(), String> {
 /// monitor's per-event overhead in both direct and buffered modes. Writes
 /// everything as one JSON document (`--metrics PATH`, else stdout).
 pub fn profile(args: &Args) -> Result<(), String> {
-    use ft_runtime::online::Monitor;
+    use ft_runtime::online::{FaultPlan, Monitor, MonitorConfig};
     use ft_runtime::Pipeline;
 
     let path = args.positional(0).ok_or("profile requires a trace file")?;
     maybe_enable_tracing(args)?;
     let trace = load_trace(path)?;
     let tool_name = args.get("tool").unwrap_or("FASTTRACK");
+    let guard = guard_config(args)?;
+    let faults = match args.get_with_value("faults")? {
+        Some(spec) => FaultPlan::parse(spec)?,
+        None => FaultPlan::none(),
+    };
 
     // 1. The chosen detector on its own.
-    let mut tool = make_tool(tool_name, args.has_flag("all-warnings"))?;
+    let mut tool = make_tool(tool_name, args.has_flag("all-warnings"), guard.clone())?;
     run_tool(tool.as_mut(), &trace);
     let detector_metrics = tool.metrics();
 
@@ -274,22 +311,34 @@ pub fn profile(args: &Args) -> Result<(), String> {
     }
     let pipeline_metrics = pipeline.metrics_snapshot();
 
-    // 3. The online monitor replaying the same stream, both modes.
-    let online = |make: fn() -> Monitor| {
-        let monitor = make();
+    // 3. The online monitor replaying the same stream, both modes. The
+    // buffered monitor carries the guard and fault plan, so `--mem-budget`
+    // and `--faults` rehearse degradation on a realistic event stream.
+    let online = |monitor: Monitor| {
         let _span = ft_obs::span!("profile.online", events = trace.len());
         for op in trace.events() {
             monitor.emit_raw(op.clone());
         }
-        monitor.report().metrics
+        monitor.report()
     };
-    let direct_metrics = online(|| Monitor::new(FastTrack::new()));
-    let buffered_metrics = online(|| Monitor::buffered(FastTrack::new()));
+    let direct_metrics = online(Monitor::new(FastTrack::new())).metrics;
+    let guarded = FastTrack::with_config(FastTrackConfig {
+        guard: guard.clone(),
+        ..FastTrackConfig::default()
+    });
+    let buffered_report = online(Monitor::buffered_with(
+        guarded,
+        MonitorConfig {
+            faults: faults.clone(),
+            ..MonitorConfig::default()
+        },
+    ));
+    let buffered_metrics = buffered_report.metrics.clone();
 
     // 4. The epoch-sliced parallel engine, if `--shards N` was given.
     let shards = args.get_num::<usize>("shards", 0)?;
     let parallel = if shards > 0 {
-        let config = parallel_config(shards, args.has_flag("all-warnings"));
+        let config = parallel_config(shards, args.has_flag("all-warnings"), guard.clone());
         Some(analyze_parallel(&trace, &config))
     } else {
         None
@@ -320,6 +369,13 @@ pub fn profile(args: &Args) -> Result<(), String> {
     show("online/direct", &direct_metrics, "online.emit_ns");
     show("online/buffered", &buffered_metrics, "online.emit_ns");
     show("online/buffered", &buffered_metrics, "online.queue_lag_ns");
+    print_precision(&tool.precision());
+    if buffered_report.precision.is_degraded() || buffered_report.dropped_events > 0 {
+        println!(
+            "  online/buffered: precision {}, {} dropped event(s)",
+            buffered_report.precision, buffered_report.dropped_events
+        );
+    }
     if let Some(report) = &parallel {
         println!(
             "  parallel: {} shard(s), {} warning(s)",
@@ -327,6 +383,7 @@ pub fn profile(args: &Args) -> Result<(), String> {
             report.warnings.len()
         );
         show("parallel", &report.metrics, "parallel.batch_ns");
+        print_precision(&report.precision);
     }
 
     let mut w = ft_obs::JsonWriter::new();

@@ -27,6 +27,7 @@ USAGE:
   ftrace generate [--benchmark NAME | --random] [--ops N] [--seed N]
                   [--racy FRAC] -o FILE     generate a trace
   ftrace analyze FILE [--tool NAME] [--all-warnings] [--shards N]
+                  [--mem-budget BYTES]
                   [--metrics OUT.json]      run one detector (with N > 1,
                                             FASTTRACK runs on the epoch-sliced
                                             parallel engine)
@@ -34,6 +35,7 @@ USAGE:
   ftrace pipeline FILE [--filter NAME] [--checker NAME] [--metrics OUT.json]
                                             prefilter + downstream checker
   ftrace profile FILE [--tool NAME] [--shards N] [--metrics OUT.json]
+                  [--mem-budget BYTES] [--faults SEED:SPEC]
                                             full observability run: detector
                                             rule percentages, per-stage
                                             latency quantiles, online-monitor
@@ -47,6 +49,12 @@ OPTIONS (analyze/pipeline/profile):
   --metrics OUT.json      write an ft-obs metrics snapshot as JSON
   --trace-spans stderr    stream span/event tracing to stderr
   --trace-spans FILE      ... or as JSONL to FILE
+  --mem-budget BYTES      cap FASTTRACK shadow memory; over budget the
+                          detector degrades (evict read VCs, then sample)
+                          and reports `precision: Degraded{...}`; 0 = off
+  --faults SEED:SPEC      (profile) inject monitor faults into the buffered
+                          online run; SPEC is a comma list of overflow@CAP,
+                          panic@OP, slow@EVERY, skew@EVERY
 
 TOOLS: EMPTY ERASER MULTIRACE GOLDILOCKS BASICVC DJIT+ FASTTRACK
 BENCHMARKS: the 16 Table 1 names (colt crypt lufact ... jbb) or eclipse:OP

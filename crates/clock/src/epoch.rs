@@ -178,6 +178,14 @@ impl fmt::Debug for Epoch {
 /// 2^48 clock ticks, per the paper's §4 remark about large programs. The
 /// detectors in this repository use the 32-bit [`Epoch`]; `Epoch64` is
 /// exercised by tests and available for embedding in other analyses.
+///
+/// ```
+/// use ft_clock::{Epoch64, Tid};
+///
+/// let e = Epoch64::new(Tid::new(300), 1 << 40); // far beyond Epoch's limits
+/// assert_eq!(e.tid(), Tid::new(300));
+/// assert_eq!(e.clock(), 1 << 40);
+/// ```
 #[derive(Copy, Clone, PartialEq, Eq, Hash)]
 pub struct Epoch64(u64);
 

@@ -112,9 +112,13 @@ impl TidRecycler {
 /// same few variables, routing the collapsed boxes through a `VcPool` turns
 /// that churn into reuse of a handful of allocations.
 ///
-/// The pool keeps at most `cap` clocks; excess [`VcPool::put`]s drop the box
-/// as usual. Returned clocks are always cleared back to ⊥ᵥ (with capacity
-/// retained).
+/// The pool keeps at most `cap` clocks **and** at most a bounded number of
+/// retained heap bytes; excess [`VcPool::put`]s drop the box as usual.
+/// Returned clocks are always cleared back to ⊥ᵥ (with capacity retained) —
+/// which is exactly why the byte cap exists: `clear()` keeps the buffer, so
+/// a count-only cap would let a handful of very wide clocks (one entry per
+/// thread ever seen) pin unbounded memory and blow the very shadow-state
+/// budget the pool is meant to sit under.
 ///
 /// # Example
 ///
@@ -131,20 +135,43 @@ impl TidRecycler {
 /// assert_eq!(pool.reused(), 1);
 /// assert_eq!(pool.recycled(), 1);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct VcPool {
     free: Vec<Box<VectorClock>>,
     cap: usize,
+    /// Retained-byte ceiling across the whole free list.
+    byte_cap: usize,
+    /// Heap + box bytes currently pinned by the free list.
+    free_bytes: usize,
     reused: u64,
     recycled: u64,
 }
 
+/// Default retained-bytes allowance per pooled clock slot: one full-width
+/// clock for the packed-epoch thread limit (256 threads × 4 bytes).
+const RETAINED_BYTES_PER_SLOT: usize = 1024;
+
+/// Bytes pinned by one pooled clock: the boxed struct plus its heap buffer.
+#[inline]
+fn clock_bytes(vc: &VectorClock) -> usize {
+    std::mem::size_of::<VectorClock>() + vc.heap_bytes()
+}
+
 impl VcPool {
-    /// Creates a pool holding at most `cap` free clocks.
+    /// Creates a pool holding at most `cap` free clocks, with a default
+    /// retained-byte ceiling of `cap` × 1 KiB.
     pub fn new(cap: usize) -> Self {
+        Self::with_byte_cap(cap, cap * RETAINED_BYTES_PER_SLOT)
+    }
+
+    /// Creates a pool holding at most `cap` free clocks pinning at most
+    /// `byte_cap` bytes of retained storage.
+    pub fn with_byte_cap(cap: usize, byte_cap: usize) -> Self {
         VcPool {
             free: Vec::new(),
             cap,
+            byte_cap,
+            free_bytes: 0,
             reused: 0,
             recycled: 0,
         }
@@ -156,6 +183,7 @@ impl VcPool {
         match self.free.pop() {
             Some(vc) => {
                 self.reused += 1;
+                self.free_bytes -= clock_bytes(&vc);
                 vc
             }
             None => Box::new(VectorClock::new()),
@@ -163,11 +191,13 @@ impl VcPool {
     }
 
     /// Returns a clock to the pool (clearing it first). Drops the box
-    /// instead when the pool is full.
+    /// instead when the pool is full — by count *or* by retained bytes.
     pub fn put(&mut self, mut vc: Box<VectorClock>) {
         self.recycled += 1;
-        if self.free.len() < self.cap {
+        let bytes = clock_bytes(&vc);
+        if self.free.len() < self.cap && self.free_bytes + bytes <= self.byte_cap {
             vc.clear();
+            self.free_bytes += bytes;
             self.free.push(vc);
         }
     }
@@ -186,6 +216,27 @@ impl VcPool {
     /// Number of clocks currently sitting in the free list.
     pub fn free_count(&self) -> usize {
         self.free.len()
+    }
+
+    /// Bytes currently pinned by the free list (boxes plus heap buffers).
+    pub fn free_bytes(&self) -> usize {
+        self.free_bytes
+    }
+
+    /// The retained-byte ceiling.
+    pub fn byte_cap(&self) -> usize {
+        self.byte_cap
+    }
+
+    /// Drops every pooled clock, returning `(clocks, bytes)` freed — the
+    /// degradation ladder calls this when eviction alone cannot get back
+    /// under budget.
+    pub fn drain(&mut self) -> (u64, usize) {
+        let clocks = self.free.len() as u64;
+        let bytes = self.free_bytes;
+        self.free.clear();
+        self.free_bytes = 0;
+        (clocks, bytes)
     }
 }
 
@@ -258,6 +309,57 @@ mod tests {
         pool.put(Box::new(VectorClock::new()));
         assert_eq!(pool.free_count(), 1);
         assert_eq!(pool.recycled(), 2); // both returns counted, one dropped
+    }
+
+    #[test]
+    fn vc_pool_caps_retained_bytes() {
+        // A count cap alone would retain both wide clocks below; the byte
+        // cap must drop them so the pool cannot outgrow the budget it
+        // protects.
+        let byte_cap = 2048;
+        let mut pool = VcPool::with_byte_cap(8, byte_cap);
+        for _ in 0..4 {
+            let mut wide = Box::new(VectorClock::new());
+            wide.set(Tid::new(999), 1); // ~4 KiB heap buffer
+            assert!(wide.heap_bytes() > byte_cap);
+            pool.put(wide);
+        }
+        assert_eq!(pool.free_count(), 0, "oversized clocks must be dropped");
+        assert_eq!(pool.free_bytes(), 0);
+        assert_eq!(pool.recycled(), 4);
+
+        // Narrow clocks still pool until the byte ceiling is reached…
+        loop {
+            let mut vc = Box::new(VectorClock::new());
+            vc.set(Tid::new(7), 1);
+            let before = pool.free_count();
+            pool.put(vc);
+            if pool.free_count() == before {
+                break;
+            }
+        }
+        assert!(pool.free_bytes() <= byte_cap);
+        assert!(pool.free_count() > 0);
+
+        // …and the invariant holds after churn.
+        let _ = pool.take();
+        assert!(pool.free_bytes() <= byte_cap);
+    }
+
+    #[test]
+    fn vc_pool_drain_frees_everything() {
+        let mut pool = VcPool::new(4);
+        for _ in 0..3 {
+            let mut vc = Box::new(VectorClock::new());
+            vc.set(Tid::new(1), 1);
+            pool.put(vc);
+        }
+        assert_eq!(pool.free_count(), 3);
+        let (clocks, bytes) = pool.drain();
+        assert_eq!(clocks, 3);
+        assert!(bytes > 0);
+        assert_eq!(pool.free_count(), 0);
+        assert_eq!(pool.free_bytes(), 0);
     }
 
     #[test]

@@ -6,12 +6,14 @@
 //! `[FT ACQUIRE]`, `[FT RELEASE]`, `[FT FORK]`, `[FT JOIN]`,
 //! `[FT READ/WRITE VOLATILE]`, and `[FT BARRIER RELEASE]`.
 
-use crate::detector::{Detector, Disposition};
+use crate::detector::{self, Detector, Disposition};
+use crate::guard::{Guard, GuardConfig, GuardTier, Precision, ShadowBudget};
 use crate::rules::{self, RuleHits};
 use crate::state::{ThreadState, VarState};
 use crate::stats::{RuleCount, Stats};
 use crate::warning::{AccessSummary, Warning, WarningKind};
 use ft_clock::{Epoch, Tid, VcPool, VectorClock};
+use ft_obs::Snapshot;
 use ft_trace::{AccessKind, LockId, Op, VarId};
 
 /// Free clocks the detector keeps around for `Rvc` reuse (the inflate /
@@ -51,6 +53,10 @@ pub struct FastTrackConfig {
     pub ablate_same_epoch: bool,
     /// Disable the adaptive epoch read representation (ablation only).
     pub ablate_adaptive_read: bool,
+    /// Resource governance (see [`crate::guard`]). `None` disables
+    /// accounting entirely; `Some` with [`GuardConfig::mem_budget`] `== 0`
+    /// keeps the gauges live but never degrades.
+    pub guard: Option<GuardConfig>,
 }
 
 impl Default for FastTrackConfig {
@@ -59,6 +65,7 @@ impl Default for FastTrackConfig {
             report_all: false,
             ablate_same_epoch: false,
             ablate_adaptive_read: false,
+            guard: None,
         }
     }
 }
@@ -82,7 +89,7 @@ impl Default for FastTrackConfig {
 /// threads should recycle ids via
 /// [`TidRecycler`](ft_clock::TidRecycler) in the event source, as the
 /// paper suggests via accordion clocks.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct FastTrack {
     threads: Vec<Option<ThreadState>>,
     /// `L_m` per lock, allocated on first release.
@@ -96,6 +103,7 @@ pub struct FastTrack {
     stats: Stats,
     rules: RuleHits,
     pool: VcPool,
+    guard: Option<Guard>,
     config: FastTrackConfig,
 }
 
@@ -113,6 +121,7 @@ impl FastTrack {
 
     /// Creates a detector with the given configuration.
     pub fn with_config(config: FastTrackConfig) -> Self {
+        let guard = config.guard.as_ref().map(Guard::new);
         FastTrack {
             threads: Vec::new(),
             locks: Vec::new(),
@@ -123,6 +132,7 @@ impl FastTrack {
             stats: Stats::new(),
             rules: RuleHits::default(),
             pool: VcPool::new(RVC_POOL_CAP),
+            guard,
             config,
         }
     }
@@ -155,8 +165,15 @@ impl FastTrack {
     fn var(&mut self, x: VarId) -> &mut VarState {
         let idx = x.as_usize();
         if idx >= self.vars.len() {
+            let cap_before = self.vars.capacity();
             self.vars.resize_with(idx + 1, VarState::default);
             self.warned.resize(idx + 1, false);
+            if let Some(g) = self.guard.as_mut() {
+                // The per-variable epoch pairs live in the slab itself, so
+                // the budget charges by capacity growth.
+                let grown = self.vars.capacity() - cap_before;
+                g.charge(grown * std::mem::size_of::<VarState>());
+            }
         }
         &mut self.vars[idx]
     }
@@ -202,6 +219,9 @@ impl FastTrack {
     /// state and turns the outcome into warnings.
     fn read(&mut self, index: usize, t: Tid, x: VarId) {
         self.stats.reads += 1;
+        if self.sampled_out(x) {
+            return;
+        }
         let epoch = self.thread(t).epoch;
         self.var(x); // ensure shadow state exists
 
@@ -210,6 +230,7 @@ impl FastTrack {
             .as_ref()
             .expect("thread initialized above")
             .vc;
+        let before = self.vars[x.as_usize()].rvc_bytes();
         let outcome = rules::read_var(
             &mut self.vars[x.as_usize()],
             t,
@@ -220,6 +241,16 @@ impl FastTrack {
             &mut self.stats,
         );
         self.rules.hit_read(outcome.rule);
+        if let Some(g) = self.guard.as_mut() {
+            g.adjust(before, self.vars[x.as_usize()].rvc_bytes());
+            g.sync_pool(self.pool.free_bytes());
+            if matches!(
+                outcome.rule,
+                rules::ReadRule::Share | rules::ReadRule::Shared
+            ) {
+                g.note_shared_read(x, epoch);
+            }
+        }
 
         if let Some(w) = outcome.racy_write {
             self.report(
@@ -232,6 +263,7 @@ impl FastTrack {
                 index,
             );
         }
+        self.enforce_budget();
     }
 
     /// Figure 5 `write(VarState x, ThreadState t)`.
@@ -240,6 +272,9 @@ impl FastTrack {
     /// [`rules::write_var`].
     fn write(&mut self, index: usize, t: Tid, x: VarId) {
         self.stats.writes += 1;
+        if self.sampled_out(x) {
+            return;
+        }
         let epoch = self.thread(t).epoch;
         self.var(x); // ensure shadow state exists
 
@@ -247,6 +282,7 @@ impl FastTrack {
             .as_ref()
             .expect("thread initialized above")
             .vc;
+        let before = self.vars[x.as_usize()].rvc_bytes();
         let outcome = rules::write_var(
             &mut self.vars[x.as_usize()],
             epoch,
@@ -256,6 +292,13 @@ impl FastTrack {
             &mut self.stats,
         );
         self.rules.hit_write(outcome.rule);
+        if let Some(g) = self.guard.as_mut() {
+            g.adjust(before, self.vars[x.as_usize()].rvc_bytes());
+            g.sync_pool(self.pool.free_bytes());
+            if outcome.rule == rules::WriteRule::Shared {
+                g.note_collapse(x);
+            }
+        }
 
         if let Some(w) = outcome.racy_write {
             self.report(
@@ -279,6 +322,78 @@ impl FastTrack {
                 index,
             );
         }
+        self.enforce_budget();
+    }
+
+    /// `true` when the sampling tier decided to skip this access. Only
+    /// accesses that would *allocate new shadow state* (a variable id
+    /// beyond the current slab) are ever skipped; variables with existing
+    /// state keep full analysis, so a warning already found is never lost.
+    #[inline]
+    fn sampled_out(&mut self, x: VarId) -> bool {
+        match self.guard.as_mut() {
+            Some(g) if g.tier() == GuardTier::Sampling && x.as_usize() >= self.vars.len() => {
+                !g.admit_new_var()
+            }
+            _ => false,
+        }
+    }
+
+    /// Walks the degradation ladder down until the budget is respected (or
+    /// every rung is exhausted and the sampling tier engages). No-op while
+    /// under budget, and permanently a no-op with an unlimited budget.
+    fn enforce_budget(&mut self) {
+        let Some(g) = self.guard.as_mut() else { return };
+        if !g.over() {
+            return;
+        }
+        // Rung 2: evict read vector clocks, least-recently-read first. The
+        // Rvc is dropped (not pooled — eviction must actually free memory)
+        // and the read history collapses to the last-read epoch, a genuine
+        // entry of the clock: a later concurrent write still races with it,
+        // so eviction can only lose warnings, never invent them.
+        while g.over() {
+            let Some((victim, last_read)) = g.pop_lru() else {
+                break;
+            };
+            let vs = &mut self.vars[victim.as_usize()];
+            if !vs.is_read_shared() {
+                continue; // stale entry: already collapsed by a write
+            }
+            let freed = vs.rvc_bytes();
+            vs.rvc = None;
+            vs.r = last_read;
+            g.record_eviction(freed);
+        }
+        if !g.over() {
+            return;
+        }
+        // Rung 2½: drop the recycle pool's retained clocks.
+        let (clocks, bytes) = self.pool.drain();
+        g.record_pool_drain(clocks, bytes);
+        // Rung 3: nothing left to shed — sample new shadow state.
+        if g.over() {
+            g.enter_sampling();
+        }
+    }
+
+    /// The precision verdict for this run: [`Precision::Full`] unless the
+    /// degradation ladder ever engaged.
+    pub fn precision(&self) -> Precision {
+        self.guard
+            .as_ref()
+            .map_or(Precision::Full, Guard::precision)
+    }
+
+    /// Live budget accounting, when governance is enabled.
+    pub fn shadow_budget(&self) -> Option<&ShadowBudget> {
+        self.guard.as_ref().map(Guard::budget)
+    }
+
+    /// The degradation-ladder rung the detector is currently on
+    /// ([`GuardTier::Full`] when ungoverned).
+    pub fn guard_tier(&self) -> GuardTier {
+        self.guard.as_ref().map_or(GuardTier::Full, Guard::tier)
     }
 
     /// `[FT ACQUIRE]`: `C_t := C_t ⊔ L_m`.
@@ -605,6 +720,23 @@ impl Detector for FastTrack {
 
     fn rule_breakdown(&self) -> Vec<RuleCount> {
         self.rules.breakdown(self.stats.reads, self.stats.writes)
+    }
+
+    fn precision(&self) -> Precision {
+        FastTrack::precision(self)
+    }
+
+    fn metrics(&self) -> Snapshot {
+        let mut reg = detector::base_registry(self);
+        if let Some(b) = self.shadow_budget() {
+            // Live budget gauges (present even while fully precise, so
+            // dashboards can watch headroom before degradation starts).
+            reg.set_gauge("guard.budget_bytes", b.limit() as f64);
+            reg.set_gauge("guard.used_bytes", b.used() as f64);
+            reg.set_gauge("guard.peak_bytes", b.peak() as f64);
+            reg.set_meta("guard.tier", &self.guard_tier().to_string());
+        }
+        reg.snapshot()
     }
 }
 

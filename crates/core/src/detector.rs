@@ -1,5 +1,6 @@
 //! The tool interface shared by every detector in this repository.
 
+use crate::guard::Precision;
 use crate::stats::{RuleCount, Stats};
 use crate::warning::Warning;
 use ft_obs::{MetricsRegistry, Snapshot};
@@ -68,32 +69,23 @@ pub trait Detector {
         Vec::new()
     }
 
-    /// Bridges [`Detector::stats`], [`Detector::rule_breakdown`], and
-    /// [`Detector::shadow_bytes`] into an `ft-obs` metrics [`Snapshot`]:
-    /// `ops`/`reads`/… become counters, per-rule hits become
-    /// `rule.<NAME>.hits` counters with `rule.<NAME>.percent` gauges, and
-    /// warning/shadow totals become gauges. The default implementation
-    /// covers every detector; tools with richer instrumentation can
-    /// override and merge their own registries.
+    /// How much to trust this detector's warnings: [`Precision::Full`]
+    /// unless a resource guard degraded the analysis (see [`crate::guard`]).
+    /// Ungoverned detectors are always fully precise.
+    fn precision(&self) -> Precision {
+        Precision::Full
+    }
+
+    /// Bridges [`Detector::stats`], [`Detector::rule_breakdown`],
+    /// [`Detector::shadow_bytes`], and [`Detector::precision`] into an
+    /// `ft-obs` metrics [`Snapshot`]: `ops`/`reads`/… become counters,
+    /// per-rule hits become `rule.<NAME>.hits` counters with
+    /// `rule.<NAME>.percent` gauges, and warning/shadow/degradation totals
+    /// become gauges. The default implementation covers every detector;
+    /// tools with richer instrumentation can override and merge their own
+    /// registries.
     fn metrics(&self) -> Snapshot {
-        let mut reg = MetricsRegistry::new();
-        reg.set_meta("tool", self.name());
-        let s = self.stats();
-        reg.inc_counter("ops", s.ops);
-        reg.inc_counter("reads", s.reads);
-        reg.inc_counter("writes", s.writes);
-        reg.inc_counter("sync_ops", s.sync_ops);
-        reg.inc_counter("vc_allocated", s.vc_allocated);
-        reg.inc_counter("vc_ops", s.vc_ops);
-        reg.inc_counter("vc_recycled", s.vc_recycled);
-        reg.inc_counter("vc_reused", s.vc_reused);
-        reg.inc_counter("warnings", self.warnings().len() as u64);
-        reg.set_gauge("shadow_bytes", self.shadow_bytes() as f64);
-        for rc in self.rule_breakdown() {
-            reg.inc_counter(&format!("rule.{}.hits", rc.rule), rc.hits);
-            reg.set_gauge(&format!("rule.{}.percent", rc.rule), rc.percent);
-        }
-        reg.snapshot()
+        base_registry(self).snapshot()
     }
 
     /// Replays an entire trace through [`Detector::on_op`].
@@ -105,6 +97,42 @@ pub trait Detector {
             self.on_op(index, op);
         }
     }
+}
+
+/// Builds the standard metrics registry for a detector — the default
+/// [`Detector::metrics`] body, exposed so overriding implementations can
+/// extend it instead of duplicating it.
+pub(crate) fn base_registry<D: Detector + ?Sized>(d: &D) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    reg.set_meta("tool", d.name());
+    let s = d.stats();
+    reg.inc_counter("ops", s.ops);
+    reg.inc_counter("reads", s.reads);
+    reg.inc_counter("writes", s.writes);
+    reg.inc_counter("sync_ops", s.sync_ops);
+    reg.inc_counter("vc_allocated", s.vc_allocated);
+    reg.inc_counter("vc_ops", s.vc_ops);
+    reg.inc_counter("vc_recycled", s.vc_recycled);
+    reg.inc_counter("vc_reused", s.vc_reused);
+    reg.inc_counter("warnings", d.warnings().len() as u64);
+    reg.set_gauge("shadow_bytes", d.shadow_bytes() as f64);
+    for rc in d.rule_breakdown() {
+        reg.inc_counter(&format!("rule.{}.hits", rc.rule), rc.hits);
+        reg.set_gauge(&format!("rule.{}.percent", rc.rule), rc.percent);
+    }
+    let p = d.precision();
+    reg.set_meta(
+        "precision",
+        if p.is_degraded() { "degraded" } else { "full" },
+    );
+    if let Some(r) = p.record() {
+        reg.set_gauge("guard.budget_bytes", r.budget_bytes as f64);
+        reg.set_gauge("guard.peak_bytes", r.peak_bytes as f64);
+        reg.inc_counter("guard.rvc_evictions", r.rvc_evictions);
+        reg.inc_counter("guard.sampled_out", r.sampled_out);
+        reg.inc_counter("guard.pool_clocks_dropped", r.pool_clocks_dropped);
+    }
+    reg
 }
 
 /// Blanket impl so `Box<dyn Detector>` is itself usable as a detector
@@ -132,6 +160,10 @@ impl<D: Detector + ?Sized> Detector for Box<D> {
 
     fn rule_breakdown(&self) -> Vec<RuleCount> {
         (**self).rule_breakdown()
+    }
+
+    fn precision(&self) -> Precision {
+        (**self).precision()
     }
 
     fn metrics(&self) -> Snapshot {

@@ -44,6 +44,9 @@
 //!   the Figure 2 frequency annotations).
 //! * [`Empty`] — the do-nothing detector used to measure framework overhead
 //!   (the paper's EMPTY tool).
+//! * [`guard`] — `ft-guard`: byte-accurate shadow-state budgets and the
+//!   graceful degradation ladder (full → Rvc eviction → sampling), surfaced
+//!   as a [`Precision`] verdict on every report.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,6 +54,7 @@
 pub mod analysis;
 mod detector;
 mod empty;
+pub mod guard;
 mod rules;
 pub mod shard;
 mod state;
@@ -60,6 +64,7 @@ mod warning;
 pub use analysis::{FastTrack, FastTrackConfig, ReadMode};
 pub use detector::{Detector, Disposition};
 pub use empty::Empty;
+pub use guard::{DegradationRecord, GuardConfig, GuardTier, Precision, ShadowBudget};
 pub use state::READ_SHARED;
 pub use stats::{RuleCount, Stats};
 pub use warning::{AccessSummary, Warning, WarningKind};

@@ -18,8 +18,8 @@
 //!   lock clocks `L_m`, and volatile clocks `L_vx`. Applies sync events in
 //!   trace order, exactly mirroring the sequential detector's handlers.
 //! * [`VarShard`] — one worker's state: a disjoint partition of the
-//!   variables, analyzed with the *same* [`crate::rules`] transition
-//!   functions the sequential detector uses.
+//!   variables, analyzed with the *same* Figure-5 transition functions
+//!   (`crate::rules`) the sequential detector uses.
 //!
 //! [`fold`] recombines the per-shard results. Because every access is
 //! analyzed against the same thread clock it would see sequentially, and
@@ -29,6 +29,7 @@
 //! verbatim (asserted wholesale by the parallel-agreement property tests).
 
 use crate::analysis::{FastTrackConfig, RVC_POOL_CAP};
+use crate::guard::{Guard, GuardTier, Precision};
 use crate::rules::{self, RuleHits};
 use crate::state::VarState;
 use crate::stats::{RuleCount, Stats};
@@ -337,17 +338,24 @@ pub struct VarShard {
     rules: RuleHits,
     stats: Stats,
     pool: VcPool,
+    guard: Option<Guard>,
     config: FastTrackConfig,
 }
 
 impl VarShard {
     /// Creates the shard owning variables `≡ shard (mod stride)`.
     ///
+    /// When the config carries a [`crate::GuardConfig`], this shard governs
+    /// its slice of the variables with it — the caller is responsible for
+    /// dividing the total budget (and varying the sampling seed) across
+    /// shards, as `analyze_parallel` does.
+    ///
     /// # Panics
     ///
     /// Panics if `shard >= stride` or `stride == 0`.
     pub fn new(shard: u32, stride: u32, config: FastTrackConfig) -> Self {
         assert!(stride > 0 && shard < stride, "shard {shard} of {stride}");
+        let guard = config.guard.as_ref().map(Guard::new);
         VarShard {
             shard,
             stride,
@@ -357,6 +365,7 @@ impl VarShard {
             rules: RuleHits::default(),
             stats: Stats::new(),
             pool: VcPool::new(RVC_POOL_CAP),
+            guard,
             config,
         }
     }
@@ -381,9 +390,17 @@ impl VarShard {
     ) {
         debug_assert_eq!(x.as_u32() % self.stride, self.shard, "misrouted {x}");
         let local = (x.as_u32() / self.stride) as usize;
+        if self.sampled_out(kind, local) {
+            return;
+        }
         if local >= self.vars.len() {
+            let cap_before = self.vars.capacity();
             self.vars.resize_with(local + 1, VarState::default);
             self.warned.resize(local + 1, false);
+            if let Some(g) = self.guard.as_mut() {
+                let grown = self.vars.capacity() - cap_before;
+                g.charge(grown * std::mem::size_of::<VarState>());
+            }
         }
         let view = snapshot
             .view(t)
@@ -392,6 +409,7 @@ impl VarShard {
         match kind {
             AccessKind::Read => {
                 self.stats.reads += 1;
+                let before = self.vars[local].rvc_bytes();
                 let outcome = rules::read_var(
                     &mut self.vars[local],
                     t,
@@ -402,6 +420,16 @@ impl VarShard {
                     &mut self.stats,
                 );
                 self.rules.hit_read(outcome.rule);
+                if let Some(g) = self.guard.as_mut() {
+                    g.adjust(before, self.vars[local].rvc_bytes());
+                    g.sync_pool(self.pool.free_bytes());
+                    if matches!(
+                        outcome.rule,
+                        rules::ReadRule::Share | rules::ReadRule::Shared
+                    ) {
+                        g.note_shared_read(x, view.epoch);
+                    }
+                }
                 if let Some(w) = outcome.racy_write {
                     self.report(
                         local,
@@ -417,6 +445,7 @@ impl VarShard {
             }
             AccessKind::Write => {
                 self.stats.writes += 1;
+                let before = self.vars[local].rvc_bytes();
                 let outcome = rules::write_var(
                     &mut self.vars[local],
                     view.epoch,
@@ -426,6 +455,13 @@ impl VarShard {
                     &mut self.stats,
                 );
                 self.rules.hit_write(outcome.rule);
+                if let Some(g) = self.guard.as_mut() {
+                    g.adjust(before, self.vars[local].rvc_bytes());
+                    g.sync_pool(self.pool.free_bytes());
+                    if outcome.rule == rules::WriteRule::Shared {
+                        g.note_collapse(x);
+                    }
+                }
                 if let Some(w) = outcome.racy_write {
                     self.report(
                         local,
@@ -451,6 +487,60 @@ impl VarShard {
                     );
                 }
             }
+        }
+        self.enforce_budget();
+    }
+
+    /// Sampling-tier gate, mirroring the sequential detector: only accesses
+    /// that would allocate new shadow state are ever skipped.
+    #[inline]
+    fn sampled_out(&mut self, kind: AccessKind, local: usize) -> bool {
+        match self.guard.as_mut() {
+            Some(g) if g.tier() == GuardTier::Sampling && local >= self.vars.len() => {
+                if g.admit_new_var() {
+                    false
+                } else {
+                    // Keep the category counters accurate for the fold even
+                    // though the access is not analyzed.
+                    match kind {
+                        AccessKind::Read => self.stats.reads += 1,
+                        AccessKind::Write => self.stats.writes += 1,
+                    }
+                    true
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// The shard-local copy of the sequential detector's degradation
+    /// ladder; see [`crate::guard`] for the soundness argument.
+    fn enforce_budget(&mut self) {
+        let Some(g) = self.guard.as_mut() else { return };
+        if !g.over() {
+            return;
+        }
+        let stride = self.stride;
+        while g.over() {
+            let Some((victim, last_read)) = g.pop_lru() else {
+                break;
+            };
+            let vs = &mut self.vars[(victim.as_u32() / stride) as usize];
+            if !vs.is_read_shared() {
+                continue;
+            }
+            let freed = vs.rvc_bytes();
+            vs.rvc = None;
+            vs.r = last_read;
+            g.record_eviction(freed);
+        }
+        if !g.over() {
+            return;
+        }
+        let (clocks, bytes) = self.pool.drain();
+        g.record_pool_drain(clocks, bytes);
+        if g.over() {
+            g.enter_sampling();
         }
     }
 
@@ -489,11 +579,16 @@ impl VarShard {
     /// Consumes the shard, producing its contribution to the fold.
     pub fn finish(self) -> ShardResult {
         let shadow_bytes = self.vars.iter().map(VarState::shadow_bytes).sum();
+        let precision = self
+            .guard
+            .as_ref()
+            .map_or(Precision::Full, Guard::precision);
         ShardResult {
             warnings: self.warnings,
             rules: self.rules,
             stats: self.stats,
             shadow_bytes,
+            precision,
         }
     }
 }
@@ -505,6 +600,7 @@ pub struct ShardResult {
     rules: RuleHits,
     stats: Stats,
     shadow_bytes: usize,
+    precision: Precision,
 }
 
 /// The recombined whole-trace analysis produced by [`fold`].
@@ -518,6 +614,9 @@ pub struct FoldedAnalysis {
     pub rule_breakdown: Vec<RuleCount>,
     /// Total shadow bytes across coordinator and shards.
     pub shadow_bytes: usize,
+    /// Merged precision verdict: degraded if *any* shard degraded, with the
+    /// per-shard degradation records folded together.
+    pub precision: Precision,
 }
 
 /// Recombines the coordinator's state and every shard's partial results.
@@ -535,11 +634,13 @@ pub fn fold(sync: &SyncClocks, shards: Vec<ShardResult>, total_ops: u64) -> Fold
     let mut rules = RuleHits::default();
     let mut shadow_bytes = sync.shadow_bytes();
     let mut warnings: Vec<Warning> = Vec::new();
+    let mut precision = Precision::Full;
     for shard in shards {
         stats.merge(&shard.stats);
         rules.merge(&shard.rules);
         shadow_bytes += shard.shadow_bytes;
         warnings.extend(shard.warnings);
+        precision.merge(&shard.precision);
     }
     stats.ops = total_ops;
     warnings.sort_by_key(|w| w.current.event_index);
@@ -549,6 +650,7 @@ pub fn fold(sync: &SyncClocks, shards: Vec<ShardResult>, total_ops: u64) -> Fold
         stats,
         rule_breakdown,
         shadow_bytes,
+        precision,
     }
 }
 

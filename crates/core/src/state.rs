@@ -75,11 +75,16 @@ impl VarState {
 
     /// Bytes attributable to this variable's shadow state.
     pub fn shadow_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self
-                .rvc
-                .as_ref()
-                .map_or(0, |vc| std::mem::size_of::<VectorClock>() + vc.heap_bytes())
+        std::mem::size_of::<Self>() + self.rvc_bytes()
+    }
+
+    /// Bytes attributable to the read vector clock alone (0 in epoch mode)
+    /// — the unit the guard's budget charges and credits per access.
+    #[inline]
+    pub fn rvc_bytes(&self) -> usize {
+        self.rvc
+            .as_ref()
+            .map_or(0, |vc| std::mem::size_of::<VectorClock>() + vc.heap_bytes())
     }
 }
 

@@ -105,6 +105,7 @@ fn ablated_configurations_remain_precise() {
                 report_all: false,
                 ablate_same_epoch,
                 ablate_adaptive_read,
+                ..FastTrackConfig::default()
             });
             ft.run(&trace);
             assert_eq!(

@@ -16,7 +16,7 @@
 //! use it without cycles.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod json;
 pub mod metrics;

@@ -247,6 +247,20 @@ impl HistogramSummary {
 /// per-thread registries/histograms are merged with
 /// [`MetricsRegistry::merge`], mirroring how per-thread analysis state is
 /// combined elsewhere in the suite.
+///
+/// ```
+/// use ft_obs::MetricsRegistry;
+///
+/// let mut reg = MetricsRegistry::new();
+/// reg.inc_counter("ops", 3);
+/// reg.set_gauge("shadow_bytes", 128.0);
+/// reg.histogram_mut("latency_ns").record(900);
+///
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.counter("ops"), Some(3));
+/// assert_eq!(snap.gauge("shadow_bytes"), Some(128.0));
+/// assert_eq!(snap.histogram("latency_ns").unwrap().count, 1);
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,

@@ -1,6 +1,6 @@
 //! A lightweight span/event tracing facade with pluggable sinks.
 //!
-//! Tracing is off by default. The [`span!`] and [`event!`] macros check a
+//! Tracing is off by default. The [`span!`](crate::span) and [`event!`](crate::event) macros check a
 //! single relaxed atomic load before touching their arguments, so on hot
 //! paths (per-event detector work) the disabled cost is one branch — no
 //! allocation, no formatting, no clock read. Enabling tracing installs a
@@ -167,7 +167,7 @@ pub struct SpanData {
     fields: Vec<Field>,
 }
 
-/// RAII guard returned by [`span!`]. Reports the span to the sink on drop.
+/// RAII guard returned by [`span!`](crate::span). Reports the span to the sink on drop.
 /// When tracing is disabled the guard holds `None` and drop is free.
 #[derive(Debug)]
 #[must_use = "a span measures the scope it lives in; dropping it immediately records ~0ns"]
@@ -221,7 +221,7 @@ macro_rules! span {
 
 /// Emits an instantaneous event: `event!("race", var = v.to_string());`
 ///
-/// Same lazy-field contract as [`span!`].
+/// Same lazy-field contract as [`span!`](crate::span).
 #[macro_export]
 macro_rules! event {
     ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {

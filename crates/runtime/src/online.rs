@@ -57,11 +57,12 @@
 //! assert_eq!(report.warnings.len(), 1); // the race is caught
 //! ```
 
-use fasttrack::{Detector, Stats, Warning};
+use fasttrack::{Detector, Disposition, Precision, Stats, Warning};
 use ft_clock::Tid;
 use ft_obs::{Histogram, MetricsRegistry, Snapshot};
-use ft_trace::{LockId, Op, VarId};
+use ft_trace::{LockId, Op, Prng, VarId};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
@@ -96,10 +97,51 @@ trait EventSink: Send + Sync {
     fn report(&self) -> OnlineReport;
 }
 
+/// Consumer-side fault injection state (slow-consumer stalls and clock
+/// skew), armed from a [`FaultPlan`] by [`BufferedSink::spawn_with`]. Lives
+/// inside [`DetectorState`] so `feed_timed` can fire faults without extra
+/// plumbing; a disarmed runner (both periods zero) costs two branch checks
+/// per event.
+struct FaultRunner {
+    prng: Prng,
+    slow_every: u64,
+    skew_every: u64,
+    fed: u64,
+}
+
+impl FaultRunner {
+    fn none() -> Self {
+        FaultRunner {
+            prng: Prng::seed_from_u64(0),
+            slow_every: 0,
+            skew_every: 0,
+            fed: 0,
+        }
+    }
+
+    fn from_plan(plan: &FaultPlan) -> Self {
+        let mut runner = FaultRunner {
+            prng: Prng::seed_from_u64(plan.seed),
+            ..FaultRunner::none()
+        };
+        for fault in &plan.faults {
+            match fault {
+                Fault::SlowConsumer { every } => runner.slow_every = *every,
+                Fault::ClockSkew { every } => runner.skew_every = *every,
+                // Lane overflow and analysis panics are armed elsewhere
+                // (lane construction and the Recoverable wrapper).
+                Fault::LaneOverflow { .. } | Fault::AnalysisPanic { .. } => {}
+            }
+        }
+        runner
+    }
+}
+
 struct DetectorState {
     detector: Box<dyn Detector + Send>,
     next_index: usize,
     metrics: MetricsRegistry,
+    faults: FaultRunner,
 }
 
 impl DetectorState {
@@ -108,6 +150,7 @@ impl DetectorState {
             detector,
             next_index: 0,
             metrics: MetricsRegistry::new(),
+            faults: FaultRunner::none(),
         }
     }
 
@@ -140,6 +183,8 @@ impl DetectorState {
             warnings: self.detector.warnings().to_vec(),
             stats: self.detector.stats().clone(),
             metrics: out,
+            precision: self.detector.precision(),
+            dropped_events: 0,
         }
     }
 }
@@ -196,6 +241,151 @@ impl ReportSlot {
 /// analysis thread spins (yielding) instead of buffering without limit.
 const LANE_CAP: usize = 4096;
 
+/// What a full lane does to the *next* event once backpressure has run its
+/// course (see [`MonitorConfig::push_timeout`]).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum OverflowPolicy {
+    /// Block the emitting thread (yield-spin) until the drainer makes room.
+    /// With no [`MonitorConfig::push_timeout`] this waits forever — the
+    /// pre-guard behaviour.
+    #[default]
+    Block,
+    /// Immediately shed the oldest *data access* in the lane to make room.
+    /// Synchronization events and `After` gates are never shed — dropping a
+    /// happens-before edge would corrupt every verdict after it, whereas
+    /// dropping an access can only lose the warnings that access would have
+    /// produced. Every shed event is counted in `online.dropped_events`.
+    DropOldest,
+}
+
+/// An injectable fault, for rehearsing how the monitor degrades before the
+/// real incident happens (see `docs/OPERATIONS.md`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Fault {
+    /// Stall the analysis thread for 100–500µs (seeded jitter) every
+    /// `every`-th analyzed event, so lanes fill up for real.
+    SlowConsumer {
+        /// Stall period in analyzed events; `0` disables.
+        every: u64,
+    },
+    /// Shrink every lane to `cap` messages and switch the overflow policy
+    /// to [`OverflowPolicy::DropOldest`].
+    LaneOverflow {
+        /// The forced lane capacity.
+        cap: usize,
+    },
+    /// Panic inside the detector on the `at_op`-th analyzed event
+    /// (1-based), exercising the checkpoint/replay recovery in
+    /// [`Recoverable`].
+    AnalysisPanic {
+        /// Which analyzed event (1-based) blows up.
+        at_op: u64,
+    },
+    /// Pretend the producing thread's clock ran 1ms ahead of the analysis
+    /// thread's on every `every`-th event: queue-lag math must saturate
+    /// instead of panicking.
+    ClockSkew {
+        /// Skew period in analyzed events; `0` disables.
+        every: u64,
+    },
+}
+
+/// A seeded set of faults to inject into one monitored run.
+///
+/// The textual form (CLI `--faults`) is `SEED:SPEC[,SPEC...]` where each
+/// `SPEC` is `overflow@CAP`, `panic@OP`, `slow@EVERY`, or `skew@EVERY`:
+///
+/// ```
+/// use ft_runtime::online::{Fault, FaultPlan};
+/// let plan = FaultPlan::parse("7:overflow@64,panic@100").unwrap();
+/// assert_eq!(plan.seed, 7);
+/// assert_eq!(plan.faults[0], Fault::LaneOverflow { cap: 64 });
+/// assert_eq!(plan.faults[1], Fault::AnalysisPanic { at_op: 100 });
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for the jitter PRNG (slow-consumer stall lengths).
+    pub seed: u64,
+    /// The faults to arm.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// No faults: the monitor behaves exactly as un-injected.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// `true` when no fault is armed.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Parses `SEED:SPEC[,SPEC...]` (see the type docs for the grammar).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (seed_s, spec) = s
+            .split_once(':')
+            .ok_or_else(|| format!("fault plan {s:?} must be SEED:SPEC[,SPEC...]"))?;
+        let seed = seed_s
+            .trim()
+            .parse::<u64>()
+            .map_err(|e| format!("bad fault seed {seed_s:?}: {e}"))?;
+        let mut faults = Vec::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (kind, arg) = part
+                .split_once('@')
+                .ok_or_else(|| format!("fault {part:?} must be KIND@N"))?;
+            let n: u64 = arg
+                .parse()
+                .map_err(|e| format!("bad fault argument in {part:?}: {e}"))?;
+            faults.push(match kind {
+                "overflow" => {
+                    if n == 0 {
+                        return Err("overflow@CAP requires CAP >= 1".to_string());
+                    }
+                    Fault::LaneOverflow { cap: n as usize }
+                }
+                "panic" => Fault::AnalysisPanic { at_op: n },
+                "slow" => Fault::SlowConsumer { every: n },
+                "skew" => Fault::ClockSkew { every: n },
+                other => {
+                    return Err(format!(
+                        "unknown fault kind {other:?} (expected overflow|panic|slow|skew)"
+                    ))
+                }
+            });
+        }
+        Ok(FaultPlan { seed, faults })
+    }
+}
+
+/// Robustness configuration for [`Monitor::buffered_with`].
+#[derive(Clone, Debug)]
+pub struct MonitorConfig {
+    /// Per-lane message capacity (default 4096).
+    pub lane_cap: usize,
+    /// How long a blocked emitter waits for the drainer before the overflow
+    /// policy takes over. `None` (the default) waits forever under
+    /// [`OverflowPolicy::Block`]; ignored under
+    /// [`OverflowPolicy::DropOldest`], which never waits.
+    pub push_timeout: Option<Duration>,
+    /// What happens once the wait is over and the lane is still full.
+    pub overflow: OverflowPolicy,
+    /// Faults to inject (default: none).
+    pub faults: FaultPlan,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            lane_cap: LANE_CAP,
+            push_timeout: None,
+            overflow: OverflowPolicy::Block,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
 /// A message in one thread's lane.
 enum LaneMsg {
     /// A data access (or no-HB-effect marker): analyzable as soon as it is
@@ -221,14 +411,25 @@ struct Lane {
     /// Messages ever pushed; `report` uses this as its synchronization
     /// target.
     pushed: AtomicU64,
+    /// Messages shed under [`OverflowPolicy::DropOldest`] (or a timed-out
+    /// block). Counted in the same unit as `pushed`, so `consumed + dropped`
+    /// converges on `pushed` and report synchronization still terminates.
+    dropped: AtomicU64,
+    cap: usize,
+    overflow: OverflowPolicy,
+    push_timeout: Option<Duration>,
     emit_ns: Mutex<Histogram>,
 }
 
 impl Lane {
-    fn new() -> Self {
+    fn new(cap: usize, overflow: OverflowPolicy, push_timeout: Option<Duration>) -> Self {
         Lane {
             q: Mutex::new(VecDeque::new()),
             pushed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            cap,
+            overflow,
+            push_timeout,
             emit_ns: Mutex::new(Histogram::new()),
         }
     }
@@ -240,9 +441,32 @@ impl Lane {
         // blocked on the analysis thread draining the very lane it gates.
         let bounded = !matches!(msg, LaneMsg::After(_));
         let mut msg = Some(msg);
+        // When shedding is allowed, the deadline is how long we block first:
+        // zero under DropOldest, `push_timeout` under Block, never when
+        // Block has no timeout (the pre-guard wait-forever behaviour).
+        let deadline = match self.overflow {
+            OverflowPolicy::DropOldest => Some(Instant::now()),
+            OverflowPolicy::Block => self.push_timeout.map(|t| Instant::now() + t),
+        };
         loop {
             let mut q = lock(&self.q);
-            if !bounded || q.len() < LANE_CAP {
+            if !bounded || q.len() < self.cap {
+                q.push_back(msg.take().expect("pushed at most once"));
+                drop(q);
+                self.pushed.fetch_add(1, Ordering::Release);
+                return;
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                // Shed the oldest *access*: sync events and After gates
+                // carry happens-before edges the drainer cannot reconstruct,
+                // so they are never dropped. If the lane somehow holds no
+                // droppable access, push over capacity rather than lose an
+                // edge. The shed message was already counted in `pushed`;
+                // `dropped` balances the books.
+                if let Some(pos) = q.iter().position(|m| matches!(m, LaneMsg::Access(..))) {
+                    q.remove(pos);
+                    self.dropped.fetch_add(1, Ordering::Release);
+                }
                 q.push_back(msg.take().expect("pushed at most once"));
                 drop(q);
                 self.pushed.fetch_add(1, Ordering::Release);
@@ -271,15 +495,21 @@ struct LaneHub {
     next_ticket: AtomicU64,
     requests: Mutex<Vec<SnapshotReq>>,
     closed: AtomicBool,
+    lane_cap: usize,
+    overflow: OverflowPolicy,
+    push_timeout: Option<Duration>,
 }
 
 impl LaneHub {
-    fn new() -> Self {
+    fn new(config: &MonitorConfig) -> Self {
         LaneHub {
             lanes: RwLock::new(Vec::new()),
             next_ticket: AtomicU64::new(0),
             requests: Mutex::new(Vec::new()),
             closed: AtomicBool::new(false),
+            lane_cap: config.lane_cap.max(1),
+            overflow: config.overflow,
+            push_timeout: config.push_timeout,
         }
     }
 
@@ -296,7 +526,9 @@ impl LaneHub {
         if idx >= lanes.len() {
             lanes.resize_with(idx + 1, || None);
         }
-        Arc::clone(lanes[idx].get_or_insert_with(|| Arc::new(Lane::new())))
+        Arc::clone(lanes[idx].get_or_insert_with(|| {
+            Arc::new(Lane::new(self.lane_cap, self.overflow, self.push_timeout))
+        }))
     }
 
     /// A snapshot of the lane table (cheap: Arc clones).
@@ -323,9 +555,15 @@ struct BufferedSink {
 
 impl BufferedSink {
     fn spawn(detector: Box<dyn Detector + Send>) -> Self {
-        let hub = Arc::new(LaneHub::new());
+        Self::spawn_with(detector, &MonitorConfig::default())
+    }
+
+    fn spawn_with(detector: Box<dyn Detector + Send>, config: &MonitorConfig) -> Self {
+        let hub = Arc::new(LaneHub::new(config));
         let drainer_hub = Arc::clone(&hub);
-        std::thread::spawn(move || drain_loop(&drainer_hub, DetectorState::new(detector)));
+        let mut state = DetectorState::new(detector);
+        state.faults = FaultRunner::from_plan(&config.faults);
+        std::thread::spawn(move || drain_loop(&drainer_hub, state));
         BufferedSink { hub }
     }
 }
@@ -396,10 +634,27 @@ impl Drop for BufferedSink {
 /// Feeds one analyzable event to the detector, recording the standard
 /// queue/analysis instrumentation.
 fn feed_timed(state: &mut DetectorState, op: &Op, enqueued_at: Instant, backlog: usize) {
+    state.faults.fed += 1;
+    if state.faults.slow_every > 0 && state.faults.fed % state.faults.slow_every == 0 {
+        // Injected slow consumer: stall the analysis thread so lanes fill
+        // up and the backpressure/overflow machinery is exercised for real.
+        let jitter = state.faults.prng.next_u64() % 400;
+        std::thread::sleep(Duration::from_micros(100 + jitter));
+        state.metrics.inc_counter("online.slow_stalls", 1);
+    }
+    let lag = if state.faults.skew_every > 0 && state.faults.fed % state.faults.skew_every == 0 {
+        // Injected clock skew: pretend the producer's clock ran 1ms ahead
+        // of ours. Saturating math turns the impossible negative lag into
+        // zero instead of panicking mid-drain.
+        state.metrics.inc_counter("online.clock_skews", 1);
+        Instant::now().saturating_duration_since(enqueued_at + Duration::from_millis(1))
+    } else {
+        enqueued_at.elapsed()
+    };
     state
         .metrics
         .histogram_mut("online.queue_lag_ns")
-        .record_duration(enqueued_at.elapsed());
+        .record_duration(lag);
     state
         .metrics
         .histogram_mut("online.queue_depth")
@@ -564,8 +819,10 @@ fn pump_to_marker(
 fn build_report(state: &DetectorState, lanes: &[Option<Arc<Lane>>]) -> OnlineReport {
     let mut report = state.report();
     let mut emit = Histogram::new();
+    let mut dropped = 0u64;
     for lane in lanes.iter().flatten() {
         emit.merge(&lock(&lane.emit_ns));
+        dropped += lane.dropped.load(Ordering::Acquire);
     }
     if emit.count() > 0 {
         report
@@ -573,6 +830,14 @@ fn build_report(state: &DetectorState, lanes: &[Option<Arc<Lane>>]) -> OnlineRep
             .histograms
             .push(("online.emit_ns".to_string(), emit.summary()));
         report.metrics.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+    if dropped > 0 {
+        report
+            .metrics
+            .counters
+            .push(("online.dropped_events".to_string(), dropped));
+        report.metrics.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        report.dropped_events = dropped;
     }
     report
 }
@@ -608,8 +873,16 @@ fn drain_loop(hub: &LaneHub, mut state: DetectorState) {
         {
             let mut requests = lock(&hub.requests);
             requests.retain(|req| {
+                // A shed message will never be consumed; counting a lane's
+                // drops toward its target keeps report() from waiting
+                // forever on events that no longer exist.
                 let met = req.targets.iter().enumerate().all(|(i, &target)| {
-                    cursors.get(i).map_or(target == 0, |c| c.consumed >= target)
+                    let consumed = cursors.get(i).map_or(0, |c| c.consumed);
+                    let dropped = lanes
+                        .get(i)
+                        .and_then(|slot| slot.as_ref())
+                        .map_or(0, |lane| lane.dropped.load(Ordering::Acquire));
+                    consumed + dropped >= target
                 });
                 if met {
                     req.reply.fill(build_report(&state, &lanes));
@@ -662,8 +935,162 @@ pub struct OnlineReport {
     pub stats: Stats,
     /// Detector metrics plus monitoring-overhead instrumentation
     /// (`online.emit_ns`, and in buffered mode `online.analysis_ns`,
-    /// `online.queue_lag_ns`, `online.queue_depth`).
+    /// `online.queue_lag_ns`, `online.queue_depth`; under degradation also
+    /// `online.dropped_events`, `online.analysis_panics`,
+    /// `online.ops_skipped`, `online.slow_stalls`, `online.clock_skews`).
     pub metrics: Snapshot,
+    /// How much to trust `warnings`: [`Precision::Full`] unless the
+    /// detector's resource guard degraded (see `fasttrack::guard`).
+    pub precision: Precision,
+    /// Events shed by overflowing lanes; `0` unless
+    /// [`OverflowPolicy::DropOldest`] (or a push timeout) fired. Every shed
+    /// event is an access the detector never saw: `emitted ==
+    /// stats.ops + dropped_events + ops skipped by panic recovery`.
+    pub dropped_events: u64,
+}
+
+/// Panic isolation for a detector: checkpoint at every synchronization
+/// event, replay on failure.
+///
+/// A detector bug (or an injected [`Fault::AnalysisPanic`]) must not take
+/// the whole monitored program down with it. `Recoverable` clones the inner
+/// detector at each successfully-applied synchronization event and keeps a
+/// replay log of the accesses applied since. When `on_op` panics, the panic
+/// is caught, the detector is restored from the checkpoint, the logged
+/// accesses are replayed (they all succeeded once from this exact state),
+/// and only the panicking event is skipped — counted in
+/// `online.analysis_panics` / `online.ops_skipped`, and reflected in
+/// [`Detector::precision`] staying honest about the gap.
+///
+/// Checkpointing clones the full detector state per sync event; this is a
+/// robustness-mode trade, not a fast path (see `docs/OPERATIONS.md`).
+///
+/// ```
+/// use ft_runtime::online::Recoverable;
+/// use fasttrack::{Detector, FastTrack};
+/// use ft_clock::Tid;
+/// use ft_trace::{Op, VarId};
+///
+/// let mut det = Recoverable::new(FastTrack::new()).with_injected_panic(2);
+/// det.on_op(0, &Op::Write(Tid::new(0), VarId::new(0)));
+/// det.on_op(1, &Op::Write(Tid::new(0), VarId::new(1))); // panics, recovered
+/// det.on_op(2, &Op::Write(Tid::new(0), VarId::new(2)));
+/// assert_eq!(det.panics(), 1);
+/// assert_eq!(det.stats().writes, 2); // the panicking op is skipped
+/// ```
+pub struct Recoverable<D: Detector + Clone + Send> {
+    live: D,
+    checkpoint: D,
+    /// Accesses applied since `checkpoint`, for replay after a restore.
+    replay: Vec<(usize, Op)>,
+    panics: u64,
+    skipped: u64,
+    inject_at: Option<u64>,
+    seen: u64,
+}
+
+impl<D: Detector + Clone + Send> Recoverable<D> {
+    /// Wraps `detector` with checkpoint/replay panic isolation.
+    pub fn new(detector: D) -> Self {
+        Recoverable {
+            checkpoint: detector.clone(),
+            live: detector,
+            replay: Vec::new(),
+            panics: 0,
+            skipped: 0,
+            inject_at: None,
+            seen: 0,
+        }
+    }
+
+    /// Arms an injected panic on the `at_op`-th processed event (1-based).
+    pub fn with_injected_panic(mut self, at_op: u64) -> Self {
+        self.inject_at = Some(at_op);
+        self
+    }
+
+    /// Panics caught (and recovered from) so far.
+    pub fn panics(&self) -> u64 {
+        self.panics
+    }
+
+    /// Events skipped because they panicked the detector.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+}
+
+impl<D: Detector + Clone + Send> Detector for Recoverable<D> {
+    fn name(&self) -> &'static str {
+        self.live.name()
+    }
+
+    fn on_op(&mut self, index: usize, op: &Op) -> Disposition {
+        self.seen += 1;
+        let inject = self.inject_at == Some(self.seen);
+        let live = &mut self.live;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if inject {
+                panic!("injected analysis fault at op {index}");
+            }
+            live.on_op(index, op)
+        }));
+        match outcome {
+            Ok(disposition) => {
+                if op.is_sync() {
+                    self.checkpoint = self.live.clone();
+                    self.replay.clear();
+                } else {
+                    self.replay.push((index, op.clone()));
+                }
+                disposition
+            }
+            Err(_) => {
+                // `live` may be mid-update and inconsistent; discard it and
+                // rebuild from the last sync snapshot plus the replay log,
+                // which excludes the event that just blew up.
+                self.panics += 1;
+                self.skipped += 1;
+                self.live = self.checkpoint.clone();
+                for (i, o) in &self.replay {
+                    self.live.on_op(*i, o);
+                }
+                Disposition::Forward
+            }
+        }
+    }
+
+    fn warnings(&self) -> &[Warning] {
+        self.live.warnings()
+    }
+
+    fn stats(&self) -> &Stats {
+        self.live.stats()
+    }
+
+    fn shadow_bytes(&self) -> usize {
+        self.live.shadow_bytes()
+    }
+
+    fn rule_breakdown(&self) -> Vec<fasttrack::RuleCount> {
+        self.live.rule_breakdown()
+    }
+
+    fn precision(&self) -> Precision {
+        self.live.precision()
+    }
+
+    fn metrics(&self) -> Snapshot {
+        let mut snap = self.live.metrics();
+        if self.panics > 0 {
+            snap.counters
+                .push(("online.analysis_panics".to_string(), self.panics));
+            snap.counters
+                .push(("online.ops_skipped".to_string(), self.skipped));
+            snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        snap
+    }
 }
 
 /// A handle to the online detector; clone freely and share across threads.
@@ -691,6 +1118,39 @@ impl Monitor {
     /// it was called.
     pub fn buffered<D: Detector + Send + 'static>(detector: D) -> Self {
         Self::with_sink(Box::new(BufferedSink::spawn(Box::new(detector))))
+    }
+
+    /// [`Monitor::buffered`] with explicit robustness configuration: lane
+    /// capacity, bounded-wait backpressure, an overflow policy, and a
+    /// [`FaultPlan`] to rehearse against. The detector is wrapped in
+    /// [`Recoverable`], so an analysis panic loses exactly one event
+    /// instead of the run (hence the extra `Clone` bound).
+    ///
+    /// A [`Fault::LaneOverflow`] in the plan forces `lane_cap` down to its
+    /// `cap` and the overflow policy to [`OverflowPolicy::DropOldest`]; a
+    /// [`Fault::AnalysisPanic`] arms the injected panic in the wrapper.
+    pub fn buffered_with<D>(detector: D, config: MonitorConfig) -> Self
+    where
+        D: Detector + Clone + Send + 'static,
+    {
+        let mut config = config;
+        let mut recoverable = Recoverable::new(detector);
+        for fault in &config.faults.faults {
+            match fault {
+                Fault::AnalysisPanic { at_op } => {
+                    recoverable = recoverable.with_injected_panic(*at_op);
+                }
+                Fault::LaneOverflow { cap } => {
+                    config.lane_cap = *cap;
+                    config.overflow = OverflowPolicy::DropOldest;
+                }
+                Fault::SlowConsumer { .. } | Fault::ClockSkew { .. } => {}
+            }
+        }
+        Self::with_sink(Box::new(BufferedSink::spawn_with(
+            Box::new(recoverable),
+            &config,
+        )))
     }
 
     fn with_sink(sink: Box<dyn EventSink>) -> Self {
@@ -1418,6 +1878,122 @@ mod tests {
         assert_eq!(online_vars, seq_vars);
         assert_eq!(report.stats.ops, trace.len() as u64);
         assert_eq!(report.stats.sync_ops, seq.stats().sync_ops);
+    }
+
+    #[test]
+    fn fault_plan_parses_and_rejects() {
+        let plan = FaultPlan::parse("9:overflow@32, slow@4,skew@10,panic@100").unwrap();
+        assert_eq!(plan.seed, 9);
+        assert_eq!(
+            plan.faults,
+            vec![
+                Fault::LaneOverflow { cap: 32 },
+                Fault::SlowConsumer { every: 4 },
+                Fault::ClockSkew { every: 10 },
+                Fault::AnalysisPanic { at_op: 100 },
+            ]
+        );
+        for bad in [
+            "overflow@32",
+            "x:slow@4",
+            "7:bogus@1",
+            "7:slow",
+            "7:overflow@0",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad} should not parse");
+        }
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn analysis_panic_is_recovered_and_accounted() {
+        let config = MonitorConfig {
+            faults: FaultPlan::parse("1:panic@3").unwrap(),
+            ..MonitorConfig::default()
+        };
+        let monitor = Monitor::buffered_with(FastTrack::new(), config);
+        // Three writes from thread 0, fed in lane order: the third panics
+        // the detector and is skipped; the replay restores writes 1 and 2.
+        for x in 0..3 {
+            monitor.emit_raw(Op::Write(Tid::new(0), VarId::new(x)));
+        }
+        let mid = monitor.report();
+        assert_eq!(mid.stats.writes, 2, "panicking op must be skipped");
+        // After recovery the detector still works: an unordered write from
+        // another thread to x0 is a race, and x0's shadow state survived
+        // the restore.
+        monitor.emit_raw(Op::Write(Tid::new(1), VarId::new(0)));
+        let report = monitor.report();
+        assert_eq!(report.warnings.len(), 1, "{:?}", report.warnings);
+        assert_eq!(report.stats.writes, 3);
+        assert_eq!(report.metrics.counter("online.analysis_panics"), Some(1));
+        assert_eq!(report.metrics.counter("online.ops_skipped"), Some(1));
+        assert_eq!(report.dropped_events, 0);
+    }
+
+    #[test]
+    fn overflow_drop_oldest_accounts_for_every_event() {
+        // A tiny lane, a deliberately slow consumer: the producer must
+        // overflow, the monitor must drop (not deadlock), and the books
+        // must balance: emitted == analyzed + dropped.
+        let config = MonitorConfig {
+            faults: FaultPlan::parse("9:overflow@32,slow@4").unwrap(),
+            ..MonitorConfig::default()
+        };
+        let monitor = Monitor::buffered_with(FastTrack::new(), config);
+        let v = monitor.tracked_var(0u8);
+        let root = monitor.root();
+        const EMITTED: u64 = 1500;
+        for _ in 0..EMITTED {
+            v.set(&root, 1);
+        }
+        let report = monitor.report();
+        assert!(report.dropped_events > 0, "a 32-slot lane must overflow");
+        assert_eq!(
+            report.stats.writes + report.dropped_events,
+            EMITTED,
+            "every dropped event must be counted"
+        );
+        assert_eq!(
+            report.metrics.counter("online.dropped_events"),
+            Some(report.dropped_events)
+        );
+        assert!(report.metrics.counter("online.slow_stalls").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn clock_skew_saturates_queue_lag() {
+        let config = MonitorConfig {
+            faults: FaultPlan::parse("3:skew@2").unwrap(),
+            ..MonitorConfig::default()
+        };
+        let monitor = Monitor::buffered_with(FastTrack::new(), config);
+        let v = monitor.tracked_var(0u8);
+        let root = monitor.root();
+        for _ in 0..100 {
+            v.set(&root, 1);
+        }
+        let report = monitor.report();
+        assert_eq!(report.stats.writes, 100);
+        assert_eq!(report.metrics.counter("online.clock_skews"), Some(50));
+        // Lag histogram still recorded one entry per event, skewed or not.
+        let lag = report.metrics.histogram("online.queue_lag_ns").unwrap();
+        assert_eq!(lag.count, 100);
+    }
+
+    #[test]
+    fn buffered_with_defaults_matches_buffered() {
+        let monitor = Monitor::buffered_with(FastTrack::new(), MonitorConfig::default());
+        let v = monitor.tracked_var(0u8);
+        let root = monitor.root();
+        for _ in 0..200 {
+            v.set(&root, 1);
+        }
+        let report = monitor.report();
+        assert_eq!(report.stats.writes, 200);
+        assert_eq!(report.dropped_events, 0);
+        assert!(matches!(report.precision, Precision::Full));
+        assert_eq!(report.metrics.counter("online.analysis_panics"), None);
     }
 
     #[test]

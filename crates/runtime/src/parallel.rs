@@ -28,7 +28,7 @@
 //! thousands of generated traces.
 
 use fasttrack::shard::{fold, ShardResult, SyncClocks, ThreadsSnapshot, VarShard};
-use fasttrack::{FastTrackConfig, RuleCount, Stats, Warning};
+use fasttrack::{FastTrackConfig, Precision, RuleCount, Stats, Warning};
 use ft_clock::Tid;
 use ft_obs::{MetricsRegistry, Snapshot};
 use ft_trace::{AccessKind, Trace, VarId};
@@ -86,6 +86,9 @@ pub struct ParallelReport {
     pub shadow_bytes: usize,
     /// Shard count the analysis actually ran with.
     pub shards: usize,
+    /// Merged precision verdict: [`Precision::Degraded`] if any shard's
+    /// guard had to step down its degradation ladder.
+    pub precision: Precision,
     /// Engine metrics: the detector-convention counters/gauges plus
     /// `parallel.*` instrumentation (batch latency histogram, batched access
     /// counts, wall-clock).
@@ -164,7 +167,16 @@ pub fn analyze_parallel(trace: &Trace, config: &ParallelConfig) -> ParallelRepor
         for shard_idx in 0..shards {
             let (tx, rx) = mpsc::sync_channel::<Batch>(queue_depth);
             senders.push(tx);
-            let detector = config.detector.clone();
+            let mut detector = config.detector.clone();
+            if let Some(g) = detector.guard.as_mut() {
+                // Each shard governs a disjoint slice of the variables, so
+                // the total budget divides across them; the sampling seed
+                // varies per shard to avoid lock-step admission decisions.
+                if g.mem_budget > 0 {
+                    g.mem_budget = (g.mem_budget / shards).max(1);
+                }
+                g.seed ^= shard_idx as u64;
+            }
             handles.push(scope.spawn(move || shard_worker(shard_idx, shards, detector, rx)));
         }
 
@@ -235,6 +247,21 @@ pub fn analyze_parallel(trace: &Trace, config: &ParallelConfig) -> ParallelRepor
         engine_reg.inc_counter(&format!("rule.{}.hits", rc.rule), rc.hits);
         engine_reg.set_gauge(&format!("rule.{}.percent", rc.rule), rc.percent);
     }
+    engine_reg.set_meta(
+        "precision",
+        if folded.precision.is_degraded() {
+            "degraded"
+        } else {
+            "full"
+        },
+    );
+    if let Some(r) = folded.precision.record() {
+        engine_reg.set_gauge("guard.budget_bytes", r.budget_bytes as f64);
+        engine_reg.set_gauge("guard.peak_bytes", r.peak_bytes as f64);
+        engine_reg.inc_counter("guard.rvc_evictions", r.rvc_evictions);
+        engine_reg.inc_counter("guard.sampled_out", r.sampled_out);
+        engine_reg.inc_counter("guard.pool_clocks_dropped", r.pool_clocks_dropped);
+    }
 
     ParallelReport {
         warnings: folded.warnings,
@@ -242,6 +269,7 @@ pub fn analyze_parallel(trace: &Trace, config: &ParallelConfig) -> ParallelRepor
         rule_breakdown: folded.rule_breakdown,
         shadow_bytes: folded.shadow_bytes,
         shards,
+        precision: folded.precision,
         metrics: engine_reg.snapshot(),
     }
 }

@@ -16,6 +16,10 @@ cargo test -q --test parallel_agreement
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "==> rustdoc (deny warnings) + doctests"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+cargo test -q --doc --workspace
+
 echo "==> bench binaries compile (feature-gated, no external deps)"
 cargo build -p ft-bench --features criterion --benches
 
@@ -50,6 +54,21 @@ doc = json.load(open("BENCH_parallel.json"))
 assert doc["divergences"] == 0, "parallel engine diverged from sequential"
 assert doc["traces_checked"] >= 16, "agreement sweep did not cover the benchmarks"
 print("parallel smoke OK:", doc["traces_checked"], "benchmarks, 0 divergences")
+EOF
+
+echo "==> guard degradation smoke (shrinking budgets, soundness sweep)"
+cargo run --release -q -p ft-bench --bin guard -- --ops=20000 --reps=1
+python3 - BENCH_guard.json <<'EOF'
+import json
+doc = json.load(open("BENCH_guard.json"))
+assert doc["violations"] == 0, "guard degradation violated soundness"
+rows = doc["rows"]
+assert rows, "guard sweep produced no workloads"
+for row in rows:
+    for rung in row["budgets"]:
+        assert rung["warnings_subset_of_baseline"], \
+            f"{row['workload']}: fabricated warnings at {rung['budget_bytes']} B"
+print("guard smoke OK:", len(rows), "workloads, 0 violations")
 EOF
 
 echo "==> all checks passed"
