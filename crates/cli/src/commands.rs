@@ -4,9 +4,11 @@ use crate::args::Args;
 use crate::{coarsen_trace, load_trace, print_oracle, print_report, save_trace};
 use fasttrack::{Detector, Empty, FastTrack, FastTrackConfig, GuardConfig};
 use ft_detectors::{BasicVc, Djit, Eraser, Goldilocks, MultiRace, RaceTrack};
-use ft_runtime::{analyze_parallel, ParallelConfig, ParallelReport};
+use ft_runtime::{
+    analyze_parallel, analyze_parallel_stream, analyze_stream, ParallelConfig, ParallelReport,
+};
 use ft_trace::gen::{self, GenConfig};
-use ft_trace::Trace;
+use ft_trace::{FtbReader, FtbWriter, ObjId, Trace, VarId};
 use ft_workloads::eclipse::EclipseOp;
 use ft_workloads::{Scale, BENCHMARKS};
 
@@ -87,12 +89,9 @@ fn maybe_write_metrics(args: &Args, snapshot: &ft_obs::Snapshot) -> Result<(), S
     Ok(())
 }
 
-/// `ftrace generate`.
-pub fn generate(args: &Args) -> Result<(), String> {
-    let output = args
-        .get("output")
-        .ok_or("generate requires -o FILE")?
-        .to_string();
+/// Builds the workload a `generate`/`trace record` invocation asked for:
+/// a named benchmark, an eclipse operation, or a random structured trace.
+fn build_workload(args: &Args) -> Result<Trace, String> {
     let ops = args.get_num::<usize>("ops", 20_000)?;
     let seed = args.get_num::<u64>("seed", 42)?;
 
@@ -129,7 +128,16 @@ pub fn generate(args: &Args) -> Result<(), String> {
         };
         gen::generate(&cfg, seed)
     };
+    Ok(trace)
+}
 
+/// `ftrace generate`.
+pub fn generate(args: &Args) -> Result<(), String> {
+    let output = args
+        .get("output")
+        .ok_or("generate requires -o FILE")?
+        .to_string();
+    let trace = build_workload(args)?;
     save_trace(&trace, &output)?;
     println!(
         "wrote {}: {} events, {} threads, {} vars, {} locks",
@@ -138,6 +146,85 @@ pub fn generate(args: &Args) -> Result<(), String> {
         trace.n_threads(),
         trace.n_vars(),
         trace.n_locks()
+    );
+    Ok(())
+}
+
+/// `ftrace trace`: binary-format utilities (`record`, `convert`).
+pub fn trace_cmd(args: &Args) -> Result<(), String> {
+    match args.positional(0) {
+        Some("record") => trace_record(args),
+        Some("convert") => trace_convert(args),
+        Some(other) => Err(format!(
+            "unknown trace subcommand {other:?} (expected record or convert)"
+        )),
+        None => Err("trace requires a subcommand: record or convert".into()),
+    }
+}
+
+/// `ftrace trace record`: build a workload and stream its events through
+/// [`FtbWriter`] record by record — the path an instrumented program would
+/// use to persist an execution as it happens, never holding the encoded
+/// trace in memory. The header keeps the open-ended record-count sentinel,
+/// exactly like a live recording that cannot seek back.
+fn trace_record(args: &Args) -> Result<(), String> {
+    let output = args
+        .get("output")
+        .ok_or("trace record requires -o FILE.ftb")?
+        .to_string();
+    let trace = build_workload(args)?;
+    let objects: Vec<ObjId> = (0..trace.n_vars())
+        .map(|x| trace.object_of(VarId::new(x)))
+        .collect();
+    let file = std::fs::File::create(&output).map_err(|e| format!("creating {output}: {e}"))?;
+    let mut w = FtbWriter::with_var_objects(
+        std::io::BufWriter::new(file),
+        trace.n_threads(),
+        trace.n_vars(),
+        trace.n_locks(),
+        &objects,
+    )
+    .map_err(|e| format!("writing {output}: {e}"))?;
+    for op in trace.events() {
+        w.write_op(op)
+            .map_err(|e| format!("writing {output}: {e}"))?;
+    }
+    let records = w.records_written();
+    w.finish().map_err(|e| format!("flushing {output}: {e}"))?;
+    println!(
+        "recorded {}: {} events ({} records), {} threads, {} vars, {} locks",
+        output,
+        trace.len(),
+        records,
+        trace.n_threads(),
+        trace.n_vars(),
+        trace.n_locks()
+    );
+    Ok(())
+}
+
+/// `ftrace trace convert`: json <-> ftb. The input format is sniffed from
+/// content; the output format follows the `-o` extension.
+fn trace_convert(args: &Args) -> Result<(), String> {
+    let input = args
+        .positional(1)
+        .ok_or("trace convert requires an input file")?;
+    let output = args
+        .get("output")
+        .ok_or("trace convert requires -o FILE")?
+        .to_string();
+    let trace = load_trace(input)?;
+    save_trace(&trace, &output)?;
+    println!(
+        "converted {} -> {} ({} events, {})",
+        input,
+        output,
+        trace.len(),
+        if output.ends_with(".ftb") {
+            "binary ftb"
+        } else {
+            "json"
+        }
     );
     Ok(())
 }
@@ -184,10 +271,22 @@ fn print_parallel_report(report: &ParallelReport, verbose: bool) {
 pub fn analyze(args: &Args) -> Result<(), String> {
     let path = args.positional(0).ok_or("analyze requires a trace file")?;
     maybe_enable_tracing(args)?;
-    let trace = load_trace(path)?;
     let tool_name = args.get("tool").unwrap_or("FASTTRACK");
     let shards = args.get_num::<usize>("shards", 1)?;
     let guard = guard_config(args)?;
+    let ftb = match args.get("format") {
+        None => crate::is_ftb_path(path),
+        Some("ftb") => true,
+        Some("json") => false,
+        Some(other) => return Err(format!("unknown --format {other:?} (json or ftb)")),
+    };
+    // Binary traces analyzed by FASTTRACK stream straight off the file
+    // through the fused block loop — the trace is never materialized, so
+    // files larger than RAM analyze in O(shadow state + one block).
+    if ftb && tool_name.eq_ignore_ascii_case("FASTTRACK") {
+        return analyze_ftb_stream(path, args, shards, guard);
+    }
+    let trace = load_trace(path)?;
     if shards > 1 {
         if !tool_name.eq_ignore_ascii_case("FASTTRACK") {
             return Err(format!(
@@ -204,6 +303,44 @@ pub fn analyze(args: &Args) -> Result<(), String> {
     let mut tool = make_tool(tool_name, args.has_flag("all-warnings"), guard)?;
     run_tool(tool.as_mut(), &trace);
     print_report(tool.as_ref(), true);
+    print_precision(&tool.precision());
+    maybe_write_metrics(args, &tool.metrics())?;
+    Ok(())
+}
+
+/// The `.ftb` streaming arm of [`analyze`]: sequential FASTTRACK uses
+/// [`analyze_stream`]'s fused block loop, `--shards N` feeds the parallel
+/// engine's coordinator directly from the decoder.
+fn analyze_ftb_stream(
+    path: &str,
+    args: &Args,
+    shards: usize,
+    guard: Option<GuardConfig>,
+) -> Result<(), String> {
+    let all_warnings = args.has_flag("all-warnings");
+    let file = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut reader = FtbReader::new(std::io::BufReader::new(file))
+        .map_err(|e| format!("parsing {path}: {e}"))?;
+    if shards > 1 {
+        let config = parallel_config(shards, all_warnings, guard);
+        let report = analyze_parallel_stream(&mut reader, &config)
+            .map_err(|e| format!("streaming {path}: {e}"))?;
+        print_parallel_report(&report, true);
+        print_precision(&report.precision);
+        maybe_write_metrics(args, &report.metrics)?;
+        return Ok(());
+    }
+    let mut tool = FastTrack::with_config(FastTrackConfig {
+        report_all: all_warnings,
+        guard,
+        ..FastTrackConfig::default()
+    });
+    let events = {
+        let _span = ft_obs::span!("analyze.stream", events = 0usize);
+        analyze_stream(&mut reader, &mut tool).map_err(|e| format!("streaming {path}: {e}"))?
+    };
+    println!("streamed {events} event(s) from {path}");
+    print_report(&tool, true);
     print_precision(&tool.precision());
     maybe_write_metrics(args, &tool.metrics())?;
     Ok(())

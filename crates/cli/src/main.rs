@@ -4,11 +4,19 @@
 //! ```text
 //! ftrace generate --benchmark tsp --ops 50000 --seed 7 -o tsp.ftrace
 //! ftrace analyze tsp.ftrace --tool FASTTRACK
+//! ftrace analyze tsp.ftb --format ftb          (streams, never materializes)
+//! ftrace trace record --benchmark tsp -o tsp.ftb
+//! ftrace trace convert tsp.ftrace -o tsp.ftb
 //! ftrace compare tsp.ftrace
 //! ftrace oracle  tsp.ftrace
 //! ftrace coarsen tsp.ftrace -o tsp-coarse.ftrace
 //! ftrace info    tsp.ftrace
 //! ```
+//!
+//! Trace files come in two formats, distinguished by content sniffing: the
+//! JSON `.ftrace` format and the packed binary `.ftb` format (32-byte
+//! header + 12-byte records; see `ft_trace::ftb`). Every command accepts
+//! either; `-o` paths ending in `.ftb` write binary.
 
 use fasttrack::Detector;
 use ft_runtime::coarsen;
@@ -25,12 +33,21 @@ ftrace — FastTrack race-detection trace tool
 
 USAGE:
   ftrace generate [--benchmark NAME | --random] [--ops N] [--seed N]
-                  [--racy FRAC] -o FILE     generate a trace
+                  [--racy FRAC] -o FILE     generate a trace (FILE ending in
+                                            .ftb writes the binary format)
   ftrace analyze FILE [--tool NAME] [--all-warnings] [--shards N]
-                  [--mem-budget BYTES]
+                  [--mem-budget BYTES] [--format json|ftb]
                   [--metrics OUT.json]      run one detector (with N > 1,
                                             FASTTRACK runs on the epoch-sliced
-                                            parallel engine)
+                                            parallel engine; on .ftb input
+                                            FASTTRACK streams the file through
+                                            the fused block loop instead of
+                                            materializing it)
+  ftrace trace record [--benchmark NAME | --random] [--ops N] [--seed N]
+                  [--racy FRAC] -o FILE.ftb stream a workload's events through
+                                            the binary writer record by record
+  ftrace trace convert IN -o OUT            convert json <-> ftb (formats
+                                            inferred from content/extension)
   ftrace compare FILE                       run every detector
   ftrace pipeline FILE [--filter NAME] [--checker NAME] [--metrics OUT.json]
                                             prefilter + downstream checker
@@ -81,6 +98,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     match command.as_str() {
         "generate" => commands::generate(&args),
         "analyze" => commands::analyze(&args),
+        "trace" => commands::trace_cmd(&args),
         "compare" => commands::compare(&args),
         "pipeline" => commands::pipeline(&args),
         "profile" => commands::profile(&args),
@@ -95,14 +113,39 @@ fn run(argv: &[String]) -> Result<(), String> {
     }
 }
 
-/// Loads a trace file, re-validating feasibility.
+/// Loads a trace file in either format, re-validating feasibility. Binary
+/// `.ftb` files are recognized by their magic; anything else parses as the
+/// JSON `.ftrace` format.
 pub(crate) fn load_trace(path: &str) -> Result<Trace, String> {
-    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if bytes.starts_with(&ft_trace::FTB_MAGIC) {
+        return Trace::from_ftb(&bytes).map_err(|e| format!("parsing {path}: {e}"));
+    }
+    let json = String::from_utf8(bytes).map_err(|_| format!("{path}: not valid UTF-8 or .ftb"))?;
     Trace::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))
 }
 
-/// Writes a trace file.
+/// `true` when `path` names a `.ftb` file — by content when it exists, by
+/// extension otherwise (for output paths).
+pub(crate) fn is_ftb_path(path: &str) -> bool {
+    match std::fs::File::open(path) {
+        Ok(mut f) => {
+            use std::io::Read;
+            let mut magic = [0u8; 4];
+            f.read_exact(&mut magic).is_ok() && magic == ft_trace::FTB_MAGIC
+        }
+        Err(_) => path.ends_with(".ftb"),
+    }
+}
+
+/// Writes a trace file; `-o` paths ending in `.ftb` get the binary format.
 pub(crate) fn save_trace(trace: &Trace, path: &str) -> Result<(), String> {
+    if path.ends_with(".ftb") {
+        let bytes = trace
+            .to_ftb()
+            .map_err(|e| format!("encoding {path}: {e}"))?;
+        return std::fs::write(path, bytes).map_err(|e| format!("writing {path}: {e}"));
+    }
     std::fs::write(path, trace.to_json()).map_err(|e| format!("writing {path}: {e}"))
 }
 

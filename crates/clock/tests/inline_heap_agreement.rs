@@ -1,0 +1,216 @@
+//! Property test: the inline (≤ [`VectorClock::INLINE_LANES`] lanes on the
+//! stack) and heap-spilled representations of [`VectorClock`] are
+//! observably identical.
+//!
+//! A plain `Vec<u32>` model implements the vector-clock semantics with no
+//! representation cleverness at all; seeded random op sequences drive a
+//! real clock and its model through `inc`/`set`/`join`/`assign`/`clear`
+//! and compare `get`/`leq`/`epoch_of`/`dim`/`iter_nonzero` after every
+//! step. Each sequence deliberately starts with tids below the inline
+//! capacity and then widens past it, so every run crosses the spill
+//! boundary while the model stays oblivious to it.
+
+use ft_clock::{Tid, VectorClock};
+
+/// splitmix64 — the usual tiny deterministic generator for seeded tests.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> usize {
+        (self.next() % n) as usize
+    }
+}
+
+/// The representation-free reference: a dense `Vec<u32>` of components.
+#[derive(Clone, Default)]
+struct Model(Vec<u32>);
+
+impl Model {
+    fn get(&self, t: usize) -> u32 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    fn set(&mut self, t: usize, c: u32) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] = c;
+    }
+
+    fn inc(&mut self, t: usize) {
+        let c = self.get(t);
+        self.set(t, c + 1);
+    }
+
+    fn join(&mut self, other: &Model) {
+        for (t, &c) in other.0.iter().enumerate() {
+            if c > self.get(t) {
+                self.set(t, c);
+            }
+        }
+    }
+
+    fn leq(&self, other: &Model) -> bool {
+        self.0.iter().enumerate().all(|(t, &c)| c <= other.get(t))
+    }
+}
+
+/// Checks every observer the detector relies on.
+fn assert_agrees(vc: &VectorClock, model: &Model, max_tids: usize, ctx: &str) {
+    for t in 0..max_tids {
+        let tid = Tid::new(t as u32);
+        assert_eq!(vc.get(tid), model.get(t), "{ctx}: get({t})");
+        let e = vc.epoch_of(tid);
+        assert_eq!(e.tid(), tid, "{ctx}: epoch_of({t}).tid");
+        assert_eq!(e.clock(), model.get(t), "{ctx}: epoch_of({t}).clock");
+    }
+    let nonzero: Vec<(u32, u32)> = vc.iter_nonzero().map(|(t, c)| (t.as_u32(), c)).collect();
+    let expected: Vec<(u32, u32)> = model
+        .0
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c != 0)
+        .map(|(t, &c)| (t as u32, c))
+        .collect();
+    assert_eq!(nonzero, expected, "{ctx}: iter_nonzero");
+}
+
+#[test]
+fn random_op_sequences_agree_with_the_flat_model() {
+    const CLOCKS: usize = 4;
+    const OPS: usize = 2_500;
+    const WIDE_TIDS: u64 = 2 * VectorClock::INLINE_LANES as u64 + 5;
+
+    for seed in 0..24u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x5851f42d4c957f2d) + 1);
+        let mut vcs: Vec<VectorClock> = (0..CLOCKS).map(|_| VectorClock::new()).collect();
+        let mut models: Vec<Model> = (0..CLOCKS).map(|_| Model::default()).collect();
+
+        for step in 0..OPS {
+            // First half: stay within the inline capacity. Second half:
+            // widen past it, forcing each clock across the spill boundary
+            // mid-history.
+            let tid_space = if step < OPS / 2 {
+                VectorClock::INLINE_LANES as u64
+            } else {
+                WIDE_TIDS
+            };
+            let i = rng.below(CLOCKS as u64);
+            let j = rng.below(CLOCKS as u64);
+            let t = rng.below(tid_space);
+            let ctx = format!("seed {seed} step {step}");
+            match rng.below(100) {
+                0..=39 => {
+                    vcs[i].inc(Tid::new(t as u32));
+                    models[i].inc(t);
+                }
+                40..=59 => {
+                    if i != j {
+                        let (a, b) = if i < j {
+                            let (l, r) = vcs.split_at_mut(j);
+                            (&mut l[i], &r[0])
+                        } else {
+                            let (l, r) = vcs.split_at_mut(i);
+                            (&mut r[0], &l[j])
+                        };
+                        a.join(b);
+                        let mb = models[j].clone();
+                        models[i].join(&mb);
+                    }
+                }
+                60..=74 => {
+                    let c = rng.next() as u32 % 1_000;
+                    vcs[i].set(Tid::new(t as u32), c);
+                    models[i].set(t, c);
+                }
+                75..=84 => {
+                    assert_eq!(
+                        vcs[i].leq(&vcs[j]),
+                        models[i].leq(&models[j]),
+                        "{ctx}: leq({i},{j})"
+                    );
+                }
+                85..=92 => {
+                    let mb = vcs[j].clone();
+                    vcs[i].assign(&mb);
+                    models[i] = models[j].clone();
+                }
+                _ => {
+                    vcs[i].clear();
+                    models[i] = Model::default();
+                }
+            }
+            assert_agrees(&vcs[i], &models[i], WIDE_TIDS as usize, &ctx);
+            assert_eq!(
+                vcs[i].is_bottom(),
+                models[i].0.iter().all(|&c| c == 0),
+                "{ctx}: is_bottom"
+            );
+        }
+    }
+}
+
+#[test]
+fn the_spill_boundary_itself_is_exact() {
+    // Fill every inline lane, then take one step past the boundary and
+    // back-check every observer on both sides.
+    let mut vc = VectorClock::new();
+    let mut model = Model::default();
+    for t in 0..VectorClock::INLINE_LANES {
+        vc.set(Tid::new(t as u32), (t + 1) as u32);
+        model.set(t, (t + 1) as u32);
+    }
+    assert!(vc.is_inline(), "full inline capacity must not spill");
+    assert_agrees(&vc, &model, VectorClock::INLINE_LANES, "at capacity");
+
+    let spill = Tid::new(VectorClock::INLINE_LANES as u32);
+    vc.inc(spill);
+    model.inc(VectorClock::INLINE_LANES);
+    assert!(!vc.is_inline(), "writing one lane past capacity must spill");
+    assert_agrees(&vc, &model, VectorClock::INLINE_LANES + 1, "after spill");
+
+    // The spilled clock keeps behaving identically.
+    let mut other = VectorClock::new();
+    other.set(Tid::new(2), 100);
+    let mut other_model = Model::default();
+    other_model.set(2, 100);
+    vc.join(&other);
+    model.join(&other_model);
+    assert_agrees(
+        &vc,
+        &model,
+        VectorClock::INLINE_LANES + 1,
+        "post-spill join",
+    );
+    assert!(!vc.leq(&other));
+    assert!(other.leq(&vc));
+}
+
+#[test]
+fn inline_clocks_never_allocate() {
+    // Representation invariant: histories confined to the inline lanes
+    // must never touch the heap, whatever the op mix.
+    let mut rng = Rng(7);
+    let mut vc = VectorClock::new();
+    let mut other = VectorClock::new();
+    for _ in 0..1_000 {
+        let t = Tid::new(rng.below(VectorClock::INLINE_LANES as u64) as u32);
+        match rng.below(4) {
+            0 => vc.inc(t),
+            1 => other.inc(t),
+            2 => vc.join(&other),
+            _ => other.join(&vc),
+        }
+        assert!(vc.is_inline() && other.is_inline());
+        assert_eq!(vc.heap_bytes(), 0);
+        assert_eq!(other.heap_bytes(), 0);
+    }
+}

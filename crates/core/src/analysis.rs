@@ -9,12 +9,13 @@
 use crate::detector::{self, Detector, Disposition};
 use crate::guard::{Guard, GuardConfig, GuardTier, Precision, ShadowBudget};
 use crate::rules::{self, RuleHits};
-use crate::state::{ThreadState, VarState};
+use crate::state::{ThreadState, VarState, READ_SHARED};
 use crate::stats::{RuleCount, Stats};
 use crate::warning::{AccessSummary, Warning, WarningKind};
 use ft_clock::{Epoch, Tid, VcPool, VectorClock};
 use ft_obs::Snapshot;
-use ft_trace::{AccessKind, LockId, Op, VarId};
+use ft_trace::batch::opcode;
+use ft_trace::{AccessKind, EventBlock, LockId, Op, Trace, VarId};
 
 /// Free clocks the detector keeps around for `Rvc` reuse (the inflate /
 /// collapse cycle of `[FT READ SHARE]` / `[FT WRITE SHARED]` rarely has
@@ -165,17 +166,35 @@ impl FastTrack {
     fn var(&mut self, x: VarId) -> &mut VarState {
         let idx = x.as_usize();
         if idx >= self.vars.len() {
-            let cap_before = self.vars.capacity();
-            self.vars.resize_with(idx + 1, VarState::default);
-            self.warned.resize(idx + 1, false);
-            if let Some(g) = self.guard.as_mut() {
-                // The per-variable epoch pairs live in the slab itself, so
-                // the budget charges by capacity growth.
-                let grown = self.vars.capacity() - cap_before;
-                g.charge(grown * std::mem::size_of::<VarState>());
-            }
+            self.grow_vars(idx);
         }
         &mut self.vars[idx]
+    }
+
+    /// Grows the shadow slab to cover `idx` on an amortized doubling
+    /// schedule, so a sparse ascending `VarId` sequence reallocates
+    /// *O(log n)* times instead of on every new high id. Kept out of line so
+    /// the `var()` hot path is a bounds check plus an indexed load.
+    #[cold]
+    #[inline(never)]
+    fn grow_vars(&mut self, idx: usize) {
+        let needed = idx + 1;
+        let cap_before = self.vars.capacity();
+        if needed > cap_before {
+            // `reserve_exact` to the doubled target keeps the capacity the
+            // guard is charged for identical to the capacity actually held.
+            let target = needed.max(cap_before.saturating_mul(2)).max(64);
+            self.vars.reserve_exact(target - self.vars.len());
+            self.warned.reserve_exact(target - self.warned.len());
+        }
+        self.vars.resize_with(needed, VarState::default);
+        self.warned.resize(needed, false);
+        if let Some(g) = self.guard.as_mut() {
+            // The per-variable shadow words live in the slab itself, so the
+            // budget charges by capacity growth.
+            let grown = self.vars.capacity() - cap_before;
+            g.charge(grown * std::mem::size_of::<VarState>());
+        }
     }
 
     fn report(
@@ -217,6 +236,9 @@ impl FastTrack {
     /// The transition itself lives in [`rules::read_var`], shared with the
     /// parallel engine's shards; this wrapper only resolves the shadow
     /// state and turns the outcome into warnings.
+    // Outlined so the fused `run`/`on_block` loops stay small enough to sit
+    // in the µop cache; the same-epoch fast path never enters here.
+    #[inline(never)]
     fn read(&mut self, index: usize, t: Tid, x: VarId) {
         self.stats.reads += 1;
         if self.sampled_out(x) {
@@ -230,7 +252,13 @@ impl FastTrack {
             .as_ref()
             .expect("thread initialized above")
             .vc;
-        let before = self.vars[x.as_usize()].rvc_bytes();
+        // `rvc_bytes` dereferences the boxed Rvc; only the guard needs the
+        // before/after delta, so ungoverned runs skip it entirely.
+        let before = if self.guard.is_some() {
+            self.vars[x.as_usize()].rvc_bytes()
+        } else {
+            0
+        };
         let outcome = rules::read_var(
             &mut self.vars[x.as_usize()],
             t,
@@ -270,6 +298,7 @@ impl FastTrack {
     ///
     /// Like [`FastTrack::read`], delegates the transition to
     /// [`rules::write_var`].
+    #[inline(never)]
     fn write(&mut self, index: usize, t: Tid, x: VarId) {
         self.stats.writes += 1;
         if self.sampled_out(x) {
@@ -282,7 +311,11 @@ impl FastTrack {
             .as_ref()
             .expect("thread initialized above")
             .vc;
-        let before = self.vars[x.as_usize()].rvc_bytes();
+        let before = if self.guard.is_some() {
+            self.vars[x.as_usize()].rvc_bytes()
+        } else {
+            0
+        };
         let outcome = rules::write_var(
             &mut self.vars[x.as_usize()],
             epoch,
@@ -325,6 +358,80 @@ impl FastTrack {
         self.enforce_budget();
     }
 
+    /// The ungoverned read slow path. `run`/`on_block` dispatch here once
+    /// the fast-path probe has proven `threads[t]` and `vars[x]` both have
+    /// shadow state and the guard is off: the ensure/resize checks, the
+    /// sampling test, and the guard accounting of [`FastTrack::read`] are
+    /// all statically dead under those preconditions, so this skips them.
+    #[inline(never)]
+    fn read_preensured(&mut self, index: usize, t: Tid, x: VarId) {
+        self.stats.reads += 1;
+        let ts = self.threads[t.as_usize()]
+            .as_ref()
+            .expect("caller proved the thread slot exists");
+        let outcome = rules::read_var(
+            &mut self.vars[x.as_usize()],
+            t,
+            ts.epoch,
+            &ts.vc,
+            &self.config,
+            &mut self.pool,
+            &mut self.stats,
+        );
+        self.rules.hit_read(outcome.rule);
+        if let Some(w) = outcome.racy_write {
+            self.report(
+                x,
+                WarningKind::WriteRead,
+                w.tid(),
+                AccessKind::Write,
+                t,
+                AccessKind::Read,
+                index,
+            );
+        }
+    }
+
+    /// The ungoverned write slow path; see [`FastTrack::read_preensured`].
+    #[inline(never)]
+    fn write_preensured(&mut self, index: usize, t: Tid, x: VarId) {
+        self.stats.writes += 1;
+        let ts = self.threads[t.as_usize()]
+            .as_ref()
+            .expect("caller proved the thread slot exists");
+        let outcome = rules::write_var(
+            &mut self.vars[x.as_usize()],
+            ts.epoch,
+            &ts.vc,
+            &self.config,
+            &mut self.pool,
+            &mut self.stats,
+        );
+        self.rules.hit_write(outcome.rule);
+        if let Some(w) = outcome.racy_write {
+            self.report(
+                x,
+                WarningKind::WriteWrite,
+                w.tid(),
+                AccessKind::Write,
+                t,
+                AccessKind::Write,
+                index,
+            );
+        }
+        if let Some(u) = outcome.racy_read {
+            self.report(
+                x,
+                WarningKind::ReadWrite,
+                u,
+                AccessKind::Read,
+                t,
+                AccessKind::Write,
+                index,
+            );
+        }
+    }
+
     /// `true` when the sampling tier decided to skip this access. Only
     /// accesses that would *allocate new shadow state* (a variable id
     /// beyond the current slab) are ever skipped; variables with existing
@@ -362,7 +469,7 @@ impl FastTrack {
             }
             let freed = vs.rvc_bytes();
             vs.rvc = None;
-            vs.r = last_read;
+            vs.set_r(last_read);
             g.record_eviction(freed);
         }
         if !g.over() {
@@ -574,15 +681,15 @@ impl FastTrack {
         // Clauses 3 and 4.
         for (xi, vs) in self.vars.iter().enumerate() {
             let mut entries: Vec<(Tid, u32, &str)> = Vec::new();
-            if !vs.w.is_initial() {
-                entries.push((vs.w.tid(), vs.w.clock(), "W"));
+            if !vs.w().is_initial() {
+                entries.push((vs.w().tid(), vs.w().clock(), "W"));
             }
             if vs.is_read_shared() {
                 for (t, c) in vs.rvc.as_ref().expect("shared implies Rvc").iter_nonzero() {
                     entries.push((t, c, "R"));
                 }
-            } else if !vs.r.is_initial() {
-                entries.push((vs.r.tid(), vs.r.clock(), "R"));
+            } else if !vs.r().is_initial() {
+                entries.push((vs.r().tid(), vs.r().clock(), "R"));
             }
             for (t, c, which) in entries {
                 let Some(ct) = clock_of(t) else {
@@ -605,7 +712,7 @@ impl FastTrack {
         match self.vars.get(x.as_usize()) {
             None => ReadMode::Unread,
             Some(vs) if vs.is_read_shared() => ReadMode::Shared,
-            Some(vs) if vs.r == Epoch::MIN && vs.rvc.is_none() => {
+            Some(vs) if vs.r() == Epoch::MIN && vs.rvc.is_none() => {
                 // R = ⊥ₑ: either never read, or collapsed by [FT WRITE SHARED].
                 ReadMode::Unread
             }
@@ -615,7 +722,7 @@ impl FastTrack {
 
     /// The last-write epoch `W_x` (⊥ₑ if never written).
     pub fn write_epoch(&self, x: VarId) -> Epoch {
-        self.vars.get(x.as_usize()).map_or(Epoch::MIN, |vs| vs.w)
+        self.vars.get(x.as_usize()).map_or(Epoch::MIN, |vs| vs.w())
     }
 
     /// The read epoch `R_x` while in epoch mode; `None` in shared mode.
@@ -624,7 +731,7 @@ impl FastTrack {
         if vs.is_read_shared() {
             None
         } else {
-            Some(vs.r)
+            Some(vs.r())
         }
     }
 
@@ -690,6 +797,233 @@ impl Detector for FastTrack {
             }
         }
         Disposition::Forward
+    }
+
+    fn on_block(&mut self, base_index: usize, block: &EventBlock) {
+        self.stats.ops += block.len() as u64;
+        // With no guard to account to, a same-epoch hit has no observable
+        // effect beyond two counters — the check can run on the raw lanes
+        // before any of the per-access setup (`thread`/`var` ensures, guard
+        // bookkeeping, disposition) is paid.
+        let fast = self.guard.is_none() && !self.config.ablate_same_epoch;
+        // Second inline tier as in `run`: race-free `[FT READ/WRITE
+        // EXCLUSIVE]` runs inline; only shared/racy/inflating accesses
+        // leave the loop.
+        let fast_excl = fast && !self.config.ablate_adaptive_read;
+        // Fast-path hits are tallied in locals and flushed once after the
+        // loop: the inline tiers make no calls, so these stay in registers
+        // instead of being three read-modify-write stores per event.
+        let mut se_reads = 0u64;
+        let mut ex_reads = 0u64;
+        let mut se_writes = 0u64;
+        let mut ex_writes = 0u64;
+        for i in 0..block.len() {
+            let kind = block.kind(i);
+            let t = block.tid(i);
+            let a = block.arg(i);
+            // Accesses dominate real traces (~97%, Table 2), so they are
+            // dispatched before the sync match and skip `Op`
+            // reconstruction entirely.
+            if kind == opcode::READ {
+                if fast {
+                    if let (Some(Some(ts)), Some(vs)) = (
+                        self.threads.get(t.as_usize()),
+                        self.vars.get_mut(a as usize),
+                    ) {
+                        if vs.read_hits_same_epoch(ts.epoch) {
+                            se_reads += 1;
+                        } else {
+                            let w = vs.w();
+                            let r = vs.r();
+                            if fast_excl
+                                && r != READ_SHARED
+                                && w.happens_before(&ts.vc)
+                                && r.happens_before(&ts.vc)
+                            {
+                                // `[FT READ EXCLUSIVE]`, race-free.
+                                vs.set_r(ts.epoch);
+                                ex_reads += 1;
+                            } else {
+                                // The probe proved both slabs are populated.
+                                self.read_preensured(base_index + i, t, VarId::new(a));
+                            }
+                        }
+                        continue;
+                    }
+                }
+                self.read(base_index + i, t, VarId::new(a));
+            } else if kind == opcode::WRITE {
+                if fast {
+                    if let (Some(Some(ts)), Some(vs)) = (
+                        self.threads.get(t.as_usize()),
+                        self.vars.get_mut(a as usize),
+                    ) {
+                        if vs.write_hits_same_epoch(ts.epoch) {
+                            se_writes += 1;
+                        } else {
+                            let w = vs.w();
+                            let r = vs.r();
+                            if fast_excl
+                                && r != READ_SHARED
+                                && w.happens_before(&ts.vc)
+                                && r.happens_before(&ts.vc)
+                            {
+                                // `[FT WRITE EXCLUSIVE]`, race-free.
+                                vs.set_w(ts.epoch);
+                                ex_writes += 1;
+                            } else {
+                                self.write_preensured(base_index + i, t, VarId::new(a));
+                            }
+                        }
+                        continue;
+                    }
+                }
+                self.write(base_index + i, t, VarId::new(a));
+            } else {
+                match kind {
+                    opcode::ACQUIRE => {
+                        self.stats.sync_ops += 1;
+                        self.acquire(t, LockId::new(a));
+                    }
+                    opcode::RELEASE => {
+                        self.stats.sync_ops += 1;
+                        self.release(t, LockId::new(a));
+                    }
+                    opcode::FORK => {
+                        self.stats.sync_ops += 1;
+                        self.fork(t, Tid::new(a));
+                    }
+                    opcode::JOIN => {
+                        self.stats.sync_ops += 1;
+                        self.join(t, Tid::new(a));
+                    }
+                    opcode::VOLATILE_READ => {
+                        self.stats.sync_ops += 1;
+                        self.volatile_read(t, VarId::new(a));
+                    }
+                    opcode::VOLATILE_WRITE => {
+                        self.stats.sync_ops += 1;
+                        self.volatile_write(t, VarId::new(a));
+                    }
+                    opcode::WAIT => {
+                        // §4: wait = release + subsequent acquire.
+                        self.stats.sync_ops += 1;
+                        self.release(t, LockId::new(a));
+                        self.acquire(t, LockId::new(a));
+                    }
+                    opcode::BARRIER => {
+                        self.stats.sync_ops += 1;
+                        self.barrier_release(block.barrier(a));
+                    }
+                    _ => {
+                        // NOTIFY / ATOMIC_BEGIN / ATOMIC_END: no
+                        // happens-before effect.
+                    }
+                }
+            }
+        }
+        self.stats.reads += se_reads + ex_reads;
+        self.stats.writes += se_writes + ex_writes;
+        self.rules
+            .hit_fast_bulk(se_reads, ex_reads, se_writes, ex_writes);
+    }
+
+    fn run(&mut self, trace: &Trace) {
+        // The fused whole-trace loop: same-epoch hits short-circuit before
+        // any per-access setup (see `on_block`), accesses skip the
+        // prefilter-disposition lookup, and everything else falls back to
+        // `on_op`. Events are consumed straight off the slice — copying
+        // them into an `EventBlock` first would cost more than the fused
+        // dispatch saves (blocks earn their keep when the *decoder* fills
+        // them, as in the `.ftb` streaming path).
+        let fast = self.guard.is_none() && !self.config.ablate_same_epoch;
+        // Second inline tier: the race-free `[FT READ/WRITE EXCLUSIVE]`
+        // case is two epoch-vs-clock compares and one store, so it runs
+        // inline too; only shared/racy/inflating accesses leave the loop.
+        // (Adaptive-read ablation inflates on first read, so it must take
+        // the full rule body.)
+        let fast_excl = fast && !self.config.ablate_adaptive_read;
+        // Access counters live in locals and flush once after the loop: the
+        // inline tiers then make no calls and no stores, so these stay in
+        // registers instead of being three read-modify-write stores through
+        // `&mut self` per event.
+        let mut accesses = 0u64;
+        let mut se_reads = 0u64;
+        let mut ex_reads = 0u64;
+        let mut se_writes = 0u64;
+        let mut ex_writes = 0u64;
+        for (index, op) in trace.events().iter().enumerate() {
+            match op {
+                Op::Read(t, x) => {
+                    accesses += 1;
+                    if fast {
+                        if let (Some(Some(ts)), Some(vs)) = (
+                            self.threads.get(t.as_usize()),
+                            self.vars.get_mut(x.as_usize()),
+                        ) {
+                            if vs.read_hits_same_epoch(ts.epoch) {
+                                se_reads += 1;
+                            } else {
+                                let w = vs.w();
+                                let r = vs.r();
+                                if fast_excl
+                                    && r != READ_SHARED
+                                    && w.happens_before(&ts.vc)
+                                    && r.happens_before(&ts.vc)
+                                {
+                                    // `[FT READ EXCLUSIVE]`, race-free.
+                                    vs.set_r(ts.epoch);
+                                    ex_reads += 1;
+                                } else {
+                                    // The probe proved both slabs are
+                                    // populated.
+                                    self.read_preensured(index, *t, *x);
+                                }
+                            }
+                            continue;
+                        }
+                    }
+                    self.read(index, *t, *x);
+                }
+                Op::Write(t, x) => {
+                    accesses += 1;
+                    if fast {
+                        if let (Some(Some(ts)), Some(vs)) = (
+                            self.threads.get(t.as_usize()),
+                            self.vars.get_mut(x.as_usize()),
+                        ) {
+                            if vs.write_hits_same_epoch(ts.epoch) {
+                                se_writes += 1;
+                            } else {
+                                let w = vs.w();
+                                let r = vs.r();
+                                if fast_excl
+                                    && r != READ_SHARED
+                                    && w.happens_before(&ts.vc)
+                                    && r.happens_before(&ts.vc)
+                                {
+                                    // `[FT WRITE EXCLUSIVE]`, race-free.
+                                    vs.set_w(ts.epoch);
+                                    ex_writes += 1;
+                                } else {
+                                    self.write_preensured(index, *t, *x);
+                                }
+                            }
+                            continue;
+                        }
+                    }
+                    self.write(index, *t, *x);
+                }
+                _ => {
+                    self.on_op(index, op);
+                }
+            }
+        }
+        self.stats.ops += accesses;
+        self.stats.reads += se_reads + ex_reads;
+        self.stats.writes += se_writes + ex_writes;
+        self.rules
+            .hit_fast_bulk(se_reads, ex_reads, se_writes, ex_writes);
     }
 
     fn warnings(&self) -> &[Warning] {

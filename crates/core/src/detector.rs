@@ -4,7 +4,7 @@ use crate::guard::Precision;
 use crate::stats::{RuleCount, Stats};
 use crate::warning::Warning;
 use ft_obs::{MetricsRegistry, Snapshot};
-use ft_trace::{Op, Trace};
+use ft_trace::{EventBlock, Op, Trace};
 
 /// What a detector wants done with an event when it is used as a
 /// *prefilter* for a downstream analysis (§5.2 of the paper).
@@ -88,6 +88,25 @@ pub trait Detector {
         base_registry(self).snapshot()
     }
 
+    /// Processes one decoded block of events whose first entry sits at
+    /// trace position `base_index`.
+    ///
+    /// This is the fused batch entry point: batch drivers (the `.ftb`
+    /// streaming analysis, the throughput bench) hand the detector a whole
+    /// structure-of-arrays block at once, so dispatch overhead is paid per
+    /// block rather than per event. The default simply replays the block
+    /// through [`Detector::on_op`] — semantically identical for every
+    /// detector — while hot detectors (FastTrack) override it to branch on
+    /// the raw kind lane directly.
+    ///
+    /// Dispositions are not reported: prefilter composition runs event-at-
+    /// a-time through [`Detector::on_op`].
+    fn on_block(&mut self, base_index: usize, block: &EventBlock) {
+        for i in 0..block.len() {
+            self.on_op(base_index + i, &block.op(i));
+        }
+    }
+
     /// Replays an entire trace through [`Detector::on_op`].
     fn run(&mut self, trace: &Trace)
     where
@@ -144,6 +163,10 @@ impl<D: Detector + ?Sized> Detector for Box<D> {
 
     fn on_op(&mut self, index: usize, op: &Op) -> Disposition {
         (**self).on_op(index, op)
+    }
+
+    fn on_block(&mut self, base_index: usize, block: &EventBlock) {
+        (**self).on_block(base_index, block)
     }
 
     fn warnings(&self) -> &[Warning] {

@@ -82,7 +82,8 @@ pub(crate) fn read_var(
     stats: &mut Stats,
 ) -> ReadOutcome {
     // [FT READ SAME EPOCH] — 63.4% of reads in the paper's benchmarks.
-    if !config.ablate_same_epoch && vs.r == epoch {
+    // One load of the packed shadow word, one half-word compare.
+    if !config.ablate_same_epoch && vs.read_hits_same_epoch(epoch) {
         return ReadOutcome {
             rule: ReadRule::SameEpoch,
             racy_write: None,
@@ -92,42 +93,44 @@ pub(crate) fn read_var(
     // Ablation: force the DJIT⁺-shaped always-VC read representation.
     if config.ablate_adaptive_read && !vs.is_read_shared() {
         let mut rvc = alloc_rvc(pool, stats);
-        if !vs.r.is_initial() {
-            rvc.set(vs.r.tid(), vs.r.clock());
+        let r = vs.r();
+        if !r.is_initial() {
+            rvc.set(r.tid(), r.clock());
         }
         vs.rvc = Some(rvc);
-        vs.r = READ_SHARED;
+        vs.set_r(READ_SHARED);
     }
 
     let own_clock = ts_vc.get(t);
 
     // Write-read race check: W_x ≼ C_t.
-    let w = vs.w;
+    let w = vs.w();
     let racy_write = if w.happens_before(ts_vc) {
         None
     } else {
         Some(w)
     };
 
-    let rule = if vs.r == READ_SHARED {
+    let r = vs.r();
+    let rule = if r == READ_SHARED {
         // [FT READ SHARED] — O(1): update our slot of Rvc.
         vs.rvc
             .as_mut()
             .expect("read-shared mode implies Rvc")
             .set(t, own_clock);
         ReadRule::Shared
-    } else if vs.r.happens_before(ts_vc) {
+    } else if r.happens_before(ts_vc) {
         // [FT READ EXCLUSIVE] — reads stay totally ordered.
-        vs.r = epoch;
+        vs.set_r(epoch);
         ReadRule::Exclusive
     } else {
         // [FT READ SHARE] — concurrent reads: inflate to a vector clock
         // recording both read epochs. (The 0.1% slow path.)
         let mut rvc = alloc_rvc(pool, stats);
-        rvc.set(vs.r.tid(), vs.r.clock());
+        rvc.set(r.tid(), r.clock());
         rvc.set(t, own_clock);
         vs.rvc = Some(rvc);
-        vs.r = READ_SHARED;
+        vs.set_r(READ_SHARED);
         ReadRule::Share
     };
 
@@ -143,8 +146,9 @@ pub(crate) fn write_var(
     pool: &mut VcPool,
     stats: &mut Stats,
 ) -> WriteOutcome {
-    // [FT WRITE SAME EPOCH] — 71.0% of writes.
-    if !config.ablate_same_epoch && vs.w == epoch {
+    // [FT WRITE SAME EPOCH] — 71.0% of writes. One load of the packed
+    // shadow word, one half-word compare.
+    if !config.ablate_same_epoch && vs.write_hits_same_epoch(epoch) {
         return WriteOutcome {
             rule: WriteRule::SameEpoch,
             racy_write: None,
@@ -153,7 +157,7 @@ pub(crate) fn write_var(
     }
 
     // Write-write race check: W_x ≼ C_t.
-    let w = vs.w;
+    let w = vs.w();
     let racy_write = if w.happens_before(ts_vc) {
         None
     } else {
@@ -162,10 +166,11 @@ pub(crate) fn write_var(
 
     // Read-write race check, then collapse/update the read history.
     let mut racy_read: Option<Tid> = None;
-    let rule = if vs.r != READ_SHARED {
+    let r = vs.r();
+    let rule = if r != READ_SHARED {
         // [FT WRITE EXCLUSIVE] — 28.9% of writes: epoch-epoch check.
-        if !vs.r.happens_before(ts_vc) {
-            racy_read = Some(vs.r.tid());
+        if !r.happens_before(ts_vc) {
+            racy_read = Some(r.tid());
         }
         WriteRule::Exclusive
     } else {
@@ -188,12 +193,12 @@ pub(crate) fn write_var(
                 pool.put(rvc);
                 stats.vc_recycled += 1;
             }
-            vs.r = Epoch::MIN;
+            vs.set_r(Epoch::MIN);
         }
         WriteRule::Shared
     };
 
-    vs.w = epoch;
+    vs.set_w(epoch);
 
     WriteOutcome {
         rule,
@@ -233,6 +238,23 @@ impl RuleHits {
             WriteRule::Exclusive => self.write_exclusive += 1,
             WriteRule::Shared => self.write_shared += 1,
         }
+    }
+
+    /// Bulk-records fast-path hits. The fused batch loops count same-epoch
+    /// and race-free exclusive hits in locals (which stay in registers — the
+    /// fast paths make no calls) and flush once per block instead of storing
+    /// through `&mut self` on every event.
+    pub(crate) fn hit_fast_bulk(
+        &mut self,
+        se_reads: u64,
+        ex_reads: u64,
+        se_writes: u64,
+        ex_writes: u64,
+    ) {
+        self.read_same_epoch += se_reads;
+        self.read_exclusive += ex_reads;
+        self.write_same_epoch += se_writes;
+        self.write_exclusive += ex_writes;
     }
 
     /// Adds `other`'s hit counts into `self` (folding per-shard counters).

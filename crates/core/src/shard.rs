@@ -394,13 +394,7 @@ impl VarShard {
             return;
         }
         if local >= self.vars.len() {
-            let cap_before = self.vars.capacity();
-            self.vars.resize_with(local + 1, VarState::default);
-            self.warned.resize(local + 1, false);
-            if let Some(g) = self.guard.as_mut() {
-                let grown = self.vars.capacity() - cap_before;
-                g.charge(grown * std::mem::size_of::<VarState>());
-            }
+            self.grow_vars(local);
         }
         let view = snapshot
             .view(t)
@@ -513,6 +507,26 @@ impl VarShard {
         }
     }
 
+    /// Amortized shadow-slab growth, mirroring the sequential detector's
+    /// doubling schedule (see `FastTrack::grow_vars`).
+    #[cold]
+    #[inline(never)]
+    fn grow_vars(&mut self, local: usize) {
+        let needed = local + 1;
+        let cap_before = self.vars.capacity();
+        if needed > cap_before {
+            let target = needed.max(cap_before.saturating_mul(2)).max(64);
+            self.vars.reserve_exact(target - self.vars.len());
+            self.warned.reserve_exact(target - self.warned.len());
+        }
+        self.vars.resize_with(needed, VarState::default);
+        self.warned.resize(needed, false);
+        if let Some(g) = self.guard.as_mut() {
+            let grown = self.vars.capacity() - cap_before;
+            g.charge(grown * std::mem::size_of::<VarState>());
+        }
+    }
+
     /// The shard-local copy of the sequential detector's degradation
     /// ladder; see [`crate::guard`] for the soundness argument.
     fn enforce_budget(&mut self) {
@@ -531,7 +545,7 @@ impl VarShard {
             }
             let freed = vs.rvc_bytes();
             vs.rvc = None;
-            vs.r = last_read;
+            vs.set_r(last_read);
             g.record_eviction(freed);
         }
         if !g.over() {

@@ -48,29 +48,62 @@ impl ThreadState {
 /// Per-variable shadow state (Figure 5's `VarState`): the last-write epoch
 /// `W`, the adaptive read state `R`, and the read vector clock `Rvc` used
 /// only while `R == READ_SHARED`.
-#[derive(Clone, Debug)]
+///
+/// `W` and `R` are packed into one `u64` shadow word — `R` in the high 32
+/// bits, `W` in the low 32 (each half an [`Epoch`] in its raw `c@t`
+/// encoding). The Figure 5 same-epoch fast paths then cost one load of the
+/// word plus one half-word compare, with no second field access.
+#[derive(Clone, Debug, Default)]
 pub(crate) struct VarState {
-    pub w: Epoch,
-    pub r: Epoch,
+    /// `(R.raw << 32) | W.raw`. The default word is zero: both epochs at
+    /// `Epoch::MIN` (`0@0`), matching the paper's initial state.
+    word: u64,
     /// Allocated only in read-shared mode (the 0.1% slow path).
     pub rvc: Option<Box<VectorClock>>,
 }
 
-impl Default for VarState {
-    fn default() -> Self {
-        VarState {
-            w: Epoch::MIN,
-            r: Epoch::MIN,
-            rvc: None,
-        }
-    }
-}
-
 impl VarState {
+    /// The last-write epoch `W_x` (low half of the shadow word).
+    #[inline]
+    pub fn w(&self) -> Epoch {
+        Epoch::from_raw(self.word as u32)
+    }
+
+    /// The adaptive read state `R_x` (high half of the shadow word);
+    /// [`READ_SHARED`] while the read history is a vector clock.
+    #[inline]
+    pub fn r(&self) -> Epoch {
+        Epoch::from_raw((self.word >> 32) as u32)
+    }
+
+    /// Sets `W_x`, leaving `R_x` untouched.
+    #[inline]
+    pub fn set_w(&mut self, e: Epoch) {
+        self.word = (self.word & !(u32::MAX as u64)) | e.as_raw() as u64;
+    }
+
+    /// Sets `R_x`, leaving `W_x` untouched.
+    #[inline]
+    pub fn set_r(&mut self, e: Epoch) {
+        self.word = (self.word & u32::MAX as u64) | ((e.as_raw() as u64) << 32);
+    }
+
+    /// `[FT READ SAME EPOCH]` test: one shadow-word load, one compare.
+    #[inline]
+    pub fn read_hits_same_epoch(&self, epoch: Epoch) -> bool {
+        (self.word >> 32) == epoch.as_raw() as u64
+    }
+
+    /// `[FT WRITE SAME EPOCH]` test: one shadow-word load, one compare.
+    #[inline]
+    pub fn write_hits_same_epoch(&self, epoch: Epoch) -> bool {
+        self.word as u32 == epoch.as_raw()
+    }
+
     /// `true` while the read history is a full vector clock.
     #[inline]
     pub fn is_read_shared(&self) -> bool {
-        self.r == READ_SHARED
+        (self.word >> 32) == u32::MAX as u64
     }
 
     /// Bytes attributable to this variable's shadow state.
@@ -119,10 +152,31 @@ mod tests {
     #[test]
     fn var_state_starts_minimal() {
         let vs = VarState::default();
-        assert_eq!(vs.w, Epoch::MIN);
-        assert_eq!(vs.r, Epoch::MIN);
+        assert_eq!(vs.w(), Epoch::MIN);
+        assert_eq!(vs.r(), Epoch::MIN);
         assert!(!vs.is_read_shared());
         assert!(vs.rvc.is_none());
         assert_eq!(vs.shadow_bytes(), std::mem::size_of::<VarState>());
+    }
+
+    #[test]
+    fn shadow_word_halves_are_independent() {
+        let mut vs = VarState::default();
+        let w = Epoch::new(Tid::new(3), 7);
+        let r = Epoch::new(Tid::new(5), 11);
+        vs.set_w(w);
+        vs.set_r(r);
+        assert_eq!(vs.w(), w);
+        assert_eq!(vs.r(), r);
+        assert!(vs.write_hits_same_epoch(w));
+        assert!(!vs.write_hits_same_epoch(r));
+        assert!(vs.read_hits_same_epoch(r));
+        assert!(!vs.read_hits_same_epoch(w));
+
+        vs.set_w(Epoch::MIN);
+        assert_eq!(vs.r(), r, "clearing W must not disturb R");
+        vs.set_r(READ_SHARED);
+        assert!(vs.is_read_shared());
+        assert_eq!(vs.w(), Epoch::MIN, "setting R must not disturb W");
     }
 }

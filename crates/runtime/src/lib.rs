@@ -27,6 +27,10 @@
 //!   coordinator applying synchronization events in trace order plus `W`
 //!   variable shards running the shared FastTrack rules, producing results
 //!   identical to the sequential detector.
+//! * [`stream`] — streaming `.ftb` analysis: both the sequential detector
+//!   ([`analyze_stream`]) and the parallel engine
+//!   ([`analyze_parallel_stream`]) can consume a binary trace stream block
+//!   by block, so traces larger than RAM analyze in bounded memory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,11 +42,13 @@ mod pipeline;
 mod recorder;
 mod reentrant;
 pub mod sim;
+pub mod stream;
 mod tl_filter;
 
 pub use granularity::coarsen;
-pub use parallel::{analyze_parallel, ParallelConfig, ParallelReport};
+pub use parallel::{analyze_parallel, analyze_parallel_stream, ParallelConfig, ParallelReport};
 pub use pipeline::{run_pipeline, Pipeline, StageReport};
 pub use recorder::{Recorder, RecorderHandle};
 pub use reentrant::ReentrancyFilter;
+pub use stream::analyze_stream;
 pub use tl_filter::ThreadLocalFilter;

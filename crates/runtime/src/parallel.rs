@@ -31,7 +31,11 @@ use fasttrack::shard::{fold, ShardResult, SyncClocks, ThreadsSnapshot, VarShard}
 use fasttrack::{FastTrackConfig, Precision, RuleCount, Stats, Warning};
 use ft_clock::Tid;
 use ft_obs::{MetricsRegistry, Snapshot};
-use ft_trace::{AccessKind, Trace, VarId};
+use ft_trace::batch::opcode;
+use ft_trace::{
+    AccessKind, EventBlock, FtbError, FtbReader, Op, Trace, VarId, DEFAULT_BLOCK_EVENTS,
+};
+use std::io::Read;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
@@ -147,6 +151,21 @@ impl Batch {
     }
 }
 
+/// One event as the coordinator needs it: accesses carry their routing
+/// fields, sync events carry the [`Op`] for [`SyncClocks`], and markers
+/// (notify, atomic begin/end) only advance the trace position. Having the
+/// coordinator consume this instead of `&Op` lets the same loop run over an
+/// in-memory trace or a `.ftb` block stream.
+enum Feed {
+    Access {
+        tid: Tid,
+        var: VarId,
+        kind: AccessKind,
+    },
+    Sync(Op),
+    Marker,
+}
+
 /// Runs one FastTrack analysis of `trace` across `config.shards` worker
 /// threads, returning the sequential-equivalent report.
 ///
@@ -155,13 +174,114 @@ impl Batch {
 /// Panics if a shard worker panics (e.g. on epoch overflow, exactly like
 /// the sequential detector).
 pub fn analyze_parallel(trace: &Trace, config: &ParallelConfig) -> ParallelReport {
+    let feed = trace.events().iter().map(|op| {
+        Ok(if let Some((x, kind)) = op.access() {
+            Feed::Access {
+                tid: op.tid().expect("accesses carry a thread id"),
+                var: x,
+                kind,
+            }
+        } else if op.is_sync() {
+            Feed::Sync(op.clone())
+        } else {
+            Feed::Marker
+        })
+    });
+    run_parallel(feed, config).expect("in-memory feed cannot fail")
+}
+
+/// Runs one FastTrack analysis over a `.ftb` record stream without ever
+/// materializing the whole trace: the coordinator decodes blocks of
+/// [`DEFAULT_BLOCK_EVENTS`] records straight into an [`EventBlock`] and
+/// routes accesses from the raw lanes. Traces larger than RAM analyze in
+/// `O(shadow state)` memory.
+///
+/// Equivalent to `analyze_parallel(&Trace::from_ftb(..), config)` on every
+/// well-formed stream; returns the decode error if the stream is malformed
+/// or truncated.
+pub fn analyze_parallel_stream<R: Read>(
+    reader: &mut FtbReader<R>,
+    config: &ParallelConfig,
+) -> Result<ParallelReport, FtbError> {
+    run_parallel(StreamFeed::new(reader), config)
+}
+
+/// Block-refilling adapter from [`FtbReader`] records to coordinator
+/// [`Feed`] items.
+struct StreamFeed<'a, R: Read> {
+    reader: &'a mut FtbReader<R>,
+    block: EventBlock,
+    pos: usize,
+    done: bool,
+}
+
+impl<'a, R: Read> StreamFeed<'a, R> {
+    fn new(reader: &'a mut FtbReader<R>) -> Self {
+        StreamFeed {
+            reader,
+            block: EventBlock::with_capacity(DEFAULT_BLOCK_EVENTS),
+            pos: 0,
+            done: false,
+        }
+    }
+}
+
+impl<R: Read> Iterator for StreamFeed<'_, R> {
+    type Item = Result<Feed, FtbError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.block.len() {
+            if self.done {
+                return None;
+            }
+            match self
+                .reader
+                .read_block(&mut self.block, DEFAULT_BLOCK_EVENTS)
+            {
+                Ok(0) => {
+                    self.done = true;
+                    return None;
+                }
+                Ok(_) => self.pos = 0,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        let i = self.pos;
+        self.pos += 1;
+        Some(Ok(match self.block.kind(i) {
+            opcode::READ => Feed::Access {
+                tid: self.block.tid(i),
+                var: VarId::new(self.block.arg(i)),
+                kind: AccessKind::Read,
+            },
+            opcode::WRITE => Feed::Access {
+                tid: self.block.tid(i),
+                var: VarId::new(self.block.arg(i)),
+                kind: AccessKind::Write,
+            },
+            opcode::NOTIFY | opcode::ATOMIC_BEGIN | opcode::ATOMIC_END => Feed::Marker,
+            _ => Feed::Sync(self.block.op(i)),
+        }))
+    }
+}
+
+/// The coordinator/worker engine shared by [`analyze_parallel`] and
+/// [`analyze_parallel_stream`]. Consumes the feed once; the item's position
+/// in the feed is its trace index (the deterministic merge key).
+fn run_parallel(
+    feed: impl Iterator<Item = Result<Feed, FtbError>>,
+    config: &ParallelConfig,
+) -> Result<ParallelReport, FtbError> {
     let shards = config.shards.max(1);
     let batch_size = config.batch.max(1);
     let queue_depth = config.queue_depth.max(1);
     let started = Instant::now();
 
     let mut engine_reg = MetricsRegistry::new();
-    let (results, sync) = std::thread::scope(|scope| {
+    let (results, sync, total_ops, stream_err) = std::thread::scope(|scope| {
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for shard_idx in 0..shards {
@@ -186,28 +306,49 @@ pub fn analyze_parallel(trace: &Trace, config: &ParallelConfig) -> ParallelRepor
         let mut current = Arc::new(sync.snapshot());
         let mut dirty = false;
         let mut pending: Vec<Batch> = (0..shards).map(|_| Batch::new(batch_size)).collect();
-        for (index, op) in trace.events().iter().enumerate() {
-            if let Some((x, kind)) = op.access() {
-                let t = op.tid().expect("accesses carry a thread id");
-                if sync.ensure_thread(t) {
-                    dirty = true; // first sight of t: snapshot lacks its clock
+        let mut total_ops: u64 = 0;
+        let mut stream_err = None;
+        for item in feed {
+            let f = match item {
+                Ok(f) => f,
+                Err(e) => {
+                    // Decode error: abandon the analysis but still drain the
+                    // workers so the scope can join them cleanly.
+                    stream_err = Some(e);
+                    break;
                 }
-                if dirty {
-                    current = Arc::new(sync.snapshot());
-                    dirty = false;
+            };
+            let index = total_ops as usize;
+            total_ops += 1;
+            match f {
+                Feed::Access {
+                    tid: t,
+                    var: x,
+                    kind,
+                } => {
+                    if sync.ensure_thread(t) {
+                        dirty = true; // first sight of t: snapshot lacks its clock
+                    }
+                    if dirty {
+                        current = Arc::new(sync.snapshot());
+                        dirty = false;
+                    }
+                    let s = (x.as_u32() as usize) % shards;
+                    let b = &mut pending[s];
+                    b.push(&current, index, t, x, kind);
+                    if b.items.len() >= batch_size {
+                        let full = std::mem::replace(b, Batch::new(batch_size));
+                        senders[s].send(full).expect("shard worker hung up");
+                    }
                 }
-                let s = (x.as_u32() as usize) % shards;
-                let b = &mut pending[s];
-                b.push(&current, index, t, x, kind);
-                if b.items.len() >= batch_size {
-                    let full = std::mem::replace(b, Batch::new(batch_size));
-                    senders[s].send(full).expect("shard worker hung up");
+                Feed::Sync(op) => {
+                    sync.on_sync(&op);
+                    dirty = true;
                 }
-            } else if op.is_sync() {
-                sync.on_sync(op);
-                dirty = true;
+                Feed::Marker => {
+                    // Notify / atomic markers: no happens-before effect.
+                }
             }
-            // Notify / atomic markers: no happens-before effect.
         }
         for (s, b) in pending.into_iter().enumerate() {
             if !b.items.is_empty() {
@@ -222,10 +363,13 @@ pub fn analyze_parallel(trace: &Trace, config: &ParallelConfig) -> ParallelRepor
             engine_reg.merge(&worker_reg);
             results.push(result);
         }
-        (results, sync)
+        (results, sync, total_ops, stream_err)
     });
+    if let Some(e) = stream_err {
+        return Err(e);
+    }
 
-    let folded = fold(&sync, results, trace.len() as u64);
+    let folded = fold(&sync, results, total_ops);
     engine_reg.record_duration("parallel.analyze_ns", started.elapsed());
 
     // Mirror the Detector::metrics conventions so downstream consumers (CLI,
@@ -263,7 +407,7 @@ pub fn analyze_parallel(trace: &Trace, config: &ParallelConfig) -> ParallelRepor
         engine_reg.inc_counter("guard.pool_clocks_dropped", r.pool_clocks_dropped);
     }
 
-    ParallelReport {
+    Ok(ParallelReport {
         warnings: folded.warnings,
         stats: folded.stats,
         rule_breakdown: folded.rule_breakdown,
@@ -271,7 +415,7 @@ pub fn analyze_parallel(trace: &Trace, config: &ParallelConfig) -> ParallelRepor
         shards,
         precision: folded.precision,
         metrics: engine_reg.snapshot(),
-    }
+    })
 }
 
 /// One shard worker: drain batches until the channel closes.
@@ -366,6 +510,29 @@ mod tests {
         assert_eq!(batched, par.stats.reads + par.stats.writes);
         assert!(m.histogram("parallel.batch_ns").is_some());
         assert!(m.histogram("parallel.analyze_ns").is_some());
+    }
+
+    #[test]
+    fn stream_engine_agrees_with_in_memory_engine() {
+        let trace = gen::chaotic(5, 20, 3, 3000, 9);
+        let bytes = trace.to_ftb().unwrap();
+        let cfg = ParallelConfig::with_shards(3);
+        let mut reader = FtbReader::new(&bytes[..]).unwrap();
+        let streamed = analyze_parallel_stream(&mut reader, &cfg).unwrap();
+        let in_mem = analyze_parallel(&trace, &cfg);
+        assert_eq!(streamed.warnings, in_mem.warnings);
+        assert_eq!(streamed.stats, in_mem.stats);
+        assert_eq!(streamed.rule_breakdown, in_mem.rule_breakdown);
+    }
+
+    #[test]
+    fn stream_engine_surfaces_decode_errors() {
+        let trace = gen::generate(&GenConfig::default(), 5);
+        let mut bytes = trace.to_ftb().unwrap();
+        bytes.truncate(bytes.len() - 5); // rip the final record apart
+        let mut reader = FtbReader::new(&bytes[..]).unwrap();
+        let res = analyze_parallel_stream(&mut reader, &ParallelConfig::with_shards(2));
+        assert!(res.is_err(), "truncated stream must fail the analysis");
     }
 
     #[test]

@@ -44,8 +44,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod builder;
 mod event;
+mod ftb;
 pub mod gen;
 mod hb;
 mod hb_def;
@@ -55,8 +57,13 @@ mod serial;
 mod stats;
 mod trace;
 
+pub use batch::{EventBlock, DEFAULT_BLOCK_EVENTS};
 pub use builder::{FeasibilityError, TraceBuilder};
 pub use event::{AccessKind, LockId, ObjId, Op, VarId};
+pub use ftb::{
+    FtbError, FtbHeader, FtbReader, FtbWriter, FTB_HEADER_BYTES, FTB_MAGIC, FTB_RECORD_BYTES,
+    FTB_VERSION,
+};
 pub use hb::{Access, HbOracle, OracleReport, RacePair};
 pub use hb_def::definitional_race_vars;
 pub use rng::Prng;

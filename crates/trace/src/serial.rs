@@ -25,6 +25,8 @@ use std::fmt;
 pub enum TraceFormatError {
     /// The JSON was malformed or did not match the trace schema.
     Json(String),
+    /// The binary `.ftb` bytes were malformed (see [`crate::FtbError`]).
+    Binary(crate::FtbError),
     /// The events decoded but do not form a feasible trace.
     Infeasible(FeasibilityError),
 }
@@ -33,6 +35,7 @@ impl fmt::Display for TraceFormatError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceFormatError::Json(e) => write!(f, "malformed trace file: {e}"),
+            TraceFormatError::Binary(e) => write!(f, "malformed trace file: {e}"),
             TraceFormatError::Infeasible(e) => write!(f, "infeasible trace: {e}"),
         }
     }
@@ -42,8 +45,15 @@ impl Error for TraceFormatError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             TraceFormatError::Json(_) => None,
+            TraceFormatError::Binary(e) => Some(e),
             TraceFormatError::Infeasible(e) => Some(e),
         }
+    }
+}
+
+impl From<crate::FtbError> for TraceFormatError {
+    fn from(e: crate::FtbError) -> Self {
+        TraceFormatError::Binary(e)
     }
 }
 

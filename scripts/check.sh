@@ -13,6 +13,10 @@ cargo test -q
 echo "==> parallel engine agreement tests"
 cargo test -q --test parallel_agreement
 
+echo "==> ftb round-trip + streamed-analysis agreement tests"
+cargo test -q --test stream_agreement
+cargo test -q -p ft-clock --test inline_heap_agreement
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -44,6 +48,32 @@ assert "online.queue_lag_ns" in doc["online_buffered"]["histograms"], \
 assert "parallel.batch_ns" in doc["parallel"]["histograms"], \
     "missing parallel engine batch stats"
 print("profile smoke OK:", sys.argv[1])
+EOF
+
+echo "==> CLI ftb round-trip smoke (record -> convert -> analyze agree)"
+cargo run --release -q -p ft-cli -- \
+    trace record --benchmark tsp --ops 5000 -o "$tmp/tsp.ftb"
+cargo run --release -q -p ft-cli -- \
+    trace convert "$tmp/tsp.ftb" -o "$tmp/tsp.ftrace"
+cargo run --release -q -p ft-cli -- \
+    analyze "$tmp/tsp.ftb" --format ftb | grep -v '^streamed' > "$tmp/ftb.txt"
+cargo run --release -q -p ft-cli -- \
+    analyze "$tmp/tsp.ftrace" --format json > "$tmp/json.txt"
+diff "$tmp/ftb.txt" "$tmp/json.txt"
+echo "ftb smoke OK: streamed and materialized analyses agree"
+
+echo "==> throughput smoke (events/sec per engine vs pre-change baseline)"
+cargo run --release -q -p ft-bench --bin throughput -- --ops=20000 --reps=1
+python3 - BENCH_throughput.json <<'EOF'
+import json
+doc = json.load(open("BENCH_throughput.json"))
+agg = doc["aggregate"]
+assert agg["events"] > 0, "throughput bench measured nothing"
+# The >=1.5x acceptance number is recorded at full scale; the smoke run
+# only insists the fused engine is not slower than the old architecture.
+assert agg["speedup_vs_baseline"] > 1.0, \
+    "fused engine slower than the pre-change baseline"
+print("throughput smoke OK: %.2fx vs baseline" % agg["speedup_vs_baseline"])
 EOF
 
 echo "==> parallel engine smoke (2 shards, agreement sweep)"
