@@ -28,6 +28,8 @@ const VARIANTS: &[(&str, FastTrackConfig)] = &[
             ablate_same_epoch: false,
             ablate_adaptive_read: false,
             guard: None,
+            recorder: None,
+            profile_tiers: false,
         },
     ),
     (
@@ -37,6 +39,8 @@ const VARIANTS: &[(&str, FastTrackConfig)] = &[
             ablate_same_epoch: true,
             ablate_adaptive_read: false,
             guard: None,
+            recorder: None,
+            profile_tiers: false,
         },
     ),
     (
@@ -46,6 +50,8 @@ const VARIANTS: &[(&str, FastTrackConfig)] = &[
             ablate_same_epoch: false,
             ablate_adaptive_read: true,
             guard: None,
+            recorder: None,
+            profile_tiers: false,
         },
     ),
     (
@@ -55,6 +61,8 @@ const VARIANTS: &[(&str, FastTrackConfig)] = &[
             ablate_same_epoch: true,
             ablate_adaptive_read: true,
             guard: None,
+            recorder: None,
+            profile_tiers: false,
         },
     ),
 ];

@@ -97,6 +97,7 @@ impl Atomizer {
                 kind,
                 event_index: Some(index),
             },
+            provenance: None,
         });
     }
 

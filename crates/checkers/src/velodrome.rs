@@ -155,6 +155,7 @@ impl Velodrome {
                     kind: AccessKind::Write,
                     event_index: Some(index),
                 },
+                provenance: None,
             });
             // Still record the edge so later analysis stays consistent.
         }

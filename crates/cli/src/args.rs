@@ -13,7 +13,7 @@ pub struct Args {
 
 /// Options that never take a value (everything else may consume the next
 /// argument as its value).
-const KNOWN_FLAGS: &[&str] = &["all-warnings", "random"];
+const KNOWN_FLAGS: &[&str] = &["all-warnings", "random", "tiers"];
 
 impl Args {
     /// Parses everything after the subcommand.

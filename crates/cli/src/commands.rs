@@ -2,7 +2,9 @@
 
 use crate::args::Args;
 use crate::{coarsen_trace, load_trace, print_oracle, print_report, save_trace};
-use fasttrack::{Detector, Empty, FastTrack, FastTrackConfig, GuardConfig};
+use fasttrack::{
+    Detector, Empty, FastTrack, FastTrackConfig, GuardConfig, RecorderConfig, TierProfile, Warning,
+};
 use ft_detectors::{BasicVc, Djit, Eraser, Goldilocks, MultiRace, RaceTrack};
 use ft_runtime::{
     analyze_parallel, analyze_parallel_stream, analyze_stream, ParallelConfig, ParallelReport,
@@ -79,12 +81,49 @@ fn maybe_enable_tracing(args: &Args) -> Result<(), String> {
     }
 }
 
-/// Writes a metrics snapshot to `--metrics PATH` if requested.
+/// The exposition format `--metrics-format` asked for (JSON by default).
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum MetricsFormat {
+    Json,
+    Prom,
+}
+
+fn metrics_format(args: &Args) -> Result<Option<MetricsFormat>, String> {
+    match args.get_with_value("metrics-format")? {
+        None => Ok(None),
+        Some("json") => Ok(Some(MetricsFormat::Json)),
+        Some("prom") | Some("prometheus") => Ok(Some(MetricsFormat::Prom)),
+        Some(other) => Err(format!("unknown --metrics-format {other:?} (json or prom)")),
+    }
+}
+
+/// True when the invocation is a scrape: an explicit `--metrics-format`
+/// with no `--metrics` file path means stdout *is* the exposition, so the
+/// human-readable report must stay off it (a Prometheus scraper reads the
+/// whole stream).
+fn scrape_mode(args: &Args) -> Result<bool, String> {
+    Ok(metrics_format(args)?.is_some() && args.get_with_value("metrics")?.is_none())
+}
+
+/// Writes a metrics snapshot if requested: `--metrics PATH` writes to a
+/// file, `--metrics-format prom|json` picks the encoding (JSON by default),
+/// and an explicit format with no `--metrics` path prints to stdout — the
+/// scrape-style usage `ftrace analyze t.ftrace --metrics-format prom`.
 fn maybe_write_metrics(args: &Args, snapshot: &ft_obs::Snapshot) -> Result<(), String> {
+    let format = metrics_format(args)?;
+    let render = |f: MetricsFormat| match f {
+        MetricsFormat::Json => snapshot.to_json(),
+        MetricsFormat::Prom => ft_obs::to_prometheus(snapshot, "ftrace"),
+    };
     if let Some(path) = args.get_with_value("metrics")? {
-        std::fs::write(path, snapshot.to_json())
+        std::fs::write(path, render(format.unwrap_or(MetricsFormat::Json)))
             .map_err(|e| format!("writing metrics to {path}: {e}"))?;
         println!("wrote metrics snapshot to {path}");
+    } else if let Some(f) = format {
+        print!("{}", render(f));
+        if f == MetricsFormat::Json {
+            println!();
+        }
     }
     Ok(())
 }
@@ -295,15 +334,19 @@ pub fn analyze(args: &Args) -> Result<(), String> {
         }
         let config = parallel_config(shards, args.has_flag("all-warnings"), guard);
         let report = analyze_parallel(&trace, &config);
-        print_parallel_report(&report, true);
-        print_precision(&report.precision);
+        if !scrape_mode(args)? {
+            print_parallel_report(&report, true);
+            print_precision(&report.precision);
+        }
         maybe_write_metrics(args, &report.metrics)?;
         return Ok(());
     }
     let mut tool = make_tool(tool_name, args.has_flag("all-warnings"), guard)?;
     run_tool(tool.as_mut(), &trace);
-    print_report(tool.as_ref(), true);
-    print_precision(&tool.precision());
+    if !scrape_mode(args)? {
+        print_report(tool.as_ref(), true);
+        print_precision(&tool.precision());
+    }
     maybe_write_metrics(args, &tool.metrics())?;
     Ok(())
 }
@@ -325,8 +368,10 @@ fn analyze_ftb_stream(
         let config = parallel_config(shards, all_warnings, guard);
         let report = analyze_parallel_stream(&mut reader, &config)
             .map_err(|e| format!("streaming {path}: {e}"))?;
-        print_parallel_report(&report, true);
-        print_precision(&report.precision);
+        if !scrape_mode(args)? {
+            print_parallel_report(&report, true);
+            print_precision(&report.precision);
+        }
         maybe_write_metrics(args, &report.metrics)?;
         return Ok(());
     }
@@ -339,9 +384,11 @@ fn analyze_ftb_stream(
         let _span = ft_obs::span!("analyze.stream", events = 0usize);
         analyze_stream(&mut reader, &mut tool).map_err(|e| format!("streaming {path}: {e}"))?
     };
-    println!("streamed {events} event(s) from {path}");
-    print_report(&tool, true);
-    print_precision(&tool.precision());
+    if !scrape_mode(args)? {
+        println!("streamed {events} event(s) from {path}");
+        print_report(&tool, true);
+        print_precision(&tool.precision());
+    }
     maybe_write_metrics(args, &tool.metrics())?;
     Ok(())
 }
@@ -481,6 +528,23 @@ pub fn profile(args: &Args) -> Result<(), String> {
         None
     };
 
+    // 5. With `--tiers`: a fused whole-trace FASTTRACK pass with tier
+    // latency profiling on. The per-event loop above routes everything
+    // through the governed tier by construction, so the tier breakdown
+    // needs its own `run()` pass to exercise the inline fast paths.
+    let tiered = if args.has_flag("tiers") {
+        let mut ft = FastTrack::with_config(FastTrackConfig {
+            guard: guard.clone(),
+            profile_tiers: true,
+            ..FastTrackConfig::default()
+        });
+        let _span = ft_obs::span!("profile.tiers", events = trace.len());
+        ft.run(&trace);
+        Some((ft.tier_profile(), ft.metrics()))
+    } else {
+        None
+    };
+
     println!(
         "{}: {} events; {} {} warning(s)",
         path,
@@ -522,6 +586,9 @@ pub fn profile(args: &Args) -> Result<(), String> {
         show("parallel", &report.metrics, "parallel.batch_ns");
         print_precision(&report.precision);
     }
+    if let Some((tiers, tier_metrics)) = &tiered {
+        print_tiers(tiers, tier_metrics);
+    }
 
     let mut w = ft_obs::JsonWriter::new();
     w.begin_object();
@@ -536,9 +603,16 @@ pub fn profile(args: &Args) -> Result<(), String> {
     if let Some(report) = &parallel {
         sections.push(("parallel", &report.metrics));
     }
+    if let Some((_, tier_metrics)) = &tiered {
+        sections.push(("tiered", tier_metrics));
+    }
     for (key, snap) in sections {
         w.key(key);
         snap.write_json(&mut w);
+    }
+    if let Some((tiers, _)) = &tiered {
+        w.key("tiers");
+        write_tiers_json(&mut w, tiers);
     }
     w.end_object();
     let json = w.finish();
@@ -546,6 +620,235 @@ pub fn profile(args: &Args) -> Result<(), String> {
         Some(out) => {
             std::fs::write(out, &json).map_err(|e| format!("writing metrics to {out}: {e}"))?;
             println!("wrote metrics snapshot to {out}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+/// Writes one warning (with provenance and recent events, when present) as
+/// a JSON object into a diagnostics bundle.
+fn write_warning_json(w: &mut ft_obs::JsonWriter, warning: &Warning) {
+    let access = |w: &mut ft_obs::JsonWriter, a: &fasttrack::AccessSummary| {
+        w.begin_object();
+        w.field_str("tid", &a.tid.to_string());
+        w.field_str("kind", &a.kind.to_string());
+        match a.event_index {
+            Some(i) => w.field_u64("event", i as u64),
+            None => {
+                w.key("event");
+                w.null();
+            }
+        }
+        w.end_object();
+    };
+    w.begin_object();
+    w.field_str("var", &warning.var.to_string());
+    w.field_str("kind", &warning.kind.to_string());
+    w.key("prior");
+    access(w, &warning.prior);
+    w.key("current");
+    access(w, &warning.current);
+    w.key("provenance");
+    match &warning.provenance {
+        None => w.null(),
+        Some(p) => {
+            w.begin_object();
+            w.field_str("rule", p.rule);
+            w.field_str("conflict", &p.conflict.to_string());
+            w.field_str("current_epoch", &p.current_epoch.to_string());
+            w.key("thread_clock");
+            w.begin_array();
+            for (t, c) in &p.thread_clock {
+                w.begin_object();
+                w.field_str("tid", &t.to_string());
+                w.field_u64("clock", u64::from(*c));
+                w.end_object();
+            }
+            w.end_array();
+            w.field_str("prior_write", &p.prior_write.to_string());
+            w.field_str("prior_reads", &p.prior_reads.to_string());
+            w.key("recent");
+            w.begin_array();
+            for tail in &p.recent {
+                w.begin_object();
+                w.field_str("tid", &tail.tid.to_string());
+                w.key("events");
+                w.begin_array();
+                for ev in &tail.events {
+                    w.string(&ev.to_string());
+                }
+                w.end_array();
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+        }
+    }
+    w.end_object();
+}
+
+/// Writes the per-tier hit counters of the fused batch loop.
+fn write_tiers_json(w: &mut ft_obs::JsonWriter, tiers: &TierProfile) {
+    w.begin_object();
+    w.field_u64("same_epoch", tiers.same_epoch);
+    w.field_u64("inline_exclusive", tiers.inline_exclusive);
+    w.field_u64("preensured", tiers.preensured);
+    w.field_u64("governed", tiers.governed);
+    w.field_u64("total", tiers.total());
+    w.end_object();
+}
+
+/// Pretty-prints the tier breakdown (hits and, when the latency histograms
+/// were collected, per-tier timing quantiles).
+fn print_tiers(tiers: &TierProfile, metrics: &ft_obs::Snapshot) {
+    let total = tiers.total().max(1);
+    let pct = |n: u64| 100.0 * n as f64 / total as f64;
+    println!(
+        "  tiers: same-epoch {} ({:.1}%), inline-exclusive {} ({:.1}%), \
+         pre-ensured {} ({:.1}%), governed {} ({:.1}%)",
+        tiers.same_epoch,
+        pct(tiers.same_epoch),
+        tiers.inline_exclusive,
+        pct(tiers.inline_exclusive),
+        tiers.preensured,
+        pct(tiers.preensured),
+        tiers.governed,
+        pct(tiers.governed),
+    );
+    for key in ["tier.preensured.ns", "tier.governed.ns", "tier.block.ns"] {
+        if let Some(h) = metrics.histogram(key) {
+            println!(
+                "  {key}: p50 {} p90 {} p99 {} max {} ({} sample(s))",
+                h.p50, h.p90, h.p99, h.max, h.count
+            );
+        }
+    }
+}
+
+/// `ftrace report`: run FASTTRACK with the flight recorder and tier
+/// profiling on, then emit a self-contained JSON diagnostics bundle —
+/// trace shape, warnings with full provenance and the recent events of the
+/// involved threads, rule breakdown, tier profile, metrics snapshot, and
+/// the same metrics rendered as Prometheus text. With `--shards N` the
+/// epoch-sliced parallel engine produces the warnings instead (identical
+/// provenance; the recorder is a sequential-engine feature, so `recent`
+/// stays empty).
+pub fn report(args: &Args) -> Result<(), String> {
+    let path = args.positional(0).ok_or("report requires a trace file")?;
+    maybe_enable_tracing(args)?;
+    let trace = load_trace(path)?;
+    let guard = guard_config(args)?;
+    let all_warnings = args.has_flag("all-warnings");
+    let shards = args.get_num::<usize>("shards", 1)?;
+    let capacity = args.get_num::<usize>("recorder", 32)?;
+
+    let mut w = ft_obs::JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", "ftrace.report/1");
+    w.key("trace");
+    w.begin_object();
+    w.field_str("path", path);
+    w.field_u64("events", trace.len() as u64);
+    w.field_u64("threads", trace.n_threads() as u64);
+    w.field_u64("vars", trace.n_vars() as u64);
+    w.field_u64("locks", trace.n_locks() as u64);
+    w.end_object();
+
+    let (warnings, rules, precision, tiers, metrics, tool_name) = if shards > 1 {
+        let config = parallel_config(shards, all_warnings, guard);
+        let report = analyze_parallel(&trace, &config);
+        w.field_u64("shards", shards as u64);
+        w.key("recorder");
+        w.null();
+        (
+            report.warnings,
+            report.rule_breakdown,
+            report.precision,
+            None,
+            report.metrics,
+            "FASTTRACK-P",
+        )
+    } else {
+        let mut tool = FastTrack::with_config(FastTrackConfig {
+            report_all: all_warnings,
+            guard,
+            recorder: Some(RecorderConfig { capacity }),
+            profile_tiers: true,
+            ..FastTrackConfig::default()
+        });
+        tool.run(&trace);
+        w.field_u64("shards", 1);
+        w.key("recorder");
+        let rec = tool.flight_recorder().expect("recorder configured");
+        w.begin_object();
+        w.field_u64("capacity", rec.capacity() as u64);
+        w.field_u64("threads", rec.threads() as u64);
+        w.field_u64("recorded", rec.recorded());
+        w.field_u64("bytes", rec.bytes() as u64);
+        w.end_object();
+        (
+            tool.warnings().to_vec(),
+            tool.rule_breakdown(),
+            tool.precision(),
+            Some(tool.tier_profile()),
+            tool.metrics(),
+            "FASTTRACK",
+        )
+    };
+
+    w.field_str("tool", tool_name);
+    w.field_str("precision", &precision.to_string());
+    w.key("warnings");
+    w.begin_array();
+    for warning in &warnings {
+        write_warning_json(&mut w, warning);
+    }
+    w.end_array();
+    w.key("rule_breakdown");
+    w.begin_array();
+    for r in &rules {
+        w.begin_object();
+        w.field_str("rule", r.rule);
+        w.field_u64("hits", r.hits);
+        w.field_f64("percent", r.percent);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("tiers");
+    match &tiers {
+        Some(t) => write_tiers_json(&mut w, t),
+        None => w.null(),
+    }
+    w.key("metrics");
+    metrics.write_json(&mut w);
+    w.field_str("metrics_prom", &ft_obs::to_prometheus(&metrics, "ftrace"));
+    w.end_object();
+    let json = w.finish();
+
+    println!(
+        "{path}: {} events; {tool_name} {} warning(s)",
+        trace.len(),
+        warnings.len()
+    );
+    for warning in &warnings {
+        println!("    {warning}");
+        if let Some(p) = &warning.provenance {
+            println!("      {p}");
+            for tail in &p.recent {
+                let shown: Vec<String> = tail.events.iter().map(|e| e.to_string()).collect();
+                println!("      {} recent: {}", tail.tid, shown.join(" "));
+            }
+        }
+    }
+    if let Some(t) = &tiers {
+        print_tiers(t, &metrics);
+    }
+    print_precision(&precision);
+    match args.get("output") {
+        Some(out) => {
+            std::fs::write(out, &json).map_err(|e| format!("writing bundle to {out}: {e}"))?;
+            println!("wrote diagnostics bundle to {out}");
         }
         None => println!("{json}"),
     }

@@ -52,18 +52,33 @@ USAGE:
   ftrace pipeline FILE [--filter NAME] [--checker NAME] [--metrics OUT.json]
                                             prefilter + downstream checker
   ftrace profile FILE [--tool NAME] [--shards N] [--metrics OUT.json]
-                  [--mem-budget BYTES] [--faults SEED:SPEC]
+                  [--mem-budget BYTES] [--faults SEED:SPEC] [--tiers]
                                             full observability run: detector
                                             rule percentages, per-stage
                                             latency quantiles, online-monitor
                                             overhead, and (with --shards) the
-                                            parallel engine's batch metrics
+                                            parallel engine's batch metrics;
+                                            --tiers adds a fused-loop pass
+                                            with per-tier hit/latency counters
+  ftrace report FILE [--recorder K] [--shards N] [--all-warnings]
+                  [--mem-budget BYTES] [-o BUNDLE.json]
+                                            self-contained JSON diagnostics
+                                            bundle: warnings with Figure 5
+                                            provenance, each involved thread's
+                                            last K events (flight recorder),
+                                            tier profile, rule breakdown, and
+                                            metrics (JSON + Prometheus text)
   ftrace oracle FILE                        exact happens-before ground truth
   ftrace coarsen FILE -o FILE               coarse-grain (object) variant
   ftrace info FILE                          trace statistics
 
 OPTIONS (analyze/pipeline/profile):
-  --metrics OUT.json      write an ft-obs metrics snapshot as JSON
+  --metrics OUT.json      write an ft-obs metrics snapshot
+  --metrics-format FMT    snapshot encoding: json (default) or prom
+                          (Prometheus text exposition); with no --metrics
+                          path the snapshot prints to stdout, so
+                          `analyze t.ftrace --metrics-format prom` is
+                          directly scrape-able
   --trace-spans stderr    stream span/event tracing to stderr
   --trace-spans FILE      ... or as JSONL to FILE
   --mem-budget BYTES      cap FASTTRACK shadow memory; over budget the
@@ -102,6 +117,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "compare" => commands::compare(&args),
         "pipeline" => commands::pipeline(&args),
         "profile" => commands::profile(&args),
+        "report" => commands::report(&args),
         "oracle" => commands::oracle(&args),
         "coarsen" => commands::coarsen_cmd(&args),
         "info" => commands::info(&args),

@@ -7,15 +7,17 @@
 //! `[FT READ/WRITE VOLATILE]`, and `[FT BARRIER RELEASE]`.
 
 use crate::detector::{self, Detector, Disposition};
+use crate::flight::{FlightRecorder, RecorderConfig, ThreadTail};
 use crate::guard::{Guard, GuardConfig, GuardTier, Precision, ShadowBudget};
 use crate::rules::{self, RuleHits};
 use crate::state::{ThreadState, VarState, READ_SHARED};
 use crate::stats::{RuleCount, Stats};
-use crate::warning::{AccessSummary, Warning, WarningKind};
+use crate::warning::{AccessSummary, Provenance, ReadHistory, Warning, WarningKind};
 use ft_clock::{Epoch, Tid, VcPool, VectorClock};
-use ft_obs::Snapshot;
+use ft_obs::{Histogram, Snapshot};
 use ft_trace::batch::opcode;
 use ft_trace::{AccessKind, EventBlock, LockId, Op, Trace, VarId};
+use std::time::Instant;
 
 /// Free clocks the detector keeps around for `Rvc` reuse (the inflate /
 /// collapse cycle of `[FT READ SHARE]` / `[FT WRITE SHARED]` rarely has
@@ -58,6 +60,17 @@ pub struct FastTrackConfig {
     /// accounting entirely; `Some` with [`GuardConfig::mem_budget`] `== 0`
     /// keeps the gauges live but never degrades.
     pub guard: Option<GuardConfig>,
+    /// Flight recorder (see [`crate::flight`]): keep the last *k* events of
+    /// every thread and drain them into each warning's provenance. `None`
+    /// (the default) keeps the fused fast paths structurally unchanged —
+    /// when enabled, every event takes the governed path so it can be
+    /// recorded, trading throughput for post-mortem context. Ring bytes are
+    /// charged to the guard budget when one is configured.
+    pub recorder: Option<RecorderConfig>,
+    /// Record per-tier latency histograms (`tier.*.ns`) for the out-of-line
+    /// tiers and per-block latency for the fused loop. Tier *hit* counters
+    /// are always on; this switch only adds the clock reads.
+    pub profile_tiers: bool,
 }
 
 impl Default for FastTrackConfig {
@@ -67,6 +80,63 @@ impl Default for FastTrackConfig {
             ablate_same_epoch: false,
             ablate_adaptive_read: false,
             guard: None,
+            recorder: None,
+            profile_tiers: false,
+        }
+    }
+}
+
+/// Hit counters for the four dispatch tiers of the fused batch loops
+/// ([`FastTrack::run`] / `on_block`), from cheapest to most general:
+///
+/// 1. **same-epoch probe** — the inline `[FT READ/WRITE SAME EPOCH]` check;
+/// 2. **inline exclusive** — the inline race-free `[FT READ/WRITE
+///    EXCLUSIVE]` transition;
+/// 3. **pre-ensured** — the lean out-of-line path (shadow state proven to
+///    exist, guard off);
+/// 4. **governed** — the full path with ensure/sampling/guard accounting
+///    (always taken under a guard, a flight recorder, or `on_op` dispatch).
+///
+/// Exposed via [`Detector::metrics`] as `tier.*.hits` counters and by
+/// `ftrace profile --tiers`.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TierProfile {
+    /// Inline same-epoch probe hits (tier 1).
+    pub same_epoch: u64,
+    /// Inline race-free exclusive hits (tier 2).
+    pub inline_exclusive: u64,
+    /// Pre-ensured out-of-line path entries (tier 3).
+    pub preensured: u64,
+    /// Governed full-path entries (tier 4).
+    pub governed: u64,
+}
+
+impl TierProfile {
+    /// Total accesses dispatched across all tiers.
+    pub fn total(&self) -> u64 {
+        self.same_epoch + self.inline_exclusive + self.preensured + self.governed
+    }
+}
+
+/// Latency histograms recorded when
+/// [`FastTrackConfig::profile_tiers`] is on. Boxed so the disabled case
+/// costs one pointer in the detector.
+#[derive(Clone, Debug)]
+struct TierLatencies {
+    /// Nanoseconds per pre-ensured (tier 3) call.
+    preensured: Histogram,
+    /// Nanoseconds per governed (tier 4) call.
+    governed: Histogram,
+    /// Nanoseconds per fused `on_block` batch (covers the inline tiers).
+    block: Histogram,
+}
+
+impl TierLatencies {
+    fn new() -> Self {
+        TierLatencies {
+            preensured: Histogram::new(),
+            governed: Histogram::new(),
+            block: Histogram::new(),
         }
     }
 }
@@ -105,6 +175,9 @@ pub struct FastTrack {
     rules: RuleHits,
     pool: VcPool,
     guard: Option<Guard>,
+    recorder: Option<FlightRecorder>,
+    tiers: TierProfile,
+    tier_lat: Option<Box<TierLatencies>>,
     config: FastTrackConfig,
 }
 
@@ -123,6 +196,8 @@ impl FastTrack {
     /// Creates a detector with the given configuration.
     pub fn with_config(config: FastTrackConfig) -> Self {
         let guard = config.guard.as_ref().map(Guard::new);
+        let recorder = config.recorder.map(FlightRecorder::new);
+        let tier_lat = config.profile_tiers.then(|| Box::new(TierLatencies::new()));
         FastTrack {
             threads: Vec::new(),
             locks: Vec::new(),
@@ -134,6 +209,9 @@ impl FastTrack {
             rules: RuleHits::default(),
             pool: VcPool::new(RVC_POOL_CAP),
             guard,
+            recorder,
+            tiers: TierProfile::default(),
+            tier_lat,
             config,
         }
     }
@@ -197,6 +275,14 @@ impl FastTrack {
         }
     }
 
+    /// `true` if a warning on `x` would be recorded rather than suppressed.
+    /// Call sites check this *before* building a [`Provenance`] so the
+    /// clock-snapshot allocations are never paid for suppressed repeats.
+    #[inline]
+    fn would_report(&self, x: VarId) -> bool {
+        self.config.report_all || !self.warned.get(x.as_usize()).copied().unwrap_or(false)
+    }
+
     fn report(
         &mut self,
         x: VarId,
@@ -206,6 +292,7 @@ impl FastTrack {
         current_tid: Tid,
         current_kind: AccessKind,
         index: usize,
+        provenance: Provenance,
     ) {
         let idx = x.as_usize();
         if idx >= self.warned.len() {
@@ -228,10 +315,113 @@ impl FastTrack {
                 kind: current_kind,
                 event_index: Some(index),
             },
+            provenance: Some(provenance),
         });
     }
 
-    /// Figure 5 `read(VarState x, ThreadState t)`.
+    /// Builds the provenance record for a race detected on the current
+    /// access: the fired rule, the conflicting epoch, the accessing thread's
+    /// epoch and clock at detection, the pre-access shadow state, and — when
+    /// the flight recorder is on — the recent events of both involved
+    /// threads. Only called on racy, non-suppressed accesses.
+    #[allow(clippy::too_many_arguments)]
+    fn provenance(
+        &self,
+        rule: &'static str,
+        conflict: Epoch,
+        t: Tid,
+        prior_tid: Tid,
+        prior_w: Epoch,
+        prior_r: Epoch,
+        prior_rvc: Option<Vec<(Tid, u32)>>,
+    ) -> Provenance {
+        let ts = self.threads[t.as_usize()]
+            .as_ref()
+            .expect("accessing thread has state");
+        let prior_reads = match prior_rvc {
+            Some(entries) => ReadHistory::Shared(entries),
+            None if prior_r == READ_SHARED => ReadHistory::Shared(Vec::new()),
+            None if prior_r.is_initial() => ReadHistory::None,
+            None => ReadHistory::Epoch(prior_r),
+        };
+        let mut recent = Vec::new();
+        if let Some(rec) = &self.recorder {
+            let events = rec.tail(prior_tid);
+            if !events.is_empty() {
+                recent.push(ThreadTail {
+                    tid: prior_tid,
+                    events,
+                });
+            }
+            if t != prior_tid {
+                let events = rec.tail(t);
+                if !events.is_empty() {
+                    recent.push(ThreadTail { tid: t, events });
+                }
+            }
+        }
+        Provenance {
+            rule,
+            conflict,
+            current_epoch: ts.epoch,
+            thread_clock: ts.vc.iter_nonzero().collect(),
+            prior_write: prior_w,
+            prior_reads,
+            recent,
+        }
+    }
+
+    /// Records one access into the flight recorder, charging newly
+    /// allocated ring bytes to the guard budget.
+    #[inline]
+    fn record_access(&mut self, index: usize, kind: u8, t: Tid, x: VarId) {
+        if let Some(rec) = self.recorder.as_mut() {
+            let charged = rec.record_raw(t, index as u64, kind, x.as_u32());
+            if charged > 0 {
+                if let Some(g) = self.guard.as_mut() {
+                    g.charge(charged);
+                }
+            }
+        }
+    }
+
+    /// Records a decoded non-access op into the flight recorder.
+    fn record_op(&mut self, index: usize, op: &Op) {
+        if let Some(rec) = self.recorder.as_mut() {
+            let charged = rec.record_op(index as u64, op);
+            if charged > 0 {
+                if let Some(g) = self.guard.as_mut() {
+                    g.charge(charged);
+                }
+            }
+        }
+    }
+
+    /// Records one raw sync/marker event from an [`EventBlock`]; barrier
+    /// releases are attributed to every party.
+    fn record_block_sync(&mut self, index: usize, block: &EventBlock, kind: u8, t: Tid, a: u32) {
+        let Some(rec) = self.recorder.as_mut() else {
+            return;
+        };
+        let charged = if kind == opcode::BARRIER {
+            let parties = block.barrier(a);
+            let n = parties.len() as u32;
+            parties
+                .iter()
+                .map(|&p| rec.record_raw(p, index as u64, opcode::BARRIER, n))
+                .sum()
+        } else {
+            rec.record_raw(t, index as u64, kind, a)
+        };
+        if charged > 0 {
+            if let Some(g) = self.guard.as_mut() {
+                g.charge(charged);
+            }
+        }
+    }
+
+    /// Figure 5 `read(VarState x, ThreadState t)` — the governed (tier 4)
+    /// path.
     ///
     /// The transition itself lives in [`rules::read_var`], shared with the
     /// parallel engine's shards; this wrapper only resolves the shadow
@@ -240,7 +430,22 @@ impl FastTrack {
     // in the µop cache; the same-epoch fast path never enters here.
     #[inline(never)]
     fn read(&mut self, index: usize, t: Tid, x: VarId) {
+        self.tiers.governed += 1;
+        if self.config.profile_tiers {
+            let t0 = Instant::now();
+            self.read_governed(index, t, x);
+            let ns = t0.elapsed().as_nanos() as u64;
+            if let Some(lat) = self.tier_lat.as_mut() {
+                lat.governed.record(ns);
+            }
+        } else {
+            self.read_governed(index, t, x);
+        }
+    }
+
+    fn read_governed(&mut self, index: usize, t: Tid, x: VarId) {
         self.stats.reads += 1;
+        self.record_access(index, opcode::READ, t, x);
         if self.sampled_out(x) {
             return;
         }
@@ -281,26 +486,54 @@ impl FastTrack {
         }
 
         if let Some(w) = outcome.racy_write {
-            self.report(
-                x,
-                WarningKind::WriteRead,
-                w.tid(),
-                AccessKind::Write,
-                t,
-                AccessKind::Read,
-                index,
-            );
+            if self.would_report(x) {
+                let prov = self.provenance(
+                    outcome.rule.name(),
+                    w,
+                    t,
+                    w.tid(),
+                    outcome.prior_w,
+                    outcome.prior_r,
+                    outcome.prior_rvc,
+                );
+                self.report(
+                    x,
+                    WarningKind::WriteRead,
+                    w.tid(),
+                    AccessKind::Write,
+                    t,
+                    AccessKind::Read,
+                    index,
+                    prov,
+                );
+            }
         }
         self.enforce_budget();
     }
 
-    /// Figure 5 `write(VarState x, ThreadState t)`.
+    /// Figure 5 `write(VarState x, ThreadState t)` — the governed (tier 4)
+    /// path.
     ///
     /// Like [`FastTrack::read`], delegates the transition to
     /// [`rules::write_var`].
     #[inline(never)]
     fn write(&mut self, index: usize, t: Tid, x: VarId) {
+        self.tiers.governed += 1;
+        if self.config.profile_tiers {
+            let t0 = Instant::now();
+            self.write_governed(index, t, x);
+            let ns = t0.elapsed().as_nanos() as u64;
+            if let Some(lat) = self.tier_lat.as_mut() {
+                lat.governed.record(ns);
+            }
+        } else {
+            self.write_governed(index, t, x);
+        }
+    }
+
+    fn write_governed(&mut self, index: usize, t: Tid, x: VarId) {
         self.stats.writes += 1;
+        self.record_access(index, opcode::WRITE, t, x);
         if self.sampled_out(x) {
             return;
         }
@@ -333,38 +566,73 @@ impl FastTrack {
             }
         }
 
-        if let Some(w) = outcome.racy_write {
-            self.report(
-                x,
-                WarningKind::WriteWrite,
-                w.tid(),
-                AccessKind::Write,
-                t,
-                AccessKind::Write,
-                index,
-            );
-        }
-        if let Some(u) = outcome.racy_read {
-            self.report(
-                x,
-                WarningKind::ReadWrite,
-                u,
-                AccessKind::Read,
-                t,
-                AccessKind::Write,
-                index,
-            );
-        }
+        self.report_write_races(index, t, x, outcome);
         self.enforce_budget();
     }
 
-    /// The ungoverned read slow path. `run`/`on_block` dispatch here once
-    /// the fast-path probe has proven `threads[t]` and `vars[x]` both have
-    /// shadow state and the guard is off: the ensure/resize checks, the
-    /// sampling test, and the guard accounting of [`FastTrack::read`] are
-    /// all statically dead under those preconditions, so this skips them.
+    /// Turns a [`rules::WriteOutcome`] into warnings (write-write first,
+    /// then read-write — a variable gets at most one by default, so the
+    /// write-write report wins when both fired). Shared by the governed and
+    /// pre-ensured write paths.
+    fn report_write_races(&mut self, index: usize, t: Tid, x: VarId, outcome: rules::WriteOutcome) {
+        if let Some(w) = outcome.racy_write {
+            if self.would_report(x) {
+                let prov = self.provenance(
+                    outcome.rule.name(),
+                    w,
+                    t,
+                    w.tid(),
+                    outcome.prior_w,
+                    outcome.prior_r,
+                    outcome.prior_rvc.clone(),
+                );
+                self.report(
+                    x,
+                    WarningKind::WriteWrite,
+                    w.tid(),
+                    AccessKind::Write,
+                    t,
+                    AccessKind::Write,
+                    index,
+                    prov,
+                );
+            }
+        }
+        if let Some(u) = outcome.racy_read {
+            if self.would_report(x) {
+                let prov = self.provenance(
+                    outcome.rule.name(),
+                    u,
+                    t,
+                    u.tid(),
+                    outcome.prior_w,
+                    outcome.prior_r,
+                    outcome.prior_rvc,
+                );
+                self.report(
+                    x,
+                    WarningKind::ReadWrite,
+                    u.tid(),
+                    AccessKind::Read,
+                    t,
+                    AccessKind::Write,
+                    index,
+                    prov,
+                );
+            }
+        }
+    }
+
+    /// The ungoverned read slow path (tier 3). `run`/`on_block` dispatch
+    /// here once the fast-path probe has proven `threads[t]` and `vars[x]`
+    /// both have shadow state and the guard is off: the ensure/resize
+    /// checks, the sampling test, and the guard accounting of
+    /// [`FastTrack::read`] are all statically dead under those
+    /// preconditions, so this skips them.
     #[inline(never)]
     fn read_preensured(&mut self, index: usize, t: Tid, x: VarId) {
+        self.tiers.preensured += 1;
+        let t0 = self.tier_lat.as_ref().map(|_| Instant::now());
         self.stats.reads += 1;
         let ts = self.threads[t.as_usize()]
             .as_ref()
@@ -380,21 +648,42 @@ impl FastTrack {
         );
         self.rules.hit_read(outcome.rule);
         if let Some(w) = outcome.racy_write {
-            self.report(
-                x,
-                WarningKind::WriteRead,
-                w.tid(),
-                AccessKind::Write,
-                t,
-                AccessKind::Read,
-                index,
-            );
+            if self.would_report(x) {
+                let prov = self.provenance(
+                    outcome.rule.name(),
+                    w,
+                    t,
+                    w.tid(),
+                    outcome.prior_w,
+                    outcome.prior_r,
+                    outcome.prior_rvc,
+                );
+                self.report(
+                    x,
+                    WarningKind::WriteRead,
+                    w.tid(),
+                    AccessKind::Write,
+                    t,
+                    AccessKind::Read,
+                    index,
+                    prov,
+                );
+            }
+        }
+        if let Some(t0) = t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            if let Some(lat) = self.tier_lat.as_mut() {
+                lat.preensured.record(ns);
+            }
         }
     }
 
-    /// The ungoverned write slow path; see [`FastTrack::read_preensured`].
+    /// The ungoverned write slow path (tier 3); see
+    /// [`FastTrack::read_preensured`].
     #[inline(never)]
     fn write_preensured(&mut self, index: usize, t: Tid, x: VarId) {
+        self.tiers.preensured += 1;
+        let t0 = self.tier_lat.as_ref().map(|_| Instant::now());
         self.stats.writes += 1;
         let ts = self.threads[t.as_usize()]
             .as_ref()
@@ -408,27 +697,12 @@ impl FastTrack {
             &mut self.stats,
         );
         self.rules.hit_write(outcome.rule);
-        if let Some(w) = outcome.racy_write {
-            self.report(
-                x,
-                WarningKind::WriteWrite,
-                w.tid(),
-                AccessKind::Write,
-                t,
-                AccessKind::Write,
-                index,
-            );
-        }
-        if let Some(u) = outcome.racy_read {
-            self.report(
-                x,
-                WarningKind::ReadWrite,
-                u,
-                AccessKind::Read,
-                t,
-                AccessKind::Write,
-                index,
-            );
+        self.report_write_races(index, t, x, outcome);
+        if let Some(t0) = t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            if let Some(lat) = self.tier_lat.as_mut() {
+                lat.preensured.record(ns);
+            }
         }
     }
 
@@ -501,6 +775,17 @@ impl FastTrack {
     /// ([`GuardTier::Full`] when ungoverned).
     pub fn guard_tier(&self) -> GuardTier {
         self.guard.as_ref().map_or(GuardTier::Full, Guard::tier)
+    }
+
+    /// Per-tier hit counters for the fused batch loops. Always maintained;
+    /// see [`FastTrackConfig::profile_tiers`] for the latency histograms.
+    pub fn tier_profile(&self) -> TierProfile {
+        self.tiers
+    }
+
+    /// The flight recorder, when enabled.
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_ref()
     }
 
     /// `[FT ACQUIRE]`: `C_t := C_t ⊔ L_m`.
@@ -748,6 +1033,11 @@ impl Detector for FastTrack {
 
     fn on_op(&mut self, index: usize, op: &Op) -> Disposition {
         self.stats.ops += 1;
+        // Accesses are recorded inside `read`/`write` (which also serve the
+        // fused loops); everything else is recorded here.
+        if self.recorder.is_some() && !op.is_access() {
+            self.record_op(index, op);
+        }
         match op {
             Op::Read(t, x) => {
                 self.read(index, *t, *x);
@@ -800,12 +1090,16 @@ impl Detector for FastTrack {
     }
 
     fn on_block(&mut self, base_index: usize, block: &EventBlock) {
+        let t0 = self.tier_lat.as_ref().map(|_| Instant::now());
         self.stats.ops += block.len() as u64;
         // With no guard to account to, a same-epoch hit has no observable
         // effect beyond two counters — the check can run on the raw lanes
         // before any of the per-access setup (`thread`/`var` ensures, guard
-        // bookkeeping, disposition) is paid.
-        let fast = self.guard.is_none() && !self.config.ablate_same_epoch;
+        // bookkeeping, disposition) is paid. A flight recorder must see
+        // every event, so it forces the governed path the same way a guard
+        // does — leaving the recorder-disabled loop structurally unchanged.
+        let fast =
+            self.guard.is_none() && self.recorder.is_none() && !self.config.ablate_same_epoch;
         // Second inline tier as in `run`: race-free `[FT READ/WRITE
         // EXCLUSIVE]` runs inline; only shared/racy/inflating accesses
         // leave the loop.
@@ -880,6 +1174,9 @@ impl Detector for FastTrack {
                 }
                 self.write(base_index + i, t, VarId::new(a));
             } else {
+                if self.recorder.is_some() {
+                    self.record_block_sync(base_index + i, block, kind, t, a);
+                }
                 match kind {
                     opcode::ACQUIRE => {
                         self.stats.sync_ops += 1;
@@ -926,6 +1223,14 @@ impl Detector for FastTrack {
         self.stats.writes += se_writes + ex_writes;
         self.rules
             .hit_fast_bulk(se_reads, ex_reads, se_writes, ex_writes);
+        self.tiers.same_epoch += se_reads + se_writes;
+        self.tiers.inline_exclusive += ex_reads + ex_writes;
+        if let Some(t0) = t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            if let Some(lat) = self.tier_lat.as_mut() {
+                lat.block.record(ns);
+            }
+        }
     }
 
     fn run(&mut self, trace: &Trace) {
@@ -935,8 +1240,10 @@ impl Detector for FastTrack {
         // `on_op`. Events are consumed straight off the slice — copying
         // them into an `EventBlock` first would cost more than the fused
         // dispatch saves (blocks earn their keep when the *decoder* fills
-        // them, as in the `.ftb` streaming path).
-        let fast = self.guard.is_none() && !self.config.ablate_same_epoch;
+        // them, as in the `.ftb` streaming path). As in `on_block`, a
+        // flight recorder forces every access onto the governed path.
+        let fast =
+            self.guard.is_none() && self.recorder.is_none() && !self.config.ablate_same_epoch;
         // Second inline tier: the race-free `[FT READ/WRITE EXCLUSIVE]`
         // case is two epoch-vs-clock compares and one store, so it runs
         // inline too; only shared/racy/inflating accesses leave the loop.
@@ -1024,6 +1331,8 @@ impl Detector for FastTrack {
         self.stats.writes += se_writes + ex_writes;
         self.rules
             .hit_fast_bulk(se_reads, ex_reads, se_writes, ex_writes);
+        self.tiers.same_epoch += se_reads + se_writes;
+        self.tiers.inline_exclusive += ex_reads + ex_writes;
     }
 
     fn warnings(&self) -> &[Warning] {
@@ -1049,7 +1358,8 @@ impl Detector for FastTrack {
             .flatten()
             .map(|vc| std::mem::size_of::<VectorClock>() + vc.heap_bytes())
             .sum();
-        vars + threads + locks
+        let recorder = self.recorder.as_ref().map_or(0, FlightRecorder::bytes);
+        vars + threads + locks + recorder
     }
 
     fn rule_breakdown(&self) -> Vec<RuleCount> {
@@ -1069,6 +1379,25 @@ impl Detector for FastTrack {
             reg.set_gauge("guard.used_bytes", b.used() as f64);
             reg.set_gauge("guard.peak_bytes", b.peak() as f64);
             reg.set_meta("guard.tier", &self.guard_tier().to_string());
+        }
+        // Per-tier dispatch counters for the fused batch loops (always on —
+        // the inline tiers flush from loop locals, the out-of-line tiers
+        // count one add per entry).
+        reg.inc_counter("tier.same_epoch.hits", self.tiers.same_epoch);
+        reg.inc_counter("tier.inline_exclusive.hits", self.tiers.inline_exclusive);
+        reg.inc_counter("tier.preensured.hits", self.tiers.preensured);
+        reg.inc_counter("tier.governed.hits", self.tiers.governed);
+        if let Some(lat) = &self.tier_lat {
+            reg.histogram_mut("tier.preensured.ns")
+                .merge(&lat.preensured);
+            reg.histogram_mut("tier.governed.ns").merge(&lat.governed);
+            reg.histogram_mut("tier.block.ns").merge(&lat.block);
+        }
+        if let Some(rec) = &self.recorder {
+            reg.inc_counter("recorder.recorded_events", rec.recorded());
+            reg.set_gauge("recorder.capacity", rec.capacity() as f64);
+            reg.set_gauge("recorder.threads", rec.threads() as f64);
+            reg.set_gauge("recorder.bytes", rec.bytes() as f64);
         }
         reg.snapshot()
     }

@@ -54,6 +54,7 @@
 pub mod analysis;
 mod detector;
 mod empty;
+pub mod flight;
 pub mod guard;
 mod rules;
 pub mod shard;
@@ -61,10 +62,11 @@ mod state;
 mod stats;
 mod warning;
 
-pub use analysis::{FastTrack, FastTrackConfig, ReadMode};
+pub use analysis::{FastTrack, FastTrackConfig, ReadMode, TierProfile};
 pub use detector::{Detector, Disposition};
 pub use empty::Empty;
+pub use flight::{FlightRecorder, RecordedEvent, RecorderConfig, ThreadTail};
 pub use guard::{DegradationRecord, GuardConfig, GuardTier, Precision, ShadowBudget};
 pub use state::READ_SHARED;
 pub use stats::{RuleCount, Stats};
-pub use warning::{AccessSummary, Warning, WarningKind};
+pub use warning::{AccessSummary, Provenance, ReadHistory, Warning, WarningKind};

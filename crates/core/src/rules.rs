@@ -42,20 +42,65 @@ pub(crate) enum WriteRule {
     Shared,
 }
 
+impl ReadRule {
+    /// The rule's name, matching the [`RuleHits::breakdown`] labels so a
+    /// warning's provenance can be cross-referenced against the report.
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            ReadRule::SameEpoch => "FT READ SAME EPOCH",
+            ReadRule::Shared => "FT READ SHARED",
+            ReadRule::Exclusive => "FT READ EXCLUSIVE",
+            ReadRule::Share => "FT READ SHARE",
+        }
+    }
+}
+
+impl WriteRule {
+    /// The rule's name, matching the [`RuleHits::breakdown`] labels.
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            WriteRule::SameEpoch => "FT WRITE SAME EPOCH",
+            WriteRule::Exclusive => "FT WRITE EXCLUSIVE",
+            WriteRule::Shared => "FT WRITE SHARED",
+        }
+    }
+}
+
 /// Result of [`read_var`].
+///
+/// Besides the rule and race verdict, the outcome carries the pre-access
+/// shadow state (`prior_w`, `prior_r`, and — only when a race fired while the
+/// read history was a vector clock — its nonzero entries) so callers can
+/// build a [`crate::Provenance`] without re-deriving state the transition
+/// already overwrote. The `prior_*` captures are two shifts of the
+/// already-loaded shadow word; `prior_rvc` allocates only on racy accesses.
 pub(crate) struct ReadOutcome {
     pub rule: ReadRule,
     /// The prior write epoch when it is concurrent with this read.
     pub racy_write: Option<Epoch>,
+    /// `W_x` before this access.
+    pub prior_w: Epoch,
+    /// `R_x` before this access (the `READ_SHARED` sentinel in shared mode).
+    pub prior_r: Epoch,
+    /// Nonzero `Rvc` entries before this access, captured only when a race
+    /// fired while the variable was in read-shared mode.
+    pub prior_rvc: Option<Vec<(Tid, u32)>>,
 }
 
-/// Result of [`write_var`].
+/// Result of [`write_var`]. See [`ReadOutcome`] for the `prior_*` fields.
 pub(crate) struct WriteOutcome {
     pub rule: WriteRule,
     /// The prior write epoch when it is concurrent with this write.
     pub racy_write: Option<Epoch>,
-    /// Some thread whose prior read is concurrent with this write.
-    pub racy_read: Option<Tid>,
+    /// The epoch of a prior read that is concurrent with this write.
+    pub racy_read: Option<Epoch>,
+    /// `W_x` before this access.
+    pub prior_w: Epoch,
+    /// `R_x` before this access (the `READ_SHARED` sentinel in shared mode).
+    pub prior_r: Epoch,
+    /// Nonzero `Rvc` entries before this access, captured only when a race
+    /// fired while the variable was in read-shared mode.
+    pub prior_rvc: Option<Vec<(Tid, u32)>>,
 }
 
 /// Takes a clock from the pool, keeping the logical-allocation and reuse
@@ -81,12 +126,21 @@ pub(crate) fn read_var(
     pool: &mut VcPool,
     stats: &mut Stats,
 ) -> ReadOutcome {
+    // Pre-access shadow state for provenance. Captured before the ablation
+    // branch below so `prior_r` is the true prior even when the adaptive
+    // representation is forced off.
+    let prior_w = vs.w();
+    let prior_r = vs.r();
+
     // [FT READ SAME EPOCH] — 63.4% of reads in the paper's benchmarks.
     // One load of the packed shadow word, one half-word compare.
     if !config.ablate_same_epoch && vs.read_hits_same_epoch(epoch) {
         return ReadOutcome {
             rule: ReadRule::SameEpoch,
             racy_write: None,
+            prior_w,
+            prior_r,
+            prior_rvc: None,
         };
     }
 
@@ -109,6 +163,14 @@ pub(crate) fn read_var(
         None
     } else {
         Some(w)
+    };
+
+    // When the read history is a vector clock and this read races, capture
+    // the prior `Rvc` entries before the slot update below overwrites ours.
+    let prior_rvc = if racy_write.is_some() && vs.r() == READ_SHARED {
+        vs.rvc.as_ref().map(|rvc| rvc.iter_nonzero().collect())
+    } else {
+        None
     };
 
     let r = vs.r();
@@ -134,7 +196,13 @@ pub(crate) fn read_var(
         ReadRule::Share
     };
 
-    ReadOutcome { rule, racy_write }
+    ReadOutcome {
+        rule,
+        racy_write,
+        prior_w,
+        prior_r,
+        prior_rvc,
+    }
 }
 
 /// Figure 5 `write(VarState x, ThreadState t)`, minus the warning plumbing.
@@ -146,6 +214,10 @@ pub(crate) fn write_var(
     pool: &mut VcPool,
     stats: &mut Stats,
 ) -> WriteOutcome {
+    // Pre-access shadow state for provenance.
+    let prior_w = vs.w();
+    let prior_r = vs.r();
+
     // [FT WRITE SAME EPOCH] — 71.0% of writes. One load of the packed
     // shadow word, one half-word compare.
     if !config.ablate_same_epoch && vs.write_hits_same_epoch(epoch) {
@@ -153,6 +225,9 @@ pub(crate) fn write_var(
             rule: WriteRule::SameEpoch,
             racy_write: None,
             racy_read: None,
+            prior_w,
+            prior_r,
+            prior_rvc: None,
         };
     }
 
@@ -165,12 +240,13 @@ pub(crate) fn write_var(
     };
 
     // Read-write race check, then collapse/update the read history.
-    let mut racy_read: Option<Tid> = None;
+    let mut racy_read: Option<Epoch> = None;
+    let mut prior_rvc: Option<Vec<(Tid, u32)>> = None;
     let r = vs.r();
     let rule = if r != READ_SHARED {
         // [FT WRITE EXCLUSIVE] — 28.9% of writes: epoch-epoch check.
         if !r.happens_before(ts_vc) {
-            racy_read = Some(r.tid());
+            racy_read = Some(r);
         }
         WriteRule::Exclusive
     } else {
@@ -184,7 +260,12 @@ pub(crate) fn write_var(
             racy_read = rvc
                 .iter_nonzero()
                 .find(|&(u, c)| c > ts_vc.get(u))
-                .map(|(u, _)| u);
+                .map(|(u, c)| Epoch::new(u, c));
+        }
+        // The collapse below discards the read history; capture it first
+        // when any race fired so provenance can still show it.
+        if racy_write.is_some() || racy_read.is_some() {
+            prior_rvc = Some(rvc.iter_nonzero().collect());
         }
         if !config.ablate_adaptive_read {
             // R := ⊥ₑ — the collapsed Rvc goes back to the pool instead of
@@ -204,6 +285,9 @@ pub(crate) fn write_var(
         rule,
         racy_write,
         racy_read,
+        prior_w,
+        prior_r,
+        prior_rvc,
     }
 }
 

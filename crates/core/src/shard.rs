@@ -31,9 +31,9 @@
 use crate::analysis::{FastTrackConfig, RVC_POOL_CAP};
 use crate::guard::{Guard, GuardTier, Precision};
 use crate::rules::{self, RuleHits};
-use crate::state::VarState;
+use crate::state::{VarState, READ_SHARED};
 use crate::stats::{RuleCount, Stats};
-use crate::warning::{AccessSummary, Warning, WarningKind};
+use crate::warning::{AccessSummary, Provenance, ReadHistory, Warning, WarningKind};
 use ft_clock::{CowClock, Epoch, Tid, VcPool, VectorClock};
 use ft_trace::{AccessKind, LockId, Op, VarId};
 use std::sync::Arc;
@@ -425,16 +425,27 @@ impl VarShard {
                     }
                 }
                 if let Some(w) = outcome.racy_write {
-                    self.report(
-                        local,
-                        x,
-                        WarningKind::WriteRead,
-                        w.tid(),
-                        AccessKind::Write,
-                        t,
-                        AccessKind::Read,
-                        index,
-                    );
+                    if self.would_report(local) {
+                        let prov = Self::provenance(
+                            view,
+                            outcome.rule.name(),
+                            w,
+                            outcome.prior_w,
+                            outcome.prior_r,
+                            outcome.prior_rvc,
+                        );
+                        self.report(
+                            local,
+                            x,
+                            WarningKind::WriteRead,
+                            w.tid(),
+                            AccessKind::Write,
+                            t,
+                            AccessKind::Read,
+                            index,
+                            prov,
+                        );
+                    }
                 }
             }
             AccessKind::Write => {
@@ -457,28 +468,50 @@ impl VarShard {
                     }
                 }
                 if let Some(w) = outcome.racy_write {
-                    self.report(
-                        local,
-                        x,
-                        WarningKind::WriteWrite,
-                        w.tid(),
-                        AccessKind::Write,
-                        t,
-                        AccessKind::Write,
-                        index,
-                    );
+                    if self.would_report(local) {
+                        let prov = Self::provenance(
+                            view,
+                            outcome.rule.name(),
+                            w,
+                            outcome.prior_w,
+                            outcome.prior_r,
+                            outcome.prior_rvc.clone(),
+                        );
+                        self.report(
+                            local,
+                            x,
+                            WarningKind::WriteWrite,
+                            w.tid(),
+                            AccessKind::Write,
+                            t,
+                            AccessKind::Write,
+                            index,
+                            prov,
+                        );
+                    }
                 }
                 if let Some(u) = outcome.racy_read {
-                    self.report(
-                        local,
-                        x,
-                        WarningKind::ReadWrite,
-                        u,
-                        AccessKind::Read,
-                        t,
-                        AccessKind::Write,
-                        index,
-                    );
+                    if self.would_report(local) {
+                        let prov = Self::provenance(
+                            view,
+                            outcome.rule.name(),
+                            u,
+                            outcome.prior_w,
+                            outcome.prior_r,
+                            outcome.prior_rvc,
+                        );
+                        self.report(
+                            local,
+                            x,
+                            WarningKind::ReadWrite,
+                            u.tid(),
+                            AccessKind::Read,
+                            t,
+                            AccessKind::Write,
+                            index,
+                            prov,
+                        );
+                    }
                 }
             }
         }
@@ -558,6 +591,44 @@ impl VarShard {
         }
     }
 
+    /// Mirrors the sequential detector's suppression check so provenance is
+    /// only built for warnings that will actually be recorded.
+    #[inline]
+    fn would_report(&self, local: usize) -> bool {
+        self.config.report_all || !self.warned[local]
+    }
+
+    /// Builds the provenance for a race found by this shard — identical,
+    /// field for field, to what the sequential detector produces for the
+    /// same access: the snapshot's `ThreadView` carries exactly the epoch
+    /// and clock the sequential analysis would see at this trace position.
+    /// Shards have no flight recorder, so `recent` is empty (the recorder
+    /// is a sequential-engine feature).
+    fn provenance(
+        view: &ThreadView,
+        rule: &'static str,
+        conflict: Epoch,
+        prior_w: Epoch,
+        prior_r: Epoch,
+        prior_rvc: Option<Vec<(Tid, u32)>>,
+    ) -> Provenance {
+        let prior_reads = match prior_rvc {
+            Some(entries) => ReadHistory::Shared(entries),
+            None if prior_r == READ_SHARED => ReadHistory::Shared(Vec::new()),
+            None if prior_r.is_initial() => ReadHistory::None,
+            None => ReadHistory::Epoch(prior_r),
+        };
+        Provenance {
+            rule,
+            conflict,
+            current_epoch: view.epoch,
+            thread_clock: view.clock.iter_nonzero().collect(),
+            prior_write: prior_w,
+            prior_reads,
+            recent: Vec::new(),
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn report(
         &mut self,
@@ -569,6 +640,7 @@ impl VarShard {
         current_tid: Tid,
         current_kind: AccessKind,
         index: usize,
+        provenance: Provenance,
     ) {
         if self.warned[local] && !self.config.report_all {
             return;
@@ -587,6 +659,7 @@ impl VarShard {
                 kind: current_kind,
                 event_index: Some(index),
             },
+            provenance: Some(provenance),
         });
     }
 

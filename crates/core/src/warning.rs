@@ -1,6 +1,7 @@
-//! Race warnings.
+//! Race warnings and their provenance records.
 
-use ft_clock::Tid;
+use crate::flight::ThreadTail;
+use ft_clock::{Epoch, Tid};
 use ft_trace::{AccessKind, VarId};
 use std::fmt;
 
@@ -60,6 +61,86 @@ impl fmt::Display for AccessSummary {
     }
 }
 
+/// The shape of a variable's read history at the moment a race fired.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ReadHistory {
+    /// No read had been observed (`R_x = ⊥ₑ`).
+    None,
+    /// Reads were totally ordered: the single last-read epoch.
+    Epoch(Epoch),
+    /// The variable was read-shared: the nonzero entries of `Rvc`
+    /// (thread, clock), ascending by thread.
+    Shared(Vec<(Tid, u32)>),
+}
+
+impl fmt::Display for ReadHistory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadHistory::None => write!(f, "⊥"),
+            ReadHistory::Epoch(e) => write!(f, "{e}"),
+            ReadHistory::Shared(entries) => {
+                // Same `clock@tid` convention as `Epoch`'s Display.
+                write!(f, "{{")?;
+                for (i, (t, c)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{c}@{}", t.as_u32())?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// The evidence behind a race warning: which Figure 5 rule fired, the
+/// conflicting epochs, and the analysis state at the moment of detection.
+///
+/// Every FastTrack engine — the sequential fused loop, the streamed `.ftb`
+/// path, and the epoch-sliced parallel engine — populates this identically
+/// (the parallel ≡ sequential agreement tests compare warnings wholesale,
+/// provenance included). Downstream lockset/baseline detectors, which have
+/// no epoch evidence, leave [`Warning::provenance`] as `None`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Provenance {
+    /// The exact Figure 5 rule that detected the race, matching the labels
+    /// of the report's rule breakdown (e.g. `"FT WRITE EXCLUSIVE"`).
+    pub rule: &'static str,
+    /// The epoch of the prior conflicting access (the write for
+    /// write-write/write-read races, the read for read-write races).
+    pub conflict: Epoch,
+    /// The accessing thread's epoch `E(t)` at detection.
+    pub current_epoch: Epoch,
+    /// The accessing thread's vector clock `C_t` at detection: its nonzero
+    /// entries (thread, clock), ascending by thread.
+    pub thread_clock: Vec<(Tid, u32)>,
+    /// `W_x` immediately before the racy access ([`Epoch::MIN`] if the
+    /// variable had never been written).
+    pub prior_write: Epoch,
+    /// The read history `R_x` immediately before the racy access.
+    pub prior_reads: ReadHistory,
+    /// When the flight recorder is enabled: the last recorded events of the
+    /// threads involved in the race. Empty otherwise.
+    pub recent: Vec<ThreadTail>,
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] conflict {} vs C_t={{", self.rule, self.conflict)?;
+        for (i, (t, c)) in self.thread_clock.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}@{}", t.as_u32())?;
+        }
+        write!(
+            f,
+            "}} at {}; prior W={} R={}",
+            self.current_epoch, self.prior_write, self.prior_reads
+        )
+    }
+}
+
 /// A warning produced by a detector.
 ///
 /// Precise detectors (FastTrack, DJIT+, BasicVC, Goldilocks) only emit
@@ -77,6 +158,10 @@ pub struct Warning {
     pub prior: AccessSummary,
     /// The access that triggered the report.
     pub current: AccessSummary,
+    /// Epoch/clock evidence for the race. Always populated by the FastTrack
+    /// engines; `None` for detectors without epoch evidence (locksets,
+    /// baselines).
+    pub provenance: Option<Provenance>,
 }
 
 impl fmt::Display for Warning {
@@ -108,11 +193,29 @@ mod tests {
                 kind: AccessKind::Read,
                 event_index: Some(17),
             },
+            provenance: None,
         };
         let s = w.to_string();
         assert!(s.contains("write-read race on x3"), "{s}");
         assert!(s.contains("write by T0"), "{s}");
         assert!(s.contains("read by T1 (event 17)"), "{s}");
+    }
+
+    #[test]
+    fn provenance_display_names_rule_and_epochs() {
+        let p = Provenance {
+            rule: "FT WRITE EXCLUSIVE",
+            conflict: Epoch::new(Tid::new(1), 4),
+            current_epoch: Epoch::new(Tid::new(0), 2),
+            thread_clock: vec![(Tid::new(0), 2)],
+            prior_write: Epoch::new(Tid::new(1), 4),
+            prior_reads: ReadHistory::Shared(vec![(Tid::new(0), 1), (Tid::new(2), 3)]),
+            recent: Vec::new(),
+        };
+        let s = p.to_string();
+        assert!(s.contains("[FT WRITE EXCLUSIVE]"), "{s}");
+        assert!(s.contains("conflict 4@1"), "{s}");
+        assert!(s.contains("R={1@0,3@2}"), "{s}");
     }
 
     #[test]

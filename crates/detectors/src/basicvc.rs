@@ -76,6 +76,7 @@ impl BasicVc {
                 kind: current.1,
                 event_index: Some(index),
             },
+            provenance: None,
         });
     }
 

@@ -90,6 +90,7 @@ impl Djit {
                 kind: current.1,
                 event_index: Some(index),
             },
+            provenance: None,
         });
     }
 

@@ -164,6 +164,7 @@ impl Eraser {
                 kind,
                 event_index: Some(index),
             },
+            provenance: None,
         });
     }
 

@@ -220,6 +220,7 @@ impl Goldilocks {
                 kind: current.1,
                 event_index: Some(index),
             },
+            provenance: None,
         });
     }
 

@@ -120,6 +120,7 @@ impl MultiRace {
                 kind: current.1,
                 event_index: Some(index),
             },
+            provenance: None,
         });
     }
 

@@ -147,6 +147,7 @@ impl RaceTrack {
                         kind,
                         event_index: Some(index),
                     },
+                    provenance: None,
                 });
             }
         }

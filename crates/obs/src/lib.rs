@@ -10,6 +10,8 @@
 //! - [`spans`] — a [`span!`]/[`event!`] tracing facade with pluggable sinks
 //!   ([`NoopSink`], [`StderrSink`], [`JsonlSink`]). Disabled cost is a
 //!   single branch: no allocation, no clock read.
+//! - [`prom`] — a Prometheus text-exposition renderer over [`Snapshot`]s,
+//!   the scrape surface behind `ftrace analyze --metrics-format prom`.
 //!
 //! The crate deliberately depends on nothing (not even other workspace
 //! crates) so every layer — clock, trace, core, runtime, cli, bench — can
@@ -20,10 +22,12 @@
 
 pub mod json;
 pub mod metrics;
+pub mod prom;
 pub mod spans;
 
 pub use json::JsonWriter;
 pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, Snapshot};
+pub use prom::{sanitize_metric_name, to_prometheus};
 pub use spans::{
     disable_tracing, set_sink, trace_enabled, JsonlSink, NoopSink, SpanGuard, StderrSink, TraceSink,
 };

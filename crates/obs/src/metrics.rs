@@ -144,6 +144,21 @@ impl Histogram {
     /// An estimate of the `q`-quantile (`0.0 ≤ q ≤ 1.0`): the upper bound
     /// of the bucket containing the `⌈q·count⌉`-th sample, clamped to the
     /// observed min/max so single-sample and narrow histograms are exact.
+    ///
+    /// Edge cases are total: an empty histogram reports `0` for every
+    /// quantile, and a single-sample histogram reports that sample exactly.
+    ///
+    /// ```
+    /// use ft_obs::Histogram;
+    ///
+    /// let empty = Histogram::new();
+    /// assert_eq!(empty.quantile(0.5), 0);
+    ///
+    /// let mut one = Histogram::new();
+    /// one.record(37);
+    /// assert_eq!(one.quantile(0.5), 37);
+    /// assert_eq!(one.quantile(0.99), 37);
+    /// ```
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -161,16 +176,40 @@ impl Histogram {
     }
 
     /// Median estimate.
+    ///
+    /// ```
+    /// use ft_obs::Histogram;
+    /// assert_eq!(Histogram::new().p50(), 0); // empty → 0
+    /// let mut h = Histogram::new();
+    /// h.record(8);
+    /// assert_eq!(h.p50(), 8); // single sample → the sample
+    /// ```
     pub fn p50(&self) -> u64 {
         self.quantile(0.50)
     }
 
     /// 90th-percentile estimate.
+    ///
+    /// ```
+    /// use ft_obs::Histogram;
+    /// assert_eq!(Histogram::new().p90(), 0); // empty → 0
+    /// let mut h = Histogram::new();
+    /// h.record(8);
+    /// assert_eq!(h.p90(), 8); // single sample → the sample
+    /// ```
     pub fn p90(&self) -> u64 {
         self.quantile(0.90)
     }
 
     /// 99th-percentile estimate.
+    ///
+    /// ```
+    /// use ft_obs::Histogram;
+    /// assert_eq!(Histogram::new().p99(), 0); // empty → 0
+    /// let mut h = Histogram::new();
+    /// h.record(8);
+    /// assert_eq!(h.p99(), 8); // single sample → the sample
+    /// ```
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }

@@ -1,0 +1,256 @@
+//! Prometheus text-format rendering of metric [`Snapshot`]s.
+//!
+//! [`to_prometheus`] turns a snapshot into the [Prometheus text exposition
+//! format](https://prometheus.io/docs/instrumenting/exposition_formats/)
+//! (version 0.0.4): one `# HELP`/`# TYPE` header per metric, counters and
+//! gauges as single samples, histograms as summary-style quantile series
+//! (`{quantile="0.5|0.9|0.99"}` plus `_sum`/`_count`/`_min`/`_max`), and
+//! the meta annotations as labels on a single `<prefix>_info` gauge.
+//!
+//! This is the scrape surface a future `ftrace serve` daemon will mount as
+//! `/metrics`; today `ftrace analyze --metrics-format prom` and
+//! `ftrace report` emit it directly.
+//!
+//! Registry names in this suite contain dots and spaces
+//! (`rule.FT READ SAME EPOCH.hits`); [`sanitize_metric_name`] maps them to
+//! the `[a-zA-Z_:][a-zA-Z0-9_:]*` charset Prometheus requires, keeping the
+//! original name in the `# HELP` line so the mapping stays greppable. If
+//! two registry names collapse to the same sanitized name, later ones get a
+//! `_2`, `_3`, … suffix rather than emitting an invalid duplicate series.
+
+use crate::metrics::{HistogramSummary, Snapshot};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Maps an arbitrary registry metric name onto the Prometheus metric-name
+/// charset: `[a-zA-Z0-9_:]` pass through, every other character (dots,
+/// spaces, dashes, …) becomes `_`, and a leading digit is prefixed with
+/// `_`.
+///
+/// ```
+/// use ft_obs::prom::sanitize_metric_name;
+/// assert_eq!(
+///     sanitize_metric_name("rule.FT READ SAME EPOCH.hits"),
+///     "rule_FT_READ_SAME_EPOCH_hits"
+/// );
+/// assert_eq!(sanitize_metric_name("2fast"), "_2fast");
+/// ```
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, ch) in name.chars().enumerate() {
+        let ok = ch.is_ascii_alphanumeric() || ch == '_' || ch == ':';
+        if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { ch } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Tracks sanitized names already emitted so collisions get a numeric
+/// suffix instead of producing duplicate series.
+struct NameSpace {
+    seen: HashMap<String, u32>,
+}
+
+impl NameSpace {
+    fn new() -> Self {
+        NameSpace {
+            seen: HashMap::new(),
+        }
+    }
+
+    fn claim(&mut self, base: String) -> String {
+        let n = self.seen.entry(base.clone()).or_insert(0);
+        *n += 1;
+        if *n == 1 {
+            base
+        } else {
+            format!("{base}_{n}")
+        }
+    }
+}
+
+/// Formats a float the way Prometheus expects (no exponent tricks needed;
+/// `{:?}`-style shortest repr keeps integers readable).
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_histogram(out: &mut String, name: &str, raw: &str, h: &HistogramSummary) {
+    let _ = writeln!(out, "# HELP {name} {raw} (log2-bucket summary)");
+    let _ = writeln!(out, "# TYPE {name} summary");
+    for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+        let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+    }
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+    let _ = writeln!(out, "{name}_min {}", h.min);
+    let _ = writeln!(out, "{name}_max {}", h.max);
+}
+
+/// Renders a snapshot in the Prometheus text exposition format. Every
+/// metric name is prefixed with `<prefix>_` (pass `"ftrace"` for the CLI
+/// surface); meta annotations become labels on `<prefix>_info 1`.
+pub fn to_prometheus(snap: &Snapshot, prefix: &str) -> String {
+    let prefix = sanitize_metric_name(prefix);
+    let mut names = NameSpace::new();
+    let mut out = String::new();
+
+    if !snap.meta.is_empty() {
+        let name = names.claim(format!("{prefix}_info"));
+        let _ = writeln!(out, "# HELP {name} snapshot meta annotations");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let labels: Vec<String> = snap
+            .meta
+            .iter()
+            .map(|(k, v)| format!("{}=\"{}\"", sanitize_metric_name(k), escape_label_value(v)))
+            .collect();
+        let _ = writeln!(out, "{name}{{{}}} 1", labels.join(","));
+    }
+
+    for (raw, v) in &snap.counters {
+        let name = names.claim(format!("{prefix}_{}", sanitize_metric_name(raw)));
+        let _ = writeln!(out, "# HELP {name} {raw}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+
+    for (raw, v) in &snap.gauges {
+        let name = names.claim(format!("{prefix}_{}", sanitize_metric_name(raw)));
+        let _ = writeln!(out, "# HELP {name} {raw}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", fmt_f64(*v));
+    }
+
+    for (raw, h) in &snap.histograms {
+        let name = names.claim(format!("{prefix}_{}", sanitize_metric_name(raw)));
+        write_histogram(&mut out, &name, raw, h);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample() -> Snapshot {
+        let mut reg = MetricsRegistry::new();
+        reg.set_meta("tool", "FASTTRACK");
+        reg.set_meta("precision", "full");
+        reg.inc_counter("ops", 10);
+        reg.inc_counter("rule.FT READ SAME EPOCH.hits", 7);
+        reg.set_gauge("shadow_bytes", 4096.0);
+        reg.set_gauge("rule.FT READ SAME EPOCH.percent", 70.0);
+        reg.record("tier.block.ns", 100);
+        reg.record("tier.block.ns", 200);
+        reg.snapshot()
+    }
+
+    /// Every non-comment line must be `name[{labels}] value`, names in the
+    /// Prometheus charset.
+    fn assert_valid(text: &str) {
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample has value");
+            let name = series.split('{').next().unwrap();
+            assert!(
+                name.chars().enumerate().all(|(i, c)| {
+                    (c.is_ascii_alphabetic() || c == '_' || c == ':')
+                        || (i > 0 && c.is_ascii_digit())
+                }),
+                "invalid metric name in {line:?}"
+            );
+            assert!(value.parse::<f64>().is_ok(), "invalid value in {line:?}");
+        }
+    }
+
+    #[test]
+    fn renders_valid_exposition_text() {
+        let text = to_prometheus(&sample(), "ftrace");
+        assert_valid(&text);
+        assert!(text.contains("# TYPE ftrace_ops counter"), "{text}");
+        assert!(text.contains("ftrace_ops 10"), "{text}");
+        assert!(
+            text.contains("ftrace_rule_FT_READ_SAME_EPOCH_hits 7"),
+            "{text}"
+        );
+        assert!(text.contains("ftrace_shadow_bytes 4096"), "{text}");
+        assert!(
+            text.contains("ftrace_info{precision=\"full\",tool=\"FASTTRACK\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn histograms_render_as_summaries() {
+        let text = to_prometheus(&sample(), "ftrace");
+        assert!(
+            text.contains("# TYPE ftrace_tier_block_ns summary"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ftrace_tier_block_ns{quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(text.contains("ftrace_tier_block_ns_count 2"), "{text}");
+        assert!(text.contains("ftrace_tier_block_ns_sum 300"), "{text}");
+    }
+
+    #[test]
+    fn colliding_names_get_suffixes() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc_counter("a.b", 1);
+        reg.inc_counter("a b", 2);
+        let text = to_prometheus(&reg.snapshot(), "p");
+        assert!(text.contains("p_a_b 2"), "{text}");
+        assert!(
+            text.contains("p_a_b_2 1") || text.contains("p_a_b_2 2"),
+            "{text}"
+        );
+        assert_valid(&text);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_meta("note", "a \"quoted\\\" thing\nnewline");
+        let text = to_prometheus(&reg.snapshot(), "p");
+        assert!(text.contains("\\\"quoted"), "{text}");
+        assert!(text.contains("\\n"), "{text}");
+        // The raw newline in the value must not have split the sample line.
+        let info = text.lines().find(|l| l.contains("p_info{")).unwrap();
+        assert!(info.ends_with("\"} 1"), "{info}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(to_prometheus(&Snapshot::default(), "p"), "");
+    }
+}

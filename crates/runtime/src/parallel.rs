@@ -52,6 +52,13 @@ pub struct ParallelConfig {
     /// coordinator blocks rather than buffering the whole trace).
     pub queue_depth: usize,
     /// Configuration forwarded to the FastTrack rules in every shard.
+    ///
+    /// Warnings carry the same Figure 5 [`fasttrack::Provenance`] as the
+    /// sequential engine (the agreement tests compare them field by field).
+    /// The flight recorder is a sequential-engine feature, though: shards
+    /// judge accesses against thread *snapshots* and never see the decoded
+    /// event stream, so a `recorder` setting here is ignored and parallel
+    /// provenance reports an empty `recent` history.
     pub detector: FastTrackConfig,
 }
 

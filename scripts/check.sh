@@ -50,6 +50,52 @@ assert "parallel.batch_ns" in doc["parallel"]["histograms"], \
 print("profile smoke OK:", sys.argv[1])
 EOF
 
+echo "==> CLI diagnostics smoke (report bundle + Prometheus exposition)"
+cargo run --release -q -p ft-cli -- \
+    generate --random --racy 0.3 --ops 5000 --seed 7 -o "$tmp/racy.ftrace"
+cargo run --release -q -p ft-cli -- \
+    report "$tmp/racy.ftrace" --recorder 8 -o "$tmp/bundle.json" > /dev/null
+cargo run --release -q -p ft-cli -- \
+    analyze "$tmp/racy.ftrace" --metrics-format prom > "$tmp/metrics.prom"
+python3 - "$tmp/bundle.json" "$tmp/metrics.prom" <<'EOF'
+import json, re, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "ftrace.report/1", "unknown bundle schema"
+assert doc["warnings"], "racy workload produced no warnings"
+rules = {r["rule"] for r in doc["rule_breakdown"] if r["hits"] > 0}
+for w in doc["warnings"]:
+    p = w["provenance"]
+    assert p is not None, f"warning without provenance: {w}"
+    assert p["rule"] in rules, f"provenance rule {p['rule']} not counted"
+    assert p["recent"], "flight recorder drained no events"
+    for tail in p["recent"]:
+        assert 0 < len(tail["events"]) <= 8, "tail violates ring capacity"
+assert doc["recorder"]["capacity"] == 8
+assert doc["tiers"]["total"] > 0, "tier counters empty"
+assert "ftrace_tier_governed_hits" in doc["metrics_prom"], \
+    "bundle missing embedded Prometheus text"
+# Validate the standalone exposition: every sample line must be
+# `name[{labels}] value` with a legal metric name, and the per-tier
+# counters must be present.
+name_re = re.compile(r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? \S+$')
+text = open(sys.argv[2]).read()
+samples = [l for l in text.splitlines() if l and not l.startswith("#")]
+assert samples, "empty Prometheus exposition"
+for line in samples:
+    assert name_re.match(line), f"invalid exposition line: {line!r}"
+    float(line.rsplit(" ", 1)[1])
+assert any(l.startswith("ftrace_tier_") for l in samples), \
+    "per-tier counters missing from Prometheus output"
+assert any(l.startswith("ftrace_rule_") for l in samples), \
+    "per-rule counters missing from Prometheus output"
+print("diagnostics smoke OK: %d warning(s), %d prom sample(s)"
+      % (len(doc["warnings"]), len(samples)))
+EOF
+# Keep the validated bundle + scrape at stable paths so CI can upload them
+# as artifacts (the temp dir is removed on exit).
+cp "$tmp/bundle.json" diagnostics_bundle.json
+cp "$tmp/metrics.prom" diagnostics_metrics.prom
+
 echo "==> CLI ftb round-trip smoke (record -> convert -> analyze agree)"
 cargo run --release -q -p ft-cli -- \
     trace record --benchmark tsp --ops 5000 -o "$tmp/tsp.ftb"
@@ -73,7 +119,12 @@ assert agg["events"] > 0, "throughput bench measured nothing"
 # only insists the fused engine is not slower than the old architecture.
 assert agg["speedup_vs_baseline"] > 1.0, \
     "fused engine slower than the pre-change baseline"
-print("throughput smoke OK: %.2fx vs baseline" % agg["speedup_vs_baseline"])
+rec = doc["recorder"]
+assert rec["capacity"] > 0, "recorder section missing from aggregate"
+assert "enabled_overhead_pct" in rec and "disabled_within_2pct" in rec, \
+    "recorder overhead fields missing"
+print("throughput smoke OK: %.2fx vs baseline, recorder overhead %+.1f%%"
+      % (agg["speedup_vs_baseline"], rec["enabled_overhead_pct"]))
 EOF
 
 echo "==> parallel engine smoke (2 shards, agreement sweep)"

@@ -169,3 +169,106 @@ fn jsonl_sink_records_cli_style_spans() {
     assert!(lines[0].contains("\"kind\":\"event\""));
     assert!(lines[1].contains("\"kind\":\"span\""));
 }
+
+#[test]
+fn flight_recorder_drains_recent_events_into_warnings() {
+    use fasttrack_suite::core::{FastTrackConfig, RecorderConfig};
+
+    let cfg = GenConfig {
+        ops: 800,
+        ..GenConfig::default().with_races(0.15)
+    };
+    let trace = gen::generate(&cfg, 9);
+
+    let mut plain = FastTrack::new();
+    plain.run(&trace);
+    assert!(!plain.warnings().is_empty(), "need a racy trace");
+
+    let mut recorded = FastTrack::with_config(FastTrackConfig {
+        recorder: Some(RecorderConfig { capacity: 8 }),
+        ..FastTrackConfig::default()
+    });
+    recorded.run(&trace);
+
+    // Same races either way — the recorder is observation, not analysis.
+    assert_eq!(plain.warnings().len(), recorded.warnings().len());
+    for (p, r) in plain.warnings().iter().zip(recorded.warnings()) {
+        assert_eq!(p.var, r.var);
+        assert_eq!(p.kind, r.kind);
+        let (pp, rp) = (
+            p.provenance.as_ref().unwrap(),
+            r.provenance.as_ref().unwrap(),
+        );
+        assert_eq!(pp.rule, rp.rule);
+        // Recorder off: no tails. Recorder on: the accessing thread's tail
+        // is present, capped at the ring capacity, ends at the racy access,
+        // and is ordered by trace index.
+        assert!(pp.recent.is_empty());
+        let current_tail = rp
+            .recent
+            .iter()
+            .find(|tail| tail.tid == r.current.tid)
+            .expect("accessing thread has a tail");
+        assert!(!current_tail.events.is_empty());
+        assert!(current_tail.events.len() <= 8);
+        let indices: Vec<u64> = current_tail.events.iter().map(|e| e.index).collect();
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        assert_eq!(indices, sorted, "tail out of order: {indices:?}");
+        assert_eq!(
+            indices.last().copied(),
+            r.current.event_index.map(|i| i as u64),
+            "tail does not end at the racy access"
+        );
+    }
+
+    // The recorder surfaces in metrics and in shadow accounting.
+    let rec = recorded.flight_recorder().expect("recorder enabled");
+    assert!(rec.recorded() > 0);
+    assert!(rec.bytes() > 0);
+    assert!(recorded.shadow_bytes() >= plain.shadow_bytes() + rec.bytes());
+    let snap = recorded.metrics();
+    assert_eq!(
+        snap.counter("recorder.recorded_events"),
+        Some(rec.recorded())
+    );
+}
+
+#[test]
+fn tier_counters_partition_the_accesses() {
+    use fasttrack_suite::core::FastTrackConfig;
+
+    let trace = gen::generate(&GenConfig::default(), 21);
+    let mut ft = FastTrack::with_config(FastTrackConfig {
+        profile_tiers: true,
+        ..FastTrackConfig::default()
+    });
+    ft.run(&trace);
+
+    // Every access lands in exactly one tier.
+    let tiers = ft.tier_profile();
+    let stats = ft.stats();
+    assert_eq!(tiers.total(), stats.reads + stats.writes);
+    assert!(
+        tiers.same_epoch > 0,
+        "fused loop never hit tier 1: {tiers:?}"
+    );
+
+    // The always-on counters and the profiled latency histograms both
+    // surface in the metrics snapshot.
+    let snap = ft.metrics();
+    assert_eq!(snap.counter("tier.same_epoch.hits"), Some(tiers.same_epoch));
+    assert_eq!(
+        snap.counter("tier.inline_exclusive.hits"),
+        Some(tiers.inline_exclusive)
+    );
+    assert_eq!(snap.counter("tier.preensured.hits"), Some(tiers.preensured));
+    assert_eq!(snap.counter("tier.governed.hits"), Some(tiers.governed));
+    let governed_ns = snap.histogram("tier.governed.ns").expect("profiled");
+    assert_eq!(governed_ns.count, tiers.governed);
+
+    // And the Prometheus rendering carries them in sanitized form.
+    let prom = fasttrack_suite::obs::to_prometheus(&snap, "ftrace");
+    assert!(prom.contains("# TYPE ftrace_tier_same_epoch_hits counter"));
+    assert!(prom.contains(&format!("ftrace_tier_same_epoch_hits {}", tiers.same_epoch)));
+}

@@ -110,6 +110,100 @@ fn shape_sweep_agrees() {
     }
 }
 
+/// Seeded provenance property: every warning the FastTrack engines emit —
+/// sequential and parallel alike — must carry a populated [`Provenance`]
+/// whose rule is a label the rule breakdown actually counted (hits > 0),
+/// whose conflicting epoch is a real epoch (not the initial sentinel), and
+/// whose thread clock contains the accessing thread's own entry at the
+/// epoch's clock value. The parallel engine must reproduce the sequential
+/// provenance field by field at every shard width.
+#[test]
+fn every_warning_carries_matching_provenance() {
+    let cfg = GenConfig {
+        ops: 700,
+        ..GenConfig::default().with_races(0.12)
+    };
+    let mut warnings_seen = 0usize;
+    for seed in 0..120u64 {
+        let trace = gen::generate(&cfg, seed);
+        let seq = sequential(&trace);
+        let breakdown = seq.rule_breakdown();
+        for w in seq.warnings() {
+            warnings_seen += 1;
+            let p = w
+                .provenance
+                .as_ref()
+                .unwrap_or_else(|| panic!("seed {seed}: warning without provenance: {w}"));
+            let counted = breakdown
+                .iter()
+                .find(|r| r.rule == p.rule)
+                .unwrap_or_else(|| panic!("seed {seed}: rule {:?} not in breakdown", p.rule));
+            assert!(
+                counted.hits > 0,
+                "seed {seed}: rule {:?} reported a race but counted no hits",
+                p.rule
+            );
+            assert!(
+                !p.conflict.is_initial(),
+                "seed {seed}: conflict epoch is the initial sentinel: {p}"
+            );
+            assert_eq!(
+                p.current_epoch.tid(),
+                w.current.tid,
+                "seed {seed}: provenance epoch thread != reporting thread"
+            );
+            let own = p
+                .thread_clock
+                .iter()
+                .find(|(t, _)| *t == w.current.tid)
+                .unwrap_or_else(|| panic!("seed {seed}: C_t missing the accessing thread"));
+            assert_eq!(
+                own.1,
+                p.current_epoch.clock(),
+                "seed {seed}: C_t(t) != E(t) at detection"
+            );
+        }
+        // Field-by-field parallel agreement on provenance (the wholesale
+        // warning equality in `assert_agrees` implies this, but a split
+        // comparison localizes a provenance regression to the field).
+        for shards in SHARD_SERIES {
+            let report = analyze_parallel(&trace, &ParallelConfig::with_shards(shards));
+            assert_eq!(report.warnings.len(), seq.warnings().len());
+            for (pw, sw) in report.warnings.iter().zip(seq.warnings()) {
+                let (pp, sp) = (
+                    pw.provenance.as_ref().expect("parallel provenance"),
+                    sw.provenance.as_ref().expect("sequential provenance"),
+                );
+                assert_eq!(pp.rule, sp.rule, "seed {seed} shards {shards}: rule");
+                assert_eq!(
+                    pp.conflict, sp.conflict,
+                    "seed {seed} shards {shards}: conflict epoch"
+                );
+                assert_eq!(
+                    pp.current_epoch, sp.current_epoch,
+                    "seed {seed} shards {shards}: current epoch"
+                );
+                assert_eq!(
+                    pp.thread_clock, sp.thread_clock,
+                    "seed {seed} shards {shards}: thread clock"
+                );
+                assert_eq!(
+                    pp.prior_write, sp.prior_write,
+                    "seed {seed} shards {shards}: prior write"
+                );
+                assert_eq!(
+                    pp.prior_reads, sp.prior_reads,
+                    "seed {seed} shards {shards}: prior reads"
+                );
+            }
+        }
+    }
+    assert!(
+        warnings_seen > 50,
+        "property test exercised too few warnings ({warnings_seen})"
+    );
+}
+
 /// A fixed regression trace that exercises every synchronization operation
 /// kind — fork, join, acquire, release, wait, notify, volatile read/write,
 /// barrier release, atomic markers — interleaved with accesses, including
