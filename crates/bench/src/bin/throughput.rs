@@ -22,7 +22,7 @@
 //!   shadow words, inline clocks);
 //! * `stream`    — `analyze_stream` decoding `.ftb` bytes block by block
 //!   (includes decode cost);
-//! * `parallel`  — the epoch-sliced engine at 2/4/8 shards;
+//! * `parallel`  — the block-parallel engine at 2/4/8 shards;
 //! * `online`    — the buffered online monitor fed via `emit_raw`.
 //!
 //! Output: a table on stdout and `BENCH_throughput.json`, including the

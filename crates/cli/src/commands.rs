@@ -268,21 +268,28 @@ fn trace_convert(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Builds the parallel-engine configuration for a `--shards N` request.
+/// Builds the parallel-engine configuration for a `--shards N` request,
+/// honouring the optional `--chunk EVENTS` granularity knob.
 fn parallel_config(
+    args: &Args,
     shards: usize,
-    all_warnings: bool,
     guard: Option<GuardConfig>,
-) -> ParallelConfig {
-    ParallelConfig {
+) -> Result<ParallelConfig, String> {
+    let defaults = ParallelConfig::default();
+    let chunk = args.get_num::<usize>("chunk", defaults.chunk)?;
+    if chunk == 0 {
+        return Err("--chunk must be at least 1".into());
+    }
+    Ok(ParallelConfig {
         shards,
+        chunk,
         detector: FastTrackConfig {
-            report_all: all_warnings,
+            report_all: args.has_flag("all-warnings"),
             guard,
             ..FastTrackConfig::default()
         },
-        ..ParallelConfig::default()
-    }
+        ..defaults
+    })
 }
 
 /// Pretty-prints a parallel-engine outcome in the same shape as
@@ -332,7 +339,7 @@ pub fn analyze(args: &Args) -> Result<(), String> {
                 "--shards applies only to FASTTRACK, not {tool_name:?}"
             ));
         }
-        let config = parallel_config(shards, args.has_flag("all-warnings"), guard);
+        let config = parallel_config(args, shards, guard)?;
         let report = analyze_parallel(&trace, &config);
         if !scrape_mode(args)? {
             print_parallel_report(&report, true);
@@ -365,7 +372,7 @@ fn analyze_ftb_stream(
     let mut reader = FtbReader::new(std::io::BufReader::new(file))
         .map_err(|e| format!("parsing {path}: {e}"))?;
     if shards > 1 {
-        let config = parallel_config(shards, all_warnings, guard);
+        let config = parallel_config(args, shards, guard)?;
         let report = analyze_parallel_stream(&mut reader, &config)
             .map_err(|e| format!("streaming {path}: {e}"))?;
         if !scrape_mode(args)? {
@@ -519,10 +526,10 @@ pub fn profile(args: &Args) -> Result<(), String> {
     ));
     let buffered_metrics = buffered_report.metrics.clone();
 
-    // 4. The epoch-sliced parallel engine, if `--shards N` was given.
+    // 4. The block-parallel engine, if `--shards N` was given.
     let shards = args.get_num::<usize>("shards", 0)?;
     let parallel = if shards > 0 {
-        let config = parallel_config(shards, args.has_flag("all-warnings"), guard.clone());
+        let config = parallel_config(args, shards, guard.clone())?;
         Some(analyze_parallel(&trace, &config))
     } else {
         None
@@ -731,7 +738,7 @@ fn print_tiers(tiers: &TierProfile, metrics: &ft_obs::Snapshot) {
 /// trace shape, warnings with full provenance and the recent events of the
 /// involved threads, rule breakdown, tier profile, metrics snapshot, and
 /// the same metrics rendered as Prometheus text. With `--shards N` the
-/// epoch-sliced parallel engine produces the warnings instead (identical
+/// block-parallel engine produces the warnings instead (identical
 /// provenance; the recorder is a sequential-engine feature, so `recent`
 /// stays empty).
 pub fn report(args: &Args) -> Result<(), String> {
@@ -756,7 +763,7 @@ pub fn report(args: &Args) -> Result<(), String> {
     w.end_object();
 
     let (warnings, rules, precision, tiers, metrics, tool_name) = if shards > 1 {
-        let config = parallel_config(shards, all_warnings, guard);
+        let config = parallel_config(args, shards, guard)?;
         let report = analyze_parallel(&trace, &config);
         w.field_u64("shards", shards as u64);
         w.key("recorder");

@@ -36,10 +36,11 @@ USAGE:
                   [--racy FRAC] -o FILE     generate a trace (FILE ending in
                                             .ftb writes the binary format)
   ftrace analyze FILE [--tool NAME] [--all-warnings] [--shards N]
-                  [--mem-budget BYTES] [--format json|ftb]
+                  [--chunk EVENTS] [--mem-budget BYTES] [--format json|ftb]
                   [--metrics OUT.json]      run one detector (with N > 1,
-                                            FASTTRACK runs on the epoch-sliced
-                                            parallel engine; on .ftb input
+                                            FASTTRACK runs on the block-parallel
+                                            engine, --chunk sizing its two-phase
+                                            fan-out; on .ftb input
                                             FASTTRACK streams the file through
                                             the fused block loop instead of
                                             materializing it)
@@ -51,7 +52,8 @@ USAGE:
   ftrace compare FILE                       run every detector
   ftrace pipeline FILE [--filter NAME] [--checker NAME] [--metrics OUT.json]
                                             prefilter + downstream checker
-  ftrace profile FILE [--tool NAME] [--shards N] [--metrics OUT.json]
+  ftrace profile FILE [--tool NAME] [--shards N] [--chunk EVENTS]
+                  [--metrics OUT.json]
                   [--mem-budget BYTES] [--faults SEED:SPEC] [--tiers]
                                             full observability run: detector
                                             rule percentages, per-stage
@@ -60,8 +62,8 @@ USAGE:
                                             parallel engine's batch metrics;
                                             --tiers adds a fused-loop pass
                                             with per-tier hit/latency counters
-  ftrace report FILE [--recorder K] [--shards N] [--all-warnings]
-                  [--mem-budget BYTES] [-o BUNDLE.json]
+  ftrace report FILE [--recorder K] [--shards N] [--chunk EVENTS]
+                  [--all-warnings] [--mem-budget BYTES] [-o BUNDLE.json]
                                             self-contained JSON diagnostics
                                             bundle: warnings with Figure 5
                                             provenance, each involved thread's

@@ -1,4 +1,4 @@
-//! Shardable FastTrack state for the epoch-sliced parallel engine.
+//! Shardable FastTrack state for the block-parallel engine.
 //!
 //! FastTrack's transition rules have a structural property that makes the
 //! analysis parallelizable without losing precision: **access events (reads
@@ -14,12 +14,18 @@
 //! This module provides the two halves the engine composes:
 //!
 //! * [`SyncClocks`] — the coordinator's state: per-thread clocks `C_t`
-//!   (copy-on-write, so publishing a snapshot to the shards is *O(1)*),
-//!   lock clocks `L_m`, and volatile clocks `L_vx`. Applies sync events in
-//!   trace order, exactly mirroring the sequential detector's handlers.
+//!   (copy-on-write, so publishing a [`ThreadView`] to the shards is
+//!   *O(1)*), lock clocks `L_m`, and volatile clocks `L_vx`. Applies sync
+//!   events in trace order, exactly mirroring the sequential detector's
+//!   handlers. Every clock mutation bumps that thread's **version**
+//!   ([`SyncClocks::version_of`]), so the block-parallel coordinator can
+//!   publish a fresh immutable [`ThreadView`] only when a thread's clock
+//!   actually changed — the whole-chunk "HB closure" of the two-phase
+//!   engine — instead of re-snapshotting every thread at every sync event.
 //! * [`VarShard`] — one worker's state: a disjoint partition of the
 //!   variables, analyzed with the *same* Figure-5 transition functions
-//!   (`crate::rules`) the sequential detector uses.
+//!   (`crate::rules`) the sequential detector uses, each access judged
+//!   against the immutable [`ThreadView`] published for its trace position.
 //!
 //! [`fold`] recombines the per-shard results. Because every access is
 //! analyzed against the same thread clock it would see sequentially, and
@@ -36,16 +42,18 @@ use crate::stats::{RuleCount, Stats};
 use crate::warning::{AccessSummary, Provenance, ReadHistory, Warning, WarningKind};
 use ft_clock::{CowClock, Epoch, Tid, VcPool, VectorClock};
 use ft_trace::{AccessKind, LockId, Op, VarId};
-use std::sync::Arc;
 
 /// Per-thread coordinator state: `C_t` behind a copy-on-write handle plus
-/// the cached epoch `E(t)`.
+/// the cached epoch `E(t)` and a mutation counter.
 #[derive(Debug)]
 struct SyncThread {
     clock: CowClock,
     /// Invariant: `epoch == clock.epoch_of(tid)`.
     epoch: Epoch,
     tid: Tid,
+    /// Bumped on every clock mutation; lets the coordinator publish a new
+    /// [`ThreadView`] only when the clock actually changed.
+    version: u64,
 }
 
 impl SyncThread {
@@ -57,12 +65,16 @@ impl SyncThread {
             clock: CowClock::new(vc),
             epoch,
             tid,
+            version: 0,
         }
     }
 
+    /// Every mutating sync handler funnels through here, so the version
+    /// counter tracks clock changes exactly.
     #[inline]
     fn refresh_epoch(&mut self) {
         self.epoch = self.clock.epoch_of(self.tid);
+        self.version += 1;
     }
 
     #[inline]
@@ -73,29 +85,24 @@ impl SyncThread {
     }
 }
 
-/// A read-only view of one thread's clock at some trace position.
+/// A read-only view of one thread's clock at some trace position,
+/// published by the coordinator and read concurrently by shards.
+///
+/// Publication copies the clock *by value*: for clocks within
+/// [`VectorClock::INLINE_LANES`] components (the overwhelmingly common
+/// case) that is an alloc-free memcpy. Deliberately NOT an `Arc`
+/// share-with-copy-on-write — sharing would force the coordinator's next
+/// mutation of the thread's clock through `Arc::make_mut`, turning every
+/// sync event that follows a publication into a heap alloc/free pair.
+/// Value copies keep the coordinator's clocks permanently unshared (its
+/// sync handlers run exactly the sequential engine's cost) and give the
+/// shards contiguous, indirection-free view tables.
 #[derive(Clone, Debug)]
 pub struct ThreadView {
-    /// The thread's epoch `E(t)` at snapshot time.
+    /// The thread's epoch `E(t)` at publication time.
     pub epoch: Epoch,
-    /// The thread's vector clock `C_t` at snapshot time.
-    pub clock: Arc<VectorClock>,
-}
-
-/// An *O(threads)*-to-build, *O(1)*-per-clock snapshot of every thread's
-/// clock, published by the coordinator after each synchronization event and
-/// read concurrently by all shards.
-#[derive(Clone, Debug, Default)]
-pub struct ThreadsSnapshot {
-    views: Vec<Option<ThreadView>>,
-}
-
-impl ThreadsSnapshot {
-    /// The view for thread `t`, if the coordinator has seen it.
-    #[inline]
-    pub fn view(&self, t: Tid) -> Option<&ThreadView> {
-        self.views.get(t.as_usize()).and_then(|v| v.as_ref())
-    }
+    /// The thread's vector clock `C_t` at publication time.
+    pub clock: VectorClock,
 }
 
 /// The coordinator's half of the sharded analysis: thread, lock, and
@@ -165,21 +172,54 @@ impl SyncClocks {
         }
     }
 
-    /// Publishes the current thread clocks. Each clock is shared by `Arc`,
-    /// so the snapshot costs one refcount bump per thread; the next mutation
-    /// of a still-shared clock copies it (copy-on-write).
-    pub fn snapshot(&self) -> ThreadsSnapshot {
-        ThreadsSnapshot {
-            views: self
-                .threads
-                .iter()
-                .map(|slot| {
-                    slot.as_ref().map(|ts| ThreadView {
-                        epoch: ts.epoch,
-                        clock: ts.clock.snapshot(),
-                    })
-                })
-                .collect(),
+    /// Publishes thread `t`'s current clock as an immutable [`ThreadView`].
+    /// A by-value clock copy — alloc-free while the clock stays within its
+    /// inline lanes; see [`ThreadView`] for why this beats `Arc` sharing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` has not been [`ensured`](Self::ensure_thread).
+    pub fn view_of(&self, t: Tid) -> ThreadView {
+        let ts = self
+            .threads
+            .get(t.as_usize())
+            .and_then(|slot| slot.as_ref())
+            .unwrap_or_else(|| panic!("view_of unknown thread {t}"));
+        ThreadView {
+            epoch: ts.epoch,
+            clock: VectorClock::clone(&ts.clock),
+        }
+    }
+
+    /// The number of mutations thread `t`'s clock has seen. A cached
+    /// [`ThreadView`] of `t` is current exactly while this value is
+    /// unchanged — the coordinator's per-chunk HB closure uses this to
+    /// publish each distinct clock at most once per chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` has not been [`ensured`](Self::ensure_thread).
+    pub fn version_of(&self, t: Tid) -> u64 {
+        self.threads
+            .get(t.as_usize())
+            .and_then(|slot| slot.as_ref())
+            .unwrap_or_else(|| panic!("version_of unknown thread {t}"))
+            .version
+    }
+
+    /// [`ensure_thread`](Self::ensure_thread) and
+    /// [`version_of`](Self::version_of) fused into one slot lookup — the
+    /// coordinator calls this once per access, so the doubled bounds checks
+    /// of the two-call sequence are worth eliding.
+    #[inline]
+    pub fn ensure_version(&mut self, t: Tid) -> u64 {
+        let idx = t.as_usize();
+        match self.threads.get(idx) {
+            Some(Some(ts)) => ts.version,
+            _ => {
+                self.ensure_thread(t);
+                self.threads[idx].as_ref().expect("just ensured").version
+            }
         }
     }
 
@@ -330,6 +370,10 @@ impl SyncClocks {
 pub struct VarShard {
     shard: u32,
     stride: u32,
+    /// `log2(stride)` when the stride is a power of two, so the per-access
+    /// `var_id / stride` is a shift instead of a hardware divide (every
+    /// default shard width — 1, 2, 4, 8 — takes this path).
+    stride_shift: Option<u32>,
     /// Dense local storage indexed by `var_id / stride`.
     vars: Vec<VarState>,
     /// Variables that already produced a warning (suppression set).
@@ -359,6 +403,7 @@ impl VarShard {
         VarShard {
             shard,
             stride,
+            stride_shift: stride.is_power_of_two().then(|| stride.trailing_zeros()),
             vars: Vec::new(),
             warned: Vec::new(),
             warnings: Vec::new(),
@@ -370,36 +415,57 @@ impl VarShard {
         }
     }
 
-    /// Analyzes one access event against the thread clocks in `snapshot`.
+    /// Analyzes one access event against the accessing thread's published
+    /// clock view.
     ///
     /// `index` is the event's trace position (the deterministic merge key);
-    /// `snapshot` must be the coordinator's snapshot current at that
-    /// position, and must contain thread `t`.
+    /// `view` must be the [`ThreadView`] the coordinator published for
+    /// thread `t` current at that position.
     ///
     /// # Panics
     ///
-    /// Panics if `x` does not belong to this shard or `t` is missing from
-    /// the snapshot.
+    /// Panics (in debug builds) if `x` does not belong to this shard.
+    #[inline]
     pub fn on_access(
         &mut self,
         index: usize,
         kind: AccessKind,
         t: Tid,
         x: VarId,
-        snapshot: &ThreadsSnapshot,
+        view: &ThreadView,
     ) {
         debug_assert_eq!(x.as_u32() % self.stride, self.shard, "misrouted {x}");
-        let local = (x.as_u32() / self.stride) as usize;
+        let local = match self.stride_shift {
+            Some(s) => (x.as_u32() >> s) as usize,
+            None => (x.as_u32() / self.stride) as usize,
+        };
+        // Inline same-epoch tier, mirroring the sequential fused loop: one
+        // packed shadow-word compare resolves the access with no guard,
+        // pool, or provenance traffic. Identical observable effect to the
+        // full rules (the counters below are exactly what they increment).
+        if self.guard.is_none() && !self.config.ablate_same_epoch {
+            if let Some(vs) = self.vars.get(local) {
+                match kind {
+                    AccessKind::Read if vs.read_hits_same_epoch(view.epoch) => {
+                        self.stats.reads += 1;
+                        self.rules.hit_read(rules::ReadRule::SameEpoch);
+                        return;
+                    }
+                    AccessKind::Write if vs.write_hits_same_epoch(view.epoch) => {
+                        self.stats.writes += 1;
+                        self.rules.hit_write(rules::WriteRule::SameEpoch);
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+        }
         if self.sampled_out(kind, local) {
             return;
         }
         if local >= self.vars.len() {
             self.grow_vars(local);
         }
-        let view = snapshot
-            .view(t)
-            .unwrap_or_else(|| panic!("snapshot missing thread {t} at event {index}"));
-
         match kind {
             AccessKind::Read => {
                 self.stats.reads += 1;
@@ -690,6 +756,13 @@ pub struct ShardResult {
     precision: Precision,
 }
 
+impl ShardResult {
+    /// The shard's warnings in shard-local (trace) order, before folding.
+    pub fn warnings(&self) -> &[Warning] {
+        &self.warnings
+    }
+}
+
 /// The recombined whole-trace analysis produced by [`fold`].
 #[derive(Debug, Clone)]
 pub struct FoldedAnalysis {
@@ -751,18 +824,38 @@ mod tests {
     const Y: VarId = VarId::new(1);
 
     #[test]
-    fn snapshot_is_immutable_under_later_syncs() {
+    fn published_views_are_immutable_under_later_syncs() {
         let mut sync = SyncClocks::new();
         sync.ensure_thread(T0);
-        let before = sync.snapshot();
+        let before = sync.view_of(T0);
         sync.on_sync(&Op::Release(T0, LockId::new(0)));
-        let after = sync.snapshot();
-        let b = before.view(T0).unwrap();
-        let a = after.view(T0).unwrap();
-        assert_eq!(b.clock.get(T0), 1);
-        assert_eq!(a.clock.get(T0), 2); // release inc'd the clock
-        assert_ne!(a.epoch, b.epoch);
-        assert_eq!(a.epoch, a.clock.epoch_of(T0));
+        let after = sync.view_of(T0);
+        assert_eq!(before.clock.get(T0), 1);
+        assert_eq!(after.clock.get(T0), 2); // release inc'd the clock
+        assert_ne!(after.epoch, before.epoch);
+        assert_eq!(after.epoch, after.clock.epoch_of(T0));
+    }
+
+    #[test]
+    fn versions_count_exactly_the_clock_mutations() {
+        let mut sync = SyncClocks::new();
+        sync.ensure_thread(T0);
+        sync.ensure_thread(T1);
+        assert_eq!(sync.version_of(T0), 0);
+        // Acquire of a never-released lock is a no-op: L_m does not exist.
+        sync.on_sync(&Op::Acquire(T0, LockId::new(0)));
+        assert_eq!(sync.version_of(T0), 0);
+        // Release copies C_t into L_m and incs C_t: one mutation of t.
+        sync.on_sync(&Op::Release(T0, LockId::new(0)));
+        assert_eq!(sync.version_of(T0), 1);
+        // A real acquire joins L_m into the acquirer: one mutation of u.
+        sync.on_sync(&Op::Acquire(T1, LockId::new(0)));
+        assert_eq!(sync.version_of(T1), 1);
+        assert_eq!(sync.version_of(T0), 1, "t untouched by u's acquire");
+        // Fork mutates both sides: child joins C_t, parent incs.
+        sync.on_sync(&Op::Fork(T0, T1));
+        assert_eq!(sync.version_of(T0), 2);
+        assert_eq!(sync.version_of(T1), 2);
     }
 
     #[test]
@@ -778,14 +871,14 @@ mod tests {
     }
 
     #[test]
-    fn shard_detects_race_with_snapshot_clocks() {
+    fn shard_detects_race_with_published_views() {
         let mut sync = SyncClocks::new();
         sync.ensure_thread(T0);
         sync.ensure_thread(T1);
-        let snap = sync.snapshot();
+        let (v0, v1) = (sync.view_of(T0), sync.view_of(T1));
         let mut shard = VarShard::new(0, 1, FastTrackConfig::default());
-        shard.on_access(0, AccessKind::Write, T0, X, &snap);
-        shard.on_access(1, AccessKind::Write, T1, X, &snap);
+        shard.on_access(0, AccessKind::Write, T0, X, &v0);
+        shard.on_access(1, AccessKind::Write, T1, X, &v1);
         let result = shard.finish();
         assert_eq!(result.warnings.len(), 1);
         assert_eq!(result.warnings[0].kind, WarningKind::WriteWrite);
@@ -797,15 +890,15 @@ mod tests {
         let mut sync = SyncClocks::new();
         sync.ensure_thread(T0);
         sync.ensure_thread(T1);
-        let snap = sync.snapshot();
+        let (v0, v1) = (sync.view_of(T0), sync.view_of(T1));
         // Two shards over stride 2: x0 -> shard 0, x1 -> shard 1. Make the
         // later event land in the earlier shard to exercise the sort.
         let mut s0 = VarShard::new(0, 2, FastTrackConfig::default());
         let mut s1 = VarShard::new(1, 2, FastTrackConfig::default());
-        s1.on_access(0, AccessKind::Write, T0, Y, &snap);
-        s1.on_access(1, AccessKind::Write, T1, Y, &snap); // warning at 1
-        s0.on_access(2, AccessKind::Write, T0, X, &snap);
-        s0.on_access(3, AccessKind::Write, T1, X, &snap); // warning at 3
+        s1.on_access(0, AccessKind::Write, T0, Y, &v0);
+        s1.on_access(1, AccessKind::Write, T1, Y, &v1); // warning at 1
+        s0.on_access(2, AccessKind::Write, T0, X, &v0);
+        s0.on_access(3, AccessKind::Write, T1, X, &v1); // warning at 3
         let folded = fold(&sync, vec![s0.finish(), s1.finish()], 4);
         assert_eq!(folded.stats.ops, 4);
         assert_eq!(folded.stats.writes, 4);
@@ -818,11 +911,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "snapshot missing thread")]
-    fn access_by_unknown_thread_panics() {
+    #[should_panic(expected = "view_of unknown thread")]
+    fn view_of_unknown_thread_panics() {
         let sync = SyncClocks::new();
-        let snap = sync.snapshot();
-        let mut shard = VarShard::new(0, 1, FastTrackConfig::default());
-        shard.on_access(0, AccessKind::Read, T0, X, &snap);
+        let _ = sync.view_of(T0);
     }
 }

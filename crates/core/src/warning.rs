@@ -97,7 +97,7 @@ impl fmt::Display for ReadHistory {
 /// conflicting epochs, and the analysis state at the moment of detection.
 ///
 /// Every FastTrack engine — the sequential fused loop, the streamed `.ftb`
-/// path, and the epoch-sliced parallel engine — populates this identically
+/// path, and the block-parallel engine — populates this identically
 /// (the parallel ≡ sequential agreement tests compare warnings wholesale,
 /// provenance included). Downstream lockset/baseline detectors, which have
 /// no epoch evidence, leave [`Warning::provenance`] as `None`.

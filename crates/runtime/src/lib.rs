@@ -23,7 +23,7 @@
 //! * [`online`] — real-thread monitoring: instrumented mutexes, tracked
 //!   variables, and a spawn/join wrapper that feed any detector live from
 //!   actual `std::thread` threads.
-//! * [`parallel`] — the epoch-sliced parallel analysis engine: one
+//! * [`parallel`] — the block-parallel analysis engine: one
 //!   coordinator applying synchronization events in trace order plus `W`
 //!   variable shards running the shared FastTrack rules, producing results
 //!   identical to the sequential detector.

@@ -1,72 +1,108 @@
-//! The epoch-sliced parallel analysis engine for offline traces.
+//! The block-parallel analysis engine for offline traces (v2).
 //!
-//! The engine splits the work of one FastTrack analysis across a
-//! coordinator and `W` variable shards (see [`fasttrack::shard`] for the
-//! commutation argument that makes this precision-preserving):
+//! The engine splits one FastTrack analysis across a coordinator and `W`
+//! variable shards (see [`fasttrack::shard`] for the commutation argument
+//! that makes this precision-preserving), processing the trace in
+//! **chunks** of a few thousand events with a two-phase loop:
 //!
-//! * the **coordinator** walks the trace once, applies every
-//!   synchronization event to [`SyncClocks`] in trace order, and routes each
-//!   access to shard `var_id % W` together with an `Arc` snapshot of the
-//!   thread clocks current at that trace position;
-//! * each **shard worker** drains batches of accesses from a bounded
-//!   channel and runs the shared `[FT READ/WRITE *]` rules against its
-//!   disjoint slice of the variable shadow state.
+//! 1. **HB closure** (the `closure` submodule) — the coordinator walks
+//!    the chunk once, applies every synchronization event to
+//!    [`SyncClocks`](fasttrack::shard::SyncClocks) in trace order, and
+//!    tags every access with the index of an immutable
+//!    [`ThreadView`](fasttrack::shard::ThreadView) in the chunk's view
+//!    table. Views are published per thread *and only on clock change*
+//!    (version-checked), so a chunk's closure costs `O(active threads +
+//!    clock changes)`, not `O(threads × sync events)`.
+//! 2. **Fan-out** (the `router` submodule) — the chunk's accesses,
+//!    already sliced by `var % W` into per-shard structure-of-arrays
+//!    [`SubBlock`]s, ship over bounded SPSC [`ring`]s: one ring
+//!    operation per shard per chunk instead of a channel handshake per
+//!    access.
 //!
-//! Snapshots are copy-on-write: publishing one costs a refcount bump per
-//! thread, and consecutive accesses between two sync events reuse the same
-//! `Arc`, so the coordinator does *O(threads)* extra work per *sync event*,
-//! not per access. There are **no barriers**: workers may lag the
-//! coordinator arbitrarily — a shard analyzing slice *k* while the
-//! coordinator applies sync events of slice *k + 3* is fine, because each
-//! access carries the snapshot it must be judged against and per-variable
-//! order is preserved by the routing.
+//! Shards run entirely against resolved, immutable state — no locks, no
+//! barriers, no clock reads that could race the coordinator — and may lag
+//! it arbitrarily: every access carries (a tag into) the exact view it
+//! must be judged against, and per-variable order is preserved by the
+//! fixed `var % W` routing over FIFO rings.
 //!
 //! The result is bit-for-bit identical to the sequential detector: same
-//! warnings in the same order, same statistics (modulo `vc_reused`, which
-//! depends on which pool a recycled clock lands in), same rule breakdown.
-//! The `parallel_agreement` integration tests assert exactly that across
-//! thousands of generated traces.
+//! warnings in the same order (with field-identical
+//! [`Provenance`](fasttrack::Provenance)), same statistics (modulo
+//! `vc_reused`, which depends on which pool a recycled clock lands in),
+//! same rule breakdown. The `parallel_agreement` integration tests assert
+//! exactly that across thousands of generated traces, for both the
+//! in-memory and the `.ftb`-streamed entry points.
 
-use fasttrack::shard::{fold, ShardResult, SyncClocks, ThreadsSnapshot, VarShard};
+mod closure;
+pub mod ring;
+mod router;
+
+pub use router::SubBlock;
+
+use closure::HbClosure;
+use fasttrack::shard::{fold, ShardResult, VarShard};
 use fasttrack::{FastTrackConfig, Precision, RuleCount, Stats, Warning};
-use ft_clock::Tid;
 use ft_obs::{MetricsRegistry, Snapshot};
 use ft_trace::batch::opcode;
-use ft_trace::{
-    AccessKind, EventBlock, FtbError, FtbReader, Op, Trace, VarId, DEFAULT_BLOCK_EVENTS,
-};
+use ft_trace::{EventBlock, FtbError, FtbReader, Op, Trace, DEFAULT_BLOCK_EVENTS};
+use ring::RingConsumer;
+use router::Router;
 use std::io::Read;
-use std::sync::mpsc;
-use std::sync::Arc;
 use std::time::Instant;
+
+/// Widest shard count [`ParallelConfig::default`] will derive on its own;
+/// beyond this, coordinator routing becomes the bottleneck long before
+/// eight workers saturate, so wider fan-out must be requested explicitly.
+pub const MAX_AUTO_SHARDS: usize = 8;
+
+/// The host's available parallelism (1 when it cannot be determined).
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The shard count [`ParallelConfig::default`] derives: the host's
+/// available parallelism, capped at [`MAX_AUTO_SHARDS`].
+pub fn auto_shards() -> usize {
+    host_parallelism().min(MAX_AUTO_SHARDS)
+}
 
 /// Configuration for [`analyze_parallel`].
 #[derive(Clone, Debug)]
 pub struct ParallelConfig {
     /// Number of variable shards (worker threads). Clamped to at least 1;
-    /// `1` still exercises the full coordinator/worker machinery.
+    /// `1` still exercises the full coordinator/worker machinery. The
+    /// default derives from [`auto_shards`] — the host's parallelism
+    /// capped at [`MAX_AUTO_SHARDS`] — and the report records the host
+    /// parallelism so the derivation stays auditable.
     pub shards: usize,
-    /// Accesses per batch sent to a shard (amortizes channel traffic).
-    pub batch: usize,
-    /// Bounded depth of each shard's batch channel (backpressure: the
-    /// coordinator blocks rather than buffering the whole trace).
+    /// Events per chunk: the granularity of the two-phase HB-closure loop
+    /// and of ring traffic (at most one sub-block per shard per chunk).
+    /// Larger chunks amortize routing further but widen the window a
+    /// shard can lag the coordinator; see `docs/OPERATIONS.md` for
+    /// sizing guidance.
+    pub chunk: usize,
+    /// Bounded depth of each shard's SPSC ring, in sub-blocks
+    /// (backpressure: the coordinator parks rather than buffering the
+    /// whole trace).
     pub queue_depth: usize,
     /// Configuration forwarded to the FastTrack rules in every shard.
     ///
     /// Warnings carry the same Figure 5 [`fasttrack::Provenance`] as the
     /// sequential engine (the agreement tests compare them field by field).
     /// The flight recorder is a sequential-engine feature, though: shards
-    /// judge accesses against thread *snapshots* and never see the decoded
-    /// event stream, so a `recorder` setting here is ignored and parallel
-    /// provenance reports an empty `recent` history.
+    /// judge accesses against immutable thread views and never see the
+    /// decoded event stream, so a `recorder` setting here is ignored and
+    /// parallel provenance reports an empty `recent` history.
     pub detector: FastTrackConfig,
 }
 
 impl Default for ParallelConfig {
     fn default() -> Self {
         ParallelConfig {
-            shards: 4,
-            batch: 1024,
+            shards: auto_shards(),
+            chunk: DEFAULT_BLOCK_EVENTS,
             queue_depth: 8,
             detector: FastTrackConfig::default(),
         }
@@ -97,80 +133,18 @@ pub struct ParallelReport {
     pub shadow_bytes: usize,
     /// Shard count the analysis actually ran with.
     pub shards: usize,
+    /// The host parallelism observed at run time — the input to the
+    /// [`auto_shards`] derivation `shards = min(available_parallelism,
+    /// MAX_AUTO_SHARDS)` that [`ParallelConfig::default`] applies.
+    pub available_parallelism: usize,
     /// Merged precision verdict: [`Precision::Degraded`] if any shard's
     /// guard had to step down its degradation ladder.
     pub precision: Precision,
     /// Engine metrics: the detector-convention counters/gauges plus
-    /// `parallel.*` instrumentation (batch latency histogram, batched access
-    /// counts, wall-clock).
+    /// `parallel.*` instrumentation — per-chunk closure latency, sub-block
+    /// apply latency, and the `parallel.ring.*` occupancy/stall/park
+    /// counters from both ends of every SPSC ring.
     pub metrics: Snapshot,
-}
-
-/// One access routed to a shard, tagged with the snapshot it must be judged
-/// against and its trace position (the deterministic merge key).
-struct Item {
-    /// Index into the owning batch's `snapshots` vector.
-    snap: u32,
-    index: usize,
-    tid: Tid,
-    var: VarId,
-    kind: AccessKind,
-}
-
-/// A chunk of accesses for one shard. Consecutive items between sync events
-/// share a snapshot, so `snapshots` stays tiny relative to `items`.
-struct Batch {
-    snapshots: Vec<Arc<ThreadsSnapshot>>,
-    items: Vec<Item>,
-}
-
-impl Batch {
-    fn new(batch: usize) -> Self {
-        Batch {
-            snapshots: Vec::new(),
-            items: Vec::with_capacity(batch),
-        }
-    }
-
-    fn push(
-        &mut self,
-        current: &Arc<ThreadsSnapshot>,
-        index: usize,
-        tid: Tid,
-        var: VarId,
-        kind: AccessKind,
-    ) {
-        if !self
-            .snapshots
-            .last()
-            .is_some_and(|s| Arc::ptr_eq(s, current))
-        {
-            self.snapshots.push(Arc::clone(current));
-        }
-        let snap = (self.snapshots.len() - 1) as u32;
-        self.items.push(Item {
-            snap,
-            index,
-            tid,
-            var,
-            kind,
-        });
-    }
-}
-
-/// One event as the coordinator needs it: accesses carry their routing
-/// fields, sync events carry the [`Op`] for [`SyncClocks`], and markers
-/// (notify, atomic begin/end) only advance the trace position. Having the
-/// coordinator consume this instead of `&Op` lets the same loop run over an
-/// in-memory trace or a `.ftb` block stream.
-enum Feed {
-    Access {
-        tid: Tid,
-        var: VarId,
-        kind: AccessKind,
-    },
-    Sync(Op),
-    Marker,
 }
 
 /// Runs one FastTrack analysis of `trace` across `config.shards` worker
@@ -181,26 +155,14 @@ enum Feed {
 /// Panics if a shard worker panics (e.g. on epoch overflow, exactly like
 /// the sequential detector).
 pub fn analyze_parallel(trace: &Trace, config: &ParallelConfig) -> ParallelReport {
-    let feed = trace.events().iter().map(|op| {
-        Ok(if let Some((x, kind)) = op.access() {
-            Feed::Access {
-                tid: op.tid().expect("accesses carry a thread id"),
-                var: x,
-                kind,
-            }
-        } else if op.is_sync() {
-            Feed::Sync(op.clone())
-        } else {
-            Feed::Marker
-        })
-    });
-    run_parallel(feed, config).expect("in-memory feed cannot fail")
+    run_parallel(ChunkFeed::<std::io::Empty>::Ops(trace.events()), config)
+        .expect("in-memory feed cannot fail")
 }
 
 /// Runs one FastTrack analysis over a `.ftb` record stream without ever
-/// materializing the whole trace: the coordinator decodes blocks of
-/// [`DEFAULT_BLOCK_EVENTS`] records straight into an [`EventBlock`] and
-/// routes accesses from the raw lanes. Traces larger than RAM analyze in
+/// materializing the whole trace: the coordinator decodes chunks of
+/// `config.chunk` records straight into an [`EventBlock`] and routes
+/// accesses from the raw lanes. Traces larger than RAM analyze in
 /// `O(shadow state)` memory.
 ///
 /// Equivalent to `analyze_parallel(&Trace::from_ftb(..), config)` on every
@@ -210,90 +172,36 @@ pub fn analyze_parallel_stream<R: Read>(
     reader: &mut FtbReader<R>,
     config: &ParallelConfig,
 ) -> Result<ParallelReport, FtbError> {
-    run_parallel(StreamFeed::new(reader), config)
+    run_parallel(ChunkFeed::Stream(reader), config)
 }
 
-/// Block-refilling adapter from [`FtbReader`] records to coordinator
-/// [`Feed`] items.
-struct StreamFeed<'a, R: Read> {
-    reader: &'a mut FtbReader<R>,
-    block: EventBlock,
-    pos: usize,
-    done: bool,
-}
-
-impl<'a, R: Read> StreamFeed<'a, R> {
-    fn new(reader: &'a mut FtbReader<R>) -> Self {
-        StreamFeed {
-            reader,
-            block: EventBlock::with_capacity(DEFAULT_BLOCK_EVENTS),
-            pos: 0,
-            done: false,
-        }
-    }
-}
-
-impl<R: Read> Iterator for StreamFeed<'_, R> {
-    type Item = Result<Feed, FtbError>;
-
-    fn next(&mut self) -> Option<Self::Item> {
-        if self.pos >= self.block.len() {
-            if self.done {
-                return None;
-            }
-            match self
-                .reader
-                .read_block(&mut self.block, DEFAULT_BLOCK_EVENTS)
-            {
-                Ok(0) => {
-                    self.done = true;
-                    return None;
-                }
-                Ok(_) => self.pos = 0,
-                Err(e) => {
-                    self.done = true;
-                    return Some(Err(e));
-                }
-            }
-        }
-        let i = self.pos;
-        self.pos += 1;
-        Some(Ok(match self.block.kind(i) {
-            opcode::READ => Feed::Access {
-                tid: self.block.tid(i),
-                var: VarId::new(self.block.arg(i)),
-                kind: AccessKind::Read,
-            },
-            opcode::WRITE => Feed::Access {
-                tid: self.block.tid(i),
-                var: VarId::new(self.block.arg(i)),
-                kind: AccessKind::Write,
-            },
-            opcode::NOTIFY | opcode::ATOMIC_BEGIN | opcode::ATOMIC_END => Feed::Marker,
-            _ => Feed::Sync(self.block.op(i)),
-        }))
-    }
+/// The chunk source the coordinator drains: an in-memory event slice
+/// (walked in place, no copy) or a `.ftb` decoder (chunks decoded into a
+/// reused [`EventBlock`]).
+enum ChunkFeed<'a, R: Read> {
+    Ops(&'a [Op]),
+    Stream(&'a mut FtbReader<R>),
 }
 
 /// The coordinator/worker engine shared by [`analyze_parallel`] and
-/// [`analyze_parallel_stream`]. Consumes the feed once; the item's position
-/// in the feed is its trace index (the deterministic merge key).
-fn run_parallel(
-    feed: impl Iterator<Item = Result<Feed, FtbError>>,
+/// [`analyze_parallel_stream`]. Consumes the feed once; an event's
+/// position in the feed is its trace index (the deterministic merge key).
+fn run_parallel<R: Read>(
+    mut feed: ChunkFeed<'_, R>,
     config: &ParallelConfig,
 ) -> Result<ParallelReport, FtbError> {
     let shards = config.shards.max(1);
-    let batch_size = config.batch.max(1);
+    let chunk = config.chunk.max(1);
     let queue_depth = config.queue_depth.max(1);
     let started = Instant::now();
 
     let mut engine_reg = MetricsRegistry::new();
     let (results, sync, total_ops, stream_err) = std::thread::scope(|scope| {
-        let mut senders = Vec::with_capacity(shards);
+        let mut producers = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for shard_idx in 0..shards {
-            let (tx, rx) = mpsc::sync_channel::<Batch>(queue_depth);
-            senders.push(tx);
+            let (tx, rx) = ring::ring::<SubBlock>(queue_depth);
+            producers.push(tx);
             let mut detector = config.detector.clone();
             if let Some(g) = detector.guard.as_mut() {
                 // Each shard governs a disjoint slice of the variables, so
@@ -307,62 +215,87 @@ fn run_parallel(
             handles.push(scope.spawn(move || shard_worker(shard_idx, shards, detector, rx)));
         }
 
-        // The coordinator: sync events in trace order, accesses routed with
-        // the snapshot current at their position.
-        let mut sync = SyncClocks::new();
-        let mut current = Arc::new(sync.snapshot());
-        let mut dirty = false;
-        let mut pending: Vec<Batch> = (0..shards).map(|_| Batch::new(batch_size)).collect();
-        let mut total_ops: u64 = 0;
+        // The two-phase chunk loop: resolve the chunk's HB closure, then
+        // fan its pre-sliced sub-blocks out to the shards.
+        let mut closure = HbClosure::new();
+        let mut router = Router::new(producers, chunk);
+        let mut block = EventBlock::with_capacity(chunk.min(4 * DEFAULT_BLOCK_EVENTS));
+        let mut base = 0usize;
         let mut stream_err = None;
-        for item in feed {
-            let f = match item {
-                Ok(f) => f,
-                Err(e) => {
-                    // Decode error: abandon the analysis but still drain the
-                    // workers so the scope can join them cleanly.
-                    stream_err = Some(e);
-                    break;
+        loop {
+            let chunk_started = Instant::now();
+            // Phase 1: closure — sync clocks advanced in trace order,
+            // accesses tagged with resolved views and sliced by var % W.
+            // Markers (notify, atomic begin/end) have no happens-before
+            // effect; they only advance the trace position.
+            let n = match &mut feed {
+                ChunkFeed::Ops(rest) => {
+                    if rest.is_empty() {
+                        break;
+                    }
+                    let n = rest.len().min(chunk);
+                    let (head, tail) = rest.split_at(n);
+                    *rest = tail;
+                    for (i, op) in head.iter().enumerate() {
+                        match op {
+                            Op::Read(t, x) => {
+                                let view = closure.tag(*t);
+                                router.route(i as u32, *t, x.as_u32(), false, view);
+                            }
+                            Op::Write(t, x) => {
+                                let view = closure.tag(*t);
+                                router.route(i as u32, *t, x.as_u32(), true, view);
+                            }
+                            other if other.is_sync() => closure.on_sync(other),
+                            _ => {}
+                        }
+                    }
+                    n
+                }
+                ChunkFeed::Stream(reader) => {
+                    let n = match reader.read_block(&mut block, chunk) {
+                        Ok(0) => break,
+                        Ok(n) => n,
+                        Err(e) => {
+                            // Decode error: abandon the analysis but still
+                            // drain the workers so the scope joins cleanly.
+                            stream_err = Some(e);
+                            break;
+                        }
+                    };
+                    for i in 0..n {
+                        let k = block.kind(i);
+                        if opcode::is_access(k) {
+                            let t = block.tid(i);
+                            let view = closure.tag(t);
+                            router.route(i as u32, t, block.arg(i), k == opcode::WRITE, view);
+                        } else if opcode::is_sync(k) {
+                            closure.on_sync(&block.op(i));
+                        }
+                    }
+                    n
                 }
             };
-            let index = total_ops as usize;
-            total_ops += 1;
-            match f {
-                Feed::Access {
-                    tid: t,
-                    var: x,
-                    kind,
-                } => {
-                    if sync.ensure_thread(t) {
-                        dirty = true; // first sight of t: snapshot lacks its clock
-                    }
-                    if dirty {
-                        current = Arc::new(sync.snapshot());
-                        dirty = false;
-                    }
-                    let s = (x.as_u32() as usize) % shards;
-                    let b = &mut pending[s];
-                    b.push(&current, index, t, x, kind);
-                    if b.items.len() >= batch_size {
-                        let full = std::mem::replace(b, Batch::new(batch_size));
-                        senders[s].send(full).expect("shard worker hung up");
-                    }
-                }
-                Feed::Sync(op) => {
-                    sync.on_sync(&op);
-                    dirty = true;
-                }
-                Feed::Marker => {
-                    // Notify / atomic markers: no happens-before effect.
-                }
+            // Phase 2: fan-out against the frozen view table.
+            let views = closure.seal_chunk();
+            let shipped = router.flush_chunk(base, views);
+            base += n;
+            engine_reg.record_duration("parallel.chunk_ns", chunk_started.elapsed());
+            engine_reg.inc_counter("parallel.chunks", 1);
+            if shipped.is_err() {
+                // A worker disconnected, i.e. panicked: stop feeding and
+                // let the join below resurface its panic.
+                break;
             }
         }
-        for (s, b) in pending.into_iter().enumerate() {
-            if !b.items.is_empty() {
-                senders[s].send(b).expect("shard worker hung up");
-            }
+        engine_reg.inc_counter("parallel.views_published", closure.views_published());
+        let route_stats = router.finish(); // drops producers: rings close
+        engine_reg.inc_counter("parallel.sub_blocks", route_stats.sub_blocks);
+        engine_reg.inc_counter("parallel.ring.push_stalls", route_stats.push.stalls);
+        engine_reg.inc_counter("parallel.ring.push_parks", route_stats.push.parks);
+        for occ in &route_stats.occupancy {
+            engine_reg.record("parallel.ring.occupancy", *occ);
         }
-        drop(senders); // close the channels so workers drain and exit
 
         let mut results: Vec<ShardResult> = Vec::with_capacity(shards);
         for handle in handles {
@@ -370,7 +303,7 @@ fn run_parallel(
             engine_reg.merge(&worker_reg);
             results.push(result);
         }
-        (results, sync, total_ops, stream_err)
+        (results, closure.into_sync(), base as u64, stream_err)
     });
     if let Some(e) = stream_err {
         return Err(e);
@@ -394,6 +327,9 @@ fn run_parallel(
     engine_reg.inc_counter("warnings", folded.warnings.len() as u64);
     engine_reg.set_gauge("shadow_bytes", folded.shadow_bytes as f64);
     engine_reg.set_gauge("shards", shards as f64);
+    engine_reg.set_gauge("parallel.chunk_events", chunk as f64);
+    let host = host_parallelism();
+    engine_reg.set_gauge("available_parallelism", host as f64);
     for rc in &folded.rule_breakdown {
         engine_reg.inc_counter(&format!("rule.{}.hits", rc.rule), rc.hits);
         engine_reg.set_gauge(&format!("rule.{}.percent", rc.rule), rc.percent);
@@ -420,35 +356,31 @@ fn run_parallel(
         rule_breakdown: folded.rule_breakdown,
         shadow_bytes: folded.shadow_bytes,
         shards,
+        available_parallelism: host,
         precision: folded.precision,
         metrics: engine_reg.snapshot(),
     })
 }
 
-/// One shard worker: drain batches until the channel closes.
+/// One shard worker: drain sub-blocks until the ring closes.
 fn shard_worker(
     shard_idx: usize,
     shards: usize,
     detector: FastTrackConfig,
-    rx: mpsc::Receiver<Batch>,
+    mut rx: RingConsumer<SubBlock>,
 ) -> (ShardResult, MetricsRegistry) {
     let mut shard = VarShard::new(shard_idx as u32, shards as u32, detector);
     let mut reg = MetricsRegistry::new();
-    for batch in rx {
+    while let Some(sub) = rx.pop() {
         let begun = Instant::now();
-        for item in &batch.items {
-            shard.on_access(
-                item.index,
-                item.kind,
-                item.tid,
-                item.var,
-                &batch.snapshots[item.snap as usize],
-            );
-        }
+        sub.apply(&mut shard);
         reg.record_duration("parallel.batch_ns", begun.elapsed());
-        reg.inc_counter("parallel.batched_accesses", batch.items.len() as u64);
+        reg.inc_counter("parallel.batched_accesses", sub.len() as u64);
         reg.inc_counter("parallel.batches", 1);
     }
+    let ring_stats = rx.stats();
+    reg.inc_counter("parallel.ring.pop_stalls", ring_stats.stalls);
+    reg.inc_counter("parallel.ring.pop_parks", ring_stats.parks);
     (shard.finish(), reg)
 }
 
@@ -506,6 +438,19 @@ mod tests {
     }
 
     #[test]
+    fn default_shards_derive_from_the_host() {
+        let d = ParallelConfig::default();
+        assert_eq!(d.shards, auto_shards());
+        assert!(d.shards >= 1);
+        assert!(d.shards <= MAX_AUTO_SHARDS);
+        let report = analyze_parallel(
+            &gen::generate(&GenConfig::default(), 1),
+            &ParallelConfig::with_shards(2),
+        );
+        assert_eq!(report.available_parallelism, host_parallelism());
+    }
+
+    #[test]
     fn metrics_follow_detector_conventions() {
         let trace = gen::generate(&GenConfig::default(), 3);
         let par = analyze_parallel(&trace, &ParallelConfig::with_shards(2));
@@ -516,7 +461,13 @@ mod tests {
         let batched = m.counter("parallel.batched_accesses").unwrap();
         assert_eq!(batched, par.stats.reads + par.stats.writes);
         assert!(m.histogram("parallel.batch_ns").is_some());
+        assert!(m.histogram("parallel.chunk_ns").is_some());
         assert!(m.histogram("parallel.analyze_ns").is_some());
+        assert!(m.histogram("parallel.ring.occupancy").is_some());
+        assert!(m.counter("parallel.ring.push_stalls").is_some());
+        assert!(m.counter("parallel.ring.pop_stalls").is_some());
+        assert!(m.counter("parallel.views_published").unwrap() > 0);
+        assert!(m.counter("parallel.chunks").unwrap() > 0);
     }
 
     #[test]
@@ -543,17 +494,39 @@ mod tests {
     }
 
     #[test]
-    fn small_batches_and_shallow_queues_still_agree() {
+    fn tiny_chunks_and_shallow_rings_still_agree() {
         let trace = gen::chaotic(5, 9, 2, 2500, 41);
         let seq = sequential(&trace);
-        let cfg = ParallelConfig {
-            shards: 4,
-            batch: 3,
-            queue_depth: 1,
-            detector: FastTrackConfig::default(),
-        };
-        let par = analyze_parallel(&trace, &cfg);
-        assert_eq!(par.warnings, seq.warnings());
-        assert_stats_match(&par.stats, seq.stats());
+        for chunk in [1, 3, 7] {
+            let cfg = ParallelConfig {
+                shards: 4,
+                chunk,
+                queue_depth: 1,
+                detector: FastTrackConfig::default(),
+            };
+            let par = analyze_parallel(&trace, &cfg);
+            assert_eq!(par.warnings, seq.warnings(), "chunk={chunk}");
+            assert_stats_match(&par.stats, seq.stats());
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries_do_not_leak_sync_effects() {
+        // A sync op as the last event of a chunk must be visible to the
+        // first access of the next chunk, and one mid-chunk must not leak
+        // backwards. Sweep chunk sizes around a fixed racy trace so every
+        // alignment of the sync ops against chunk edges is exercised.
+        let trace = gen::generate(&GenConfig::default().with_races(0.1), 99);
+        let seq = sequential(&trace);
+        for chunk in 1..24 {
+            let cfg = ParallelConfig {
+                shards: 2,
+                chunk,
+                queue_depth: 2,
+                detector: FastTrackConfig::default(),
+            };
+            let par = analyze_parallel(&trace, &cfg);
+            assert_eq!(par.warnings, seq.warnings(), "chunk={chunk}");
+        }
     }
 }

@@ -1,0 +1,212 @@
+//! Phase one of the block-parallel engine: the per-chunk happens-before
+//! closure.
+//!
+//! For each chunk of trace events, the coordinator walks the events once,
+//! in order, applying every synchronization operation to [`SyncClocks`]
+//! and **tagging** every access with the index of an immutable
+//! [`ThreadView`] in the chunk's view table. The table is the chunk's HB
+//! closure: by the time the chunk fans out to the shards, every clock any
+//! of its accesses must be judged against has already been resolved and
+//! published, so shards run with zero coordination — no locks, no
+//! barriers, no clock reads from mutable state.
+//!
+//! Publication is demand-driven and version-checked: a view is pushed only
+//! the first time a thread accesses after its clock changed
+//! ([`SyncClocks::version_of`]), so a chunk with `A` accesses by `k`
+//! distinct threads across `s` sync events publishes at most
+//! `min(A, k + s·2)` views — `O(active threads + clock changes)` per
+//! chunk, not `O(threads × sync events)` like whole-state snapshotting.
+
+use fasttrack::shard::{SyncClocks, ThreadView};
+use ft_clock::Tid;
+use ft_trace::Op;
+use std::sync::Arc;
+
+/// A published view slot in the per-thread cache: the table index that is
+/// current while the thread's clock version is unchanged.
+#[derive(Clone, Copy)]
+struct Published {
+    /// Table index + 1; zero means "nothing published this chunk".
+    idx1: u32,
+    /// [`SyncClocks::version_of`] at publication time.
+    version: u64,
+    /// [`HbClosure::sync_seq`] at the last validity check. While the
+    /// global sequence is unchanged, *no* sync event ran, so the slot is
+    /// trivially current and [`tag`](HbClosure::tag) skips the per-thread
+    /// version lookup — the common case in access-dense stretches.
+    sync_seq: u64,
+}
+
+const NONE: Published = Published {
+    idx1: 0,
+    version: 0,
+    sync_seq: 0,
+};
+
+/// The coordinator's HB-closure state: trace-ordered sync clocks plus the
+/// current chunk's view table.
+pub struct HbClosure {
+    sync: SyncClocks,
+    /// Views published for the current chunk, indexed by access tags.
+    table: Vec<ThreadView>,
+    /// Per-thread publication cache for the current chunk.
+    cache: Vec<Published>,
+    /// Threads with a live cache entry, for O(published) per-chunk reset.
+    touched: Vec<u32>,
+    /// Total views published across all chunks (`parallel.views_published`).
+    published: u64,
+    /// Count of sync events applied, ever; starts at 1 so a zeroed cache
+    /// slot can never look current.
+    sync_seq: u64,
+}
+
+impl HbClosure {
+    /// Fresh closure state with no threads and an empty chunk.
+    pub fn new() -> Self {
+        HbClosure {
+            sync: SyncClocks::new(),
+            table: Vec::new(),
+            cache: Vec::new(),
+            touched: Vec::new(),
+            published: 0,
+            sync_seq: 1,
+        }
+    }
+
+    /// Applies one synchronization event in trace order. Cached view tags
+    /// stay valid exactly for the threads whose clocks the event did not
+    /// touch (the version check in [`tag`](Self::tag) notices the rest).
+    #[inline]
+    pub fn on_sync(&mut self, op: &Op) {
+        self.sync_seq += 1;
+        self.sync.on_sync(op);
+    }
+
+    /// Tags an access by thread `t`: returns the chunk-table index of the
+    /// view `t`'s accesses must be judged against at this trace position,
+    /// publishing a fresh view only if `t`'s clock changed since the last
+    /// tag (or was never published this chunk).
+    #[inline]
+    pub fn tag(&mut self, t: Tid) -> u32 {
+        let idx = t.as_usize();
+        if idx >= self.cache.len() {
+            self.cache.resize(idx + 1, NONE);
+        }
+        let slot = self.cache[idx];
+        // No sync event at all since this slot was last validated: the
+        // thread's clock cannot have changed, skip the version lookup.
+        if slot.idx1 != 0 && slot.sync_seq == self.sync_seq {
+            return slot.idx1 - 1;
+        }
+        let version = self.sync.ensure_version(t);
+        if slot.idx1 != 0 && slot.version == version {
+            self.cache[idx].sync_seq = self.sync_seq;
+            return slot.idx1 - 1;
+        }
+        let view_idx = self.table.len() as u32;
+        self.table.push(self.sync.view_of(t));
+        self.published += 1;
+        if slot.idx1 == 0 {
+            self.touched.push(t.as_u32());
+        }
+        self.cache[idx] = Published {
+            idx1: view_idx + 1,
+            version,
+            sync_seq: self.sync_seq,
+        };
+        view_idx
+    }
+
+    /// Ends the chunk: freezes and returns its view table (shared by every
+    /// sub-block fanned out for the chunk) and resets the publication
+    /// cache. Returns an empty table for an access-free chunk.
+    pub fn seal_chunk(&mut self) -> Arc<Vec<ThreadView>> {
+        for &t in &self.touched {
+            self.cache[t as usize] = NONE;
+        }
+        self.touched.clear();
+        Arc::new(std::mem::take(&mut self.table))
+    }
+
+    /// Total views published across all chunks so far.
+    pub fn views_published(&self) -> u64 {
+        self.published
+    }
+
+    /// Hands the coordinator's sync-clock state to [`fasttrack::shard::fold`].
+    pub fn into_sync(self) -> SyncClocks {
+        self.sync
+    }
+}
+
+impl Default for HbClosure {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_trace::LockId;
+
+    const T0: Tid = Tid::new(0);
+    const T1: Tid = Tid::new(1);
+
+    #[test]
+    fn repeated_accesses_share_one_view_until_a_sync_intervenes() {
+        let mut hb = HbClosure::new();
+        let a = hb.tag(T0);
+        let b = hb.tag(T0);
+        assert_eq!(a, b, "no sync in between: same view");
+        hb.on_sync(&Op::Release(T0, LockId::new(0)));
+        let c = hb.tag(T0);
+        assert_ne!(a, c, "release bumped t0's clock: fresh view");
+        assert_eq!(hb.views_published(), 2);
+    }
+
+    #[test]
+    fn syncs_on_other_threads_do_not_invalidate_a_view() {
+        let mut hb = HbClosure::new();
+        let a = hb.tag(T0);
+        // T1's release mutates only C_t1 (and L_m): T0's tag stays cached.
+        hb.on_sync(&Op::Release(T1, LockId::new(0)));
+        assert_eq!(hb.tag(T0), a);
+        assert_eq!(hb.views_published(), 1);
+    }
+
+    #[test]
+    fn seal_chunk_resets_the_cache_but_not_the_clocks() {
+        let mut hb = HbClosure::new();
+        hb.tag(T0);
+        hb.on_sync(&Op::Release(T0, LockId::new(0)));
+        hb.tag(T0);
+        let table = hb.seal_chunk();
+        assert_eq!(table.len(), 2);
+        // Next chunk starts an empty table; the first tag republishes the
+        // *current* clock (same version — the clock itself is unchanged).
+        let idx = hb.tag(T0);
+        assert_eq!(idx, 0);
+        let next = hb.seal_chunk();
+        assert_eq!(next.len(), 1);
+        assert_eq!(
+            next[0].epoch, table[1].epoch,
+            "clock state persists across chunks"
+        );
+    }
+
+    #[test]
+    fn tagged_views_match_the_sequential_clock_at_that_position() {
+        let mut hb = HbClosure::new();
+        let before = hb.tag(T0);
+        hb.on_sync(&Op::Release(T0, LockId::new(0)));
+        hb.on_sync(&Op::Acquire(T1, LockId::new(0)));
+        let t1 = hb.tag(T1);
+        let table = hb.seal_chunk();
+        // T0's pre-release view must not see the release increment.
+        assert_eq!(table[before as usize].clock.get(T0), 1);
+        // T1 acquired the lock T0 released: its view holds T0's release.
+        assert_eq!(table[t1 as usize].clock.get(T0), 1);
+        assert_eq!(table[t1 as usize].clock.get(T1), 1);
+    }
+}

@@ -1,0 +1,248 @@
+//! Phase two of the block-parallel engine: SoA sub-block routing.
+//!
+//! The coordinator slices every chunk of trace events by `var % W` into at
+//! most one [`SubBlock`] per shard — structure-of-arrays lanes holding the
+//! chunk-relative offset, thread, variable, and a packed kind/view tag for
+//! each access — and ships each non-empty sub-block over that shard's SPSC
+//! ring. Routing cost is a few lane pushes per access and **one** ring
+//! operation per shard per chunk, so queue traffic amortizes over hundreds
+//! of events instead of paying a channel handshake per access (the v1
+//! engine's dominant overhead).
+//!
+//! Per-variable access order is preserved end to end: a variable maps to a
+//! fixed shard, lanes are filled in trace order, and the ring is FIFO —
+//! which is exactly the ordering the commutation argument in `DESIGN.md`
+//! §6c needs.
+
+use super::ring::{RingProducer, RingStats};
+use fasttrack::shard::{ThreadView, VarShard};
+use ft_clock::Tid;
+use ft_trace::{AccessKind, VarId};
+use std::sync::Arc;
+
+/// One chunk's accesses for one shard, in structure-of-arrays layout, plus
+/// the chunk's frozen HB closure (the view table every tag indexes into).
+///
+/// Two packed 8-byte lanes per access, not four 4-byte ones: the
+/// coordinator's `route` is the hottest loop in the engine, and each lane
+/// push costs a length/capacity check — halving the lane count measurably
+/// moves whole-engine throughput.
+pub struct SubBlock {
+    /// Trace index of the chunk's first event.
+    base: usize,
+    /// `(off << 32) | tid` per access: the chunk-relative event offset
+    /// (trace index = `base + off`) and the accessing thread.
+    ot: Vec<u64>,
+    /// `(var << 32) | (view_tag << 1) | is_write` per access: the accessed
+    /// variable (all `≡ shard (mod W)`), the access's index into the view
+    /// table, and the read/write bit.
+    vm: Vec<u64>,
+    /// The chunk's view table, shared across its sub-blocks.
+    views: Arc<Vec<ThreadView>>,
+}
+
+impl SubBlock {
+    /// Number of accesses in the sub-block.
+    pub fn len(&self) -> usize {
+        self.ot.len()
+    }
+
+    /// Returns `true` when the sub-block carries no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.ot.is_empty()
+    }
+
+    /// Runs every access through the shard's Figure-5 rules, judging each
+    /// against the immutable view its tag points at.
+    pub fn apply(&self, shard: &mut VarShard) {
+        let views: &[ThreadView] = &self.views;
+        // Lockstep iterators instead of indexing: the lane reads compile
+        // without bounds checks.
+        for (&ot, &vm) in self.ot.iter().zip(&self.vm) {
+            let meta = vm as u32;
+            let kind = if meta & 1 == 1 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            shard.on_access(
+                self.base + (ot >> 32) as usize,
+                kind,
+                Tid::new(ot as u32),
+                VarId::new((vm >> 32) as u32),
+                &views[(meta >> 1) as usize],
+            );
+        }
+    }
+}
+
+/// Per-shard occupancy/stall observations the engine folds into the
+/// `parallel.ring.*` metrics after the coordinator finishes.
+pub struct RouteStats {
+    /// Sub-blocks shipped (`parallel.batches` on the send side).
+    pub sub_blocks: u64,
+    /// Ring occupancy observed immediately after each push, summed into a
+    /// histogram by the engine.
+    pub occupancy: Vec<u64>,
+    /// Producer-side stall/park counts, summed across shards.
+    pub push: RingStats,
+}
+
+/// The coordinator's routing half: per-shard lane builders over SPSC
+/// producers.
+pub struct Router {
+    producers: Vec<RingProducer<SubBlock>>,
+    pending: Vec<SubBlock>,
+    /// `W - 1` when the shard count is a power of two, so the per-access
+    /// `var % W` is a mask instead of a hardware modulo (all default
+    /// widths — 1, 2, 4, 8 — qualify).
+    shard_mask: Option<u32>,
+    chunk_hint: usize,
+    sub_blocks: u64,
+    occupancy: Vec<u64>,
+}
+
+impl Router {
+    /// A router fanning out to `producers.len()` shards, pre-sizing lanes
+    /// for chunks of about `chunk_hint` events.
+    pub fn new(producers: Vec<RingProducer<SubBlock>>, chunk_hint: usize) -> Self {
+        let shards = producers.len();
+        let per_shard = (chunk_hint / shards.max(1)).max(16);
+        let pending = (0..shards)
+            .map(|_| SubBlock {
+                base: 0,
+                ot: Vec::with_capacity(per_shard),
+                vm: Vec::with_capacity(per_shard),
+                views: Arc::new(Vec::new()),
+            })
+            .collect();
+        Router {
+            producers,
+            pending,
+            shard_mask: (shards > 0 && shards.is_power_of_two()).then(|| (shards - 1) as u32),
+            chunk_hint: per_shard,
+            sub_blocks: 0,
+            occupancy: Vec::new(),
+        }
+    }
+
+    /// Appends one access of the current chunk to its shard's lanes.
+    /// `off` is the chunk-relative event offset and `view` the tag
+    /// [`HbClosure::tag`](super::closure::HbClosure::tag) issued for it.
+    #[inline]
+    pub fn route(&mut self, off: u32, t: Tid, var: u32, is_write: bool, view: u32) {
+        let shard = match self.shard_mask {
+            Some(mask) => (var & mask) as usize,
+            None => var as usize % self.pending.len(),
+        };
+        let b = &mut self.pending[shard];
+        b.ot.push(((off as u64) << 32) | t.as_u32() as u64);
+        b.vm.push(((var as u64) << 32) | ((view as u64) << 1) | is_write as u64);
+    }
+
+    /// Ships the chunk: every non-empty pending sub-block is stamped with
+    /// the chunk's base index and frozen view table, then pushed to its
+    /// shard's ring (blocking on backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(shard_index)` if that shard's worker disconnected
+    /// (i.e. panicked) — the engine escalates this to a panic after
+    /// joining, mirroring the sequential detector's failure mode.
+    pub fn flush_chunk(&mut self, base: usize, views: Arc<Vec<ThreadView>>) -> Result<(), usize> {
+        for (s, b) in self.pending.iter_mut().enumerate() {
+            if b.is_empty() {
+                continue;
+            }
+            let hint = self.chunk_hint;
+            let full = std::mem::replace(
+                b,
+                SubBlock {
+                    base: 0,
+                    ot: Vec::with_capacity(hint),
+                    vm: Vec::with_capacity(hint),
+                    views: Arc::new(Vec::new()),
+                },
+            );
+            let full = SubBlock {
+                base,
+                views: Arc::clone(&views),
+                ..full
+            };
+            self.producers[s].push(full).map_err(|_| s)?;
+            self.sub_blocks += 1;
+            self.occupancy.push(self.producers[s].occupancy() as u64);
+        }
+        Ok(())
+    }
+
+    /// Tears the router down: drops the producers (closing the rings so
+    /// workers drain and exit) and returns the accumulated send-side
+    /// observations.
+    pub fn finish(self) -> RouteStats {
+        let mut push = RingStats::default();
+        for p in &self.producers {
+            let s = p.stats();
+            push.stalls += s.stalls;
+            push.parks += s.parks;
+        }
+        RouteStats {
+            sub_blocks: self.sub_blocks,
+            occupancy: self.occupancy,
+            push,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::ring::ring;
+    use super::*;
+    use fasttrack::shard::SyncClocks;
+    use fasttrack::FastTrackConfig;
+
+    #[test]
+    fn routes_by_var_mod_w_and_preserves_order() {
+        let (tx0, mut rx0) = ring(4);
+        let (tx1, mut rx1) = ring(4);
+        let mut router = Router::new(vec![tx0, tx1], 64);
+        let mut sync = SyncClocks::new();
+        sync.ensure_thread(Tid::new(0));
+        let views = Arc::new(vec![sync.view_of(Tid::new(0))]);
+        for (off, var) in [(0u32, 0u32), (1, 1), (2, 2), (3, 3), (4, 0)] {
+            router.route(off, Tid::new(0), var, false, 0);
+        }
+        router.flush_chunk(100, views).unwrap();
+        let stats = router.finish();
+        assert_eq!(stats.sub_blocks, 2);
+        let b0 = rx0.pop().unwrap();
+        let b1 = rx1.pop().unwrap();
+        let vars = |b: &SubBlock| b.vm.iter().map(|&vm| (vm >> 32) as u32).collect::<Vec<_>>();
+        let offs = |b: &SubBlock| b.ot.iter().map(|&ot| (ot >> 32) as u32).collect::<Vec<_>>();
+        assert_eq!(vars(&b0), vec![0, 2, 0], "even vars to shard 0, in order");
+        assert_eq!(vars(&b1), vec![1, 3]);
+        assert_eq!(offs(&b0), vec![0, 2, 4]);
+        assert_eq!(b0.base, 100);
+        assert!(rx0.pop().is_none(), "producers dropped by finish()");
+    }
+
+    #[test]
+    fn apply_reports_the_race_at_the_absolute_trace_index() {
+        let (tx, mut rx) = ring(2);
+        let mut router = Router::new(vec![tx], 16);
+        let mut sync = SyncClocks::new();
+        sync.ensure_thread(Tid::new(0));
+        sync.ensure_thread(Tid::new(1));
+        let views = Arc::new(vec![sync.view_of(Tid::new(0)), sync.view_of(Tid::new(1))]);
+        router.route(3, Tid::new(0), 0, true, 0);
+        router.route(7, Tid::new(1), 0, true, 1);
+        router.flush_chunk(40, views).unwrap();
+        drop(router.finish());
+        let sub = rx.pop().unwrap();
+        let mut shard = VarShard::new(0, 1, FastTrackConfig::default());
+        sub.apply(&mut shard);
+        let result = shard.finish();
+        assert_eq!(result.warnings().len(), 1);
+        assert_eq!(result.warnings()[0].current.event_index, Some(47));
+    }
+}

@@ -52,6 +52,30 @@ pub mod opcode {
     /// `.ftb`-only continuation record carrying up to two barrier members.
     /// Never appears in an [`EventBlock`](super::EventBlock).
     pub const BARRIER_CONT: u8 = 13;
+
+    /// Returns `true` for data accesses (`rd`/`wr`) — the events a
+    /// block-parallel coordinator routes to variable shards. Mirrors
+    /// [`Op::is_access`](crate::Op::is_access) on the raw kind byte.
+    #[inline]
+    pub fn is_access(kind: u8) -> bool {
+        kind <= WRITE
+    }
+
+    /// Returns `true` for the no-happens-before-effect markers (`notify`,
+    /// atomic begin/end) that advance the trace position but touch no
+    /// clock.
+    #[inline]
+    pub fn is_marker(kind: u8) -> bool {
+        matches!(kind, NOTIFY | ATOMIC_BEGIN | ATOMIC_END)
+    }
+
+    /// Returns `true` for synchronization operations — everything that
+    /// mutates thread/lock/volatile clocks. Mirrors
+    /// [`Op::is_sync`](crate::Op::is_sync) on the raw kind byte.
+    #[inline]
+    pub fn is_sync(kind: u8) -> bool {
+        !is_access(kind) && !is_marker(kind) && kind != BARRIER_CONT
+    }
 }
 
 /// Default number of events per block: large enough to amortize dispatch
@@ -142,6 +166,19 @@ impl EventBlock {
             Op::AtomicEnd(t) => self.push_simple(opcode::ATOMIC_END, t.as_u32(), 0),
             Op::BarrierRelease(ref members) => self.push_barrier(members.clone()),
         }
+    }
+
+    /// Refills the block from a slice of in-memory events: clears it, then
+    /// appends every op in `ops`. This is the in-memory counterpart of
+    /// [`FtbReader::read_block`](crate::FtbReader::read_block), letting a
+    /// chunked consumer drive one code path for both trace sources.
+    /// Returns the number of events now in the block.
+    pub fn refill_from_ops(&mut self, ops: &[Op]) -> usize {
+        self.clear();
+        for op in ops {
+            self.push_op(op);
+        }
+        self.len()
     }
 
     /// The raw kind byte of entry `i` (an [`opcode`] constant).
@@ -242,6 +279,37 @@ mod tests {
         block.clear();
         assert!(block.is_empty());
         assert!(block.kinds.capacity() >= 4);
+    }
+
+    #[test]
+    fn refill_from_ops_matches_push_op_and_reuses_lanes() {
+        let ops = sample_ops();
+        let mut block = EventBlock::with_capacity(ops.len());
+        assert_eq!(block.refill_from_ops(&ops), ops.len());
+        let back: Vec<Op> = block.ops().collect();
+        assert_eq!(back, ops);
+        // Refilling with a shorter chunk drops the old contents entirely.
+        assert_eq!(block.refill_from_ops(&ops[..3]), 3);
+        assert_eq!(block.ops().collect::<Vec<_>>(), ops[..3].to_vec());
+    }
+
+    #[test]
+    fn opcode_classes_partition_every_kind() {
+        let ops = sample_ops();
+        let mut block = EventBlock::default();
+        for op in &ops {
+            block.push_op(op);
+        }
+        for (i, op) in ops.iter().enumerate() {
+            let k = block.kind(i);
+            assert_eq!(opcode::is_access(k), op.is_access(), "{op}");
+            assert_eq!(opcode::is_sync(k), op.is_sync(), "{op}");
+            assert_eq!(
+                opcode::is_marker(k),
+                !op.is_access() && !op.is_sync(),
+                "{op}"
+            );
+        }
     }
 
     #[test]

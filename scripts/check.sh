@@ -127,13 +127,29 @@ print("throughput smoke OK: %.2fx vs baseline, recorder overhead %+.1f%%"
       % (agg["speedup_vs_baseline"], rec["enabled_overhead_pct"]))
 EOF
 
-echo "==> parallel engine smoke (2 shards, agreement sweep)"
+echo "==> parallel engine smoke (2 shards, agreement sweep + speedup gate)"
 cargo run --release -q -p ft-bench --bin parallel -- --ops=20000 --reps=1
 python3 - BENCH_parallel.json <<'EOF'
 import json
 doc = json.load(open("BENCH_parallel.json"))
 assert doc["divergences"] == 0, "parallel engine diverged from sequential"
 assert doc["traces_checked"] >= 16, "agreement sweep did not cover the benchmarks"
+# Speedup gate: on a multi-core host, 2 shards must beat sequential on
+# average; a single-core host cannot show wall-clock speedup (coordinator
+# and workers serialize), so the bench marks the gate skipped there.
+gate = doc["speedup_gate"]
+cores = doc["available_parallelism"]
+w2 = doc["mean_speedup"]["w2"]
+if gate == "skipped_single_core":
+    assert cores < 2, "gate skipped on a multi-core host"
+    print("parallel speedup gate SKIPPED (available_parallelism=%d, "
+          "mean w2 speedup %.2fx informational)" % (cores, w2))
+else:
+    assert gate == "passed", \
+        "2-shard engine slower than sequential on a %d-core host " \
+        "(mean speedup %.2fx)" % (cores, w2)
+    print("parallel speedup gate OK: %.2fx at 2 shards on %d cores"
+          % (w2, cores))
 print("parallel smoke OK:", doc["traces_checked"], "benchmarks, 0 divergences")
 EOF
 

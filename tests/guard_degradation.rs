@@ -10,7 +10,7 @@
 //!   ungoverned detector's, and whenever the budget actually bit (peak
 //!   usage above the limit) the run carries a non-empty degradation
 //!   record — degradation is loud, never silent;
-//! * the same subset property holds for the epoch-sliced parallel engine
+//! * the same subset property holds for the block-parallel engine
 //!   with a guarded per-shard configuration;
 //! * the online monitor under injected faults (lane overflow + analysis
 //!   panic) terminates and accounts for every event it did not analyze.

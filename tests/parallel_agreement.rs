@@ -1,9 +1,13 @@
-//! Agreement tests for the epoch-sliced parallel analysis engine: across
-//! shard counts {1, 2, 4, 8}, `analyze_parallel` must reproduce the
-//! sequential FastTrack detector's warnings *exactly* — same races, same
-//! order, same statistics — on a large population of randomly generated
-//! feasible traces plus a fixed regression trace exercising every
-//! synchronization operation the trace model has.
+//! Agreement tests for the block-parallel analysis engine: across shard
+//! counts {1, 2, 4, 8}, `analyze_parallel` must reproduce the sequential
+//! FastTrack detector's warnings *exactly* — same races, same order, same
+//! statistics — on a large population of randomly generated feasible
+//! traces plus a fixed regression trace exercising every synchronization
+//! operation the trace model has. The streamed front end
+//! (`analyze_parallel_stream` over the trace's `.ftb` encoding) is pinned
+//! to the in-memory engine at every width on the same population: both
+//! feeds drive the identical two-phase coordinator, and any divergence
+//! means the `.ftb` decode path dropped or reordered an event.
 //!
 //! The one tolerated difference is `Stats::vc_reused`: per-shard read-clock
 //! pools see a different recycle/reuse interleaving than the sequential
@@ -12,9 +16,9 @@
 
 use fasttrack_suite::clock::Tid;
 use fasttrack_suite::core::{Detector, FastTrack};
-use fasttrack_suite::runtime::{analyze_parallel, ParallelConfig};
+use fasttrack_suite::runtime::{analyze_parallel, analyze_parallel_stream, ParallelConfig};
 use fasttrack_suite::trace::gen::{self, GenConfig};
-use fasttrack_suite::trace::{LockId, Op, Trace, TraceBuilder, VarId};
+use fasttrack_suite::trace::{FtbReader, LockId, Op, Trace, TraceBuilder, VarId};
 
 const SHARD_SERIES: [usize; 4] = [1, 2, 4, 8];
 
@@ -24,13 +28,20 @@ fn sequential(trace: &Trace) -> FastTrack {
     ft
 }
 
-/// Asserts that every shard width reproduces the sequential analysis.
+/// Asserts that every shard width reproduces the sequential analysis, and
+/// that the streamed front end (`.ftb` bytes in, no materialized trace)
+/// reproduces the in-memory engine report for report — warnings with full
+/// provenance, stats, and rule breakdown alike.
 fn assert_agrees(trace: &Trace, label: &str) {
     let seq = sequential(trace);
     let mut seq_stats = seq.stats().clone();
     seq_stats.vc_reused = 0;
+    let bytes = trace
+        .to_ftb()
+        .unwrap_or_else(|e| panic!("{label}: trace failed to serialize: {e}"));
     for shards in SHARD_SERIES {
-        let report = analyze_parallel(trace, &ParallelConfig::with_shards(shards));
+        let config = ParallelConfig::with_shards(shards);
+        let report = analyze_parallel(trace, &config);
         assert_eq!(
             report.warnings,
             seq.warnings(),
@@ -46,6 +57,30 @@ fn assert_agrees(trace: &Trace, label: &str) {
             report.rule_breakdown,
             seq.rule_breakdown(),
             "{label}: rule breakdown diverges at {shards} shard(s)"
+        );
+        let mut reader = FtbReader::new(&bytes[..])
+            .unwrap_or_else(|e| panic!("{label}: ftb header rejected: {e}"));
+        let streamed = analyze_parallel_stream(&mut reader, &config)
+            .unwrap_or_else(|e| panic!("{label}: stream decode failed at {shards} shard(s): {e}"));
+        assert_eq!(
+            streamed.warnings, report.warnings,
+            "{label}: streamed warnings diverge from in-memory at {shards} shard(s)"
+        );
+        for (sw, pw) in streamed.warnings.iter().zip(&report.warnings) {
+            assert_eq!(
+                sw.provenance, pw.provenance,
+                "{label}: streamed provenance diverges at {shards} shard(s)"
+            );
+        }
+        let mut stream_stats = streamed.stats.clone();
+        stream_stats.vc_reused = 0;
+        assert_eq!(
+            stream_stats, seq_stats,
+            "{label}: streamed stats diverge at {shards} shard(s)"
+        );
+        assert_eq!(
+            streamed.rule_breakdown, report.rule_breakdown,
+            "{label}: streamed rule breakdown diverges at {shards} shard(s)"
         );
     }
 }
@@ -165,10 +200,20 @@ fn every_warning_carries_matching_provenance() {
         }
         // Field-by-field parallel agreement on provenance (the wholesale
         // warning equality in `assert_agrees` implies this, but a split
-        // comparison localizes a provenance regression to the field).
+        // comparison localizes a provenance regression to the field). The
+        // streamed engine is held to the same bar: its warnings must carry
+        // provenance identical to the in-memory engine's.
+        let bytes = trace.to_ftb().expect("trace serializes");
         for shards in SHARD_SERIES {
-            let report = analyze_parallel(&trace, &ParallelConfig::with_shards(shards));
+            let config = ParallelConfig::with_shards(shards);
+            let report = analyze_parallel(&trace, &config);
             assert_eq!(report.warnings.len(), seq.warnings().len());
+            let mut reader = FtbReader::new(&bytes[..]).expect("valid header");
+            let streamed = analyze_parallel_stream(&mut reader, &config).expect("clean decode");
+            assert_eq!(
+                streamed.warnings, report.warnings,
+                "seed {seed} shards {shards}: streamed warnings (incl. provenance)"
+            );
             for (pw, sw) in report.warnings.iter().zip(seq.warnings()) {
                 let (pp, sp) = (
                     pw.provenance.as_ref().expect("parallel provenance"),
