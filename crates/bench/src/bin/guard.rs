@@ -111,8 +111,8 @@ fn main() {
         opts.ops, opts.seed
     );
     println!(
-        "{:<12} | {:>12} | {:>9} | {:>9} | {:>8} {:>8} | {}",
-        "workload", "budget B", "Mop/s", "warnings", "evicted", "sampled", "verdict"
+        "{:<12} | {:>12} | {:>9} | {:>9} | {:>8} {:>8} | verdict",
+        "workload", "budget B", "Mop/s", "warnings", "evicted", "sampled"
     );
 
     let mut violations = 0u64;

@@ -1,0 +1,219 @@
+//! Load-generator for `ftrace serve`: N concurrent tenants hammering one
+//! daemon, measuring sessions/sec, report latency, and aggregate analysis
+//! throughput — while verifying tenant isolation on every single report.
+//!
+//! ```text
+//! cargo run --release -p ft-bench --bin serve_load \
+//!     [-- --tenants=4 --sessions=3 --ops=50000 --seed=42]
+//! ```
+//!
+//! Each tenant uploads its own racy trace repeatedly (ragged chunk sizes,
+//! so frames from different tenants interleave on the daemon's accept
+//! plane). Every report's warning array must be byte-identical to a local
+//! single-tenant FastTrack run of the same trace — the multi-tenant daemon
+//! is allowed to be slower, never different. Results land in
+//! `BENCH_serve.json`; any isolation violation fails the process.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fasttrack::{warnings_to_json, Detector, FastTrack};
+use ft_bench::{arg_value, fmt1, HarnessOpts};
+use ft_obs::JsonWriter;
+use ft_serve::{upload, Daemon, ServeConfig};
+use ft_trace::gen::{self, GenConfig};
+use ft_trace::{FtbWriter, Trace};
+
+struct TenantResult {
+    sessions: u64,
+    events: u64,
+    dropped: u64,
+    latencies: Vec<Duration>,
+    isolation_violations: u64,
+}
+
+fn ftb_bytes(trace: &Trace) -> Vec<u8> {
+    let mut w = FtbWriter::new(
+        Vec::new(),
+        trace.n_threads(),
+        trace.n_vars(),
+        trace.n_locks(),
+    )
+    .expect("ftb header");
+    for op in trace.events() {
+        w.write_op(op).expect("ftb record");
+    }
+    w.finish().expect("ftb flush")
+}
+
+fn quantile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let opts = HarnessOpts::from_env(50_000);
+    let args: Vec<String> = std::env::args().collect();
+    let tenants: usize = arg_value(&args, "tenants")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+        .max(1);
+    let sessions_per_tenant: usize = arg_value(&args, "sessions")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    // Budget sized so ~half the tenants fit comfortably: apportionment and
+    // re-apportionment genuinely happen under load.
+    let mem_budget: usize = arg_value(&args, "mem-budget")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8 << 20);
+
+    println!(
+        "serve_load: {tenants} tenant(s) x {sessions_per_tenant} session(s), ~{} events/upload, budget {} B",
+        opts.ops, mem_budget
+    );
+
+    // Per-tenant fixtures: a racy trace, its .ftb image, and the canonical
+    // warning JSON from a local single-tenant run (the isolation oracle).
+    let fixtures: Vec<(Vec<u8>, String, u64)> = (0..tenants)
+        .map(|i| {
+            let trace = gen::generate(
+                &GenConfig {
+                    ops: opts.ops,
+                    ..GenConfig::default().with_races(0.05)
+                },
+                opts.seed + i as u64,
+            );
+            let mut local = FastTrack::new();
+            local.run(&trace);
+            (
+                ftb_bytes(&trace),
+                warnings_to_json(local.warnings()),
+                trace.len() as u64,
+            )
+        })
+        .collect();
+
+    let daemon = Daemon::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        mem_budget,
+        ..ServeConfig::default()
+    })
+    .expect("bind serve_load daemon");
+    let addr = daemon.addr().to_string();
+
+    let started = Instant::now();
+    let handles: Vec<_> = fixtures
+        .into_iter()
+        .enumerate()
+        .map(|(i, fixture)| {
+            let addr = addr.clone();
+            let fixture = Arc::new(fixture);
+            std::thread::spawn(move || {
+                let (ftb, oracle, events) = &*fixture;
+                let tenant = format!("tenant-{i}");
+                // Ragged per-tenant chunk sizes interleave frames from
+                // different tenants at different phases.
+                let chunk = 8 << (10 + (i % 4));
+                let mut out = TenantResult {
+                    sessions: 0,
+                    events: 0,
+                    dropped: 0,
+                    latencies: Vec::new(),
+                    isolation_violations: 0,
+                };
+                for _ in 0..sessions_per_tenant {
+                    let report = upload(&addr, &tenant, ftb, chunk).expect("upload");
+                    if !report.json.contains(&format!("\"warnings\":{oracle}")) {
+                        out.isolation_violations += 1;
+                    }
+                    if report.events + report.dropped_events != *events {
+                        out.isolation_violations += 1;
+                    }
+                    out.sessions += 1;
+                    out.events += report.events;
+                    out.dropped += report.dropped_events;
+                    out.latencies.push(report.report_latency);
+                }
+                out
+            })
+        })
+        .collect();
+
+    let results: Vec<TenantResult> = handles
+        .into_iter()
+        .map(|h| h.join().expect("tenant thread"))
+        .collect();
+    let wall = started.elapsed();
+    let registry = Arc::clone(daemon.registry());
+    daemon.stop();
+    daemon.join();
+
+    let sessions: u64 = results.iter().map(|r| r.sessions).sum();
+    let events: u64 = results.iter().map(|r| r.events).sum();
+    let dropped: u64 = results.iter().map(|r| r.dropped).sum();
+    let violations: u64 = results.iter().map(|r| r.isolation_violations).sum();
+    let mut latencies: Vec<Duration> = results
+        .iter()
+        .flat_map(|r| r.latencies.iter().copied())
+        .collect();
+    latencies.sort();
+
+    let wall_s = wall.as_secs_f64().max(1e-9);
+    let sessions_per_sec = sessions as f64 / wall_s;
+    let aggregate_mops = events as f64 / wall_s / 1e6;
+    let p50 = quantile(&latencies, 0.50);
+    let p99 = quantile(&latencies, 0.99);
+
+    println!(
+        "  {} session(s) in {:?}: {} sessions/s, aggregate {} Mop/s",
+        sessions,
+        wall,
+        fmt1(sessions_per_sec),
+        fmt1(aggregate_mops)
+    );
+    println!(
+        "  report latency p50 {:?}, p99 {:?}; dropped {}; isolation violations {}",
+        p50, p99, dropped, violations
+    );
+
+    let snap = registry.snapshot();
+    let mut json = JsonWriter::new();
+    json.begin_object();
+    json.field_str("suite", "serve");
+    json.field_u64("tenants", tenants as u64);
+    json.field_u64("sessions_per_tenant", sessions_per_tenant as u64);
+    json.field_u64("ops_per_upload", opts.ops as u64);
+    json.field_u64("seed", opts.seed);
+    json.field_u64("mem_budget_bytes", mem_budget as u64);
+    json.field_u64("sessions_total", sessions);
+    json.field_u64("events_total", events);
+    json.field_u64("dropped_events", dropped);
+    json.field_f64("wall_seconds", wall_s);
+    json.field_f64("sessions_per_sec", sessions_per_sec);
+    json.field_f64("aggregate_mops", aggregate_mops);
+    json.field_f64("report_latency_p50_ms", p50.as_secs_f64() * 1e3);
+    json.field_f64("report_latency_p99_ms", p99.as_secs_f64() * 1e3);
+    json.field_u64("isolation_violations", violations);
+    json.field_u64(
+        "server_sessions_closed",
+        snap.counter("sessions_closed").unwrap_or(0),
+    );
+    json.field_u64(
+        "server_bytes_total",
+        snap.counter("bytes_total").unwrap_or(0),
+    );
+    json.end_object();
+
+    match std::fs::write("BENCH_serve.json", json.finish()) {
+        Ok(()) => println!("wrote BENCH_serve.json"),
+        Err(e) => eprintln!("failed to write BENCH_serve.json: {e}"),
+    }
+    if violations > 0 {
+        eprintln!("FAIL: a multi-tenant report diverged from its single-tenant oracle");
+        std::process::exit(1);
+    }
+}

@@ -3,7 +3,7 @@
 use crate::args::Args;
 use crate::{coarsen_trace, load_trace, print_oracle, print_report, save_trace};
 use fasttrack::{
-    Detector, Empty, FastTrack, FastTrackConfig, GuardConfig, RecorderConfig, TierProfile, Warning,
+    Detector, Empty, FastTrack, FastTrackConfig, GuardConfig, RecorderConfig, TierProfile,
 };
 use ft_detectors::{BasicVc, Djit, Eraser, Goldilocks, MultiRace, RaceTrack};
 use ft_runtime::{
@@ -633,68 +633,6 @@ pub fn profile(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Writes one warning (with provenance and recent events, when present) as
-/// a JSON object into a diagnostics bundle.
-fn write_warning_json(w: &mut ft_obs::JsonWriter, warning: &Warning) {
-    let access = |w: &mut ft_obs::JsonWriter, a: &fasttrack::AccessSummary| {
-        w.begin_object();
-        w.field_str("tid", &a.tid.to_string());
-        w.field_str("kind", &a.kind.to_string());
-        match a.event_index {
-            Some(i) => w.field_u64("event", i as u64),
-            None => {
-                w.key("event");
-                w.null();
-            }
-        }
-        w.end_object();
-    };
-    w.begin_object();
-    w.field_str("var", &warning.var.to_string());
-    w.field_str("kind", &warning.kind.to_string());
-    w.key("prior");
-    access(w, &warning.prior);
-    w.key("current");
-    access(w, &warning.current);
-    w.key("provenance");
-    match &warning.provenance {
-        None => w.null(),
-        Some(p) => {
-            w.begin_object();
-            w.field_str("rule", p.rule);
-            w.field_str("conflict", &p.conflict.to_string());
-            w.field_str("current_epoch", &p.current_epoch.to_string());
-            w.key("thread_clock");
-            w.begin_array();
-            for (t, c) in &p.thread_clock {
-                w.begin_object();
-                w.field_str("tid", &t.to_string());
-                w.field_u64("clock", u64::from(*c));
-                w.end_object();
-            }
-            w.end_array();
-            w.field_str("prior_write", &p.prior_write.to_string());
-            w.field_str("prior_reads", &p.prior_reads.to_string());
-            w.key("recent");
-            w.begin_array();
-            for tail in &p.recent {
-                w.begin_object();
-                w.field_str("tid", &tail.tid.to_string());
-                w.key("events");
-                w.begin_array();
-                for ev in &tail.events {
-                    w.string(&ev.to_string());
-                }
-                w.end_array();
-                w.end_object();
-            }
-            w.end_array();
-            w.end_object();
-        }
-    }
-    w.end_object();
-}
-
 /// Writes the per-tier hit counters of the fused batch loop.
 fn write_tiers_json(w: &mut ft_obs::JsonWriter, tiers: &TierProfile) {
     w.begin_object();
@@ -809,7 +747,7 @@ pub fn report(args: &Args) -> Result<(), String> {
     w.key("warnings");
     w.begin_array();
     for warning in &warnings {
-        write_warning_json(&mut w, warning);
+        warning.write_json(&mut w);
     }
     w.end_array();
     w.key("rule_breakdown");

@@ -25,6 +25,7 @@ use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod serve_cmd;
 
 use args::Args;
 
@@ -70,6 +71,20 @@ USAGE:
                                             last K events (flight recorder),
                                             tier profile, rule breakdown, and
                                             metrics (JSON + Prometheus text)
+  ftrace serve [--addr HOST:PORT] [--mem-budget BYTES] [--lane-cap N]
+                  [--overflow block|drop-oldest] [--all-warnings]
+                                            run the multi-tenant analysis
+                                            daemon: concurrent .ftb upload
+                                            sessions over TCP, each with
+                                            isolated shadow state; a global
+                                            --mem-budget is split evenly
+                                            across live sessions
+  ftrace client upload FILE [--addr HOST:PORT] [--tenant NAME]
+                  [--chunk BYTES]           stream a trace to the daemon as
+                                            one session; report JSON on
+                                            stdout, summary on stderr
+  ftrace client metrics [--addr HOST:PORT]  scrape the daemon (Prometheus)
+  ftrace client shutdown [--addr HOST:PORT] stop the daemon gracefully
   ftrace oracle FILE                        exact happens-before ground truth
   ftrace coarsen FILE -o FILE               coarse-grain (object) variant
   ftrace info FILE                          trace statistics
@@ -120,6 +135,8 @@ fn run(argv: &[String]) -> Result<(), String> {
         "pipeline" => commands::pipeline(&args),
         "profile" => commands::profile(&args),
         "report" => commands::report(&args),
+        "serve" => serve_cmd::serve(&args),
+        "client" => serve_cmd::client(&args),
         "oracle" => commands::oracle(&args),
         "coarsen" => commands::coarsen_cmd(&args),
         "info" => commands::info(&args),

@@ -1,0 +1,113 @@
+//! `ftrace serve` and `ftrace client`: the CLI front end for the
+//! multi-tenant race-detection daemon (see `ft-serve`).
+
+use crate::args::Args;
+use ft_runtime::online::OverflowPolicy;
+use ft_serve::{Client, Daemon, ServeConfig};
+
+fn overflow_policy(args: &Args) -> Result<OverflowPolicy, String> {
+    match args.get_with_value("overflow")? {
+        None | Some("block") => Ok(OverflowPolicy::Block),
+        Some("drop-oldest") => Ok(OverflowPolicy::DropOldest),
+        Some(other) => Err(format!(
+            "unknown --overflow {other:?} (expected block or drop-oldest)"
+        )),
+    }
+}
+
+/// `ftrace serve [--addr HOST:PORT] [--mem-budget BYTES] [--lane-cap N]
+/// [--overflow block|drop-oldest] [--all-warnings]`
+///
+/// Runs until a client sends the SHUTDOWN frame (`ftrace client shutdown`)
+/// or the process is killed.
+pub fn serve(args: &Args) -> Result<(), String> {
+    let config = ServeConfig {
+        addr: args
+            .get_with_value("addr")?
+            .unwrap_or("127.0.0.1:7199")
+            .to_string(),
+        mem_budget: args.get_num("mem-budget", 0usize)?,
+        lane_cap: args.get_num("lane-cap", 1usize << 16)?,
+        overflow: overflow_policy(args)?,
+        report_all: args.has_flag("all-warnings"),
+    };
+    let daemon =
+        Daemon::start(config.clone()).map_err(|e| format!("binding {}: {e}", config.addr))?;
+    println!("ftrace serve: listening on {}", daemon.addr());
+    if config.mem_budget > 0 {
+        println!(
+            "  budget: {} bytes, apportioned across live sessions",
+            config.mem_budget
+        );
+    } else {
+        println!("  budget: unlimited (no guard)");
+    }
+    println!(
+        "  lane: {} events, overflow {:?}",
+        config.lane_cap, config.overflow
+    );
+    daemon.join();
+    println!("ftrace serve: shutdown acknowledged, exiting");
+    Ok(())
+}
+
+/// `ftrace client ACTION ...` against a running daemon:
+///
+/// * `upload FILE.ftb [--tenant NAME] [--chunk BYTES]` — stream a trace as
+///   one session and print the report JSON to stdout.
+/// * `metrics` — print the Prometheus exposition.
+/// * `shutdown` — stop the daemon gracefully.
+///
+/// All actions take `--addr HOST:PORT` (default `127.0.0.1:7199`).
+pub fn client(args: &Args) -> Result<(), String> {
+    let addr = args.get_with_value("addr")?.unwrap_or("127.0.0.1:7199");
+    match args.positional(0) {
+        Some("upload") => {
+            let path = args
+                .positional(1)
+                .ok_or("client upload requires a trace file")?;
+            let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let ftb = if bytes.starts_with(&ft_trace::FTB_MAGIC) {
+                bytes
+            } else {
+                // JSON .ftrace input: convert in memory so the daemon only
+                // ever speaks .ftb.
+                let json = String::from_utf8(bytes)
+                    .map_err(|_| format!("{path}: not valid UTF-8 or .ftb"))?;
+                let trace = ft_trace::Trace::from_json(&json)
+                    .map_err(|e| format!("parsing {path}: {e}"))?;
+                trace
+                    .to_ftb()
+                    .map_err(|e| format!("encoding {path}: {e}"))?
+            };
+            let tenant = args.get_with_value("tenant")?.unwrap_or("cli");
+            let chunk = args.get_num("chunk", 64usize << 10)?;
+            let report = ft_serve::upload(addr, tenant, &ftb, chunk)?;
+            eprintln!(
+                "session for {tenant}: {} event(s), {} warning(s), {} dropped, precision {}, report in {:?}",
+                report.events,
+                report.warnings,
+                report.dropped_events,
+                report.precision,
+                report.report_latency
+            );
+            println!("{}", report.json);
+            Ok(())
+        }
+        Some("metrics") => {
+            let mut c = Client::connect(addr)?;
+            print!("{}", c.metrics()?);
+            Ok(())
+        }
+        Some("shutdown") => {
+            let mut c = Client::connect(addr)?;
+            c.shutdown()?;
+            println!("daemon at {addr} acknowledged shutdown");
+            Ok(())
+        }
+        Some(other) => Err(format!(
+            "unknown client action {other:?} (expected upload, metrics, or shutdown)"
+        )),
+        None => Err("client requires an action: upload FILE | metrics | shutdown".into()),
+    }
+}

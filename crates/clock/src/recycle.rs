@@ -137,6 +137,10 @@ impl TidRecycler {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct VcPool {
+    // The boxes themselves are the recycled resource: shadow state stores
+    // `Box<VectorClock>`, and `take`/`put` move those boxes whole so reuse
+    // never reallocates. Unboxing here would defeat the pool.
+    #[allow(clippy::vec_box)]
     free: Vec<Box<VectorClock>>,
     cap: usize,
     /// Retained-byte ceiling across the whole free list.

@@ -47,7 +47,7 @@ pub enum ReadMode {
 /// * `ablate_adaptive_read`: never hold the read history as an epoch —
 ///   inflate to a vector clock at the first read and keep it there, making
 ///   the read side DJIT⁺-shaped.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct FastTrackConfig {
     /// Report every race found on a variable instead of only the first
     /// (the paper's tools "report at most one race for each field").
@@ -71,19 +71,6 @@ pub struct FastTrackConfig {
     /// tiers and per-block latency for the fused loop. Tier *hit* counters
     /// are always on; this switch only adds the clock reads.
     pub profile_tiers: bool,
-}
-
-impl Default for FastTrackConfig {
-    fn default() -> Self {
-        FastTrackConfig {
-            report_all: false,
-            ablate_same_epoch: false,
-            ablate_adaptive_read: false,
-            guard: None,
-            recorder: None,
-            profile_tiers: false,
-        }
-    }
 }
 
 /// Hit counters for the four dispatch tiers of the fused batch loops
@@ -283,6 +270,10 @@ impl FastTrack {
         self.config.report_all || !self.warned.get(x.as_usize()).copied().unwrap_or(false)
     }
 
+    // One parameter per field of the warning being built: bundling them
+    // into a struct would just move the same nine names one hop away from
+    // the Figure-5 rule sites that supply them.
+    #[allow(clippy::too_many_arguments)]
     fn report(
         &mut self,
         x: VarId,
@@ -769,6 +760,20 @@ impl FastTrack {
     /// Live budget accounting, when governance is enabled.
     pub fn shadow_budget(&self) -> Option<&ShadowBudget> {
         self.guard.as_ref().map(Guard::budget)
+    }
+
+    /// Re-targets the guard's byte budget mid-run — the hook a multi-tenant
+    /// host uses to re-apportion a global budget when sessions open and
+    /// close. A no-op when the detector was built without a guard (an
+    /// ungoverned detector cannot gain one mid-analysis: its shadow state
+    /// was never metered). Shrinking the budget below current usage engages
+    /// the degradation ladder on the next governed access.
+    pub fn set_mem_budget(&mut self, bytes: usize) {
+        if let Some(g) = self.guard.as_mut() {
+            if g.budget().limit() != bytes {
+                g.set_limit(bytes);
+            }
+        }
     }
 
     /// The degradation-ladder rung the detector is currently on

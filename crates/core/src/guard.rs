@@ -262,6 +262,16 @@ impl ShadowBudget {
     pub fn limit(&self) -> usize {
         self.limit
     }
+
+    /// Replaces the limit — the hook behind live budget re-apportionment:
+    /// when a multi-tenant host redistributes a global budget across
+    /// sessions, each session's share can grow or shrink mid-analysis.
+    /// Shrinking below the bytes already used does not free anything by
+    /// itself; the next governed access observes [`ShadowBudget::over`] and
+    /// walks the degradation ladder as usual.
+    pub fn set_limit(&mut self, limit: usize) {
+        self.limit = limit;
+    }
 }
 
 /// One read-shared variable tracked for LRU eviction.
@@ -340,6 +350,14 @@ impl Guard {
 
     pub fn budget(&self) -> &ShadowBudget {
         &self.budget
+    }
+
+    /// Re-targets the byte budget (see [`ShadowBudget::set_limit`]). The
+    /// degradation record keeps reporting the *latest* limit so operators
+    /// see the share the session ended with.
+    pub fn set_limit(&mut self, limit: usize) {
+        self.budget.set_limit(limit);
+        self.record.budget_bytes = limit;
     }
 
     /// Re-observes the recycle pool's retained bytes, charging/crediting

@@ -69,4 +69,4 @@ pub use flight::{FlightRecorder, RecordedEvent, RecorderConfig, ThreadTail};
 pub use guard::{DegradationRecord, GuardConfig, GuardTier, Precision, ShadowBudget};
 pub use state::READ_SHARED;
 pub use stats::{RuleCount, Stats};
-pub use warning::{AccessSummary, Provenance, ReadHistory, Warning, WarningKind};
+pub use warning::{warnings_to_json, AccessSummary, Provenance, ReadHistory, Warning, WarningKind};

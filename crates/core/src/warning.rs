@@ -174,6 +174,90 @@ impl fmt::Display for Warning {
     }
 }
 
+impl AccessSummary {
+    /// Writes this access as a JSON object (`tid`/`kind`/`event`).
+    pub fn write_json(&self, w: &mut ft_obs::JsonWriter) {
+        w.begin_object();
+        w.field_str("tid", &self.tid.to_string());
+        w.field_str("kind", &self.kind.to_string());
+        match self.event_index {
+            Some(i) => w.field_u64("event", i as u64),
+            None => {
+                w.key("event");
+                w.null();
+            }
+        }
+        w.end_object();
+    }
+}
+
+impl Warning {
+    /// Writes this warning — provenance and flight-recorder tails included —
+    /// as the JSON object used by every diagnostics surface: the
+    /// `ftrace.report/1` bundle and the serve daemon's per-session report
+    /// frames render warnings through this one function, so the encodings
+    /// are bit-identical across processes.
+    pub fn write_json(&self, w: &mut ft_obs::JsonWriter) {
+        w.begin_object();
+        w.field_str("var", &self.var.to_string());
+        w.field_str("kind", &self.kind.to_string());
+        w.key("prior");
+        self.prior.write_json(w);
+        w.key("current");
+        self.current.write_json(w);
+        w.key("provenance");
+        match &self.provenance {
+            None => w.null(),
+            Some(p) => {
+                w.begin_object();
+                w.field_str("rule", p.rule);
+                w.field_str("conflict", &p.conflict.to_string());
+                w.field_str("current_epoch", &p.current_epoch.to_string());
+                w.key("thread_clock");
+                w.begin_array();
+                for (t, c) in &p.thread_clock {
+                    w.begin_object();
+                    w.field_str("tid", &t.to_string());
+                    w.field_u64("clock", u64::from(*c));
+                    w.end_object();
+                }
+                w.end_array();
+                w.field_str("prior_write", &p.prior_write.to_string());
+                w.field_str("prior_reads", &p.prior_reads.to_string());
+                w.key("recent");
+                w.begin_array();
+                for tail in &p.recent {
+                    w.begin_object();
+                    w.field_str("tid", &tail.tid.to_string());
+                    w.key("events");
+                    w.begin_array();
+                    for ev in &tail.events {
+                        w.string(&ev.to_string());
+                    }
+                    w.end_array();
+                    w.end_object();
+                }
+                w.end_array();
+                w.end_object();
+            }
+        }
+        w.end_object();
+    }
+}
+
+/// Renders a slice of warnings as one JSON array — the canonical encoding
+/// compared verbatim by the tenant-isolation tests (a served report's
+/// warning array must equal the local run's, byte for byte).
+pub fn warnings_to_json(warnings: &[Warning]) -> String {
+    let mut w = ft_obs::JsonWriter::new();
+    w.begin_array();
+    for warning in warnings {
+        warning.write_json(&mut w);
+    }
+    w.end_array();
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

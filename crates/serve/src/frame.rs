@@ -1,0 +1,241 @@
+//! The `ftb-serve/1` wire protocol: length-prefixed frames over a byte
+//! stream.
+//!
+//! The daemon speaks a deliberately tiny binary framing instead of HTTP —
+//! the workspace is dependency-free, and a race-detection upload is a long
+//! one-way byte stream punctuated by a handful of control messages, which
+//! length-prefixed frames express exactly:
+//!
+//! ```text
+//! frame := len:u32 LE   (length of everything after this field)
+//!          type:u8
+//!          payload:[u8; len-1]
+//! ```
+//!
+//! Client-to-server types: [`Frame::Open`] (payload: UTF-8 tenant id),
+//! [`Frame::Data`] (payload: raw `.ftb` bytes, chunked arbitrarily),
+//! [`Frame::Close`], [`Frame::Metrics`], [`Frame::Shutdown`].
+//! Server-to-client: [`Frame::Hello`], [`Frame::Report`] (JSON),
+//! [`Frame::MetricsText`] (Prometheus exposition), [`Frame::Bye`],
+//! [`Frame::Error`].
+//!
+//! Every frame is bounded by [`MAX_FRAME`]: a peer announcing a longer
+//! frame is a protocol error, so a malicious or corrupt length prefix can
+//! never balloon the receiver's memory.
+
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on a single frame's announced length (type byte +
+/// payload). Uploads larger than this simply span multiple `DATA` frames.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Opens a session: the payload names the tenant.
+const T_OPEN: u8 = 0x01;
+/// Carries a chunk of the session's `.ftb` byte stream.
+const T_DATA: u8 = 0x02;
+/// Ends the upload and requests the session report.
+const T_CLOSE: u8 = 0x03;
+/// Requests the server-wide Prometheus exposition (no session needed).
+const T_METRICS: u8 = 0x04;
+/// Asks the daemon to shut down gracefully.
+const T_SHUTDOWN: u8 = 0x05;
+/// Session accepted; payload is a small JSON object.
+const T_HELLO: u8 = 0x81;
+/// The per-session diagnostics report (JSON).
+const T_REPORT: u8 = 0x82;
+/// The Prometheus text exposition.
+const T_METRICS_TEXT: u8 = 0x83;
+/// Shutdown acknowledged.
+const T_BYE: u8 = 0x84;
+/// Protocol or analysis error; payload is a UTF-8 message.
+const T_ERROR: u8 = 0xFF;
+
+/// One protocol message in either direction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → server: open a session for the named tenant.
+    Open(String),
+    /// Client → server: a chunk of the session's `.ftb` stream.
+    Data(Vec<u8>),
+    /// Client → server: end of upload, report requested.
+    Close,
+    /// Client → server: scrape the server-wide metrics.
+    Metrics,
+    /// Client → server: stop the daemon.
+    Shutdown,
+    /// Server → client: session opened (JSON payload with the session id
+    /// and the tenant's current budget share).
+    Hello(String),
+    /// Server → client: the session report (JSON,
+    /// schema `ftrace.serve.report/1`).
+    Report(String),
+    /// Server → client: Prometheus text exposition.
+    MetricsText(String),
+    /// Server → client: shutdown acknowledged.
+    Bye,
+    /// Server → client: something went wrong; the connection (and any open
+    /// session) is torn down after this frame.
+    Error(String),
+}
+
+fn protocol_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn utf8(payload: Vec<u8>, what: &str) -> io::Result<String> {
+    String::from_utf8(payload).map_err(|_| protocol_err(format!("{what} payload is not UTF-8")))
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Open(_) => T_OPEN,
+            Frame::Data(_) => T_DATA,
+            Frame::Close => T_CLOSE,
+            Frame::Metrics => T_METRICS,
+            Frame::Shutdown => T_SHUTDOWN,
+            Frame::Hello(_) => T_HELLO,
+            Frame::Report(_) => T_REPORT,
+            Frame::MetricsText(_) => T_METRICS_TEXT,
+            Frame::Bye => T_BYE,
+            Frame::Error(_) => T_ERROR,
+        }
+    }
+
+    fn payload(&self) -> &[u8] {
+        match self {
+            Frame::Open(s)
+            | Frame::Hello(s)
+            | Frame::Report(s)
+            | Frame::MetricsText(s)
+            | Frame::Error(s) => s.as_bytes(),
+            Frame::Data(b) => b,
+            Frame::Close | Frame::Metrics | Frame::Shutdown | Frame::Bye => &[],
+        }
+    }
+}
+
+/// Writes one frame. The caller flushes (frames are often followed by a
+/// blocking read for the reply, so buffering across frames is deliberate).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    let payload = frame.payload();
+    let len = payload.len() + 1;
+    if len > MAX_FRAME {
+        return Err(protocol_err(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"
+        )));
+    }
+    w.write_all(&(len as u32).to_le_bytes())?;
+    w.write_all(&[frame.type_byte()])?;
+    w.write_all(payload)
+}
+
+/// Reads one frame; `Ok(None)` at a clean end of stream (the peer closed
+/// between frames). EOF mid-frame is an error.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Frame>> {
+    let mut len_bytes = [0u8; 4];
+    match read_full(r, &mut len_bytes)? {
+        0 => return Ok(None),
+        4 => {}
+        _ => return Err(protocol_err("connection closed mid-frame")),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len == 0 {
+        return Err(protocol_err("zero-length frame (missing type byte)"));
+    }
+    if len > MAX_FRAME {
+        return Err(protocol_err(format!(
+            "peer announced a {len}-byte frame (limit {MAX_FRAME})"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    if read_full(r, &mut body)? != len {
+        return Err(protocol_err("connection closed mid-frame"));
+    }
+    let ty = body[0];
+    let payload = body.split_off(1);
+    Ok(Some(match ty {
+        T_OPEN => Frame::Open(utf8(payload, "OPEN")?),
+        T_DATA => Frame::Data(payload),
+        T_CLOSE => Frame::Close,
+        T_METRICS => Frame::Metrics,
+        T_SHUTDOWN => Frame::Shutdown,
+        T_HELLO => Frame::Hello(utf8(payload, "HELLO")?),
+        T_REPORT => Frame::Report(utf8(payload, "REPORT")?),
+        T_METRICS_TEXT => Frame::MetricsText(utf8(payload, "METRICS")?),
+        T_BYE => Frame::Bye,
+        T_ERROR => Frame::Error(utf8(payload, "ERROR")?),
+        other => return Err(protocol_err(format!("unknown frame type {other:#04x}"))),
+    }))
+}
+
+/// Reads until `buf` is full or EOF; returns the bytes read (EOF at a
+/// frame boundary reads zero bytes, which [`read_frame`] maps to `None`).
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_round_trips() {
+        let frames = [
+            Frame::Open("tenant-a".into()),
+            Frame::Data(vec![1, 2, 3, 0xFF]),
+            Frame::Close,
+            Frame::Metrics,
+            Frame::Shutdown,
+            Frame::Hello("{\"session\":1}".into()),
+            Frame::Report("{}".into()),
+            Frame::MetricsText("# HELP x\n".into()),
+            Frame::Bye,
+            Frame::Error("boom".into()),
+        ];
+        let mut bytes = Vec::new();
+        for f in &frames {
+            write_frame(&mut bytes, f).unwrap();
+        }
+        let mut r = bytes.as_slice();
+        for f in &frames {
+            assert_eq!(read_frame(&mut r).unwrap().as_ref(), Some(f));
+        }
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &Frame::Data(vec![0u8; 100])).unwrap();
+        for cut in [1, 3, 4, 50] {
+            let mut r = &bytes[..cut];
+            assert!(read_frame(&mut r).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_and_malformed_frames_are_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_frame(&mut bytes.as_slice()).is_err());
+
+        let mut zero = Vec::new();
+        zero.extend_from_slice(&0u32.to_le_bytes());
+        assert!(read_frame(&mut zero.as_slice()).is_err());
+
+        let mut unknown = Vec::new();
+        unknown.extend_from_slice(&1u32.to_le_bytes());
+        unknown.push(0x42);
+        assert!(read_frame(&mut unknown.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! `ftrace serve`: a multi-tenant race-detection daemon.
+//!
+//! The serve plane turns the offline `ftrace analyze` pipeline into a
+//! long-lived service: many clients connect over TCP, each uploads a
+//! `.ftb` trace as a *session*, and the daemon analyzes every session with
+//! a fully isolated [`fasttrack::FastTrack`] instance — separate shadow
+//! state, separate warnings, separate precision verdict. There is no HTTP
+//! stack and no external dependency anywhere: the wire format is the
+//! length-prefixed [`frame`] protocol over `std::net`, and everything else
+//! is `std::sync` + the existing workspace crates.
+//!
+//! The pieces, one module each:
+//!
+//! * [`frame`] — the `ftb-serve/1` wire protocol (length-prefixed frames,
+//!   16 MiB ceiling, typed control/data messages both directions).
+//! * [`registry`] — tenant sessions and the **global memory budget**: one
+//!   byte budget for the whole daemon, apportioned evenly across live
+//!   sessions and re-apportioned on every open/close; each session's
+//!   ft-guard re-targets to its current share at batch granularity.
+//! * [`lane`] — the bounded queue between socket and analysis threads,
+//!   with the online monitor's [`ft_runtime::online::OverflowPolicy`]
+//!   semantics (block = TCP backpressure; drop-oldest sheds accesses only,
+//!   never synchronization).
+//! * [`session`] — the per-session analysis worker and the
+//!   `ftrace.serve.report/1` report document.
+//! * [`daemon`] — the listener, the per-connection protocol loop, and
+//!   in-band graceful shutdown (`SHUTDOWN` frame).
+//! * [`client`] — the blocking client used by `ftrace client`, the
+//!   `serve_load` bench, and CI's serve smoke.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod frame;
+pub mod lane;
+pub mod registry;
+pub mod session;
+
+pub use client::{upload, Client, ServeReport};
+pub use daemon::{Daemon, ServeConfig};
+pub use frame::{read_frame, write_frame, Frame, MAX_FRAME};
+pub use lane::Lane;
+pub use registry::{Registry, SessionTicket};
+pub use session::{SessionOutcome, Worker};

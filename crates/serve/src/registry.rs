@@ -1,0 +1,235 @@
+//! The session registry: tenant bookkeeping and the global memory budget.
+//!
+//! The daemon owns one byte budget for *all* shadow state it will ever
+//! hold, and the registry apportions it evenly across live sessions: with
+//! budget `B` and `n` open sessions every session's guard is re-targeted
+//! to `B / n`. Apportionment happens on every open and close, and each
+//! session's share lives in an [`AtomicUsize`] the analysis worker re-reads
+//! between batches — so a long-running session *shrinks* when neighbours
+//! arrive and *grows* back as they leave, with the ft-guard degradation
+//! ladder absorbing any overshoot exactly as it does offline.
+//!
+//! The registry also owns the server-wide [`MetricsRegistry`] behind the
+//! `METRICS` scrape frame.
+
+use ft_obs::{to_prometheus, MetricsRegistry};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::session::SessionOutcome;
+
+/// Handed to a session worker at open; holds the live budget share.
+#[derive(Clone, Debug)]
+pub struct SessionTicket {
+    /// Server-unique session id (monotonic across the daemon's life).
+    pub id: u64,
+    /// The tenant that opened the session.
+    pub tenant: String,
+    /// This session's current slice of the global budget, in bytes.
+    /// Re-written by the registry whenever a session opens or closes;
+    /// `0` means the server runs unbudgeted (no guard at all).
+    pub share: Arc<AtomicUsize>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    next_session: u64,
+    live: HashMap<u64, Arc<AtomicUsize>>,
+    metrics: MetricsRegistry,
+}
+
+/// Shared daemon state: live sessions, budget apportionment, metrics.
+#[derive(Debug)]
+pub struct Registry {
+    global_budget: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// A registry apportioning `global_budget` bytes of shadow state
+    /// (`0` = unbudgeted: sessions run without a guard).
+    pub fn new(global_budget: usize) -> Self {
+        let mut metrics = MetricsRegistry::new();
+        metrics.set_meta("tool", "ftrace-serve");
+        metrics.set_gauge("budget_bytes", global_budget as f64);
+        metrics.set_gauge("sessions_live", 0.0);
+        Registry {
+            global_budget,
+            inner: Mutex::new(Inner {
+                next_session: 1,
+                live: HashMap::new(),
+                metrics,
+            }),
+        }
+    }
+
+    /// The server-wide budget in bytes (`0` = unbudgeted).
+    pub fn global_budget(&self) -> usize {
+        self.global_budget
+    }
+
+    /// Opens a session for `tenant` and re-apportions the budget across
+    /// all live sessions (including the new one).
+    pub fn open(&self, tenant: &str) -> SessionTicket {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        let id = inner.next_session;
+        inner.next_session += 1;
+        let share = Arc::new(AtomicUsize::new(0));
+        inner.live.insert(id, Arc::clone(&share));
+        self.apportion(&mut inner);
+        let live = inner.live.len() as f64;
+        inner.metrics.inc_counter("sessions_opened", 1);
+        inner.metrics.set_gauge("sessions_live", live);
+        SessionTicket {
+            id,
+            tenant: tenant.to_string(),
+            share,
+        }
+    }
+
+    /// Closes a session: folds its outcome into the server metrics and
+    /// returns its budget share to the pool (every surviving session's
+    /// share grows on the spot).
+    pub fn close(&self, id: u64, outcome: &SessionOutcome) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.live.remove(&id);
+        self.apportion(&mut inner);
+        let live = inner.live.len() as f64;
+        let m = &mut inner.metrics;
+        m.inc_counter("sessions_closed", 1);
+        m.inc_counter("events_total", outcome.events);
+        m.inc_counter("warnings_total", outcome.warnings.len() as u64);
+        m.inc_counter("dropped_events", outcome.dropped_events);
+        if outcome.precision.is_degraded() {
+            m.inc_counter("sessions_degraded", 1);
+        }
+        m.record("report_ns", outcome.report_ns);
+        m.record("session_events", outcome.events);
+        m.record(
+            "session_peak_shadow_bytes",
+            outcome.peak_shadow_bytes as u64,
+        );
+        m.set_gauge("sessions_live", live);
+    }
+
+    /// Removes a session that died without producing a report (client
+    /// vanished mid-upload, decode error, worker panic).
+    pub fn abort(&self, id: u64) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        if inner.live.remove(&id).is_some() {
+            self.apportion(&mut inner);
+            let live = inner.live.len() as f64;
+            inner.metrics.inc_counter("sessions_aborted", 1);
+            inner.metrics.set_gauge("sessions_live", live);
+        }
+    }
+
+    /// Counts bytes received on the wire (`DATA` payloads).
+    pub fn add_bytes(&self, n: u64) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.metrics.inc_counter("bytes_total", n);
+    }
+
+    /// Live sessions right now.
+    pub fn live_sessions(&self) -> usize {
+        self.inner.lock().expect("registry poisoned").live.len()
+    }
+
+    /// The current per-session share (what a session opened *now* would
+    /// receive). `0` when unbudgeted.
+    pub fn current_share(&self) -> usize {
+        let inner = self.inner.lock().expect("registry poisoned");
+        if self.global_budget == 0 || inner.live.is_empty() {
+            self.global_budget
+        } else {
+            self.global_budget / inner.live.len()
+        }
+    }
+
+    /// The Prometheus exposition for the `METRICS` frame.
+    pub fn prometheus(&self) -> String {
+        let inner = self.inner.lock().expect("registry poisoned");
+        to_prometheus(&inner.metrics.snapshot(), "ftrace_serve")
+    }
+
+    /// The raw snapshot (for report frames and tests).
+    pub fn snapshot(&self) -> ft_obs::Snapshot {
+        self.inner
+            .lock()
+            .expect("registry poisoned")
+            .metrics
+            .snapshot()
+    }
+
+    fn apportion(&self, inner: &mut Inner) {
+        if self.global_budget == 0 {
+            return; // unbudgeted: every share stays 0 (= no guard)
+        }
+        let n = inner.live.len().max(1);
+        let share = self.global_budget / n;
+        for s in inner.live.values() {
+            s.store(share, Ordering::Relaxed);
+        }
+        inner.metrics.set_gauge("budget_share_bytes", share as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fasttrack::Precision;
+
+    fn outcome() -> SessionOutcome {
+        SessionOutcome {
+            warnings: Vec::new(),
+            events: 10,
+            dropped_events: 0,
+            peak_shadow_bytes: 1024,
+            precision: Precision::Full,
+            report_ns: 5_000,
+            report_json: String::new(),
+        }
+    }
+
+    #[test]
+    fn shares_shrink_on_open_and_grow_back_on_close() {
+        let reg = Registry::new(1 << 20);
+        let a = reg.open("a");
+        assert_eq!(a.share.load(Ordering::Relaxed), 1 << 20);
+        let b = reg.open("b");
+        assert_eq!(a.share.load(Ordering::Relaxed), 1 << 19);
+        assert_eq!(b.share.load(Ordering::Relaxed), 1 << 19);
+        let c = reg.open("c");
+        assert_eq!(a.share.load(Ordering::Relaxed), (1 << 20) / 3);
+        reg.close(b.id, &outcome());
+        reg.close(c.id, &outcome());
+        assert_eq!(a.share.load(Ordering::Relaxed), 1 << 20);
+    }
+
+    #[test]
+    fn unbudgeted_registry_hands_out_zero_shares() {
+        let reg = Registry::new(0);
+        let t = reg.open("a");
+        assert_eq!(t.share.load(Ordering::Relaxed), 0);
+        assert_eq!(reg.current_share(), 0);
+    }
+
+    #[test]
+    fn metrics_accumulate_across_sessions() {
+        let reg = Registry::new(0);
+        let a = reg.open("a");
+        let b = reg.open("b");
+        assert_eq!(reg.live_sessions(), 2);
+        reg.close(a.id, &outcome());
+        reg.abort(b.id);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("sessions_opened"), Some(2));
+        assert_eq!(snap.counter("sessions_closed"), Some(1));
+        assert_eq!(snap.counter("sessions_aborted"), Some(1));
+        assert_eq!(snap.counter("events_total"), Some(10));
+        assert_eq!(reg.live_sessions(), 0);
+        let prom = reg.prometheus();
+        assert!(prom.contains("# TYPE ftrace_serve_sessions_opened counter"));
+    }
+}

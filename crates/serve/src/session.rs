@@ -1,0 +1,271 @@
+//! The per-session analysis worker: one FastTrack instance per upload,
+//! fully isolated shadow state, budget share re-read between batches.
+//!
+//! Isolation is structural, not locked-around: every session owns its own
+//! [`FastTrack`] (threads, variables, locks, warnings), so two tenants'
+//! traces can never observe each other's happens-before state — the
+//! integration tests pin this down by demanding bit-identical warning JSON
+//! between interleaved service sessions and sequential local runs.
+//!
+//! The worker consumes decoded batches from the session's [`Lane`], and
+//! before each batch re-reads its [`SessionTicket::share`] — the registry
+//! rewrites that atomic on every session open/close, so a neighbour
+//! arriving mid-upload shrinks this session's guard budget on the next
+//! batch boundary and departing neighbours return it.
+
+use crate::lane::Lane;
+use crate::registry::SessionTicket;
+use fasttrack::{Detector, FastTrack, FastTrackConfig, GuardConfig, Precision, RuleCount, Warning};
+use ft_obs::JsonWriter;
+use ft_trace::EventBlock;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Everything a finished session reports back: the daemon turns this into
+/// the `REPORT` frame and the registry folds it into server metrics.
+#[derive(Clone, Debug)]
+pub struct SessionOutcome {
+    /// The session's race warnings (isolated: only this tenant's trace).
+    pub warnings: Vec<Warning>,
+    /// Events analyzed (after any lane shedding).
+    pub events: u64,
+    /// Data accesses shed by the lane's `DropOldest` policy.
+    pub dropped_events: u64,
+    /// High-water shadow-state footprint in bytes. Guard-accounted when
+    /// budgeted; the final walked footprint otherwise.
+    pub peak_shadow_bytes: usize,
+    /// The ft-guard precision verdict for this session.
+    pub precision: Precision,
+    /// Wall time from `CLOSE` to a rendered report.
+    pub report_ns: u64,
+    /// The rendered `ftrace.serve.report/1` JSON document.
+    pub report_json: String,
+}
+
+/// The analysis state a worker thread hands back when its lane drains.
+struct Analysis {
+    tool: FastTrack,
+    events: u64,
+}
+
+/// A running session worker; join it with [`Worker::finish`].
+pub struct Worker {
+    ticket: SessionTicket,
+    lane: Arc<Lane>,
+    handle: JoinHandle<Analysis>,
+}
+
+impl Worker {
+    /// Spawns the analysis thread for one session. The guard is installed
+    /// only when the ticket carries a non-zero share (a zero share means
+    /// the daemon runs unbudgeted).
+    pub fn spawn(ticket: SessionTicket, lane: Arc<Lane>, report_all: bool) -> Worker {
+        let share = Arc::clone(&ticket.share);
+        let worker_lane = Arc::clone(&lane);
+        let handle = std::thread::Builder::new()
+            .name(format!("ft-serve-s{}", ticket.id))
+            .spawn(move || {
+                let initial = share.load(Ordering::Relaxed);
+                let mut tool = FastTrack::with_config(FastTrackConfig {
+                    report_all,
+                    guard: (initial > 0).then(|| GuardConfig::with_budget(initial)),
+                    ..FastTrackConfig::default()
+                });
+                let mut block = EventBlock::with_capacity(1024);
+                let mut events = 0u64;
+                while let Some(batch) = worker_lane.pop() {
+                    // A neighbour may have opened or closed since the last
+                    // batch: re-target the guard to the current share.
+                    tool.set_mem_budget(share.load(Ordering::Relaxed));
+                    let len = block.refill_from_ops(&batch);
+                    tool.on_block(events as usize, &block);
+                    events += len as u64;
+                }
+                Analysis { tool, events }
+            })
+            .expect("spawn session worker");
+        Worker {
+            ticket,
+            lane,
+            handle,
+        }
+    }
+
+    /// The session's lane (the socket thread pushes decoded batches here).
+    pub fn lane(&self) -> &Arc<Lane> {
+        &self.lane
+    }
+
+    /// The ticket this worker analyzes under.
+    pub fn ticket(&self) -> &SessionTicket {
+        &self.ticket
+    }
+
+    /// Closes the lane, joins the analysis, and renders the report.
+    pub fn finish(self) -> SessionOutcome {
+        let start = Instant::now();
+        self.lane.close();
+        let analysis = self.handle.join().expect("session worker panicked");
+        let dropped = self.lane.dropped();
+        let tool = &analysis.tool;
+        let peak = tool
+            .shadow_budget()
+            .map_or_else(|| tool.shadow_bytes(), |b| b.peak());
+        let mut outcome = SessionOutcome {
+            warnings: tool.warnings().to_vec(),
+            events: analysis.events,
+            dropped_events: dropped,
+            peak_shadow_bytes: peak,
+            precision: tool.precision(),
+            report_ns: 0,
+            report_json: String::new(),
+        };
+        outcome.report_json = render_report(
+            &self.ticket,
+            &outcome,
+            &tool.rule_breakdown(),
+            &tool.metrics(),
+        );
+        outcome.report_ns = start.elapsed().as_nanos() as u64;
+        outcome
+    }
+
+    /// Abandons the session without a report (client vanished or the
+    /// upload was malformed): closes the lane and joins the worker so the
+    /// shadow state is dropped before the registry re-apportions.
+    pub fn abandon(self) {
+        self.lane.close();
+        let _ = self.handle.join();
+    }
+}
+
+/// Renders the `ftrace.serve.report/1` document. Warnings use the same
+/// canonical renderer as the CLI bundle ([`Warning::write_json`]), so a
+/// service report and a local run of the same trace are byte-comparable.
+fn render_report(
+    ticket: &SessionTicket,
+    outcome: &SessionOutcome,
+    rules: &[RuleCount],
+    metrics: &ft_obs::Snapshot,
+) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", "ftrace.serve.report/1");
+    w.field_u64("session", ticket.id);
+    w.field_str("tenant", &ticket.tenant);
+    w.field_str("tool", "FASTTRACK");
+    w.field_u64("events", outcome.events);
+    w.field_u64("dropped_events", outcome.dropped_events);
+    w.field_u64(
+        "budget_share_bytes",
+        ticket.share.load(Ordering::Relaxed) as u64,
+    );
+    w.field_u64("peak_shadow_bytes", outcome.peak_shadow_bytes as u64);
+    w.field_str("precision", &outcome.precision.to_string());
+    w.key("warnings");
+    w.begin_array();
+    for warning in &outcome.warnings {
+        warning.write_json(&mut w);
+    }
+    w.end_array();
+    w.key("rule_breakdown");
+    w.begin_array();
+    for r in rules {
+        w.begin_object();
+        w.field_str("rule", r.rule);
+        w.field_u64("hits", r.hits);
+        w.field_f64("percent", r.percent);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("metrics");
+    metrics.write_json(&mut w);
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lane::Lane;
+    use ft_runtime::online::OverflowPolicy;
+    use ft_trace::gen::{generate, GenConfig};
+    use ft_trace::Trace;
+
+    fn racy_trace(ops: usize, seed: u64) -> Trace {
+        generate(
+            &GenConfig {
+                ops,
+                ..GenConfig::default().with_races(0.08)
+            },
+            seed,
+        )
+    }
+
+    fn ticket(share: usize) -> SessionTicket {
+        SessionTicket {
+            id: 7,
+            tenant: "t".into(),
+            share: Arc::new(std::sync::atomic::AtomicUsize::new(share)),
+        }
+    }
+
+    fn run_service(trace: &Trace, chunk: usize) -> SessionOutcome {
+        let lane = Arc::new(Lane::new(1 << 16, OverflowPolicy::Block));
+        let worker = Worker::spawn(ticket(0), Arc::clone(&lane), false);
+        for batch in trace.events().chunks(chunk) {
+            lane.push(batch.to_vec());
+        }
+        worker.finish()
+    }
+
+    #[test]
+    fn worker_matches_a_local_run_exactly() {
+        let trace = racy_trace(1_500, 11);
+        let mut local = FastTrack::new();
+        local.run(&trace);
+        for chunk in [1, 7, 64, 10_000] {
+            let outcome = run_service(&trace, chunk);
+            assert_eq!(outcome.events, trace.len() as u64);
+            assert_eq!(outcome.dropped_events, 0);
+            assert_eq!(
+                fasttrack::warnings_to_json(&outcome.warnings),
+                fasttrack::warnings_to_json(local.warnings()),
+                "chunk {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_json_carries_the_session_identity() {
+        let trace = racy_trace(300, 3);
+        let outcome = run_service(&trace, 32);
+        let doc = ft_trace::json::parse(&outcome.report_json).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some("ftrace.serve.report/1")
+        );
+        assert_eq!(doc.get("session").and_then(|v| v.as_u32()), Some(7));
+        assert_eq!(doc.get("tenant").and_then(|v| v.as_str()), Some("t"));
+        let warnings = doc.get("warnings").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(warnings.len(), outcome.warnings.len());
+    }
+
+    #[test]
+    fn budgeted_worker_reports_degradation_and_peak() {
+        let trace = racy_trace(2_000, 5);
+        let outcome = {
+            let lane = Arc::new(Lane::new(1 << 16, OverflowPolicy::Block));
+            let worker = Worker::spawn(ticket(1), Arc::clone(&lane), false);
+            lane.push(trace.events().to_vec());
+            worker.finish()
+        };
+        assert!(outcome.peak_shadow_bytes > 0);
+        assert!(
+            outcome.precision.is_degraded(),
+            "a 1-byte budget must engage the ladder"
+        );
+    }
+}

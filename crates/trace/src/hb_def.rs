@@ -74,8 +74,7 @@ impl Reachability {
             by_source[from].push(to);
         }
         for from in (0..self.n).rev() {
-            for i in 0..by_source[from].len() {
-                let to = by_source[from][i];
+            for to in std::mem::take(&mut by_source[from]) {
                 self.set(from, to);
                 self.absorb(from, to);
             }

@@ -48,6 +48,7 @@ pub mod batch;
 mod builder;
 mod event;
 mod ftb;
+mod ftb_push;
 pub mod gen;
 mod hb;
 mod hb_def;
@@ -64,6 +65,7 @@ pub use ftb::{
     FtbError, FtbHeader, FtbReader, FtbWriter, FTB_HEADER_BYTES, FTB_MAGIC, FTB_RECORD_BYTES,
     FTB_VERSION,
 };
+pub use ftb_push::FtbDecoder;
 pub use hb::{Access, HbOracle, OracleReport, RacePair};
 pub use hb_def::definitional_race_vars;
 pub use rng::Prng;

@@ -237,9 +237,8 @@ fn lufact(scale: Scale, seed: u64) -> Trace {
             p.b.write(owner, v).expect("pivot normalize write");
         }
         p.barrier();
-        for i in 0..p.workers.len() {
+        for (i, slice) in slices.iter().cloned().enumerate() {
             let t = p.workers[i];
-            let slice = slices[i].clone();
             p.shared_reads(t, &pivot, 12);
             p.local_burst(t, &slice, 80, 0.15);
         }
@@ -257,9 +256,8 @@ fn moldyn(scale: Scale, seed: u64) -> Trace {
     let forces = p.vars(8);
     let slices = local_slices(&mut p, slice_len(scale, 3, 8));
     while p.len() < scale.ops {
-        for i in 0..p.workers.len() {
+        for (i, slice) in slices.iter().cloned().enumerate() {
             let t = p.workers[i];
-            let slice = slices[i].clone();
             p.local_burst(t, &slice, 90, 0.15);
         }
         for i in 0..p.workers.len() {
@@ -357,9 +355,8 @@ fn sparse(scale: Scale, seed: u64) -> Trace {
     let mut p = pb.fork(3, seed);
     let slices = local_slices(&mut p, slice_len(scale, 3, 10));
     while p.len() < scale.ops {
-        for i in 0..p.workers.len() {
+        for (i, slice) in slices.iter().cloned().enumerate() {
             let t = p.workers[i];
-            let slice = slices[i].clone();
             p.shared_reads(t, &matrix, 10);
             p.local_burst(t, &slice, 24, 0.12);
         }
@@ -410,9 +407,9 @@ fn sor(scale: Scale, seed: u64) -> Trace {
         }
         p.barrier();
         // Write phase: everyone writes its own boundary.
-        for i in 0..n {
+        for (i, boundary) in boundaries.iter().cloned().enumerate().take(n) {
             let t = p.workers[i];
-            for &v in &boundaries[i] {
+            for &v in &boundary {
                 p.b.write(t, v).expect("own boundary write");
                 p.b.write(t, v).expect("own boundary smooth write");
             }

@@ -92,9 +92,11 @@ print("diagnostics smoke OK: %d warning(s), %d prom sample(s)"
       % (len(doc["warnings"]), len(samples)))
 EOF
 # Keep the validated bundle + scrape at stable paths so CI can upload them
-# as artifacts (the temp dir is removed on exit).
-cp "$tmp/bundle.json" diagnostics_bundle.json
-cp "$tmp/metrics.prom" diagnostics_metrics.prom
+# as artifacts (the temp dir is removed on exit). Generated outputs live
+# under results/ so smoke runs never dirty the tree.
+mkdir -p results
+cp "$tmp/bundle.json" results/diagnostics_bundle.json
+cp "$tmp/metrics.prom" results/diagnostics_metrics.prom
 
 echo "==> CLI ftb round-trip smoke (record -> convert -> analyze agree)"
 cargo run --release -q -p ft-cli -- \
@@ -151,6 +153,100 @@ else:
     print("parallel speedup gate OK: %.2fx at 2 shards on %d cores"
           % (w2, cores))
 print("parallel smoke OK:", doc["traces_checked"], "benchmarks, 0 divergences")
+EOF
+
+echo "==> serve smoke (multi-tenant daemon: two concurrent clients, metrics, SIGTERM)"
+cargo run --release -q -p ft-cli -- \
+    trace record --random --racy 0.3 --ops 5000 --seed 9 -o "$tmp/alpha.ftb"
+cargo run --release -q -p ft-cli -- \
+    trace record --random --racy 0.3 --ops 5000 --seed 10 -o "$tmp/beta.ftb"
+cargo run --release -q -p ft-cli -- \
+    serve --addr 127.0.0.1:0 --mem-budget $((8 << 20)) > "$tmp/serve.log" 2>&1 &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 100); do
+    serve_addr="$(sed -n 's/^ftrace serve: listening on //p' "$tmp/serve.log")"
+    [ -n "$serve_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$serve_addr" ]; then
+    echo "serve smoke FAILED: daemon never reported its address"
+    cat "$tmp/serve.log"
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+# Two tenants upload concurrently with ragged chunk sizes so their frames
+# interleave on the daemon side.
+cargo run --release -q -p ft-cli -- \
+    client upload "$tmp/alpha.ftb" --addr "$serve_addr" --tenant alpha \
+    --chunk 4096 > "$tmp/report_alpha.json" 2> /dev/null &
+alpha_pid=$!
+cargo run --release -q -p ft-cli -- \
+    client upload "$tmp/beta.ftb" --addr "$serve_addr" --tenant beta \
+    --chunk 1536 > "$tmp/report_beta.json" 2> /dev/null &
+beta_pid=$!
+wait "$alpha_pid" "$beta_pid"
+cargo run --release -q -p ft-cli -- \
+    client metrics --addr "$serve_addr" > "$tmp/serve.prom"
+python3 - "$tmp/report_alpha.json" "$tmp/report_beta.json" "$tmp/serve.prom" <<'EOF'
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+for doc, tenant in ((a, "alpha"), (b, "beta")):
+    assert doc["schema"] == "ftrace.serve.report/1", "unknown report schema"
+    assert doc["tenant"] == tenant, f"tenant mislabeled: {doc['tenant']}"
+    # The generator rounds --ops up to whole structures, so >= not ==.
+    assert doc["events"] >= 5000, "events lost in flight"
+    assert doc["dropped_events"] == 0, "Block policy must never shed"
+    assert doc["warnings"], f"racy upload for {tenant} produced no warnings"
+    assert doc["precision"] == "full", doc["precision"]
+# Isolation: different traces through concurrent sessions must keep their
+# own warning sets — shared shadow state would bleed one into the other.
+assert a["warnings"] != b["warnings"], "tenants share warning state"
+assert a["session"] != b["session"], "sessions share an id"
+prom = open(sys.argv[3]).read().splitlines()
+samples = {l.split(" ")[0]: l.split(" ")[1] for l in prom
+           if l and not l.startswith("#")}
+assert samples["ftrace_serve_sessions_opened"] == "2", samples
+assert samples["ftrace_serve_sessions_closed"] == "2", samples
+assert samples["ftrace_serve_sessions_live"] == "0", samples
+assert int(samples["ftrace_serve_events_total"]) == a["events"] + b["events"], samples
+print("serve smoke OK: 2 isolated tenants, %s + %s warning(s), metrics scraped"
+      % (len(a["warnings"]), len(b["warnings"])))
+EOF
+# SIGTERM has the default disposition (the daemon is pure-std and installs
+# no handlers), so 143 is the expected exit; the in-band graceful path
+# (SHUTDOWN frame -> exit 0) is exercised by the ft-serve integration tests.
+kill -TERM "$serve_pid"
+serve_rc=0
+wait "$serve_pid" || serve_rc=$?
+if [ "$serve_rc" -ne 143 ] && [ "$serve_rc" -ne 0 ]; then
+    echo "serve smoke FAILED: daemon exited $serve_rc after SIGTERM"
+    cat "$tmp/serve.log"
+    exit 1
+fi
+if cargo run --release -q -p ft-cli -- client metrics --addr "$serve_addr" \
+    > /dev/null 2>&1; then
+    echo "serve smoke FAILED: daemon still answering after SIGTERM"
+    exit 1
+fi
+echo "serve shutdown OK: SIGTERM exit $serve_rc, port released"
+
+echo "==> serve load bench (concurrent tenants, isolation oracle per report)"
+cargo run --release -q -p ft-bench --bin serve_load -- \
+    --tenants=4 --sessions=2 --ops=20000
+python3 - BENCH_serve.json <<'EOF'
+import json
+doc = json.load(open("BENCH_serve.json"))
+assert doc["tenants"] >= 4, "load bench must drive >= 4 concurrent tenants"
+assert doc["isolation_violations"] == 0, "multi-tenant report diverged"
+assert doc["sessions_total"] == doc["server_sessions_closed"], \
+    "daemon closed a different number of sessions than clients opened"
+assert doc["sessions_per_sec"] > 0 and doc["aggregate_mops"] > 0
+assert doc["report_latency_p99_ms"] >= doc["report_latency_p50_ms"]
+print("serve load OK: %.1f sessions/s, %.1f Mop/s aggregate, p99 %.1f ms"
+      % (doc["sessions_per_sec"], doc["aggregate_mops"],
+         doc["report_latency_p99_ms"]))
 EOF
 
 echo "==> guard degradation smoke (shrinking budgets, soundness sweep)"
