@@ -9,6 +9,7 @@ use ft_detectors::{BasicVc, Djit, Eraser, Goldilocks, MultiRace, RaceTrack};
 use ft_runtime::{
     analyze_parallel, analyze_parallel_stream, analyze_stream, ParallelConfig, ParallelReport,
 };
+use ft_sampler::{Sampler, SamplerConfig};
 use ft_trace::gen::{self, GenConfig};
 use ft_trace::{FtbReader, FtbWriter, ObjId, Trace, VarId};
 use ft_workloads::eclipse::EclipseOp;
@@ -18,6 +19,7 @@ fn make_tool(
     name: &str,
     all_warnings: bool,
     guard: Option<GuardConfig>,
+    sampler: SamplerConfig,
 ) -> Result<Box<dyn Detector>, String> {
     if guard.is_some() && !name.eq_ignore_ascii_case("FASTTRACK") {
         return Err(format!(
@@ -38,8 +40,27 @@ fn make_tool(
             guard,
             ..FastTrackConfig::default()
         })),
+        "SAMPLER" => Box::new(Sampler::with_config(sampler.with_report_all(all_warnings))),
         other => return Err(format!("unknown tool {other:?}")),
     })
+}
+
+/// Reads the detector name: `--detector` (preferred) or the legacy `--tool`
+/// alias, defaulting to FASTTRACK.
+fn detector_name(args: &Args) -> &str {
+    args.get("detector")
+        .or_else(|| args.get("tool"))
+        .unwrap_or("FASTTRACK")
+}
+
+/// Reads `--sample-budget K`, `--sample-rate R`, and `--seed S` into the
+/// sampler configuration (defaults match [`SamplerConfig::default`]).
+fn sampler_config(args: &Args) -> Result<SamplerConfig, String> {
+    let d = SamplerConfig::default();
+    Ok(SamplerConfig::default()
+        .with_budget(args.get_num::<usize>("sample-budget", d.budget)?)
+        .with_rate(args.get_num::<f64>("sample-rate", d.rate)?)
+        .with_seed(args.get_num::<u64>("seed", d.seed)?))
 }
 
 /// Reads `--mem-budget BYTES` into a guard configuration (`0` or absent
@@ -317,7 +338,7 @@ fn print_parallel_report(report: &ParallelReport, verbose: bool) {
 pub fn analyze(args: &Args) -> Result<(), String> {
     let path = args.positional(0).ok_or("analyze requires a trace file")?;
     maybe_enable_tracing(args)?;
-    let tool_name = args.get("tool").unwrap_or("FASTTRACK");
+    let tool_name = detector_name(args);
     let shards = args.get_num::<usize>("shards", 1)?;
     let guard = guard_config(args)?;
     let ftb = match args.get("format") {
@@ -348,7 +369,12 @@ pub fn analyze(args: &Args) -> Result<(), String> {
         maybe_write_metrics(args, &report.metrics)?;
         return Ok(());
     }
-    let mut tool = make_tool(tool_name, args.has_flag("all-warnings"), guard)?;
+    let mut tool = make_tool(
+        tool_name,
+        args.has_flag("all-warnings"),
+        guard,
+        sampler_config(args)?,
+    )?;
     run_tool(tool.as_mut(), &trace);
     if !scrape_mode(args)? {
         print_report(tool.as_ref(), true);
@@ -413,7 +439,7 @@ pub fn compare(args: &Args) -> Result<(), String> {
         "DJIT+",
         "FASTTRACK",
     ] {
-        let mut tool = make_tool(name, false, None)?;
+        let mut tool = make_tool(name, false, None, SamplerConfig::default())?;
         run_tool(tool.as_mut(), &trace);
         print_report(tool.as_ref(), false);
     }
@@ -480,7 +506,7 @@ pub fn profile(args: &Args) -> Result<(), String> {
     let path = args.positional(0).ok_or("profile requires a trace file")?;
     maybe_enable_tracing(args)?;
     let trace = load_trace(path)?;
-    let tool_name = args.get("tool").unwrap_or("FASTTRACK");
+    let tool_name = detector_name(args);
     let guard = guard_config(args)?;
     let faults = match args.get_with_value("faults")? {
         Some(spec) => FaultPlan::parse(spec)?,
@@ -488,7 +514,12 @@ pub fn profile(args: &Args) -> Result<(), String> {
     };
 
     // 1. The chosen detector on its own.
-    let mut tool = make_tool(tool_name, args.has_flag("all-warnings"), guard.clone())?;
+    let mut tool = make_tool(
+        tool_name,
+        args.has_flag("all-warnings"),
+        guard.clone(),
+        sampler_config(args)?,
+    )?;
     run_tool(tool.as_mut(), &trace);
     let detector_metrics = tool.metrics();
 

@@ -36,8 +36,9 @@ USAGE:
   ftrace generate [--benchmark NAME | --random] [--ops N] [--seed N]
                   [--racy FRAC] -o FILE     generate a trace (FILE ending in
                                             .ftb writes the binary format)
-  ftrace analyze FILE [--tool NAME] [--all-warnings] [--shards N]
+  ftrace analyze FILE [--detector NAME] [--all-warnings] [--shards N]
                   [--chunk EVENTS] [--mem-budget BYTES] [--format json|ftb]
+                  [--sample-budget K] [--sample-rate R] [--seed S]
                   [--metrics OUT.json]      run one detector (with N > 1,
                                             FASTTRACK runs on the block-parallel
                                             engine, --chunk sizing its two-phase
@@ -53,7 +54,7 @@ USAGE:
   ftrace compare FILE                       run every detector
   ftrace pipeline FILE [--filter NAME] [--checker NAME] [--metrics OUT.json]
                                             prefilter + downstream checker
-  ftrace profile FILE [--tool NAME] [--shards N] [--chunk EVENTS]
+  ftrace profile FILE [--detector NAME] [--shards N] [--chunk EVENTS]
                   [--metrics OUT.json]
                   [--mem-budget BYTES] [--faults SEED:SPEC] [--tiers]
                                             full observability run: detector
@@ -80,7 +81,8 @@ USAGE:
                                             --mem-budget is split evenly
                                             across live sessions
   ftrace client upload FILE [--addr HOST:PORT] [--tenant NAME]
-                  [--chunk BYTES]           stream a trace to the daemon as
+                  [--chunk BYTES] [--mode sampler|fasttrack]
+                                            stream a trace to the daemon as
                                             one session; report JSON on
                                             stdout, summary on stderr
   ftrace client metrics [--addr HOST:PORT]  scrape the daemon (Prometheus)
@@ -105,7 +107,13 @@ OPTIONS (analyze/pipeline/profile):
                           online run; SPEC is a comma list of overflow@CAP,
                           panic@OP, slow@EVERY, skew@EVERY
 
-TOOLS: EMPTY ERASER MULTIRACE GOLDILOCKS BASICVC DJIT+ FASTTRACK
+  --detector NAME         which detector to run (alias: --tool); SAMPLER
+                          takes --sample-budget K (samples kept per variable,
+                          default 4), --sample-rate R (fraction of accesses
+                          admitted, default 0.001), and --seed S (reports are
+                          deterministic per seed) — see docs/DETECTORS.md
+
+TOOLS: EMPTY ERASER MULTIRACE GOLDILOCKS BASICVC DJIT+ FASTTRACK SAMPLER
 BENCHMARKS: the 16 Table 1 names (colt crypt lufact ... jbb) or eclipse:OP
             with OP in startup import clean-small clean-large debug
 ";

@@ -53,8 +53,9 @@ pub fn serve(args: &Args) -> Result<(), String> {
 
 /// `ftrace client ACTION ...` against a running daemon:
 ///
-/// * `upload FILE.ftb [--tenant NAME] [--chunk BYTES]` — stream a trace as
-///   one session and print the report JSON to stdout.
+/// * `upload FILE.ftb [--tenant NAME] [--chunk BYTES]
+///   [--mode sampler|fasttrack]` — stream a trace as one session and print
+///   the report JSON to stdout.
 /// * `metrics` — print the Prometheus exposition.
 /// * `shutdown` — stop the daemon gracefully.
 ///
@@ -82,7 +83,8 @@ pub fn client(args: &Args) -> Result<(), String> {
             };
             let tenant = args.get_with_value("tenant")?.unwrap_or("cli");
             let chunk = args.get_num("chunk", 64usize << 10)?;
-            let report = ft_serve::upload(addr, tenant, &ftb, chunk)?;
+            let mode = args.get_with_value("mode")?;
+            let report = ft_serve::upload_with_mode(addr, tenant, &ftb, chunk, mode)?;
             eprintln!(
                 "session for {tenant}: {} event(s), {} warning(s), {} dropped, precision {}, report in {:?}",
                 report.events,

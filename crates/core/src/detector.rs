@@ -121,7 +121,7 @@ pub trait Detector {
 /// Builds the standard metrics registry for a detector — the default
 /// [`Detector::metrics`] body, exposed so overriding implementations can
 /// extend it instead of duplicating it.
-pub(crate) fn base_registry<D: Detector + ?Sized>(d: &D) -> MetricsRegistry {
+pub fn base_registry<D: Detector + ?Sized>(d: &D) -> MetricsRegistry {
     let mut reg = MetricsRegistry::new();
     reg.set_meta("tool", d.name());
     let s = d.stats();

@@ -44,6 +44,10 @@
 //!   the Figure 2 frequency annotations).
 //! * [`Empty`] — the do-nothing detector used to measure framework overhead
 //!   (the paper's EMPTY tool).
+//! * [`rules`] — the Figure 5 transition rules over one variable, shared by
+//!   the sequential detector, the parallel shards, and the `ft-sampler`
+//!   sampling tier (which replays sampled access pairs through the exact
+//!   same code).
 //! * [`guard`] — `ft-guard`: byte-accurate shadow-state budgets and the
 //!   graceful degradation ladder (full → Rvc eviction → sampling), surfaced
 //!   as a [`Precision`] verdict on every report.
@@ -56,17 +60,17 @@ mod detector;
 mod empty;
 pub mod flight;
 pub mod guard;
-mod rules;
+pub mod rules;
 pub mod shard;
 mod state;
 mod stats;
 mod warning;
 
 pub use analysis::{FastTrack, FastTrackConfig, ReadMode, TierProfile};
-pub use detector::{Detector, Disposition};
+pub use detector::{base_registry, Detector, Disposition};
 pub use empty::Empty;
 pub use flight::{FlightRecorder, RecordedEvent, RecorderConfig, ThreadTail};
 pub use guard::{DegradationRecord, GuardConfig, GuardTier, Precision, ShadowBudget};
-pub use state::READ_SHARED;
+pub use state::{ThreadState, VarState, READ_SHARED};
 pub use stats::{RuleCount, Stats};
 pub use warning::{warnings_to_json, AccessSummary, Provenance, ReadHistory, Warning, WarningKind};

@@ -20,7 +20,7 @@ use ft_clock::{Epoch, Tid, VcPool, VectorClock};
 
 /// Which Figure 5 read rule fired for an access.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
-pub(crate) enum ReadRule {
+pub enum ReadRule {
     /// `[FT READ SAME EPOCH]` — the O(1) fast path.
     SameEpoch,
     /// `[FT READ SHARED]` — O(1) slot update of `Rvc`.
@@ -33,7 +33,7 @@ pub(crate) enum ReadRule {
 
 /// Which Figure 5 write rule fired for an access.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
-pub(crate) enum WriteRule {
+pub enum WriteRule {
     /// `[FT WRITE SAME EPOCH]` — the O(1) fast path.
     SameEpoch,
     /// `[FT WRITE EXCLUSIVE]` — epoch-epoch read check.
@@ -45,7 +45,7 @@ pub(crate) enum WriteRule {
 impl ReadRule {
     /// The rule's name, matching the [`RuleHits::breakdown`] labels so a
     /// warning's provenance can be cross-referenced against the report.
-    pub(crate) fn name(self) -> &'static str {
+    pub fn name(self) -> &'static str {
         match self {
             ReadRule::SameEpoch => "FT READ SAME EPOCH",
             ReadRule::Shared => "FT READ SHARED",
@@ -57,7 +57,7 @@ impl ReadRule {
 
 impl WriteRule {
     /// The rule's name, matching the [`RuleHits::breakdown`] labels.
-    pub(crate) fn name(self) -> &'static str {
+    pub fn name(self) -> &'static str {
         match self {
             WriteRule::SameEpoch => "FT WRITE SAME EPOCH",
             WriteRule::Exclusive => "FT WRITE EXCLUSIVE",
@@ -74,7 +74,8 @@ impl WriteRule {
 /// build a [`crate::Provenance`] without re-deriving state the transition
 /// already overwrote. The `prior_*` captures are two shifts of the
 /// already-loaded shadow word; `prior_rvc` allocates only on racy accesses.
-pub(crate) struct ReadOutcome {
+pub struct ReadOutcome {
+    /// Which read rule fired.
     pub rule: ReadRule,
     /// The prior write epoch when it is concurrent with this read.
     pub racy_write: Option<Epoch>,
@@ -88,7 +89,8 @@ pub(crate) struct ReadOutcome {
 }
 
 /// Result of [`write_var`]. See [`ReadOutcome`] for the `prior_*` fields.
-pub(crate) struct WriteOutcome {
+pub struct WriteOutcome {
+    /// Which write rule fired.
     pub rule: WriteRule,
     /// The prior write epoch when it is concurrent with this write.
     pub racy_write: Option<Epoch>,
@@ -117,7 +119,7 @@ fn alloc_rvc(pool: &mut VcPool, stats: &mut Stats) -> Box<VectorClock> {
 ///
 /// `epoch` must be `t`'s current epoch and `ts_vc` its vector clock `C_t`
 /// (so `ts_vc.get(t) == epoch.clock()`).
-pub(crate) fn read_var(
+pub fn read_var(
     vs: &mut VarState,
     t: Tid,
     epoch: Epoch,
@@ -206,7 +208,7 @@ pub(crate) fn read_var(
 }
 
 /// Figure 5 `write(VarState x, ThreadState t)`, minus the warning plumbing.
-pub(crate) fn write_var(
+pub fn write_var(
     vs: &mut VarState,
     epoch: Epoch,
     ts_vc: &VectorClock,
@@ -306,7 +308,7 @@ pub struct RuleHits {
 
 impl RuleHits {
     /// Records a read-rule hit.
-    pub(crate) fn hit_read(&mut self, rule: ReadRule) {
+    pub fn hit_read(&mut self, rule: ReadRule) {
         match rule {
             ReadRule::SameEpoch => self.read_same_epoch += 1,
             ReadRule::Shared => self.read_shared += 1,
@@ -316,7 +318,7 @@ impl RuleHits {
     }
 
     /// Records a write-rule hit.
-    pub(crate) fn hit_write(&mut self, rule: WriteRule) {
+    pub fn hit_write(&mut self, rule: WriteRule) {
         match rule {
             WriteRule::SameEpoch => self.write_same_epoch += 1,
             WriteRule::Exclusive => self.write_exclusive += 1,

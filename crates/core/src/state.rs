@@ -15,10 +15,12 @@ pub const READ_SHARED: Epoch = Epoch::from_raw(u32::MAX);
 /// Per-thread analysis state: the thread's vector clock `C_t` and its cached
 /// current epoch `E(t) = C_t(t)@t` (Figure 5's `ThreadState`).
 #[derive(Clone, Debug)]
-pub(crate) struct ThreadState {
+pub struct ThreadState {
+    /// The thread's vector clock `C_t`.
     pub vc: VectorClock,
     /// Invariant: `epoch == vc.epoch_of(tid)`.
     pub epoch: Epoch,
+    /// The thread's identifier.
     pub tid: Tid,
 }
 
@@ -54,7 +56,7 @@ impl ThreadState {
 /// encoding). The Figure 5 same-epoch fast paths then cost one load of the
 /// word plus one half-word compare, with no second field access.
 #[derive(Clone, Debug, Default)]
-pub(crate) struct VarState {
+pub struct VarState {
     /// `(R.raw << 32) | W.raw`. The default word is zero: both epochs at
     /// `Epoch::MIN` (`0@0`), matching the paper's initial state.
     word: u64,

@@ -66,7 +66,18 @@ impl Client {
 
     /// Opens an upload session; returns the server's hello JSON.
     pub fn open(&mut self, tenant: &str) -> Result<String, String> {
-        self.send(&Frame::Open(tenant.to_string()))?;
+        self.open_with_mode(tenant, None)
+    }
+
+    /// Opens an upload session in an explicit detector mode
+    /// (`"sampler"` or `"fasttrack"`); `None` uses the server default
+    /// (FastTrack). Returns the server's hello JSON.
+    pub fn open_with_mode(&mut self, tenant: &str, mode: Option<&str>) -> Result<String, String> {
+        let payload = match mode {
+            Some(m) => format!("{tenant} mode={m}"),
+            None => tenant.to_string(),
+        };
+        self.send(&Frame::Open(payload))?;
         match self.recv()? {
             Frame::Hello(json) => Ok(json),
             other => Err(format!("expected HELLO, got {other:?}")),
@@ -133,8 +144,20 @@ pub fn upload(
     ftb_bytes: &[u8],
     chunk: usize,
 ) -> Result<ServeReport, String> {
+    upload_with_mode(addr, tenant, ftb_bytes, chunk, None)
+}
+
+/// [`upload`], with an explicit per-session detector mode (`"sampler"` or
+/// `"fasttrack"`; `None` = server default).
+pub fn upload_with_mode(
+    addr: &str,
+    tenant: &str,
+    ftb_bytes: &[u8],
+    chunk: usize,
+    mode: Option<&str>,
+) -> Result<ServeReport, String> {
     let mut client = Client::connect(addr)?;
-    client.open(tenant)?;
+    client.open_with_mode(tenant, mode)?;
     for piece in ftb_bytes.chunks(chunk.max(1)) {
         client.send_chunk(piece)?;
     }

@@ -21,7 +21,7 @@
 use crate::frame::{read_frame, write_frame, Frame};
 use crate::lane::Lane;
 use crate::registry::Registry;
-use crate::session::Worker;
+use crate::session::{SessionMode, Worker};
 use ft_runtime::online::OverflowPolicy;
 use ft_trace::FtbDecoder;
 use std::io::{BufReader, BufWriter, Write};
@@ -168,16 +168,25 @@ fn handle_conn(
             }
         };
         match frame {
-            Frame::Open(tenant) => {
+            Frame::Open(payload) => {
                 if session.is_some() {
                     send(&mut writer, &Frame::Error("session already open".into()))?;
                     break;
                 }
-                let ticket = registry.open(&tenant);
+                // OPEN payload: `tenant [mode=sampler|fasttrack]` — the
+                // tenant id optionally followed by per-session options.
+                let (tenant, mode) = match parse_open(&payload) {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        send(&mut writer, &Frame::Error(e))?;
+                        break;
+                    }
+                };
+                let ticket = registry.open(tenant);
                 let lane = Arc::new(Lane::new(config.lane_cap, config.overflow));
-                let hello = hello_json(&ticket.tenant, ticket.id, registry);
+                let hello = hello_json(&ticket.tenant, ticket.id, mode, registry);
                 session = Some((
-                    Worker::spawn(ticket, lane, config.report_all),
+                    Worker::spawn(ticket, lane, config.report_all, mode),
                     FtbDecoder::new(),
                 ));
                 send(&mut writer, &Frame::Hello(hello))?;
@@ -272,12 +281,32 @@ fn send<W: Write>(w: &mut W, frame: &Frame) -> std::io::Result<()> {
     w.flush()
 }
 
-fn hello_json(tenant: &str, id: u64, registry: &Registry) -> String {
+/// Splits the OPEN payload into the tenant id and per-session options.
+/// Today the only option is `mode=`; unknown options are a protocol error
+/// so typos fail loudly instead of silently running the wrong tier.
+fn parse_open(payload: &str) -> Result<(&str, SessionMode), String> {
+    let mut parts = payload.split_whitespace();
+    let tenant = parts.next().unwrap_or("");
+    if tenant.is_empty() {
+        return Err("OPEN payload is missing a tenant id".into());
+    }
+    let mut mode = SessionMode::default();
+    for token in parts {
+        match token.split_once('=') {
+            Some(("mode", value)) => mode = SessionMode::parse(value)?,
+            _ => return Err(format!("unknown OPEN option {token:?}")),
+        }
+    }
+    Ok((tenant, mode))
+}
+
+fn hello_json(tenant: &str, id: u64, mode: SessionMode, registry: &Registry) -> String {
     let mut w = ft_obs::JsonWriter::new();
     w.begin_object();
     w.field_str("schema", "ftrace.serve.hello/1");
     w.field_u64("session", id);
     w.field_str("tenant", tenant);
+    w.field_str("mode", mode.tool_label());
     w.field_u64("budget_share_bytes", registry.current_share() as u64);
     w.field_u64("sessions_live", registry.live_sessions() as u64);
     w.end_object();

@@ -12,7 +12,9 @@
 //!          payload:[u8; len-1]
 //! ```
 //!
-//! Client-to-server types: [`Frame::Open`] (payload: UTF-8 tenant id),
+//! Client-to-server types: [`Frame::Open`] (payload: UTF-8 tenant id,
+//! optionally followed by ` mode=sampler|fasttrack` to pick the session's
+//! detector tier),
 //! [`Frame::Data`] (payload: raw `.ftb` bytes, chunked arbitrarily),
 //! [`Frame::Close`], [`Frame::Metrics`], [`Frame::Shutdown`].
 //! Server-to-client: [`Frame::Hello`], [`Frame::Report`] (JSON),
@@ -53,7 +55,9 @@ const T_ERROR: u8 = 0xFF;
 /// One protocol message in either direction.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Frame {
-    /// Client → server: open a session for the named tenant.
+    /// Client → server: open a session for the named tenant. The payload is
+    /// the tenant id, optionally followed by whitespace-separated options
+    /// (`mode=sampler|fasttrack`).
     Open(String),
     /// Client → server: a chunk of the session's `.ftb` stream.
     Data(Vec<u8>),

@@ -27,6 +27,48 @@
 //!   in-band graceful shutdown (`SHUTDOWN` frame).
 //! * [`client`] — the blocking client used by `ftrace client`, the
 //!   `serve_load` bench, and CI's serve smoke.
+//!
+//! # Wire format at a glance
+//!
+//! Every message on the socket is one length-prefixed frame; `.ftb` bytes
+//! flow as a sequence of `DATA` frames in whatever chunking the client
+//! picks (the daemon reassembles records across frame boundaries):
+//!
+//! ```text
+//!   ┌──────────────┬──────────┬───────────────────────────────┐
+//!   │ len: u32 LE  │ type: u8 │ payload (len - 1 bytes)       │
+//!   └──────────────┴──────────┴───────────────────────────────┘
+//!
+//!   client ──► OPEN  "tenant-id[\n mode]"     ◄── HELLO  session + share
+//!   client ──► DATA  .ftb bytes (chunked)
+//!   client ──► DATA  ...
+//!   client ──► CLOSE                           ◄── REPORT ftrace.serve.report/1
+//!   client ──► METRICS                         ◄── METRICS_TEXT Prometheus
+//!   client ──► SHUTDOWN                        ◄── BYE     (daemon exits)
+//!                                              ◄── ERROR   (any time, aborts)
+//! ```
+//!
+//! The `OPEN` payload is the UTF-8 tenant id, optionally followed by a
+//! newline and a session mode (`fasttrack`, the default, or `sampler` for
+//! the low-overhead [`ft_sampler`]-backed tier). Frames above
+//! [`MAX_FRAME`] (16 MiB) are rejected with an `ERROR` frame.
+//!
+//! # Client example
+//!
+//! Upload one `.ftb` trace as a session and read the report back
+//! (requires a daemon listening on the address):
+//!
+//! ```no_run
+//! use ft_serve::client;
+//!
+//! let ftb_bytes = std::fs::read("trace.ftb").expect("trace file");
+//! let report = client::upload("127.0.0.1:7199", "team-a", &ftb_bytes, 4096)
+//!     .expect("upload session");
+//! println!(
+//!     "{} events, {} warning(s), precision {}",
+//!     report.events, report.warnings, report.precision,
+//! );
+//! ```
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -38,9 +80,9 @@ pub mod lane;
 pub mod registry;
 pub mod session;
 
-pub use client::{upload, Client, ServeReport};
+pub use client::{upload, upload_with_mode, Client, ServeReport};
 pub use daemon::{Daemon, ServeConfig};
 pub use frame::{read_frame, write_frame, Frame, MAX_FRAME};
 pub use lane::Lane;
 pub use registry::{Registry, SessionTicket};
-pub use session::{SessionOutcome, Worker};
+pub use session::{SessionMode, SessionOutcome, Worker};

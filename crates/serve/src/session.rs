@@ -1,5 +1,6 @@
-//! The per-session analysis worker: one FastTrack instance per upload,
-//! fully isolated shadow state, budget share re-read between batches.
+//! The per-session analysis worker: one detector instance per upload
+//! (FastTrack by default, the `ft-sampler` tier on request), fully isolated
+//! shadow state, budget share re-read between batches.
 //!
 //! Isolation is structural, not locked-around: every session owns its own
 //! [`FastTrack`] (threads, variables, locks, warnings), so two tenants'
@@ -17,11 +18,47 @@ use crate::lane::Lane;
 use crate::registry::SessionTicket;
 use fasttrack::{Detector, FastTrack, FastTrackConfig, GuardConfig, Precision, RuleCount, Warning};
 use ft_obs::JsonWriter;
+use ft_sampler::{Sampler, SamplerConfig};
 use ft_trace::EventBlock;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Which detector a session runs, chosen per-session by the client in the
+/// OPEN frame (`tenant mode=sampler`). The default is full FastTrack; the
+/// sampler is the cheap always-on tier whose warnings escalate to a
+/// FastTrack re-run (see `docs/DETECTORS.md`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum SessionMode {
+    /// Full-precision FastTrack (the pre-PR-9 behaviour).
+    #[default]
+    FastTrack,
+    /// The O(1)-samples tier: bounded shadow state per variable, sound but
+    /// incomplete warnings, near-EMPTY cost.
+    Sampler,
+}
+
+impl SessionMode {
+    /// Parses the OPEN frame's `mode=` token.
+    pub fn parse(s: &str) -> Result<SessionMode, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "fasttrack" => Ok(SessionMode::FastTrack),
+            "sampler" => Ok(SessionMode::Sampler),
+            other => Err(format!(
+                "unknown mode {other:?} (expected sampler or fasttrack)"
+            )),
+        }
+    }
+
+    /// The report's `tool` label for this mode.
+    pub fn tool_label(self) -> &'static str {
+        match self {
+            SessionMode::FastTrack => "FASTTRACK",
+            SessionMode::Sampler => "SAMPLER",
+        }
+    }
+}
 
 /// Everything a finished session reports back: the daemon turns this into
 /// the `REPORT` frame and the registry folds it into server metrics.
@@ -44,9 +81,44 @@ pub struct SessionOutcome {
     pub report_json: String,
 }
 
+/// The mode-selected detector a session worker drives.
+enum SessionTool {
+    FastTrack(FastTrack),
+    Sampler(Sampler),
+}
+
+impl SessionTool {
+    fn as_detector(&self) -> &dyn Detector {
+        match self {
+            SessionTool::FastTrack(t) => t,
+            SessionTool::Sampler(t) => t,
+        }
+    }
+
+    /// Re-targets the guard budget. The sampler has no guard — its shadow
+    /// state is bounded by construction (budget × 8 bytes per variable), so
+    /// a changing share is a no-op there.
+    fn set_mem_budget(&mut self, bytes: usize) {
+        if let SessionTool::FastTrack(t) = self {
+            t.set_mem_budget(bytes);
+        }
+    }
+
+    /// High-water shadow footprint: guard-accounted when budgeted, walked
+    /// otherwise.
+    fn peak_shadow_bytes(&self) -> usize {
+        match self {
+            SessionTool::FastTrack(t) => t
+                .shadow_budget()
+                .map_or_else(|| t.shadow_bytes(), |b| b.peak()),
+            SessionTool::Sampler(t) => t.shadow_bytes(),
+        }
+    }
+}
+
 /// The analysis state a worker thread hands back when its lane drains.
 struct Analysis {
-    tool: FastTrack,
+    tool: SessionTool,
     events: u64,
 }
 
@@ -54,6 +126,7 @@ struct Analysis {
 pub struct Worker {
     ticket: SessionTicket,
     lane: Arc<Lane>,
+    mode: SessionMode,
     handle: JoinHandle<Analysis>,
 }
 
@@ -61,18 +134,30 @@ impl Worker {
     /// Spawns the analysis thread for one session. The guard is installed
     /// only when the ticket carries a non-zero share (a zero share means
     /// the daemon runs unbudgeted).
-    pub fn spawn(ticket: SessionTicket, lane: Arc<Lane>, report_all: bool) -> Worker {
+    pub fn spawn(
+        ticket: SessionTicket,
+        lane: Arc<Lane>,
+        report_all: bool,
+        mode: SessionMode,
+    ) -> Worker {
         let share = Arc::clone(&ticket.share);
         let worker_lane = Arc::clone(&lane);
         let handle = std::thread::Builder::new()
             .name(format!("ft-serve-s{}", ticket.id))
             .spawn(move || {
                 let initial = share.load(Ordering::Relaxed);
-                let mut tool = FastTrack::with_config(FastTrackConfig {
-                    report_all,
-                    guard: (initial > 0).then(|| GuardConfig::with_budget(initial)),
-                    ..FastTrackConfig::default()
-                });
+                let mut tool = match mode {
+                    SessionMode::FastTrack => {
+                        SessionTool::FastTrack(FastTrack::with_config(FastTrackConfig {
+                            report_all,
+                            guard: (initial > 0).then(|| GuardConfig::with_budget(initial)),
+                            ..FastTrackConfig::default()
+                        }))
+                    }
+                    SessionMode::Sampler => SessionTool::Sampler(Sampler::with_config(
+                        SamplerConfig::default().with_report_all(report_all),
+                    )),
+                };
                 let mut block = EventBlock::with_capacity(1024);
                 let mut events = 0u64;
                 while let Some(batch) = worker_lane.pop() {
@@ -80,7 +165,10 @@ impl Worker {
                     // batch: re-target the guard to the current share.
                     tool.set_mem_budget(share.load(Ordering::Relaxed));
                     let len = block.refill_from_ops(&batch);
-                    tool.on_block(events as usize, &block);
+                    match &mut tool {
+                        SessionTool::FastTrack(t) => t.on_block(events as usize, &block),
+                        SessionTool::Sampler(t) => t.on_block(events as usize, &block),
+                    }
                     events += len as u64;
                 }
                 Analysis { tool, events }
@@ -89,8 +177,14 @@ impl Worker {
         Worker {
             ticket,
             lane,
+            mode,
             handle,
         }
+    }
+
+    /// The detector mode this session runs under.
+    pub fn mode(&self) -> SessionMode {
+        self.mode
     }
 
     /// The session's lane (the socket thread pushes decoded batches here).
@@ -109,10 +203,8 @@ impl Worker {
         self.lane.close();
         let analysis = self.handle.join().expect("session worker panicked");
         let dropped = self.lane.dropped();
-        let tool = &analysis.tool;
-        let peak = tool
-            .shadow_budget()
-            .map_or_else(|| tool.shadow_bytes(), |b| b.peak());
+        let peak = analysis.tool.peak_shadow_bytes();
+        let tool = analysis.tool.as_detector();
         let mut outcome = SessionOutcome {
             warnings: tool.warnings().to_vec(),
             events: analysis.events,
@@ -124,6 +216,7 @@ impl Worker {
         };
         outcome.report_json = render_report(
             &self.ticket,
+            self.mode,
             &outcome,
             &tool.rule_breakdown(),
             &tool.metrics(),
@@ -146,6 +239,7 @@ impl Worker {
 /// service report and a local run of the same trace are byte-comparable.
 fn render_report(
     ticket: &SessionTicket,
+    mode: SessionMode,
     outcome: &SessionOutcome,
     rules: &[RuleCount],
     metrics: &ft_obs::Snapshot,
@@ -155,7 +249,7 @@ fn render_report(
     w.field_str("schema", "ftrace.serve.report/1");
     w.field_u64("session", ticket.id);
     w.field_str("tenant", &ticket.tenant);
-    w.field_str("tool", "FASTTRACK");
+    w.field_str("tool", mode.tool_label());
     w.field_u64("events", outcome.events);
     w.field_u64("dropped_events", outcome.dropped_events);
     w.field_u64(
@@ -214,7 +308,7 @@ mod tests {
 
     fn run_service(trace: &Trace, chunk: usize) -> SessionOutcome {
         let lane = Arc::new(Lane::new(1 << 16, OverflowPolicy::Block));
-        let worker = Worker::spawn(ticket(0), Arc::clone(&lane), false);
+        let worker = Worker::spawn(ticket(0), Arc::clone(&lane), false, SessionMode::FastTrack);
         for batch in trace.events().chunks(chunk) {
             lane.push(batch.to_vec());
         }
@@ -254,11 +348,41 @@ mod tests {
     }
 
     #[test]
+    fn sampler_mode_warnings_are_a_subset_of_fasttrack() {
+        let trace = racy_trace(4_000, 21);
+        let mut full = FastTrack::new();
+        full.run(&trace);
+        let mut ft_vars: Vec<u32> = full.warnings().iter().map(|w| w.var.as_u32()).collect();
+        ft_vars.sort_unstable();
+
+        let lane = Arc::new(Lane::new(1 << 16, OverflowPolicy::Block));
+        let worker = Worker::spawn(ticket(0), Arc::clone(&lane), false, SessionMode::Sampler);
+        lane.push(trace.events().to_vec());
+        let outcome = worker.finish();
+        for w in &outcome.warnings {
+            assert!(
+                ft_vars.binary_search(&w.var.as_u32()).is_ok(),
+                "sampler fabricated a race on {}",
+                w.var
+            );
+        }
+        let doc = ft_trace::json::parse(&outcome.report_json).expect("valid JSON");
+        assert_eq!(doc.get("tool").and_then(|v| v.as_str()), Some("SAMPLER"));
+    }
+
+    #[test]
+    fn mode_parsing_accepts_both_tiers() {
+        assert_eq!(SessionMode::parse("sampler"), Ok(SessionMode::Sampler));
+        assert_eq!(SessionMode::parse("FastTrack"), Ok(SessionMode::FastTrack));
+        assert!(SessionMode::parse("turbo").is_err());
+    }
+
+    #[test]
     fn budgeted_worker_reports_degradation_and_peak() {
         let trace = racy_trace(2_000, 5);
         let outcome = {
             let lane = Arc::new(Lane::new(1 << 16, OverflowPolicy::Block));
-            let worker = Worker::spawn(ticket(1), Arc::clone(&lane), false);
+            let worker = Worker::spawn(ticket(1), Arc::clone(&lane), false, SessionMode::FastTrack);
             lane.push(trace.events().to_vec());
             worker.finish()
         };

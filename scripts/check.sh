@@ -264,4 +264,31 @@ for row in rows:
 print("guard smoke OK:", len(rows), "workloads, 0 violations")
 EOF
 
+echo "==> sampling tier smoke (sampler soundness + recall at full admission)"
+# Full admission rate so recall on racy workloads is deterministic and
+# non-zero — the default 0.001 rate is an overhead setting, not a smoke
+# setting. The bench itself exits nonzero on any fabricated race.
+cargo run --release -q -p ft-bench --bin sampling -- --ops=20000 --reps=1 --rate=1.0
+python3 - BENCH_sampling.json <<'EOF'
+import json
+doc = json.load(open("BENCH_sampling.json"))
+assert doc["violations"] == 0, "sampler fabricated a race"
+# On a racy workload (tsp ships a deliberate benign-race idiom), the
+# sampler at full admission must catch races at two different budgets.
+rows = {r["workload"]: r for r in doc["rows"]}
+racy = [r for r in doc["rows"] if r["fasttrack_race_vars"] > 0]
+assert racy, "no workload produced a FastTrack race at smoke scale"
+row = rows.get("tsp", racy[0])
+checked = 0
+for rung in row["budgets"]:
+    if rung["escalation"] or rung["budget"] not in (4, 16):
+        continue
+    checked += 1
+    assert rung["sound"], f"{row['workload']}: unsound at budget {rung['budget']}"
+    assert rung.get("recall_pct", 0) > 0, \
+        f"{row['workload']}: zero recall at rate 1.0, budget {rung['budget']}"
+print("sampling smoke OK: %s recall > 0 at %d budgets, 0 violations"
+      % (row["workload"], checked))
+EOF
+
 echo "==> all checks passed"

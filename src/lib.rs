@@ -14,6 +14,10 @@
 //!   MultiRace, Goldilocks (`ft-detectors`);
 //! * [`runtime`] — pipelines/prefilters, granularity adapters, the program
 //!   simulator, and online monitoring (`ft-runtime`);
+//! * [`sampler`] — the O(1)-samples low-overhead detector tier
+//!   (`ft-sampler`);
+//! * [`serve`] — the multi-tenant race-detection daemon and its framed
+//!   client (`ft-serve`);
 //! * [`checkers`] — Atomizer, Velodrome, SingleTrack (`ft-checkers`);
 //! * [`workloads`] — the paper's 16 benchmarks and the Eclipse-like
 //!   workload (`ft-workloads`).
@@ -30,5 +34,7 @@ pub use ft_clock as clock;
 pub use ft_detectors as detectors;
 pub use ft_obs as obs;
 pub use ft_runtime as runtime;
+pub use ft_sampler as sampler;
+pub use ft_serve as serve;
 pub use ft_trace as trace;
 pub use ft_workloads as workloads;
