@@ -27,6 +27,7 @@ const VARIANTS: &[(&str, FastTrackConfig)] = &[
             report_all: false,
             ablate_same_epoch: false,
             ablate_adaptive_read: false,
+            ablate_sync_fastpath: false,
             guard: None,
             recorder: None,
             profile_tiers: false,
@@ -38,6 +39,7 @@ const VARIANTS: &[(&str, FastTrackConfig)] = &[
             report_all: false,
             ablate_same_epoch: true,
             ablate_adaptive_read: false,
+            ablate_sync_fastpath: false,
             guard: None,
             recorder: None,
             profile_tiers: false,
@@ -49,6 +51,7 @@ const VARIANTS: &[(&str, FastTrackConfig)] = &[
             report_all: false,
             ablate_same_epoch: false,
             ablate_adaptive_read: true,
+            ablate_sync_fastpath: false,
             guard: None,
             recorder: None,
             profile_tiers: false,
@@ -60,6 +63,7 @@ const VARIANTS: &[(&str, FastTrackConfig)] = &[
             report_all: false,
             ablate_same_epoch: true,
             ablate_adaptive_read: true,
+            ablate_sync_fastpath: false,
             guard: None,
             recorder: None,
             profile_tiers: false,

@@ -1,0 +1,417 @@
+//! Benchmarks the sync-path fast lane: O(1) acquire/release epochs,
+//! versioned lock clocks, and the sampler's epoch-only sync summary.
+//!
+//! ```text
+//! cargo run --release -p ft-bench --bin sync [-- --ops=200000 --seed=42]
+//! ```
+//!
+//! Two measurements, both written to `BENCH_sync.json`:
+//!
+//! 1. **Sync-dense sweep** — synthetic workloads whose event mix is
+//!    dominated by synchronization (lock ping-pong, barrier phases, a
+//!    fork/join tree, volatile fan-out). Full FastTrack with the fast lane
+//!    is timed against the same engine with `ablate_sync_fastpath` (the
+//!    pre-fast-lane behaviour: clone-and-join on every acquire and
+//!    volatile read, a fresh scratch clock per barrier). Reported per
+//!    workload: ns per sync op for both engines, the fast-path hit rate,
+//!    and the speedup. Warnings must agree **bit-identically** (order,
+//!    provenance, everything) or the run fails.
+//!
+//! 2. **Floor benchmarks** — the five sync-heaviest Table 1 programs
+//!    (tsp, elevator, philo, hedc, jbb), which set the sampler's floor:
+//!    its overhead there is sync bookkeeping, not admissions. The sampler
+//!    is timed in lazy (epoch-only summary, the default) and eager
+//!    (per-release clock copy) modes against the EMPTY dispatch baseline;
+//!    the JSON records how many of the five now fit the sampler's
+//!    overhead envelope.
+
+use std::time::{Duration, Instant};
+
+use fasttrack::{Detector, FastTrack, FastTrackConfig};
+use ft_bench::{fmt1, time_tool, HarnessOpts};
+use ft_obs::JsonWriter;
+use ft_sampler::{Sampler, SamplerConfig};
+use ft_trace::{LockId, Op, Tid, Trace, TraceBuilder, VarId};
+use ft_workloads::build;
+
+/// The Table 1 programs whose sync density sets the sampler's floor.
+const FLOOR_BENCHMARKS: [&str; 5] = ["tsp", "elevator", "philo", "hedc", "jbb"];
+
+/// Consecutive acquire/release cycles a thread runs before handing its
+/// lock to the partner — the re-acquire steady state of a lock-dense loop.
+const HOLD_RUNS: usize = 8;
+
+/// Lock ping-pong: `threads` paired over `threads / 2` locks; each turn a
+/// thread runs [`HOLD_RUNS`] acquire/write/release cycles on its pair's
+/// lock, then the partner takes over. Sync density 2/3.
+fn lock_ping_pong(threads: u32, ops: usize) -> Trace {
+    let mut b = TraceBuilder::with_threads(threads);
+    let pairs = (threads / 2).max(1);
+    let ops_per_round = threads as usize * HOLD_RUNS * 3;
+    let rounds = (ops / ops_per_round).max(1);
+    for _ in 0..rounds {
+        for t in 0..threads {
+            let tid = Tid::new(t);
+            let pair = t % pairs;
+            let m = LockId::new(pair);
+            let x = VarId::new(pair);
+            for _ in 0..HOLD_RUNS {
+                b.acquire(tid, m).unwrap();
+                b.write(tid, x).unwrap();
+                b.release(tid, m).unwrap();
+            }
+        }
+    }
+    b.finish()
+}
+
+/// Barrier phases: every thread writes its own variable, then the whole
+/// group crosses a barrier; repeated until `ops` events are emitted.
+fn barrier_phases(threads: u32, ops: usize) -> Trace {
+    let mut b = TraceBuilder::with_threads(threads);
+    let all: Vec<Tid> = (0..threads).map(Tid::new).collect();
+    let ops_per_phase = threads as usize + 1;
+    let phases = (ops / ops_per_phase).max(1);
+    for _ in 0..phases {
+        for &t in &all {
+            b.write(t, VarId::new(t.as_u32())).unwrap();
+        }
+        b.push(Op::BarrierRelease(all.clone())).unwrap();
+    }
+    b.finish()
+}
+
+/// Fork/join tree: the main thread forks `width` workers, each runs a
+/// slice of thread-local writes, then main joins them all and reads every
+/// slice — the classic parallel-loop shape.
+fn fork_join_tree(width: u32, ops: usize) -> Trace {
+    let mut b = TraceBuilder::new();
+    let per_worker = (ops / width as usize).max(1);
+    let main = Tid::new(0);
+    for u in 1..=width {
+        b.fork(main, Tid::new(u)).unwrap();
+    }
+    for u in 1..=width {
+        let tid = Tid::new(u);
+        for _ in 0..per_worker {
+            b.write(tid, VarId::new(u)).unwrap();
+        }
+    }
+    for u in 1..=width {
+        b.join(main, Tid::new(u)).unwrap();
+    }
+    for u in 1..=width {
+        b.read(main, VarId::new(u)).unwrap();
+    }
+    b.finish()
+}
+
+/// Volatile fan-out: one writer publishes through a volatile, `threads-1`
+/// readers re-read it between publications — the version-stamp skip's
+/// home turf (the volatile clock is unchanged on most reads).
+fn volatile_fanout(threads: u32, ops: usize) -> Trace {
+    let mut b = TraceBuilder::with_threads(threads);
+    let writer = Tid::new(0);
+    let v = VarId::new(0);
+    let reads_per_pub = 4;
+    let ops_per_round = 1 + (threads as usize - 1) * reads_per_pub;
+    let rounds = (ops / ops_per_round).max(1);
+    for _ in 0..rounds {
+        b.push(Op::VolatileWrite(writer, v)).unwrap();
+        for _ in 0..reads_per_pub {
+            for t in 1..threads {
+                b.push(Op::VolatileRead(Tid::new(t), v)).unwrap();
+            }
+        }
+    }
+    b.finish()
+}
+
+fn sync_op_count(trace: &Trace) -> u64 {
+    trace
+        .events()
+        .iter()
+        .filter(|op| !matches!(op, Op::Read(..) | Op::Write(..)))
+        .count() as u64
+}
+
+/// Best-of-reps FastTrack replay through the fused block loop, fresh
+/// instance per rep; returns the best duration and the last instance.
+fn time_fasttrack(config: &FastTrackConfig, trace: &Trace, reps: u32) -> (Duration, FastTrack) {
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let mut tool = FastTrack::with_config(config.clone());
+        let started = Instant::now();
+        tool.run(trace);
+        best = best.min(started.elapsed());
+        last = Some(tool);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+/// Best-of-reps sampler replay (skip-counting driver), fresh instance per
+/// rep.
+fn time_sampler(config: &SamplerConfig, trace: &Trace, reps: u32) -> (Duration, Sampler) {
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let mut tool = Sampler::with_config(config.clone());
+        let started = Instant::now();
+        tool.replay(trace);
+        best = best.min(started.elapsed());
+        last = Some(tool);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+/// One interleaved measurement round over the three overhead contenders —
+/// EMPTY, lazy sampler, eager sampler. Interleaving keeps clock-frequency
+/// drift from biasing the overhead ratios: each round measures all three
+/// back-to-back, and each contender keeps its own best-of-rounds minimum.
+fn time_floor_round(
+    trace: &Trace,
+    lazy_cfg: &SamplerConfig,
+    eager_cfg: &SamplerConfig,
+    rounds: u32,
+) -> (Duration, Duration, Duration, Sampler, Sampler) {
+    let mut empty_best = Duration::MAX;
+    let mut lazy_best = Duration::MAX;
+    let mut eager_best = Duration::MAX;
+    let mut lazy_last = None;
+    let mut eager_last = None;
+    for _ in 0..rounds.max(1) {
+        let (e, _) = time_tool("EMPTY", trace, 1);
+        empty_best = empty_best.min(e);
+        let (l, lazy) = time_sampler(lazy_cfg, trace, 1);
+        lazy_best = lazy_best.min(l);
+        lazy_last = Some(lazy);
+        let (g, eager) = time_sampler(eager_cfg, trace, 1);
+        eager_best = eager_best.min(g);
+        eager_last = Some(eager);
+    }
+    (
+        empty_best,
+        lazy_best,
+        eager_best,
+        lazy_last.expect("rounds >= 1"),
+        eager_last.expect("rounds >= 1"),
+    )
+}
+
+fn main() {
+    let opts = HarnessOpts::from_env(200_000);
+
+    // Thread counts are deliberately on the high side: the fast lane's
+    // claim is O(1) sync against O(threads) joins, so the sweep must cover
+    // clocks long enough for the asymptotic gap to show (at 4 threads a
+    // vector join is a near-memcpy and every engine looks the same).
+    let synthetic: Vec<(&str, Trace)> = vec![
+        ("lock_ping_pong", lock_ping_pong(16, opts.ops)),
+        ("barrier_phases", barrier_phases(16, opts.ops)),
+        ("fork_join_tree", fork_join_tree(32, opts.ops)),
+        ("volatile_fanout", volatile_fanout(8, opts.ops)),
+    ];
+
+    let fused_cfg = FastTrackConfig::default();
+    let ablated_cfg = FastTrackConfig {
+        ablate_sync_fastpath: true,
+        ..FastTrackConfig::default()
+    };
+
+    let mut json = JsonWriter::new();
+    json.begin_object();
+    json.field_str("suite", "sync");
+    json.field_u64("ops", opts.ops as u64);
+    json.field_u64("seed", opts.seed);
+
+    println!("sync-path fast lane: fused engine vs ablate_sync_fastpath baseline");
+    println!(
+        "~{} events/trace, seed {}, best of {} reps\n",
+        opts.ops, opts.seed, opts.reps
+    );
+    println!(
+        "{:<16} | {:>8} | {:>9} | {:>11} | {:>11} | {:>8} | {:>7} | agree",
+        "workload", "sync_ops", "sync_dens", "ns/sync(ft)", "ns/sync(abl)", "hit_rate", "speedup"
+    );
+
+    let mut divergences = 0u64;
+    let mut fused_total = Duration::ZERO;
+    let mut ablated_total = Duration::ZERO;
+    json.key("sync_dense");
+    json.begin_array();
+    for (name, trace) in &synthetic {
+        let syncs = sync_op_count(trace);
+        // Interleave fused/ablated rounds so clock-frequency drift cancels
+        // out of the speedup ratio; each side keeps its best round.
+        let mut fused_best = Duration::MAX;
+        let mut ablated_best = Duration::MAX;
+        let mut fused_last = None;
+        let mut ablated_last = None;
+        for _ in 0..opts.reps.max(5) {
+            let (f, ft) = time_fasttrack(&fused_cfg, trace, 1);
+            fused_best = fused_best.min(f);
+            fused_last = Some(ft);
+            let (a, ab) = time_fasttrack(&ablated_cfg, trace, 1);
+            ablated_best = ablated_best.min(a);
+            ablated_last = Some(ab);
+        }
+        let (fused, ablated) = (
+            fused_last.expect("reps >= 1"),
+            ablated_last.expect("reps >= 1"),
+        );
+        let agree = fused.warnings() == ablated.warnings();
+        if !agree {
+            divergences += 1;
+        }
+        fused_total += fused_best;
+        ablated_total += ablated_best;
+        let hit_rate = fused.stats().sync_fastpath_rate().unwrap_or(0.0);
+        let speedup = ablated_best.as_secs_f64() / fused_best.as_secs_f64();
+        let density = syncs as f64 / trace.len() as f64;
+
+        json.begin_object();
+        json.field_str("workload", name);
+        json.field_u64("events", trace.len() as u64);
+        json.field_u64("sync_ops", syncs);
+        json.field_f64("sync_density", density);
+        json.field_f64("fused_ms", fused_best.as_secs_f64() * 1e3);
+        json.field_f64("ablated_ms", ablated_best.as_secs_f64() * 1e3);
+        json.field_f64(
+            "ns_per_sync_fused",
+            fused_best.as_nanos() as f64 / syncs as f64,
+        );
+        json.field_f64(
+            "ns_per_sync_ablated",
+            ablated_best.as_nanos() as f64 / syncs as f64,
+        );
+        json.field_f64("fastpath_hit_rate", hit_rate);
+        json.field_u64("fastpath_hits", fused.stats().sync_fastpath_hits);
+        json.field_u64("slow_joins", fused.stats().sync_slow_joins);
+        json.field_f64("speedup", speedup);
+        json.field_bool("warnings_identical", agree);
+        json.end_object();
+
+        println!(
+            "{:<16} | {:>8} | {:>8}% | {:>11} | {:>11} | {:>7}% | {:>6}x | {}",
+            name,
+            syncs,
+            fmt1(density * 100.0),
+            fmt1(fused_best.as_nanos() as f64 / syncs as f64),
+            fmt1(ablated_best.as_nanos() as f64 / syncs as f64),
+            fmt1(hit_rate * 100.0),
+            format!("{speedup:.2}"),
+            if agree { "ok" } else { "DIVERGED" }
+        );
+    }
+    json.end_array();
+    let aggregate = ablated_total.as_secs_f64() / fused_total.as_secs_f64();
+    json.field_f64("sync_dense_speedup", aggregate);
+    println!(
+        "\nsync-dense sweep aggregate speedup: {:.2}x (target >= 1.30x)\n",
+        aggregate
+    );
+
+    println!("floor benchmarks: sampler lazy (epoch-only summary) vs eager, over EMPTY");
+    println!(
+        "{:<10} | {:>9} | {:>10} | {:>10} | {:>8} | {:>11} | fits",
+        "workload", "sync_dens", "lazy_ovh", "eager_ovh", "ft_hits", "ft_speedup"
+    );
+    let envelope = SamplerConfig::default().overhead_budget_pct;
+    let mut fits = 0u64;
+    json.key("floor");
+    json.begin_array();
+    for name in FLOOR_BENCHMARKS {
+        let trace = build(name, opts.scale(), opts.seed);
+        let syncs = sync_op_count(&trace);
+
+        // FastTrack fused vs ablated on the real program shapes too.
+        let (fused_best, fused) = time_fasttrack(&fused_cfg, &trace, opts.reps);
+        let (ablated_best, ablated) = time_fasttrack(&ablated_cfg, &trace, opts.reps);
+        let agree = fused.warnings() == ablated.warnings();
+        if !agree {
+            divergences += 1;
+        }
+
+        let lazy_cfg = SamplerConfig::default().with_seed(opts.seed);
+        let eager_cfg = SamplerConfig::default()
+            .with_seed(opts.seed)
+            .with_eager_sync(true);
+        let (empty_best, lazy_best, eager_best, lazy, eager) =
+            time_floor_round(&trace, &lazy_cfg, &eager_cfg, opts.reps.max(7));
+        let sampler_agree = lazy.warnings() == eager.warnings();
+        if !sampler_agree {
+            divergences += 1;
+        }
+        let lazy_ovh = (lazy_best.as_secs_f64() / empty_best.as_secs_f64() - 1.0) * 100.0;
+        let eager_ovh = (eager_best.as_secs_f64() / empty_best.as_secs_f64() - 1.0) * 100.0;
+        let in_envelope = lazy_ovh < envelope;
+        if in_envelope {
+            fits += 1;
+        }
+
+        json.begin_object();
+        json.field_str("workload", name);
+        json.field_u64("events", trace.len() as u64);
+        json.field_u64("sync_ops", syncs);
+        json.field_f64("sync_density", syncs as f64 / trace.len() as f64);
+        json.field_f64("empty_ms", empty_best.as_secs_f64() * 1e3);
+        json.field_f64(
+            "fasttrack_speedup",
+            ablated_best.as_secs_f64() / fused_best.as_secs_f64(),
+        );
+        json.field_f64(
+            "fasttrack_hit_rate",
+            fused.stats().sync_fastpath_rate().unwrap_or(0.0),
+        );
+        json.field_bool("fasttrack_warnings_identical", agree);
+        json.field_f64("lazy_overhead_pct", lazy_ovh);
+        json.field_f64("eager_overhead_pct", eager_ovh);
+        json.field_f64(
+            "sampler_hit_rate",
+            lazy.stats().sync_fastpath_rate().unwrap_or(0.0),
+        );
+        json.field_bool("sampler_warnings_identical", sampler_agree);
+        json.field_bool("fits_envelope", in_envelope);
+        json.end_object();
+
+        println!(
+            "{:<10} | {:>8}% | {:>9}% | {:>9}% | {:>7}% | {:>10}x | {}",
+            name,
+            fmt1(syncs as f64 / trace.len() as f64 * 100.0),
+            fmt1(lazy_ovh),
+            fmt1(eager_ovh),
+            fmt1(fused.stats().sync_fastpath_rate().unwrap_or(0.0) * 100.0),
+            format!(
+                "{:.2}",
+                ablated_best.as_secs_f64() / fused_best.as_secs_f64()
+            ),
+            if !agree || !sampler_agree {
+                "DIVERGED"
+            } else if in_envelope {
+                "yes"
+            } else {
+                "no"
+            }
+        );
+    }
+    json.end_array();
+    json.field_f64("overhead_envelope_pct", envelope);
+    json.field_u64("floor_fits_envelope", fits);
+    json.field_u64("divergences", divergences);
+    json.end_object();
+
+    println!(
+        "\n{fits}/{} floor benchmarks fit the sampler's {}% overhead envelope in lazy mode",
+        FLOOR_BENCHMARKS.len(),
+        envelope
+    );
+    match std::fs::write("BENCH_sync.json", json.finish()) {
+        Ok(()) => println!("wrote BENCH_sync.json"),
+        Err(e) => eprintln!("failed to write BENCH_sync.json: {e}"),
+    }
+    if divergences > 0 {
+        eprintln!("FAIL: fast-lane engine diverged from the reference on {divergences} workloads");
+        std::process::exit(1);
+    }
+}

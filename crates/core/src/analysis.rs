@@ -10,7 +10,7 @@ use crate::detector::{self, Detector, Disposition};
 use crate::flight::{FlightRecorder, RecorderConfig, ThreadTail};
 use crate::guard::{Guard, GuardConfig, GuardTier, Precision, ShadowBudget};
 use crate::rules::{self, RuleHits};
-use crate::state::{ThreadState, VarState, READ_SHARED};
+use crate::state::{LockClock, ThreadState, VarState, VolatileClock, READ_SHARED};
 use crate::stats::{RuleCount, Stats};
 use crate::warning::{AccessSummary, Provenance, ReadHistory, Warning, WarningKind};
 use ft_clock::{Epoch, Tid, VcPool, VectorClock};
@@ -56,6 +56,11 @@ pub struct FastTrackConfig {
     pub ablate_same_epoch: bool,
     /// Disable the adaptive epoch read representation (ablation only).
     pub ablate_adaptive_read: bool,
+    /// Disable the O(1) sync-join fast paths (ablation only): every acquire
+    /// clones the lock clock and joins it, every volatile read joins, and
+    /// barriers allocate a fresh scratch clock — the pre-fast-lane
+    /// behaviour, kept as the measured baseline for `ft-bench --bin sync`.
+    pub ablate_sync_fastpath: bool,
     /// Resource governance (see [`crate::guard`]). `None` disables
     /// accounting entirely; `Some` with [`GuardConfig::mem_budget`] `== 0`
     /// keeps the gauges live but never degrades.
@@ -150,10 +155,12 @@ impl TierLatencies {
 #[derive(Clone, Debug)]
 pub struct FastTrack {
     threads: Vec<Option<ThreadState>>,
-    /// `L_m` per lock, allocated on first release.
-    locks: Vec<Option<VectorClock>>,
-    /// `L_vx` per volatile variable (§4 extends `L` over volatiles).
-    volatiles: Vec<Option<VectorClock>>,
+    /// `L_m` per lock, allocated on first release, stamped with the
+    /// releaser's epoch and a version for the O(1) acquire fast path.
+    locks: Vec<Option<LockClock>>,
+    /// `L_vx` per volatile variable (§4 extends `L` over volatiles),
+    /// version-stamped so redundant re-reads skip the join.
+    volatiles: Vec<Option<VolatileClock>>,
     vars: Vec<VarState>,
     /// Variables that already produced a warning (suppression set).
     warned: Vec<bool>,
@@ -165,6 +172,24 @@ pub struct FastTrack {
     recorder: Option<FlightRecorder>,
     tiers: TierProfile,
     tier_lat: Option<Box<TierLatencies>>,
+    /// Reused join target for `[FT BARRIER RELEASE]` — barriers are
+    /// steady-state events, so the scratch clock is allocated once per
+    /// detector instead of once per barrier.
+    barrier_scratch: VectorClock,
+    /// Generation counter bumped whenever any thread clock gains *foreign*
+    /// entries (acquire/volatile-read slow joins, fork, join). Between two
+    /// barriers with no such event and an unchanged participant set, every
+    /// participant's clock is the previous barrier's joined clock with only
+    /// its own lane advanced — so the next joined clock is the scratch with
+    /// each participant lane set to that thread's current epoch, O(|T|)
+    /// lane writes instead of |T| full vector joins.
+    sync_gen: u64,
+    /// `sync_gen` snapshot taken at the end of the last barrier.
+    barrier_gen: u64,
+    /// Participant set of the last barrier (order-sensitive by design:
+    /// barrier ops replay deterministically, so the common case is an
+    /// identical slice).
+    barrier_parts: Vec<Tid>,
     config: FastTrackConfig,
 }
 
@@ -199,6 +224,10 @@ impl FastTrack {
             recorder,
             tiers: TierProfile::default(),
             tier_lat,
+            barrier_scratch: VectorClock::new(),
+            sync_gen: 0,
+            barrier_gen: u64::MAX,
+            barrier_parts: Vec::new(),
             config,
         }
     }
@@ -793,21 +822,82 @@ impl FastTrack {
         self.recorder.as_ref()
     }
 
-    /// `[FT ACQUIRE]`: `C_t := C_t ⊔ L_m`.
-    fn acquire(&mut self, t: Tid, m: LockId) {
-        self.thread(t); // ensure exists
-        if let Some(Some(lm)) = self.locks.get(m.as_usize()) {
-            // O(n) join — synchronization operations are rare (§3 "Other
-            // Operations"), so the VC cost is acceptable.
-            self.stats.vc_ops += 1;
-            let lm = lm.clone();
-            let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
-            ts.vc.join(&lm);
-            ts.refresh_epoch();
+    /// Split borrow into the thread slab: mutable `dst`, shared `src`.
+    /// Both slots must already be ensured, and `dst != src` — this is what
+    /// lets fork/join/acquire join one clock into another without cloning
+    /// the source first.
+    #[inline]
+    fn thread_pair(
+        threads: &mut [Option<ThreadState>],
+        dst: usize,
+        src: usize,
+    ) -> (&mut ThreadState, &ThreadState) {
+        debug_assert_ne!(dst, src);
+        if dst < src {
+            let (lo, hi) = threads.split_at_mut(src);
+            (
+                lo[dst].as_mut().expect("ensured"),
+                hi[0].as_ref().expect("ensured"),
+            )
+        } else {
+            let (lo, hi) = threads.split_at_mut(dst);
+            (
+                hi[0].as_mut().expect("ensured"),
+                lo[src].as_ref().expect("ensured"),
+            )
         }
     }
 
+    /// `[FT ACQUIRE]`: `C_t := C_t ⊔ L_m`.
+    ///
+    /// Two O(1) fast paths run before the O(n) join:
+    ///
+    /// 1. **seen-version** — one load: `t` already joined this exact clock
+    ///    (same [`LockClock::version`]), so the join is the identity;
+    /// 2. **release-epoch** — `C_t(r) ≥ c` for the releaser's pre-increment
+    ///    epoch `c@r` implies `C_t ⊒ L_m` (release *assigns* the whole
+    ///    clock and every published clock is followed by an increment, so
+    ///    `C_t(r) ≥ c` only arises via a synchronization chain from at or
+    ///    after that release), making the join the identity again.
+    ///
+    /// The miss path is a clone-free split-borrow join — the pre-fast-lane
+    /// code cloned `L_m` on every acquire.
+    fn acquire(&mut self, t: Tid, m: LockId) {
+        self.thread(t); // ensure exists
+        let idx = m.as_usize();
+        let Some(Some(lm)) = self.locks.get(idx) else {
+            return; // never released: L_m = ⊥ᵥ, join is the identity
+        };
+        if self.config.ablate_sync_fastpath {
+            // Baseline for the ablation bench: O(n) clone + join on every
+            // acquire, exactly the pre-fast-lane behaviour.
+            self.stats.vc_ops += 1;
+            self.sync_gen += 1;
+            let lm = lm.vc.clone();
+            let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
+            ts.vc.join(&lm);
+            ts.refresh_epoch();
+            return;
+        }
+        let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
+        if ts.seen_lock(idx) == lm.version || lm.rel.happens_before(&ts.vc) {
+            self.stats.sync_fastpath_hits += 1;
+            ts.note_lock(idx, lm.version);
+            return;
+        }
+        self.stats.sync_slow_joins += 1;
+        self.stats.vc_ops += 1;
+        self.sync_gen += 1;
+        ts.vc.join(&lm.vc);
+        ts.refresh_epoch();
+        ts.note_lock(idx, lm.version);
+    }
+
     /// `[FT RELEASE]`: `L_m := C_t; C_t := incₜ(C_t)`.
+    ///
+    /// The lock clock is stamped with the releaser's pre-increment epoch
+    /// (the acquire fast path's certificate) and its version is bumped so
+    /// stale seen-version stamps stop matching.
     fn release(&mut self, t: Tid, m: LockId) {
         self.thread(t);
         let idx = m.as_usize();
@@ -817,59 +907,87 @@ impl FastTrack {
         let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
         self.stats.vc_ops += 1; // O(n) copy
         match &mut self.locks[idx] {
-            Some(lm) => lm.assign(&ts.vc),
+            Some(lm) => {
+                lm.vc.assign(&ts.vc);
+                lm.rel = ts.epoch;
+                lm.version += 1;
+            }
             slot @ None => {
                 self.stats.vc_allocated += 1;
-                *slot = Some(ts.vc.clone());
+                *slot = Some(LockClock::new(ts.vc.clone(), ts.epoch));
             }
         }
         ts.inc();
     }
 
     /// `[FT FORK]`: `C_u := C_u ⊔ C_t; C_t := incₜ(C_t)`.
+    ///
+    /// No O(1) skip exists here: every outgoing publication of `C_t` is
+    /// followed by an increment, so the child can never already dominate
+    /// the parent's *current* clock — the join always does work. It is a
+    /// clone-free split borrow instead.
     fn fork(&mut self, t: Tid, u: Tid) {
         self.thread(t);
         self.thread(u);
         self.stats.vc_ops += 1;
-        let ct = self.threads[t.as_usize()]
-            .as_ref()
-            .expect("ensured")
-            .vc
-            .clone();
-        let us = self.threads[u.as_usize()].as_mut().expect("ensured");
-        us.vc.join(&ct);
-        us.refresh_epoch();
-        let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
-        ts.inc();
+        if t != u {
+            self.sync_gen += 1;
+            let (us, ct) = Self::thread_pair(&mut self.threads, u.as_usize(), t.as_usize());
+            us.vc.join(&ct.vc);
+            us.refresh_epoch();
+        }
+        self.threads[t.as_usize()].as_mut().expect("ensured").inc();
     }
 
     /// `[FT JOIN]`: `C_t := C_t ⊔ C_u; C_u := inc_u(C_u)`.
+    ///
+    /// Clone-free for the same reason as [`FastTrack::fork`] — and like
+    /// fork, a skip check can never fire, so none is attempted.
     fn join(&mut self, t: Tid, u: Tid) {
         self.thread(t);
         self.thread(u);
         self.stats.vc_ops += 1;
-        let cu = self.threads[u.as_usize()]
-            .as_ref()
-            .expect("ensured")
-            .vc
-            .clone();
-        let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
-        ts.vc.join(&cu);
-        ts.refresh_epoch();
-        let us = self.threads[u.as_usize()].as_mut().expect("ensured");
-        us.inc();
+        if t != u {
+            self.sync_gen += 1;
+            let (ts, cu) = Self::thread_pair(&mut self.threads, t.as_usize(), u.as_usize());
+            ts.vc.join(&cu.vc);
+            ts.refresh_epoch();
+        }
+        self.threads[u.as_usize()].as_mut().expect("ensured").inc();
     }
 
     /// `[FT READ VOLATILE]`: `C_t := C_t ⊔ L_vx` (§4).
+    ///
+    /// `L_vx` is a *join* of every writer, so no single release epoch
+    /// summarizes it — the seen-version stamp is the only O(1) skip: if `t`
+    /// already joined this exact clock version, the re-join is the
+    /// identity.
     fn volatile_read(&mut self, t: Tid, x: VarId) {
         self.thread(t);
-        if let Some(Some(lv)) = self.volatiles.get(x.as_usize()) {
+        let idx = x.as_usize();
+        let Some(Some(lv)) = self.volatiles.get(idx) else {
+            return; // never written: L_vx = ⊥ᵥ
+        };
+        if self.config.ablate_sync_fastpath {
             self.stats.vc_ops += 1;
-            let lv = lv.clone();
+            self.sync_gen += 1;
+            let lv = lv.vc.clone();
             let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
             ts.vc.join(&lv);
             ts.refresh_epoch();
+            return;
         }
+        let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
+        if ts.seen_volatile(idx) == lv.version {
+            self.stats.sync_fastpath_hits += 1;
+            return;
+        }
+        self.stats.sync_slow_joins += 1;
+        self.stats.vc_ops += 1;
+        self.sync_gen += 1;
+        ts.vc.join(&lv.vc);
+        ts.refresh_epoch();
+        ts.note_volatile(idx, lv.version);
     }
 
     /// `[FT WRITE VOLATILE]`: `L_vx := C_t ⊔ L_vx; C_t := incₜ(C_t)` (§4).
@@ -882,10 +1000,13 @@ impl FastTrack {
         let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
         self.stats.vc_ops += 1;
         match &mut self.volatiles[idx] {
-            Some(lv) => lv.join(&ts.vc),
+            Some(lv) => {
+                lv.vc.join(&ts.vc);
+                lv.version += 1;
+            }
             slot @ None => {
                 self.stats.vc_allocated += 1;
-                *slot = Some(ts.vc.clone());
+                *slot = Some(VolatileClock::new(ts.vc.clone()));
             }
         }
         ts.inc();
@@ -893,19 +1014,64 @@ impl FastTrack {
 
     /// `[FT BARRIER RELEASE]`: every `t ∈ T` gets `C_t := incₜ(⊔_{u∈T} C_u)`
     /// (§4).
+    ///
+    /// The join target is the detector-lifetime scratch clock — barriers
+    /// are steady-state events in phased programs, so they must not charge
+    /// an allocation per phase. In the steady state (same participant set,
+    /// no foreign-entry joins since the previous barrier, as tracked by
+    /// `sync_gen`), every participant's clock is
+    /// the previous joined clock with only its own lane advanced, so the
+    /// new joined clock is rebuilt from per-thread epochs in O(|T|) lane
+    /// writes instead of |T| full vector joins.
     fn barrier_release(&mut self, threads: &[Tid]) {
-        let mut joined = VectorClock::new();
-        self.stats.vc_allocated += 1;
-        for &u in threads {
-            self.thread(u);
-            self.stats.vc_ops += 1;
-            joined.join(&self.threads[u.as_usize()].as_ref().expect("ensured").vc);
+        let ablate = self.config.ablate_sync_fastpath;
+        let epoch_rebuild = !ablate
+            && self.barrier_gen == self.sync_gen
+            && self.barrier_parts == threads
+            && !threads.is_empty();
+        let mut joined = if ablate {
+            // Baseline: the pre-fast-lane fresh clock per barrier.
+            self.stats.vc_allocated += 1;
+            VectorClock::new()
+        } else {
+            let mut j = std::mem::take(&mut self.barrier_scratch);
+            if !epoch_rebuild {
+                j.clear();
+            }
+            j
+        };
+        if epoch_rebuild {
+            // Scratch still holds ⊔ of the previous phase; only the
+            // participants' own lanes moved since (release/volatile-write
+            // increments), and each one's current value is its epoch.
+            self.stats.sync_fastpath_hits += 1;
+            for &u in threads {
+                let e = self.threads[u.as_usize()]
+                    .as_ref()
+                    .expect("participant")
+                    .epoch;
+                joined.set(u, e.clock());
+            }
+        } else {
+            for &u in threads {
+                self.thread(u);
+                self.stats.vc_ops += 1;
+                joined.join(&self.threads[u.as_usize()].as_ref().expect("ensured").vc);
+            }
         }
         for &t in threads {
             self.stats.vc_ops += 1;
             let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
             ts.vc.assign(&joined);
             ts.inc();
+        }
+        if !ablate {
+            self.barrier_scratch = joined;
+            self.barrier_gen = self.sync_gen;
+            if self.barrier_parts != threads {
+                self.barrier_parts.clear();
+                self.barrier_parts.extend_from_slice(threads);
+            }
         }
     }
 
@@ -957,7 +1123,9 @@ impl FastTrack {
             }
         }
         // Clause 2 (locks and the volatile extension of L).
-        for (mi, lm) in self.locks.iter().chain(self.volatiles.iter()).enumerate() {
+        let lock_clocks = self.locks.iter().map(|s| s.as_ref().map(|l| &l.vc));
+        let volatile_clocks = self.volatiles.iter().map(|s| s.as_ref().map(|v| &v.vc));
+        for (mi, lm) in lock_clocks.chain(volatile_clocks).enumerate() {
             let Some(lm) = lm else { continue };
             for (t, c) in lm.iter_nonzero() {
                 let Some(ct) = clock_of(t) else {
@@ -1354,17 +1522,22 @@ impl Detector for FastTrack {
             .threads
             .iter()
             .flatten()
-            .map(|ts| std::mem::size_of::<ThreadState>() + ts.vc.heap_bytes())
+            .map(|ts| std::mem::size_of::<ThreadState>() + ts.vc.heap_bytes() + ts.seen_bytes())
             .sum();
         let locks: usize = self
             .locks
             .iter()
-            .chain(self.volatiles.iter())
             .flatten()
-            .map(|vc| std::mem::size_of::<VectorClock>() + vc.heap_bytes())
+            .map(|lk| std::mem::size_of::<LockClock>() + lk.vc.heap_bytes())
+            .sum();
+        let volatiles: usize = self
+            .volatiles
+            .iter()
+            .flatten()
+            .map(|lv| std::mem::size_of::<VolatileClock>() + lv.vc.heap_bytes())
             .sum();
         let recorder = self.recorder.as_ref().map_or(0, FlightRecorder::bytes);
-        vars + threads + locks + recorder
+        vars + threads + locks + volatiles + recorder
     }
 
     fn rule_breakdown(&self) -> Vec<RuleCount> {

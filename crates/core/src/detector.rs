@@ -133,6 +133,11 @@ pub fn base_registry<D: Detector + ?Sized>(d: &D) -> MetricsRegistry {
     reg.inc_counter("vc_ops", s.vc_ops);
     reg.inc_counter("vc_recycled", s.vc_recycled);
     reg.inc_counter("vc_reused", s.vc_reused);
+    reg.inc_counter("sync.fastpath_hits", s.sync_fastpath_hits);
+    reg.inc_counter("sync.slow_joins", s.sync_slow_joins);
+    if let Some(rate) = s.sync_fastpath_rate() {
+        reg.set_gauge("sync.fastpath_rate", rate);
+    }
     reg.inc_counter("warnings", d.warnings().len() as u64);
     reg.set_gauge("shadow_bytes", d.shadow_bytes() as f64);
     for rc in d.rule_breakdown() {

@@ -71,6 +71,6 @@ pub use detector::{base_registry, Detector, Disposition};
 pub use empty::Empty;
 pub use flight::{FlightRecorder, RecordedEvent, RecorderConfig, ThreadTail};
 pub use guard::{DegradationRecord, GuardConfig, GuardTier, Precision, ShadowBudget};
-pub use state::{ThreadState, VarState, READ_SHARED};
+pub use state::{LockClock, ThreadState, VarState, VolatileClock, READ_SHARED};
 pub use stats::{RuleCount, Stats};
 pub use warning::{warnings_to_json, AccessSummary, Provenance, ReadHistory, Warning, WarningKind};

@@ -37,7 +37,7 @@
 use crate::analysis::{FastTrackConfig, RVC_POOL_CAP};
 use crate::guard::{Guard, GuardTier, Precision};
 use crate::rules::{self, RuleHits};
-use crate::state::{VarState, READ_SHARED};
+use crate::state::{LockClock, VarState, VolatileClock, READ_SHARED};
 use crate::stats::{RuleCount, Stats};
 use crate::warning::{AccessSummary, Provenance, ReadHistory, Warning, WarningKind};
 use ft_clock::{CowClock, Epoch, Tid, VcPool, VectorClock};
@@ -52,8 +52,15 @@ struct SyncThread {
     epoch: Epoch,
     tid: Tid,
     /// Bumped on every clock mutation; lets the coordinator publish a new
-    /// [`ThreadView`] only when the clock actually changed.
+    /// [`ThreadView`] only when the clock actually changed. A sync-join
+    /// fast-path *hit* deliberately does not bump it — the clock did not
+    /// change, so a published view stays valid.
     version: u64,
+    /// Last [`LockClock::version`] this thread joined, per lock index
+    /// (0 = never; live versions start at 1).
+    seen_locks: Vec<u64>,
+    /// Last [`VolatileClock::version`] this thread joined, per volatile.
+    seen_volatiles: Vec<u64>,
 }
 
 impl SyncThread {
@@ -66,7 +73,35 @@ impl SyncThread {
             epoch,
             tid,
             version: 0,
+            seen_locks: Vec::new(),
+            seen_volatiles: Vec::new(),
         }
+    }
+
+    #[inline]
+    fn seen_lock(&self, idx: usize) -> u64 {
+        self.seen_locks.get(idx).copied().unwrap_or(0)
+    }
+
+    #[inline]
+    fn note_lock(&mut self, idx: usize, version: u64) {
+        if idx >= self.seen_locks.len() {
+            self.seen_locks.resize(idx + 1, 0);
+        }
+        self.seen_locks[idx] = version;
+    }
+
+    #[inline]
+    fn seen_volatile(&self, idx: usize) -> u64 {
+        self.seen_volatiles.get(idx).copied().unwrap_or(0)
+    }
+
+    #[inline]
+    fn note_volatile(&mut self, idx: usize, version: u64) {
+        if idx >= self.seen_volatiles.len() {
+            self.seen_volatiles.resize(idx + 1, 0);
+        }
+        self.seen_volatiles[idx] = version;
     }
 
     /// Every mutating sync handler funnels through here, so the version
@@ -115,10 +150,22 @@ pub struct ThreadView {
 #[derive(Debug, Default)]
 pub struct SyncClocks {
     threads: Vec<Option<SyncThread>>,
-    /// `L_m` per lock, allocated on first release.
-    locks: Vec<Option<VectorClock>>,
+    /// `L_m` per lock, allocated on first release, stamped exactly like the
+    /// sequential detector's table.
+    locks: Vec<Option<LockClock>>,
     /// `L_vx` per volatile variable (§4 extends `L` over volatiles).
-    volatiles: Vec<Option<VectorClock>>,
+    volatiles: Vec<Option<VolatileClock>>,
+    /// Reused `[FT BARRIER RELEASE]` join target (one per coordinator, not
+    /// one per barrier).
+    barrier_scratch: VectorClock,
+    /// Foreign-entry join generation — mirrors the sequential detector's
+    /// counter so the barrier epoch-rebuild fast path fires (and counts)
+    /// identically; see `FastTrack::barrier_release`.
+    sync_gen: u64,
+    /// `sync_gen` snapshot at the end of the last barrier.
+    barrier_gen: u64,
+    /// Participant set of the last barrier.
+    barrier_parts: Vec<Tid>,
     stats: Stats,
 }
 
@@ -235,30 +282,79 @@ impl SyncClocks {
             .threads
             .iter()
             .flatten()
-            .map(|ts| std::mem::size_of::<SyncThread>() + ts.clock.heap_bytes())
+            .map(|ts| {
+                std::mem::size_of::<SyncThread>()
+                    + ts.clock.heap_bytes()
+                    + (ts.seen_locks.capacity() + ts.seen_volatiles.capacity())
+                        * std::mem::size_of::<u64>()
+            })
             .sum();
         let locks: usize = self
             .locks
             .iter()
-            .chain(self.volatiles.iter())
             .flatten()
-            .map(|vc| std::mem::size_of::<VectorClock>() + vc.heap_bytes())
+            .map(|lk| std::mem::size_of::<LockClock>() + lk.vc.heap_bytes())
             .sum();
-        threads + locks
+        let volatiles: usize = self
+            .volatiles
+            .iter()
+            .flatten()
+            .map(|lv| std::mem::size_of::<VolatileClock>() + lv.vc.heap_bytes())
+            .sum();
+        threads + locks + volatiles
     }
 
-    /// `[FT ACQUIRE]`: `C_t := C_t ⊔ L_m`.
-    fn acquire(&mut self, t: Tid, m: LockId) {
-        self.ensure_thread(t);
-        if let Some(Some(lm)) = self.locks.get(m.as_usize()) {
-            self.stats.vc_ops += 1;
-            let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
-            ts.clock.to_mut().join(lm);
-            ts.refresh_epoch();
+    /// Split borrow into the thread slab: mutable `dst`, shared `src`. Both
+    /// slots must be ensured and distinct (mirrors `FastTrack::thread_pair`).
+    #[inline]
+    fn thread_pair(
+        threads: &mut [Option<SyncThread>],
+        dst: usize,
+        src: usize,
+    ) -> (&mut SyncThread, &SyncThread) {
+        debug_assert_ne!(dst, src);
+        if dst < src {
+            let (lo, hi) = threads.split_at_mut(src);
+            (
+                lo[dst].as_mut().expect("ensured"),
+                hi[0].as_ref().expect("ensured"),
+            )
+        } else {
+            let (lo, hi) = threads.split_at_mut(dst);
+            (
+                hi[0].as_mut().expect("ensured"),
+                lo[src].as_ref().expect("ensured"),
+            )
         }
     }
 
-    /// `[FT RELEASE]`: `L_m := C_t; C_t := incₜ(C_t)`.
+    /// `[FT ACQUIRE]`: `C_t := C_t ⊔ L_m` — with the sequential detector's
+    /// two O(1) fast paths (seen-version and release-epoch; see
+    /// `FastTrack::acquire` for the soundness argument). A hit performs no
+    /// clock mutation, so the thread's published view stays valid and its
+    /// version counter is *not* bumped.
+    fn acquire(&mut self, t: Tid, m: LockId) {
+        self.ensure_thread(t);
+        let idx = m.as_usize();
+        let Some(Some(lm)) = self.locks.get(idx) else {
+            return; // never released: L_m = ⊥ᵥ
+        };
+        let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
+        if ts.seen_lock(idx) == lm.version || lm.rel.happens_before(&ts.clock) {
+            self.stats.sync_fastpath_hits += 1;
+            ts.note_lock(idx, lm.version);
+            return;
+        }
+        self.stats.sync_slow_joins += 1;
+        self.stats.vc_ops += 1;
+        self.sync_gen += 1;
+        ts.clock.to_mut().join(&lm.vc);
+        ts.refresh_epoch();
+        ts.note_lock(idx, lm.version);
+    }
+
+    /// `[FT RELEASE]`: `L_m := C_t; C_t := incₜ(C_t)`, stamping the lock
+    /// clock with the releaser's pre-increment epoch and a fresh version.
     fn release(&mut self, t: Tid, m: LockId) {
         self.ensure_thread(t);
         let idx = m.as_usize();
@@ -268,62 +364,70 @@ impl SyncClocks {
         let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
         self.stats.vc_ops += 1; // O(n) copy
         match &mut self.locks[idx] {
-            Some(lm) => lm.assign(&ts.clock),
+            Some(lm) => {
+                lm.vc.assign(&ts.clock);
+                lm.rel = ts.epoch;
+                lm.version += 1;
+            }
             slot @ None => {
                 self.stats.vc_allocated += 1;
-                *slot = Some((*ts.clock).clone());
+                *slot = Some(LockClock::new((*ts.clock).clone(), ts.epoch));
             }
         }
         ts.inc();
     }
 
-    /// `[FT FORK]`: `C_u := C_u ⊔ C_t; C_t := incₜ(C_t)`.
+    /// `[FT FORK]`: `C_u := C_u ⊔ C_t; C_t := incₜ(C_t)` — a clone-free
+    /// split borrow (no O(1) skip exists: the child can never already
+    /// dominate the parent's current clock; see `FastTrack::fork`).
     fn fork(&mut self, t: Tid, u: Tid) {
         self.ensure_thread(t);
         self.ensure_thread(u);
         self.stats.vc_ops += 1;
-        {
-            let ct = self.threads[t.as_usize()]
-                .as_ref()
-                .expect("ensured")
-                .clock
-                .snapshot();
-            let us = self.threads[u.as_usize()].as_mut().expect("ensured");
-            us.clock.to_mut().join(&ct);
+        if t != u {
+            self.sync_gen += 1;
+            let (us, ct) = Self::thread_pair(&mut self.threads, u.as_usize(), t.as_usize());
+            us.clock.to_mut().join(&ct.clock);
             us.refresh_epoch();
-        } // `ct` dropped here so the parent's inc below stays copy-free
-        let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
-        ts.inc();
+        }
+        self.threads[t.as_usize()].as_mut().expect("ensured").inc();
     }
 
-    /// `[FT JOIN]`: `C_t := C_t ⊔ C_u; C_u := inc_u(C_u)`.
+    /// `[FT JOIN]`: `C_t := C_t ⊔ C_u; C_u := inc_u(C_u)` — clone-free like
+    /// [`SyncClocks::fork`].
     fn join(&mut self, t: Tid, u: Tid) {
         self.ensure_thread(t);
         self.ensure_thread(u);
         self.stats.vc_ops += 1;
-        {
-            let cu = self.threads[u.as_usize()]
-                .as_ref()
-                .expect("ensured")
-                .clock
-                .snapshot();
-            let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
-            ts.clock.to_mut().join(&cu);
+        if t != u {
+            self.sync_gen += 1;
+            let (ts, cu) = Self::thread_pair(&mut self.threads, t.as_usize(), u.as_usize());
+            ts.clock.to_mut().join(&cu.clock);
             ts.refresh_epoch();
         }
-        let us = self.threads[u.as_usize()].as_mut().expect("ensured");
-        us.inc();
+        self.threads[u.as_usize()].as_mut().expect("ensured").inc();
     }
 
-    /// `[FT READ VOLATILE]`: `C_t := C_t ⊔ L_vx` (§4).
+    /// `[FT READ VOLATILE]`: `C_t := C_t ⊔ L_vx` (§4), with the
+    /// seen-version skip (the only valid O(1) fast path for a volatile —
+    /// its clock is a join of every writer).
     fn volatile_read(&mut self, t: Tid, x: VarId) {
         self.ensure_thread(t);
-        if let Some(Some(lv)) = self.volatiles.get(x.as_usize()) {
-            self.stats.vc_ops += 1;
-            let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
-            ts.clock.to_mut().join(lv);
-            ts.refresh_epoch();
+        let idx = x.as_usize();
+        let Some(Some(lv)) = self.volatiles.get(idx) else {
+            return; // never written: L_vx = ⊥ᵥ
+        };
+        let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
+        if ts.seen_volatile(idx) == lv.version {
+            self.stats.sync_fastpath_hits += 1;
+            return;
         }
+        self.stats.sync_slow_joins += 1;
+        self.stats.vc_ops += 1;
+        self.sync_gen += 1;
+        ts.clock.to_mut().join(&lv.vc);
+        ts.refresh_epoch();
+        ts.note_volatile(idx, lv.version);
     }
 
     /// `[FT WRITE VOLATILE]`: `L_vx := C_t ⊔ L_vx; C_t := incₜ(C_t)` (§4).
@@ -336,30 +440,57 @@ impl SyncClocks {
         let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
         self.stats.vc_ops += 1;
         match &mut self.volatiles[idx] {
-            Some(lv) => lv.join(&ts.clock),
+            Some(lv) => {
+                lv.vc.join(&ts.clock);
+                lv.version += 1;
+            }
             slot @ None => {
                 self.stats.vc_allocated += 1;
-                *slot = Some((*ts.clock).clone());
+                *slot = Some(VolatileClock::new((*ts.clock).clone()));
             }
         }
         ts.inc();
     }
 
     /// `[FT BARRIER RELEASE]`: every `t ∈ T` gets `C_t := incₜ(⊔_{u∈T} C_u)`
-    /// (§4).
+    /// (§4). The join target is the coordinator-lifetime scratch clock, so
+    /// steady-state barriers charge no allocation.
     fn barrier_release(&mut self, threads: &[Tid]) {
-        let mut joined = VectorClock::new();
-        self.stats.vc_allocated += 1;
-        for &u in threads {
-            self.ensure_thread(u);
-            self.stats.vc_ops += 1;
-            joined.join(&self.threads[u.as_usize()].as_ref().expect("ensured").clock);
+        let epoch_rebuild = self.barrier_gen == self.sync_gen
+            && self.barrier_parts == threads
+            && !threads.is_empty();
+        let mut joined = std::mem::take(&mut self.barrier_scratch);
+        if epoch_rebuild {
+            // Steady state: scratch still holds the previous phase's join
+            // and only the participants' own lanes moved since — rebuild
+            // from epochs, exactly like `FastTrack::barrier_release`.
+            self.stats.sync_fastpath_hits += 1;
+            for &u in threads {
+                let e = self.threads[u.as_usize()]
+                    .as_ref()
+                    .expect("participant")
+                    .epoch;
+                joined.set(u, e.clock());
+            }
+        } else {
+            joined.clear();
+            for &u in threads {
+                self.ensure_thread(u);
+                self.stats.vc_ops += 1;
+                joined.join(&self.threads[u.as_usize()].as_ref().expect("ensured").clock);
+            }
         }
         for &t in threads {
             self.stats.vc_ops += 1;
             let ts = self.threads[t.as_usize()].as_mut().expect("ensured");
             ts.clock.to_mut().assign(&joined);
             ts.inc();
+        }
+        self.barrier_scratch = joined;
+        self.barrier_gen = self.sync_gen;
+        if self.barrier_parts != threads {
+            self.barrier_parts.clear();
+            self.barrier_parts.extend_from_slice(threads);
         }
     }
 }
@@ -868,6 +999,47 @@ mod tests {
         assert_eq!(sync.stats().vc_allocated, 3);
         assert_eq!(sync.stats().vc_ops, 2);
         assert_eq!(sync.stats().sync_ops, 2);
+        // T1 had never seen the lock: the acquire was a classified slow join.
+        assert_eq!(sync.stats().sync_slow_joins, 1);
+        assert_eq!(sync.stats().sync_fastpath_hits, 0);
+    }
+
+    #[test]
+    fn acquire_fastpath_hit_skips_the_join_and_keeps_views_valid() {
+        let mut sync = SyncClocks::new();
+        sync.ensure_thread(T0);
+        sync.on_sync(&Op::Release(T0, LockId::new(0)));
+        sync.on_sync(&Op::Acquire(T1, LockId::new(0))); // slow join
+        let version = sync.version_of(T1);
+        let ops = sync.stats().vc_ops;
+        // Re-acquire without an intervening release: T1 already dominates
+        // L_m (seen-version AND release-epoch both certify it).
+        sync.on_sync(&Op::Acquire(T1, LockId::new(0)));
+        assert_eq!(sync.stats().sync_fastpath_hits, 1);
+        assert_eq!(sync.stats().vc_ops, ops, "hit performs no O(n) work");
+        assert_eq!(
+            sync.version_of(T1),
+            version,
+            "hit must not invalidate published views"
+        );
+        // The releaser re-acquiring its own lock is also a hit.
+        sync.on_sync(&Op::Acquire(T0, LockId::new(0)));
+        assert_eq!(sync.stats().sync_fastpath_hits, 2);
+    }
+
+    #[test]
+    fn barriers_reuse_the_scratch_clock() {
+        let mut sync = SyncClocks::new();
+        sync.on_sync(&Op::BarrierRelease(vec![T0, T1]));
+        let allocated = sync.stats().vc_allocated;
+        sync.on_sync(&Op::BarrierRelease(vec![T0, T1]));
+        assert_eq!(
+            sync.stats().vc_allocated,
+            allocated,
+            "steady-state barriers must not allocate"
+        );
+        // Only the two thread clocks were ever allocated.
+        assert_eq!(allocated, 2);
     }
 
     #[test]

@@ -13,7 +13,8 @@ use ft_clock::{Epoch, Tid, VectorClock};
 pub const READ_SHARED: Epoch = Epoch::from_raw(u32::MAX);
 
 /// Per-thread analysis state: the thread's vector clock `C_t` and its cached
-/// current epoch `E(t) = C_t(t)@t` (Figure 5's `ThreadState`).
+/// current epoch `E(t) = C_t(t)@t` (Figure 5's `ThreadState`), plus the
+/// seen-version stamps backing the O(1) sync-join fast paths.
 #[derive(Clone, Debug)]
 pub struct ThreadState {
     /// The thread's vector clock `C_t`.
@@ -22,6 +23,14 @@ pub struct ThreadState {
     pub epoch: Epoch,
     /// The thread's identifier.
     pub tid: Tid,
+    /// Last [`LockClock::version`] this thread joined, per lock index.
+    /// Zero means "never" (live versions start at 1).
+    pub seen_locks: Vec<u64>,
+    /// Last [`VolatileClock::version`] this thread joined, per volatile
+    /// index. A volatile clock is a join of every writer — no single
+    /// release epoch summarizes it — so the version stamp is the *only*
+    /// O(1) way to skip a redundant re-join on a volatile re-read.
+    pub seen_volatiles: Vec<u64>,
 }
 
 impl ThreadState {
@@ -30,7 +39,13 @@ impl ThreadState {
         let mut vc = VectorClock::new();
         vc.inc(tid);
         let epoch = vc.epoch_of(tid);
-        ThreadState { vc, epoch, tid }
+        ThreadState {
+            vc,
+            epoch,
+            tid,
+            seen_locks: Vec::new(),
+            seen_volatiles: Vec::new(),
+        }
     }
 
     /// Re-caches the epoch after `vc` changed.
@@ -44,6 +59,97 @@ impl ThreadState {
     pub fn inc(&mut self) {
         self.vc.inc(self.tid);
         self.refresh_epoch();
+    }
+
+    /// The last lock-clock version this thread saw for lock index `idx`.
+    #[inline]
+    pub fn seen_lock(&self, idx: usize) -> u64 {
+        self.seen_locks.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Records that this thread's clock covers lock `idx` at `version`.
+    #[inline]
+    pub fn note_lock(&mut self, idx: usize, version: u64) {
+        if idx >= self.seen_locks.len() {
+            self.seen_locks.resize(idx + 1, 0);
+        }
+        self.seen_locks[idx] = version;
+    }
+
+    /// The last volatile-clock version this thread saw for index `idx`.
+    #[inline]
+    pub fn seen_volatile(&self, idx: usize) -> u64 {
+        self.seen_volatiles.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Records that this thread's clock covers volatile `idx` at `version`.
+    #[inline]
+    pub fn note_volatile(&mut self, idx: usize, version: u64) {
+        if idx >= self.seen_volatiles.len() {
+            self.seen_volatiles.resize(idx + 1, 0);
+        }
+        self.seen_volatiles[idx] = version;
+    }
+
+    /// Heap bytes held by the seen-version stamps (for shadow accounting).
+    #[inline]
+    pub fn seen_bytes(&self) -> usize {
+        (self.seen_locks.capacity() + self.seen_volatiles.capacity()) * std::mem::size_of::<u64>()
+    }
+}
+
+/// A lock's shadow clock `L_m` plus the two stamps backing the O(1)
+/// acquire fast path.
+///
+/// `rel` is the releasing thread's epoch `c@r` *before* its post-release
+/// increment. Because `[FT RELEASE]` performs a whole-clock assignment
+/// `L_m := C_r`, an acquirer `t` with `C_t(r) ≥ c` already dominates every
+/// entry of `L_m`: per-thread clocks only grow, every outgoing publication
+/// of a clock is followed by an increment, so `C_t(r) ≥ c` can only arise
+/// via a synchronization chain from at or after that release. The acquire
+/// join is skipped entirely in that case.
+///
+/// `version` is a monotonic stamp bumped on every mutation of `vc`; a
+/// thread that recorded the current version has already joined this exact
+/// clock, which gives a second (one-load) skip and lets the parallel
+/// engine's coordinator know when a published view is still valid.
+#[derive(Clone, Debug)]
+pub struct LockClock {
+    /// The lock's vector clock `L_m`.
+    pub vc: VectorClock,
+    /// The releaser's pre-increment epoch at the last release.
+    pub rel: Epoch,
+    /// Monotonic mutation stamp; starts at 1 on first release.
+    pub version: u64,
+}
+
+impl LockClock {
+    /// Lock clock created at a first release: `L_m := C_r`.
+    pub fn new(vc: VectorClock, rel: Epoch) -> Self {
+        LockClock {
+            vc,
+            rel,
+            version: 1,
+        }
+    }
+}
+
+/// A volatile variable's shadow clock `L_vx` (§4 of the paper) with its
+/// version stamp. Unlike a lock clock, `L_vx` is a *join* of every writer
+/// (`L_vx := C_t ⊔ L_vx`), so no single release epoch dominates it — the
+/// version stamp is what lets a re-reading thread skip a redundant join.
+#[derive(Clone, Debug)]
+pub struct VolatileClock {
+    /// The volatile's vector clock `L_vx`.
+    pub vc: VectorClock,
+    /// Monotonic mutation stamp; starts at 1 on first write.
+    pub version: u64,
+}
+
+impl VolatileClock {
+    /// Volatile clock created at a first write: `L_vx := C_t`.
+    pub fn new(vc: VectorClock) -> Self {
+        VolatileClock { vc, version: 1 }
     }
 }
 
@@ -149,6 +255,27 @@ mod tests {
         ts.inc();
         assert_eq!(ts.epoch, Epoch::new(Tid::new(1), 2));
         assert_eq!(ts.vc.epoch_of(Tid::new(1)), ts.epoch);
+    }
+
+    #[test]
+    fn seen_versions_default_to_never() {
+        let mut ts = ThreadState::new(Tid::new(0));
+        assert_eq!(ts.seen_lock(5), 0);
+        assert_eq!(ts.seen_volatile(9), 0);
+        ts.note_lock(5, 3);
+        ts.note_volatile(9, 7);
+        assert_eq!(ts.seen_lock(5), 3);
+        assert_eq!(ts.seen_volatile(9), 7);
+        assert_eq!(ts.seen_lock(4), 0);
+        assert!(ts.seen_bytes() > 0);
+    }
+
+    #[test]
+    fn sync_clock_versions_start_live() {
+        let lk = LockClock::new(VectorClock::new(), Epoch::new(Tid::new(1), 4));
+        assert_eq!(lk.version, 1);
+        let lv = VolatileClock::new(VectorClock::new());
+        assert_eq!(lv.version, 1);
     }
 
     #[test]

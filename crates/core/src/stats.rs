@@ -38,6 +38,13 @@ pub struct Stats {
     /// Vector-clock allocations served from the recycle pool instead of the
     /// heap allocator.
     pub vc_reused: u64,
+    /// Synchronization joins answered by an O(1) fast path (release-epoch
+    /// or seen-version check) with no clock traffic at all. Disjoint from
+    /// `vc_ops` — a hit performs no O(n) work.
+    pub sync_fastpath_hits: u64,
+    /// Synchronization joins that fell through to a real O(n) clock join.
+    /// Each slow join is also counted in `vc_ops`.
+    pub sync_slow_joins: u64,
 }
 
 impl Stats {
@@ -57,6 +64,20 @@ impl Stats {
         self.vc_ops += other.vc_ops;
         self.vc_recycled += other.vc_recycled;
         self.vc_reused += other.vc_reused;
+        self.sync_fastpath_hits += other.sync_fastpath_hits;
+        self.sync_slow_joins += other.sync_slow_joins;
+    }
+
+    /// Fraction of classified synchronization joins answered by an O(1)
+    /// fast path, in `[0, 1]`. `None` until at least one join was
+    /// classified (sync-free traces have no meaningful rate).
+    pub fn sync_fastpath_rate(&self) -> Option<f64> {
+        let total = self.sync_fastpath_hits + self.sync_slow_joins;
+        if total == 0 {
+            None
+        } else {
+            Some(self.sync_fastpath_hits as f64 / total as f64)
+        }
     }
 }
 
@@ -64,14 +85,16 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} ops ({} reads, {} writes, {} sync); {} VCs allocated ({} reused); {} VC ops",
+            "{} ops ({} reads, {} writes, {} sync); {} VCs allocated ({} reused); {} VC ops; sync joins {} fast / {} slow",
             self.ops,
             self.reads,
             self.writes,
             self.sync_ops,
             self.vc_allocated,
             self.vc_reused,
-            self.vc_ops
+            self.vc_ops,
+            self.sync_fastpath_hits,
+            self.sync_slow_joins
         )
     }
 }
@@ -140,11 +163,24 @@ mod tests {
             vc_ops: 6,
             vc_recycled: 7,
             vc_reused: 8,
+            sync_fastpath_hits: 9,
+            sync_slow_joins: 10,
         };
         a.merge(&a.clone());
         assert_eq!(a.ops, 2);
         assert_eq!(a.vc_reused, 16);
         assert_eq!(a.vc_recycled, 14);
+        assert_eq!(a.sync_fastpath_hits, 18);
+        assert_eq!(a.sync_slow_joins, 20);
+    }
+
+    #[test]
+    fn fastpath_rate_is_hits_over_classified_joins() {
+        let mut s = Stats::new();
+        assert_eq!(s.sync_fastpath_rate(), None);
+        s.sync_fastpath_hits = 3;
+        s.sync_slow_joins = 1;
+        assert!((s.sync_fastpath_rate().unwrap() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -324,6 +324,11 @@ fn run_parallel<R: Read>(
     engine_reg.inc_counter("vc_ops", s.vc_ops);
     engine_reg.inc_counter("vc_recycled", s.vc_recycled);
     engine_reg.inc_counter("vc_reused", s.vc_reused);
+    engine_reg.inc_counter("sync.fastpath_hits", s.sync_fastpath_hits);
+    engine_reg.inc_counter("sync.slow_joins", s.sync_slow_joins);
+    if let Some(rate) = s.sync_fastpath_rate() {
+        engine_reg.set_gauge("sync.fastpath_rate", rate);
+    }
     engine_reg.inc_counter("warnings", folded.warnings.len() as u64);
     engine_reg.set_gauge("shadow_bytes", folded.shadow_bytes as f64);
     engine_reg.set_gauge("shards", shards as f64);

@@ -291,4 +291,31 @@ print("sampling smoke OK: %s recall > 0 at %d budgets, 0 violations"
       % (row["workload"], checked))
 EOF
 
+echo "==> sync fast-lane smoke (O(1) acquire/release epochs, zero divergence)"
+# Small ops keep the smoke fast; the >=1.3x sweep speedup is a full-scale
+# acceptance number (machine-sensitive), so the smoke gates on semantics
+# (bit-identical warnings everywhere) and on the fast lane actually firing.
+cargo run --release -q -p ft-bench --bin sync -- --ops=20000 --reps=1
+python3 - BENCH_sync.json <<'EOF'
+import json
+doc = json.load(open("BENCH_sync.json"))
+assert doc["divergences"] == 0, "sync fast lane changed a warning"
+rows = doc["sync_dense"]
+assert rows, "sync-dense sweep produced no workloads"
+hits = sum(r["fastpath_hits"] for r in rows)
+assert hits > 0, "sync fast path never fired on the sync-dense sweep"
+for r in rows:
+    assert r["warnings_identical"], f"{r['workload']}: fused != ablated warnings"
+    assert 0.0 <= r["fastpath_hit_rate"] <= 1.0, r
+for r in doc["floor"]:
+    assert r["fasttrack_warnings_identical"], f"{r['workload']}: core diverged"
+    assert r["sampler_warnings_identical"], f"{r['workload']}: sampler diverged"
+rate = hits / max(1, hits + sum(r["slow_joins"] for r in rows))
+print("sync smoke OK: %d fast-path hits (%.0f%% hit rate), 0 divergences"
+      % (hits, 100.0 * rate))
+EOF
+
+echo "==> sync fast-lane agreement property suite"
+cargo test -q --release --test sync_fastpath_agreement
+
 echo "==> all checks passed"
